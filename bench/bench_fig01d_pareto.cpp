@@ -1,0 +1,69 @@
+// Fig. 1d: the full design-space cloud -- energy cost vs % of SDC-causing
+// errors protected, for every valid cross-layer combination.  Emits the
+// full dataset to fig01d_<core>.csv and prints the Pareto frontier.
+#include "bench/common.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace {
+
+using namespace clear;
+
+void explore(const std::string& cn) {
+  auto points = core::explore_design_space(bench::session(cn),
+                                           bench::selector(cn), 50.0);
+  const std::string path = "fig01d_" + cn + ".csv";
+  {
+    std::ofstream out(path);
+    out << "combo,target,met,energy_pct,sdc_protected_pct,sdc_imp,due_imp\n";
+    for (const auto& p : points) {
+      out << '"' << p.combo << "\"," << p.target << ',' << p.target_met << ','
+          << p.energy * 100 << ',' << p.sdc_protected_pct << ',' << p.imp.sdc
+          << ',' << p.imp.due << '\n';
+    }
+  }
+  std::printf("\n%s: %zu combinations evaluated -> %s\n", cn.c_str(),
+              points.size(), path.c_str());
+
+  // Pareto frontier: minimal energy for at least this much protection.
+  std::sort(points.begin(), points.end(), [](const auto& a, const auto& b) {
+    return a.energy < b.energy;
+  });
+  bench::TextTable t({"Pareto combos (by energy)", "Energy",
+                      "% SDC protected", "SDC imp"});
+  double best_prot = -1;
+  int shown = 0;
+  for (const auto& p : points) {
+    if (p.sdc_protected_pct <= best_prot + 1e-9) continue;
+    best_prot = p.sdc_protected_pct;
+    t.add_row({p.combo, bench::TextTable::pct(p.energy * 100),
+               bench::TextTable::pct(p.sdc_protected_pct),
+               bench::TextTable::factor(p.imp.sdc)});
+    if (++shown >= 12) break;
+  }
+  t.print(std::cout);
+}
+
+void print_tables() {
+  bench::header("Fig. 1d", "Design-space exploration: 586 combinations");
+  explore("InO");
+  explore("OoO");
+  bench::note("(paper's qualitative result: optimized DICE+parity+recovery"
+              " combinations dominate the low-cost frontier; most cross-"
+              "layer combinations are far costlier)");
+}
+
+void BM_DesignSpaceInO(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::explore_design_space(bench::session("InO"),
+                                   bench::selector("InO"), 50.0)
+            .size());
+  }
+}
+BENCHMARK(BM_DesignSpaceInO)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+CLEAR_BENCH_MAIN(print_tables)

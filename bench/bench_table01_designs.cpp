@@ -1,0 +1,61 @@
+// Table 1: processor designs studied.
+#include "bench/common.h"
+
+#include "arch/core.h"
+
+namespace {
+
+using namespace clear;
+
+void print_tables() {
+  bench::header("Table 1", "Processor designs studied");
+  bench::TextTable t({"Core", "Description", "Clk", "FFs (paper)", "FFs (ours)",
+                      "Injections", "IPC (paper)", "IPC (ours)"});
+  for (const char* name : {"InO", "OoO"}) {
+    auto& s = bench::session(name);
+    const auto& base = s.profiles(core::Variant::base());
+    double ipc = 0;
+    std::uint64_t injections = 0;
+    for (const auto& b : base.benches) {
+      ipc += static_cast<double>(b.campaign.nominal_instrs) /
+             static_cast<double>(b.campaign.nominal_cycles);
+      injections += b.campaign.totals.total();
+    }
+    ipc /= static_cast<double>(base.benches.size());
+    auto proto = arch::make_core(name);
+    t.add_row({name,
+               std::string(name) == "InO" ? "simple, in-order (Leon3-class)"
+                                          : "superscalar OoO (IVM-class)",
+               bench::TextTable::num(proto->clock_ghz(), 1) + " GHz",
+               std::string(name) == "InO" ? "1250" : "13819",
+               std::to_string(proto->registry().ff_count()),
+               std::to_string(injections),
+               std::string(name) == "InO" ? "0.4" : "1.3",
+               bench::TextTable::num(ipc, 2)});
+  }
+  t.print(std::cout);
+  bench::note("(paper: 5.9M/3.5M injections via FPGA emulation; reduced-scale"
+              " campaigns here, margins reported per bench)");
+}
+
+void BM_CleanRunInO(benchmark::State& state) {
+  const auto prog = isa::assemble(workloads::build_benchmark("mcf"));
+  auto core = arch::make_ino_core();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core->run_clean(prog).cycles);
+  }
+}
+BENCHMARK(BM_CleanRunInO);
+
+void BM_CleanRunOoO(benchmark::State& state) {
+  const auto prog = isa::assemble(workloads::build_benchmark("mcf"));
+  auto core = arch::make_ooo_core();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core->run_clean(prog).cycles);
+  }
+}
+BENCHMARK(BM_CleanRunOoO);
+
+}  // namespace
+
+CLEAR_BENCH_MAIN(print_tables)

@@ -1,0 +1,45 @@
+// Benchmark-dependence study (the paper's Sec. 4 scenario): what happens
+// when field applications differ from the benchmarks used to choose the
+// protected flip-flops -- and how LHL backfill closes the gap.
+//
+//   $ ./benchmark_dependence [target]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/benchdep.h"
+
+int main(int argc, char** argv) {
+  using namespace clear;
+  const double target = argc > 1 ? std::atof(argv[1]) : 50.0;
+
+  core::Session session("InO");
+  core::Selector selector(session);
+
+  std::printf("train/validate splits over the SPEC benchmarks (InO core)\n");
+  std::printf("target: %.0fx SDC improvement, DICE+parity+flush\n\n", target);
+
+  const auto row = core::lhl_backfill_row(session, selector, target,
+                                          core::Metric::kSdc, 12, 2026);
+  std::printf("trained improvement   : %8.1fx (selection meets target on"
+              " training benchmarks)\n", row.trained);
+  std::printf("validated improvement : %8.1fx (same flip-flops, unseen"
+              " benchmarks)\n", row.validated);
+  std::printf("after LHL backfill    : %8.1fx (unprotected FFs get Light"
+              " Hardened LEAP)\n", row.after_lhl);
+  std::printf("\ncost before backfill  : area %+.2f%%, power %+.2f%%\n",
+              row.area_before * 100, row.power_before * 100);
+  std::printf("cost after backfill   : area %+.2f%%, power %+.2f%%\n",
+              row.area_after * 100, row.power_after * 100);
+
+  std::printf("\nwhy: only the hottest flip-flops are stable across"
+              " applications (Eq. 2):\n");
+  const auto sim = core::subset_similarity(session);
+  for (int d = 0; d < 10; ++d) {
+    std::printf("  decile %d (%2d-%3d%%): similarity %.2f\n", d + 1, d * 10,
+                d * 10 + 10, sim[d]);
+  }
+  std::printf("\n(paper: training on 4 of 11 SPEC benchmarks underestimates"
+              " validated improvement;\n +LHL restores the target at ~1%%"
+              " extra cost -- Tables 25-27)\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Cross-layer design-space exploration (the paper's Fig. 1d / Sec. 3):
+// evaluate every valid combination on a core and report the cheapest ways
+// to reach an SDC-improvement target.
+//
+//   $ ./explore_design_space [InO|OoO] [target]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/combos.h"
+
+int main(int argc, char** argv) {
+  using namespace clear;
+  const std::string core_name = argc > 1 ? argv[1] : "InO";
+  const double target = argc > 2 ? std::atof(argv[2]) : 50.0;
+  if (core_name != "InO" && core_name != "OoO") {
+    std::fprintf(stderr, "usage: %s [InO|OoO] [target]\n", argv[0]);
+    return 2;
+  }
+
+  core::Session session(core_name);
+  core::Selector selector(session);
+  std::printf("exploring %zu combinations on %s at %.0fx SDC target...\n",
+              core::enumerate_combos(core_name).size(), core_name.c_str(),
+              target);
+  auto points = core::explore_design_space(session, selector, target);
+
+  std::sort(points.begin(), points.end(),
+            [](const auto& a, const auto& b) { return a.energy < b.energy; });
+
+  std::printf("\ncheapest combinations that MEET the target:\n");
+  std::printf("%-52s %10s %10s %10s\n", "combination", "energy", "SDC imp",
+              "DUE imp");
+  int shown = 0;
+  for (const auto& p : points) {
+    if (!p.target_met || p.imp.sdc < target) continue;
+    std::printf("%-52s %9.2f%% %9.1fx %9.1fx\n", p.combo.c_str(),
+                p.energy * 100, p.imp.sdc, p.imp.due);
+    if (++shown >= 10) break;
+  }
+
+  std::printf("\nmost expensive ways to try (for contrast):\n");
+  for (std::size_t i = points.size() >= 3 ? points.size() - 3 : 0;
+       i < points.size(); ++i) {
+    std::printf("%-52s %9.2f%% %9.1fx\n", points[i].combo.c_str(),
+                points[i].energy * 100, points[i].imp.sdc);
+  }
+  std::printf(
+      "\n(the paper's conclusion: carefully optimized DICE+parity+recovery"
+      " dominates;\n most cross-layer combinations are far costlier)\n");
+  return 0;
+}

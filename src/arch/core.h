@@ -1,0 +1,59 @@
+// Abstract processor-core model interface.
+//
+// Two concrete models mirror the paper's two study designs (Table 1):
+//   * InOCore -- a simple 7-stage in-order pipeline ("Leon3-class"):
+//       fetch / decode / register-access / execute / memory / exception /
+//       writeback, blocking memory interface, iterative mul/div.
+//   * OoOCore -- a complex 2-wide superscalar out-of-order core
+//       ("IVM-class"): gshare + BTB + RAS front end, register renaming,
+//       issue queue, reorder buffer, load/store queues, store buffer,
+//       L1D staging pipeline with a miss queue.
+//
+// Both execute the same CRISC ISA; outcomes of corrupted runs are compared
+// against the ISS golden model by the injection engine.
+#ifndef CLEAR_ARCH_CORE_H
+#define CLEAR_ARCH_CORE_H
+
+#include <memory>
+
+#include "arch/ff.h"
+#include "arch/types.h"
+#include "isa/program.h"
+
+namespace clear::arch {
+
+class Core {
+ public:
+  virtual ~Core() = default;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+  // Nominal clock from the physical design (paper Table 1: InO 2.0 GHz,
+  // OoO 600 MHz); used to convert cycles to wall time and power to energy.
+  [[nodiscard]] virtual double clock_ghz() const noexcept = 0;
+  [[nodiscard]] virtual const FFRegistry& registry() const noexcept = 0;
+
+  // Runs `prog` to completion (or to max_cycles -> watchdog/Hang).
+  //   cfg  - optional in-simulator resilience configuration
+  //   plan - optional soft errors to apply (cycle, flip-flop)
+  // The call resets all state; a Core instance is reused across runs but is
+  // not thread-safe (campaigns give each worker its own instance).
+  virtual CoreRunResult run(const isa::Program& prog,
+                            const ResilienceConfig* cfg,
+                            const InjectionPlan* plan,
+                            std::uint64_t max_cycles) = 0;
+
+  // Convenience: error-free, unprotected run.
+  CoreRunResult run_clean(const isa::Program& prog,
+                          std::uint64_t max_cycles = 0) {
+    return run(prog, nullptr, nullptr,
+               max_cycles == 0 ? 20'000'000 : max_cycles);
+  }
+};
+
+[[nodiscard]] std::unique_ptr<Core> make_ino_core();
+[[nodiscard]] std::unique_ptr<Core> make_ooo_core();
+[[nodiscard]] std::unique_ptr<Core> make_core(const std::string& name);
+
+}  // namespace clear::arch
+
+#endif  // CLEAR_ARCH_CORE_H

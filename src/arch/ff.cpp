@@ -1,0 +1,47 @@
+#include "arch/ff.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace clear::arch {
+
+Reg FFRegistry::add(std::string name, int width, FFFlags flags) {
+  if (width <= 0 || width > 64) {
+    throw std::invalid_argument("FF width must be 1..64: " + name);
+  }
+  if (pool_.size() >= kMaxSlots) {
+    throw std::length_error("FF registry slot capacity exceeded");
+  }
+  FFStructure s;
+  s.name = std::move(name);
+  s.first_ff = ff_count_;
+  s.width = static_cast<std::uint8_t>(width);
+  s.slot = static_cast<std::uint32_t>(pool_.size());
+  s.flags = flags;
+  structures_.push_back(std::move(s));
+  pool_.push_back(0);
+  ff_count_ += static_cast<std::uint32_t>(width);
+  const std::uint64_t mask =
+      width == 64 ? ~0ULL : ((1ULL << width) - 1);
+  return Reg(&pool_.back(), mask);
+}
+
+void FFRegistry::flip(std::uint32_t ff_index) noexcept {
+  const FFStructure& s = structure_of(ff_index);
+  pool_[s.slot] ^= 1ULL << (ff_index - s.first_ff);
+}
+
+bool FFRegistry::read_bit(std::uint32_t ff_index) const noexcept {
+  const FFStructure& s = structure_of(ff_index);
+  return (pool_[s.slot] >> (ff_index - s.first_ff)) & 1ULL;
+}
+
+const FFStructure& FFRegistry::structure_of(std::uint32_t ff_index) const {
+  // Binary search over first_ff (structures are registered in order).
+  auto it = std::upper_bound(
+      structures_.begin(), structures_.end(), ff_index,
+      [](std::uint32_t v, const FFStructure& s) { return v < s.first_ff; });
+  return *(it - 1);
+}
+
+}  // namespace clear::arch

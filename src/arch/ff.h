@@ -1,0 +1,117 @@
+// Flip-flop registry: the foundation of flip-flop-level fault injection.
+//
+// The paper's reliability analysis injects single bit-flips into the flip-
+// flops of real RTL (Leon3, Alpha IVM).  Here, every bit of microarchitec-
+// tural state in the reproduction cores is registered as a named flip-flop
+// "structure" (mirroring the lowest hierarchical-level RTL components named
+// in the paper's Appendix A, e.g. "e.ctrl.inst", "rob.entry3.result").  The
+// registry owns the backing storage, so:
+//   * injection can flip any single bit, which the core logic then consumes
+//     exactly as it would a radiation-induced upset;
+//   * the whole sequential state can be snapshotted/restored in one memcpy,
+//     which implements checkpoint-based recovery (IR/EIR) faithfully;
+//   * per-structure metadata (pipeline flushability, post-commit placement,
+//     recovery-hardware membership) drives Heuristic 1 and the monitor-core
+//     escape model.
+#ifndef CLEAR_ARCH_FF_H
+#define CLEAR_ARCH_FF_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clear::arch {
+
+// Structure-level attributes used by resilience techniques.
+struct FFFlags {
+  // An error here can be repaired by flush/RoB recovery (pre-commit state).
+  bool flushable = true;
+  // State past the commit/validation point (store buffer, memory write
+  // path): escapes monitor-core checking and flush/RoB recovery.
+  bool post_commit = false;
+  // Belongs to added recovery/checker hardware (single point of failure;
+  // the paper hardens these with LEAP-DICE by construction).
+  bool recovery_hw = false;
+};
+
+// A handle to one registered multi-bit state field.  Behaves like an
+// unsigned integer; writes are masked to the declared width so that core
+// logic cannot smuggle state outside the declared flip-flop bits.
+class Reg {
+ public:
+  Reg() = default;
+  Reg(std::uint64_t* slot, std::uint64_t mask) : slot_(slot), mask_(mask) {}
+
+  operator std::uint64_t() const noexcept { return *slot_; }
+  [[nodiscard]] std::uint32_t u32() const noexcept {
+    return static_cast<std::uint32_t>(*slot_);
+  }
+  Reg& operator=(std::uint64_t v) noexcept {
+    *slot_ = v & mask_;
+    return *this;
+  }
+  Reg& operator+=(std::uint64_t v) noexcept { return *this = *slot_ + v; }
+  Reg& operator^=(std::uint64_t v) noexcept { return *this = *slot_ ^ v; }
+  Reg& operator|=(std::uint64_t v) noexcept { return *this = *slot_ | v; }
+  Reg& operator&=(std::uint64_t v) noexcept { return *this = *slot_ & v; }
+
+ private:
+  std::uint64_t* slot_ = nullptr;
+  std::uint64_t mask_ = 0;
+};
+
+struct FFStructure {
+  std::string name;
+  std::uint32_t first_ff = 0;  // global index of this structure's bit 0
+  std::uint8_t width = 0;
+  std::uint32_t slot = 0;  // index into the storage pool
+  FFFlags flags;
+};
+
+class FFRegistry {
+ public:
+  FFRegistry() { pool_.reserve(kMaxSlots); }
+
+  // Registers a `width`-bit field and returns its handle.  Must only be
+  // called during core construction (before snapshots are taken).
+  Reg add(std::string name, int width, FFFlags flags = {});
+
+  [[nodiscard]] std::uint32_t ff_count() const noexcept { return ff_count_; }
+  [[nodiscard]] const std::vector<FFStructure>& structures() const noexcept {
+    return structures_;
+  }
+
+  // Flips a single bit.  This is the soft error.
+  void flip(std::uint32_t ff_index) noexcept;
+  [[nodiscard]] bool read_bit(std::uint32_t ff_index) const noexcept;
+
+  // Structure containing a global FF index (binary search).
+  [[nodiscard]] const FFStructure& structure_of(std::uint32_t ff_index) const;
+
+  // Whole-state snapshot/restore for checkpoint recovery.
+  [[nodiscard]] std::vector<std::uint64_t> snapshot() const {
+    return pool_;
+  }
+  void restore(const std::vector<std::uint64_t>& snap) noexcept {
+    // Element-wise copy: Reg handles hold raw pointers into the pool, so
+    // the pool's buffer must never reallocate after registration.
+    assert(snap.size() == pool_.size());
+    for (std::size_t i = 0; i < snap.size(); ++i) pool_[i] = snap[i];
+  }
+
+  // Zeroes every registered field (core reset).
+  void clear_state() noexcept {
+    for (auto& s : pool_) s = 0;
+  }
+
+ private:
+  static constexpr std::size_t kMaxSlots = 1u << 15;
+  std::vector<std::uint64_t> pool_;
+  std::vector<FFStructure> structures_;
+  std::uint32_t ff_count_ = 0;
+};
+
+}  // namespace clear::arch
+
+#endif  // CLEAR_ARCH_FF_H

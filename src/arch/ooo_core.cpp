@@ -1,0 +1,1368 @@
+// OoOCore: a complex, 2-wide superscalar out-of-order core ("IVM-class",
+// paper Table 1).  Microarchitecture:
+//
+//   fetch (2-wide, predecode + gshare direction predictor + BTB for
+//   indirect jumps + return address stack)
+//     -> fetch buffer (8)
+//     -> rename (2-wide; RAT of busy/tag pairs over the 32 arch registers)
+//     -> issue queue (16, oldest-first select, 2 issues/cycle)
+//     -> execute (2 ALU pipes; iterative mul/div unit; load unit with an
+//        L1D staging pipeline + miss queue; stores write the store queue)
+//     -> reorder buffer (32, 2-wide in-order commit)
+//     -> store buffer (4, post-commit; drains 1 store/cycle to memory)
+//
+// Control transfers are predicted at fetch and verified at commit: a
+// commit-time next-PC mismatch squashes all speculative state and refetches
+// (simple, precise, and exactly the redirect machinery reused by RoB
+// recovery and the monitor core).
+//
+// Resilience hooks:
+//   * EDS/parity detection with SEMU cancellation (as on the InO core)
+//   * RoB recovery: squash speculative state, refetch from the commit PC --
+//     errors in post-commit structures (store buffer) are unrecoverable
+//   * IR/EIR: checkpoint rollback (104-cycle replay penalty, Table 15)
+//   * DFC commit-stream signature checking (sigchk boundaries)
+//   * monitor core: a DIVA-style checker validating every commit against a
+//     shadow golden machine; the checker's architectural state repairs the
+//     main core on mismatch.  Flips that land in post-commit structures
+//     (store buffer) escape validation -- the escape path that bounds the
+//     monitor's SDC improvement (paper Table 3: 19x).
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/core.h"
+#include "arch/rollback.h"
+#include "isa/iss.h"
+
+namespace clear::arch {
+
+namespace {
+
+using isa::Op;
+using isa::Trap;
+
+constexpr int kFetchWidth = 2;
+constexpr int kCommitWidth = 2;
+constexpr int kRobSize = 32;
+constexpr int kIqSize = 16;
+constexpr int kStqSize = 8;
+constexpr int kSbSize = 4;
+constexpr int kFbSize = 8;
+constexpr int kBtbSize = 16;
+constexpr int kRasSize = 8;
+constexpr int kMqSize = 4;
+constexpr int kMulCycles = 3;
+constexpr int kDivCycles = 10;
+constexpr int kHitCycles = 1;    // extra cycles for an L1D hit
+constexpr int kMissCycles = 9;   // extra cycles for an L1D miss
+constexpr int kPhtBits = 10;
+constexpr std::uint64_t kIrPenalty = 104;  // Table 15 (OoO IR/EIR)
+constexpr std::uint64_t kRobPenalty = 64;  // Table 15 (RoB recovery)
+constexpr std::size_t kRingDepth = 640;    // covers DFC detection latency
+
+constexpr bool valid_op(std::uint64_t v) noexcept {
+  return v < static_cast<std::uint64_t>(isa::kOpCount);
+}
+
+constexpr std::uint32_t rotl5(std::uint32_t x) noexcept {
+  return (x << 5) | (x >> 27);
+}
+
+bool uses_rs1(Op op) noexcept {
+  switch (isa::format_of(op)) {
+    case isa::Format::kR:
+    case isa::Format::kI:
+    case isa::Format::kS:
+    case isa::Format::kB:
+      return true;
+    case isa::Format::kX:
+      return op == Op::kOut;
+    default:
+      return false;
+  }
+}
+
+bool uses_rs2(Op op) noexcept {
+  switch (isa::format_of(op)) {
+    case isa::Format::kR:
+    case isa::Format::kS:
+    case isa::Format::kB:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Ops handled entirely at rename (no issue-queue entry).
+bool rename_only(Op op) noexcept {
+  return op == Op::kJal || op == Op::kLui || op == Op::kHalt ||
+         op == Op::kDet || op == Op::kSigchk;
+}
+
+class OoOCore final : public Core {
+ public:
+  OoOCore() { build(); }
+
+  [[nodiscard]] const char* name() const noexcept override { return "OoO"; }
+  [[nodiscard]] double clock_ghz() const noexcept override { return 0.6; }
+  [[nodiscard]] const FFRegistry& registry() const noexcept override {
+    return reg_;
+  }
+
+  CoreRunResult run(const isa::Program& prog, const ResilienceConfig* cfg,
+                    const InjectionPlan* plan,
+                    std::uint64_t max_cycles) override;
+
+ private:
+  void build();
+  void reset(const isa::Program& prog, const ResilienceConfig* cfg,
+             const InjectionPlan* plan);
+  void do_cycle();
+  void apply_injections();
+  void process_detections();
+  void attempt_recovery(DetectionSource src, std::uint32_t ff,
+                        std::uint64_t flip_cycle);
+  void squash_all(std::uint32_t new_pc);
+  void do_commit();
+  bool monitor_validate_and_apply(int robid);
+  void drain_store_buffer();
+  void do_execute();
+  void do_load_unit();
+  void do_issue();
+  void do_rename();
+  void do_fetch();
+  void broadcast(std::uint64_t robid, std::uint32_t value);
+  [[nodiscard]] std::uint32_t rob_age(std::uint64_t robid) const {
+    return static_cast<std::uint32_t>((robid - rob_head_) &
+                                      (kRobSize - 1));
+  }
+  void mem_write(std::uint32_t addr, std::uint32_t data, bool byte);
+  [[nodiscard]] std::uint32_t mem_bytes() const noexcept {
+    return static_cast<std::uint32_t>(mem_.size()) * 4;
+  }
+
+  FFRegistry reg_;
+  // ---- front end ----
+  Reg f_pc_;
+  Reg bhr_;
+  std::array<Reg, kBtbSize> btb_valid_, btb_tag_, btb_target_;
+  std::array<Reg, kRasSize> ras_;
+  Reg ras_sp_;
+  std::array<Reg, kFbSize> fb_valid_, fb_inst_, fb_pc_, fb_pred_;
+  Reg fb_head_, fb_tail_, fb_count_;
+  // decorative fetch/decode staging arrays (IVM RF1.F2.* / RF2.D0.*)
+  std::array<Reg, 8> rf1_f2_inst_;
+  std::array<Reg, 4> rf2_d0_reg_;
+  // ---- rename ----
+  std::array<Reg, isa::kNumRegs> rat_busy_, rat_tag_;
+  // ---- issue queue ----
+  std::array<Reg, kIqSize> iq_valid_, iq_op_, iq_rd_, iq_robid_, iq_imm_,
+      iq_pc_, iq_s1rdy_, iq_s1tag_, iq_s1val_, iq_s2rdy_, iq_s2tag_,
+      iq_s2val_, iq_stq_;
+  // ---- reorder buffer ----
+  std::array<Reg, kRobSize> rob_valid_, rob_done_, rob_op_, rob_rd_,
+      rob_result_, rob_pc_, rob_npc_, rob_pred_, rob_trap_, rob_inst_,
+      rob_stq_;
+  Reg rob_head_, rob_tail_, rob_count_;
+  // ---- store queue (pre-commit) ----
+  std::array<Reg, kStqSize> stq_valid_, stq_addr_, stq_data_, stq_ready_,
+      stq_robid_, stq_byte_;
+  Reg stq_head_, stq_tail_, stq_count_;
+  // ---- store buffer (post-commit) ----
+  std::array<Reg, kSbSize> sb_valid_, sb_addr_, sb_data_, sb_byte_;
+  Reg sb_head_, sb_tail_, sb_count_;
+  // ---- execute ----
+  std::array<Reg, 2> ex_valid_, ex_op_, ex_robid_, ex_a_, ex_b_, ex_imm_,
+      ex_pc_, ex_stq_;
+  Reg mul_busy_, mul_cnt_, mul_robid_, mul_op_, mul_lo_, mul_hi_;
+  Reg div_busy_, div_cnt_, div_robid_, div_op_, div_q_, div_r_;
+  // ---- load unit + L1D staging ----
+  Reg lu_valid_, lu_op_, lu_robid_, lu_addr_, lu_cnt_, lu_fwd_, lu_fwdval_;
+  std::array<Reg, 4> l1d_addr_in_, l1d_data_in_, l1d_write_in_;
+  std::array<Reg, 2> l1d_accessaddr_;
+  Reg l1d_accesshit0_, l1d_addr1_out_, l1d_data2_out_, l1d_mobid2_out_;
+  std::array<Reg, kMqSize> mq_valid_, mq_addr_, mq_cnt_;
+  // ---- commit ----
+  Reg commit_pc_;  // next PC to commit: the RoB-recovery refetch anchor
+  std::array<Reg, 2> perf_;  // performance counters (never consumed)
+
+  // non-FF state
+  const isa::Program* prog_ = nullptr;
+  const ResilienceConfig* cfg_ = nullptr;
+  std::vector<std::uint32_t> mem_;
+  std::vector<std::uint32_t> regs_;
+  std::vector<std::uint32_t> output_;
+  std::vector<std::uint8_t> pht_;        // gshare counters (SRAM: not FFs)
+  std::vector<std::uint32_t> l1d_tag_;   // L1D tags (SRAM, timing only)
+  std::vector<std::uint8_t> l1d_valid_;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t committed_ = 0;
+  isa::RunStatus status_ = isa::RunStatus::kRunning;
+  Trap trap_code_ = Trap::kNone;
+  std::int32_t exit_code_ = 0;
+  std::int32_t det_id_ = 0;
+  DetectionSource detected_by_ = DetectionSource::kNone;
+  std::uint32_t recoveries_ = 0;
+  std::uint32_t dfc_sig_ = 0;
+  std::unique_ptr<isa::Machine> shadow_;  // monitor core golden model
+  std::uint32_t shadow_store_addr_ = 0;
+  std::uint32_t shadow_store_word_ = 0;
+  bool shadow_stored_ = false;
+
+  struct PendingDet {
+    std::uint64_t due = 0;
+    std::uint64_t flip_cycle = 0;
+    DetectionSource src = DetectionSource::kNone;
+    std::uint32_t ff = 0;
+  };
+  std::vector<InjectionPlan::Flip> flips_;
+  std::size_t next_flip_ = 0;
+  std::uint64_t last_flip_cycle_ = 0;
+  std::uint32_t last_flip_ff_ = 0;
+  std::vector<PendingDet> dets_;
+  RollbackRing ring_;
+};
+
+void OoOCore::build() {
+  const FFFlags spec{/*flushable=*/true, false, false};        // speculative
+  const FFFlags post{/*flushable=*/false, /*post_commit=*/true, false};
+
+  auto add_array = [this](auto& arr, const std::string& fmt_prefix,
+                          const std::string& suffix, int width, FFFlags fl) {
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      arr[i] = reg_.add(fmt_prefix + std::to_string(i) + suffix, width, fl);
+    }
+  };
+
+  f_pc_ = reg_.add("RF0.PCreg", 32, spec);
+  bhr_ = reg_.add("RF0.F1.lhist", 12, spec);
+  add_array(btb_valid_, "RF0.btb", ".valid", 1, spec);
+  add_array(btb_tag_, "RF0.btb", ".tag", 20, spec);
+  add_array(btb_target_, "RF0.btb", ".target", 32, spec);
+  add_array(ras_, "RF0.F1.ras", ".reg", 32, spec);
+  ras_sp_ = reg_.add("RF0.F1.ras.sp", 3, spec);
+  add_array(fb_valid_, "F1.fb", ".valid", 1, spec);
+  add_array(fb_inst_, "F1.fb", ".inst", 32, spec);
+  add_array(fb_pc_, "F1.fb", ".pc", 32, spec);
+  add_array(fb_pred_, "F1.fb", ".pred", 32, spec);
+  fb_head_ = reg_.add("F1.fb.head", 3, spec);
+  fb_tail_ = reg_.add("F1.fb.tail", 3, spec);
+  fb_count_ = reg_.add("F1.fb.count", 4, spec);
+  add_array(rf1_f2_inst_, "RF1.F2.inst", ".reg", 32, spec);
+  add_array(rf2_d0_reg_, "RF2.D0.reg", ".reg", 32, spec);
+
+  add_array(rat_busy_, "rename.rat", ".busy", 1, spec);
+  add_array(rat_tag_, "rename.rat", ".tag", 5, spec);
+
+  add_array(iq_valid_, "sched0.iq", ".valid", 1, spec);
+  add_array(iq_op_, "sched0.iq", ".op", 6, spec);
+  add_array(iq_rd_, "sched0.iq", ".rd", 5, spec);
+  add_array(iq_robid_, "sched0.iq", ".robid", 5, spec);
+  add_array(iq_imm_, "sched0.iq", ".imm", 32, spec);
+  add_array(iq_pc_, "sched0.iq", ".pc", 32, spec);
+  add_array(iq_s1rdy_, "sched0.iq", ".s1rdy", 1, spec);
+  add_array(iq_s1tag_, "sched0.iq", ".s1tag", 5, spec);
+  add_array(iq_s1val_, "sched0.iq", ".s1val", 32, spec);
+  add_array(iq_s2rdy_, "sched0.iq", ".s2rdy", 1, spec);
+  add_array(iq_s2tag_, "sched0.iq", ".s2tag", 5, spec);
+  add_array(iq_s2val_, "sched0.iq", ".s2val", 32, spec);
+  add_array(iq_stq_, "sched0.iq", ".stq", 3, spec);
+
+  add_array(rob_valid_, "rob.e", ".valid", 1, spec);
+  add_array(rob_done_, "rob.e", ".done", 1, spec);
+  add_array(rob_op_, "rob.e", ".op", 6, spec);
+  add_array(rob_rd_, "rob.e", ".rd", 5, spec);
+  add_array(rob_result_, "rob.e", ".result", 32, spec);
+  add_array(rob_pc_, "rob.e", ".pc", 32, spec);
+  add_array(rob_npc_, "rob.e", ".npc", 32, spec);
+  add_array(rob_pred_, "rob.e", ".pred", 32, spec);
+  add_array(rob_trap_, "rob.e", ".tt", 4, spec);
+  add_array(rob_inst_, "rob.e", ".inst", 32, spec);
+  add_array(rob_stq_, "rob.e", ".stq", 3, spec);
+  rob_head_ = reg_.add("rob.head", 5, spec);
+  rob_tail_ = reg_.add("rob.tail", 5, spec);
+  rob_count_ = reg_.add("rob.count", 6, spec);
+
+  add_array(stq_valid_, "mem.stq", ".valid", 1, spec);
+  add_array(stq_addr_, "mem.stq", ".addr", 32, spec);
+  add_array(stq_data_, "mem.stq", ".data", 32, spec);
+  add_array(stq_ready_, "mem.stq", ".ready", 1, spec);
+  add_array(stq_robid_, "mem.stq", ".robid", 5, spec);
+  add_array(stq_byte_, "mem.stq", ".byte", 1, spec);
+  stq_head_ = reg_.add("mem.stq.head", 3, spec);
+  stq_tail_ = reg_.add("mem.stq.tail", 3, spec);
+  stq_count_ = reg_.add("mem.stq.count", 4, spec);
+
+  add_array(sb_valid_, "mem.stb", ".valid", 1, post);
+  add_array(sb_addr_, "mem.stb", ".addr", 32, post);
+  add_array(sb_data_, "mem.stb", ".data", 32, post);
+  add_array(sb_byte_, "mem.stb", ".byte", 1, post);
+  sb_head_ = reg_.add("mem.stb.head", 2, post);
+  sb_tail_ = reg_.add("mem.stb.tail", 2, post);
+  sb_count_ = reg_.add("mem.stb.count", 3, post);
+
+  add_array(ex_valid_, "exec.ca", ".valid", 1, spec);
+  add_array(ex_op_, "exec.ca", ".op", 6, spec);
+  add_array(ex_robid_, "exec.ca", ".robid", 5, spec);
+  add_array(ex_a_, "exec.ca", ".a", 32, spec);
+  add_array(ex_b_, "exec.ca", ".b", 32, spec);
+  add_array(ex_imm_, "exec.ca", ".imm", 32, spec);
+  add_array(ex_pc_, "exec.ca", ".pc", 32, spec);
+  add_array(ex_stq_, "exec.ca", ".stq", 3, spec);
+  mul_busy_ = reg_.add("exec.mu0.busy", 1, spec);
+  mul_cnt_ = reg_.add("exec.mu0.cnt", 3, spec);
+  mul_robid_ = reg_.add("exec.mu0.robid", 5, spec);
+  mul_op_ = reg_.add("exec.mu0.op", 6, spec);
+  mul_lo_ = reg_.add("exec.mu0.a01", 32, spec);
+  mul_hi_ = reg_.add("exec.mu0.a12", 32, spec);
+  div_busy_ = reg_.add("exec.du0.busy", 1, spec);
+  div_cnt_ = reg_.add("exec.du0.cnt", 4, spec);
+  div_robid_ = reg_.add("exec.du0.robid", 5, spec);
+  div_op_ = reg_.add("exec.du0.op", 6, spec);
+  div_q_ = reg_.add("exec.du0.q", 32, spec);
+  div_r_ = reg_.add("exec.du0.r", 32, spec);
+
+  lu_valid_ = reg_.add("mem.ldq.valid", 1, spec);
+  lu_op_ = reg_.add("mem.ldq.op", 6, spec);
+  lu_robid_ = reg_.add("mem.ldq.robid", 5, spec);
+  lu_addr_ = reg_.add("mem.ldq.address.phys", 32, spec);
+  lu_cnt_ = reg_.add("mem.ldq.cnt", 4, spec);
+  lu_fwd_ = reg_.add("mem.ldq.forward", 1, spec);
+  lu_fwdval_ = reg_.add("mem.ldq.fwdval", 32, spec);
+  add_array(l1d_addr_in_, "mem.l1dcache.addr.in", ".reg", 32, spec);
+  add_array(l1d_data_in_, "mem.l1dcache.data.in", ".reg", 32, spec);
+  add_array(l1d_write_in_, "mem.l1dcache.write.in", ".reg", 1, spec);
+  add_array(l1d_accessaddr_, "mem.l1dcache.accessaddr", ".reg", 32, spec);
+  l1d_accesshit0_ = reg_.add("mem.l1dcache.accesshit0.reg", 1, spec);
+  l1d_addr1_out_ = reg_.add("mem.l1dcache.addr1.out.reg", 32, spec);
+  l1d_data2_out_ = reg_.add("mem.l1dcache.data2.out.reg", 32, spec);
+  l1d_mobid2_out_ = reg_.add("mem.l1dcache.mobid2.out.reg", 5, spec);
+  add_array(mq_valid_, "mem.l1dcache.missqueue.q", ".valid", 1, spec);
+  add_array(mq_addr_, "mem.l1dcache.missqueue.q", ".addr", 32, spec);
+  add_array(mq_cnt_, "mem.l1dcache.missqueue.q", ".cnt", 4, spec);
+
+  commit_pc_ = reg_.add("regs.wb.wb.flushpc", 32,
+                        FFFlags{false, false, false});
+  for (std::size_t i = 0; i < perf_.size(); ++i) {
+    perf_[i] = reg_.add("perf.counter" + std::to_string(i), 32,
+                        FFFlags{true, false, false});
+  }
+
+  regs_.assign(isa::kNumRegs, 0);
+  pht_.assign(1u << kPhtBits, 1);
+  l1d_tag_.assign(64, 0);
+  l1d_valid_.assign(64, 0);
+}
+
+void OoOCore::reset(const isa::Program& prog, const ResilienceConfig* cfg,
+                    const InjectionPlan* plan) {
+  prog_ = &prog;
+  cfg_ = cfg;
+  reg_.clear_state();
+  mem_.assign(prog.mem_bytes / 4, 0);
+  const std::uint32_t base = prog.data_base / 4;
+  for (std::size_t i = 0; i < prog.data.size(); ++i) mem_[base + i] = prog.data[i];
+  std::fill(regs_.begin(), regs_.end(), 0);
+  std::fill(pht_.begin(), pht_.end(), 1);
+  std::fill(l1d_tag_.begin(), l1d_tag_.end(), 0);
+  std::fill(l1d_valid_.begin(), l1d_valid_.end(), 0);
+  output_.clear();
+  cycle_ = 0;
+  committed_ = 0;
+  status_ = isa::RunStatus::kRunning;
+  trap_code_ = Trap::kNone;
+  exit_code_ = 0;
+  det_id_ = 0;
+  detected_by_ = DetectionSource::kNone;
+  recoveries_ = 0;
+  dfc_sig_ = 0;
+  flips_.clear();
+  next_flip_ = 0;
+  dets_.clear();
+  shadow_.reset();
+  if (cfg != nullptr && cfg->monitor) {
+    shadow_ = std::make_unique<isa::Machine>(prog);
+    shadow_->post_store_hook = [this](isa::Machine&, std::uint32_t addr,
+                                      std::uint32_t word) {
+      shadow_store_addr_ = addr;
+      shadow_store_word_ = word;
+      shadow_stored_ = true;
+    };
+  }
+  if (plan != nullptr) {
+    flips_ = plan->flips;
+    std::sort(flips_.begin(), flips_.end(),
+              [](const auto& l, const auto& r) { return l.cycle < r.cycle; });
+  }
+  const bool ir = cfg != nullptr && (cfg->recovery == RecoveryKind::kIr ||
+                                     cfg->recovery == RecoveryKind::kEir);
+  ring_.reset(ir ? kRingDepth : 0);
+}
+
+void OoOCore::apply_injections() {
+  if (next_flip_ >= flips_.size() || flips_[next_flip_].cycle != cycle_) return;
+  std::vector<std::uint32_t> struck;
+  while (next_flip_ < flips_.size() && flips_[next_flip_].cycle == cycle_) {
+    const std::uint32_t ff = flips_[next_flip_].ff;
+    reg_.flip(ff);
+    struck.push_back(ff);
+    last_flip_cycle_ = cycle_;
+    last_flip_ff_ = ff;
+    ++next_flip_;
+  }
+  if (cfg_ == nullptr) return;
+  std::vector<std::pair<std::int32_t, std::uint32_t>> group_hits;
+  for (const std::uint32_t ff : struck) {
+    const FFProt p = cfg_->prot_of(ff);
+    if (p == FFProt::kEds) {
+      dets_.push_back({cycle_, cycle_, DetectionSource::kEds, ff});
+    } else if (p == FFProt::kParity) {
+      const std::int32_t g = cfg_->group_of(ff);
+      if (g >= 0) group_hits.emplace_back(g, ff);
+    }
+  }
+  std::sort(group_hits.begin(), group_hits.end());
+  for (std::size_t i = 0; i < group_hits.size();) {
+    std::size_t j = i;
+    while (j < group_hits.size() && group_hits[j].first == group_hits[i].first) {
+      ++j;
+    }
+    if ((j - i) % 2 == 1) {
+      // Combinational parity check: detection lands before the corrupted
+      // value can be captured downstream (see the InO core for rationale).
+      dets_.push_back(
+          {cycle_, cycle_, DetectionSource::kParity, group_hits[i].second});
+    }
+    i = j;
+  }
+}
+
+void OoOCore::process_detections() {
+  for (std::size_t i = 0; i < dets_.size(); ++i) {
+    if (dets_[i].due > cycle_) continue;
+    const PendingDet d = dets_[i];
+    dets_.erase(dets_.begin() + static_cast<std::ptrdiff_t>(i));
+    attempt_recovery(d.src, d.ff, d.flip_cycle);
+    return;
+  }
+}
+
+void OoOCore::attempt_recovery(DetectionSource src, std::uint32_t ff,
+                               std::uint64_t flip_cycle) {
+  const RecoveryKind rec =
+      cfg_ != nullptr ? cfg_->recovery : RecoveryKind::kNone;
+  auto fail_detected = [&] {
+    status_ = isa::RunStatus::kDetected;
+    detected_by_ = src;
+  };
+  switch (rec) {
+    case RecoveryKind::kNone:
+    case RecoveryKind::kFlush:  // flush is the InO mechanism
+      fail_detected();
+      return;
+    case RecoveryKind::kRob: {
+      // Post-commit state (store buffer) and the commit anchor itself have
+      // escaped the reorder buffer; squashing cannot repair them.
+      if (!reg_.structure_of(ff).flags.flushable) {
+        fail_detected();
+        return;
+      }
+      squash_all(commit_pc_.u32());
+      cycle_ += kRobPenalty;
+      ++recoveries_;
+      return;
+    }
+    case RecoveryKind::kIr:
+    case RecoveryKind::kEir: {
+      if (src == DetectionSource::kDfc && rec != RecoveryKind::kEir) {
+        fail_detected();
+        return;
+      }
+      RollbackRing::Restored rs;
+      const std::uint64_t target = flip_cycle == 0 ? 0 : flip_cycle - 1;
+      const bool ok = ring_.restore(
+          target, reg_, &rs, [this](std::uint32_t addr, std::uint32_t old) {
+            mem_[addr / 4] = old;
+          });
+      if (!ok) {
+        fail_detected();
+        return;
+      }
+      regs_ = rs.regs;
+      committed_ = rs.committed;
+      output_.resize(rs.out_len);
+      dfc_sig_ = static_cast<std::uint32_t>(rs.extra);
+      dets_.clear();
+      cycle_ += kIrPenalty;
+      ++recoveries_;
+      return;
+    }
+  }
+}
+
+void OoOCore::squash_all(std::uint32_t new_pc) {
+  for (int i = 0; i < kFbSize; ++i) fb_valid_[i] = 0;
+  fb_head_ = 0;
+  fb_tail_ = 0;
+  fb_count_ = 0;
+  for (int i = 0; i < kIqSize; ++i) iq_valid_[i] = 0;
+  for (int i = 0; i < kRobSize; ++i) {
+    rob_valid_[i] = 0;
+    rob_done_[i] = 0;
+  }
+  rob_head_ = 0;
+  rob_tail_ = 0;
+  rob_count_ = 0;
+  for (int i = 0; i < kStqSize; ++i) stq_valid_[i] = 0;
+  stq_head_ = 0;
+  stq_tail_ = 0;
+  stq_count_ = 0;
+  for (int i = 0; i < isa::kNumRegs; ++i) rat_busy_[i] = 0;
+  for (int i = 0; i < 2; ++i) ex_valid_[i] = 0;
+  mul_busy_ = 0;
+  div_busy_ = 0;
+  lu_valid_ = 0;
+  for (int i = 0; i < kMqSize; ++i) mq_valid_[i] = 0;
+  f_pc_ = new_pc;
+  // The store buffer survives: its entries are committed (validated) state.
+}
+
+void OoOCore::broadcast(std::uint64_t robid, std::uint32_t value) {
+  rob_result_[robid & (kRobSize - 1)] = value;
+  rob_done_[robid & (kRobSize - 1)] = 1;
+  for (int i = 0; i < kIqSize; ++i) {
+    if (iq_valid_[i] == 0) continue;
+    if (iq_s1rdy_[i] == 0 && iq_s1tag_[i] == robid) {
+      iq_s1val_[i] = value;
+      iq_s1rdy_[i] = 1;
+    }
+    if (iq_s2rdy_[i] == 0 && iq_s2tag_[i] == robid) {
+      iq_s2val_[i] = value;
+      iq_s2rdy_[i] = 1;
+    }
+  }
+}
+
+void OoOCore::mem_write(std::uint32_t addr, std::uint32_t data, bool byte) {
+  if (addr >= mem_bytes()) return;  // bounds were checked pre-commit
+  const std::uint32_t old = mem_[addr / 4];
+  std::uint32_t w = old;
+  if (byte) {
+    const std::uint32_t shift = (addr & 3u) * 8;
+    w = (w & ~(0xffu << shift)) | ((data & 0xffu) << shift);
+  } else {
+    w = data;
+  }
+  mem_[addr / 4] = w;
+  ring_.record_write(addr & ~3u, old);
+}
+
+void OoOCore::drain_store_buffer() {
+  if (sb_count_ == 0) return;
+  const std::uint64_t h = sb_head_;
+  if (sb_valid_[h] != 0) {
+    mem_write(sb_addr_[h].u32(), sb_data_[h].u32(), sb_byte_[h] != 0);
+    sb_valid_[h] = 0;
+  }
+  sb_head_ = (h + 1) & (kSbSize - 1);
+  sb_count_ = static_cast<std::uint64_t>(sb_count_) - 1;
+}
+
+bool OoOCore::monitor_validate_and_apply(int robid) {
+  // Returns true when the commit is valid (or no monitor); false when the
+  // checker caught a mismatch and repaired the core from its own state.
+  if (!shadow_) return true;
+  shadow_stored_ = false;
+  const std::uint32_t expect_pc = shadow_->pc();
+  const std::size_t out_before = shadow_->output().size();
+  // DIVA fidelity: the checker re-executes loads against the *real*
+  // memory hierarchy (main memory as seen through the store buffer), not
+  // a private copy.  Post-validation corruption in the store buffer is
+  // therefore invisible to the checker -- the escape path that bounds the
+  // monitor's improvement (paper Table 3: 19x).
+  if (expect_pc / 4 < prog_->code.size()) {
+    const auto dec = isa::decode(prog_->code[expect_pc / 4]);
+    if (dec && isa::is_load(dec->op)) {
+      const std::uint32_t addr =
+          shadow_->reg(dec->rs1) + static_cast<std::uint32_t>(dec->imm);
+      if (addr < mem_bytes()) {
+        std::uint32_t word = mem_[addr / 4];
+        // Overlay committed-but-undrained stores, oldest first.
+        for (int k = 0; k < kSbSize; ++k) {
+          const std::uint64_t idx = (sb_head_ + k) & (kSbSize - 1);
+          if (sb_valid_[idx] == 0) continue;
+          if ((sb_addr_[idx].u32() & ~3u) != (addr & ~3u)) continue;
+          if (sb_byte_[idx] != 0) {
+            const std::uint32_t shift = (sb_addr_[idx].u32() & 3u) * 8;
+            word = (word & ~(0xffu << shift)) |
+                   ((sb_data_[idx].u32() & 0xffu) << shift);
+          } else {
+            word = sb_data_[idx].u32();
+          }
+        }
+        shadow_->poke_word(addr, word);
+      }
+    }
+  }
+  shadow_->step();
+
+  bool ok = rob_pc_[robid].u32() == expect_pc;
+  const std::uint64_t opv = rob_op_[robid];
+  if (ok && valid_op(opv)) {
+    const Op op = static_cast<Op>(opv);
+    if (rob_trap_[robid] != 0) {
+      ok = shadow_->status() == isa::RunStatus::kTrapped;
+    } else if (isa::writes_rd(op) && rob_rd_[robid] != 0) {
+      ok = shadow_->reg(static_cast<int>(rob_rd_[robid])) ==
+           rob_result_[robid].u32();
+    } else if (isa::is_store(op)) {
+      const std::uint64_t si = rob_stq_[robid];
+      const std::uint32_t addr = stq_addr_[si & (kStqSize - 1)].u32();
+      ok = shadow_stored_ && shadow_store_addr_ == addr;
+      if (ok && op == Op::kSw) {
+        ok = shadow_store_word_ == stq_data_[si & (kStqSize - 1)].u32();
+      } else if (ok) {
+        const std::uint32_t shift = (addr & 3u) * 8;
+        ok = ((shadow_store_word_ >> shift) & 0xffu) ==
+             (stq_data_[si & (kStqSize - 1)].u32() & 0xffu);
+      }
+    } else if (op == Op::kOut) {
+      ok = shadow_->output().size() == out_before + 1 &&
+           shadow_->output().back() == rob_result_[robid].u32();
+    }
+  } else if (ok) {
+    // Corrupted opcode field at commit: the shadow knows the true program.
+    ok = false;
+  }
+  if (ok) return true;
+
+  // DIVA-style repair: the checker's architectural state is authoritative.
+  if (shadow_->status() == isa::RunStatus::kTrapped) {
+    status_ = isa::RunStatus::kTrapped;
+    trap_code_ = shadow_->trap();
+    return false;
+  }
+  for (int r = 0; r < isa::kNumRegs; ++r) regs_[r] = shadow_->reg(r);
+  if (shadow_stored_) {
+    // Replay the checker-approved store into main memory.
+    if (shadow_store_addr_ < mem_bytes()) {
+      const std::uint32_t old = mem_[shadow_store_addr_ / 4];
+      mem_[shadow_store_addr_ / 4] = shadow_store_word_;
+      ring_.record_write(shadow_store_addr_ & ~3u, old);
+    }
+  }
+  if (shadow_->output().size() == out_before + 1) {
+    output_.push_back(shadow_->output().back());
+  }
+  if (shadow_->status() == isa::RunStatus::kHalted) {
+    status_ = isa::RunStatus::kHalted;
+    exit_code_ = shadow_->exit_code();
+    return false;
+  }
+  if (shadow_->status() == isa::RunStatus::kDetected) {
+    status_ = isa::RunStatus::kDetected;
+    detected_by_ = DetectionSource::kSoftware;
+    det_id_ = shadow_->det_id();
+    return false;
+  }
+  ++committed_;
+  commit_pc_ = shadow_->pc();
+  squash_all(shadow_->pc());
+  cycle_ += kRobPenalty;
+  ++recoveries_;
+  detected_by_ = DetectionSource::kMonitor;
+  return false;
+}
+
+void OoOCore::do_commit() {
+  for (int slot = 0; slot < kCommitWidth; ++slot) {
+    if (rob_count_ == 0) return;
+    const std::uint64_t h = rob_head_;
+    if (rob_valid_[h] == 0) {
+      // Head entry lost its valid bit (e.g. an injected flip): the ROB can
+      // no longer retire anything -- the pipeline wedges (Hang outcome).
+      return;
+    }
+    if (rob_done_[h] == 0) return;
+
+    const std::uint64_t opv = rob_op_[h];
+    const bool op_ok = valid_op(opv);
+    const Op op = op_ok ? static_cast<Op>(opv) : Op::kHalt;
+
+    // Stores need store-buffer space before they can retire.
+    if (op_ok && isa::is_store(op) && rob_trap_[h] == 0 &&
+        sb_count_ >= kSbSize) {
+      return;
+    }
+
+    if (!monitor_validate_and_apply(static_cast<int>(h))) return;
+
+    if (rob_trap_[h] != 0) {
+      status_ = isa::RunStatus::kTrapped;
+      trap_code_ = static_cast<Trap>(static_cast<std::uint64_t>(rob_trap_[h]) & 7);
+      return;
+    }
+    if (!op_ok) {
+      status_ = isa::RunStatus::kTrapped;
+      trap_code_ = Trap::kInvalidOpcode;
+      return;
+    }
+    const bool dfc = cfg_ != nullptr && cfg_->dfc;
+    // Block terminators are excluded from the signature window (see the
+    // InO core's writeback stage for rationale).
+    if (dfc && op != Op::kSigchk && op != Op::kHalt && op != Op::kDet &&
+        !isa::is_branch(op) && !isa::is_jump(op)) {
+      dfc_sig_ = rotl5(dfc_sig_) ^ rob_inst_[h].u32();
+    }
+    bool squash_after = false;
+    std::uint32_t redirect = 0;
+    switch (op) {
+      case Op::kHalt:
+        status_ = isa::RunStatus::kHalted;
+        exit_code_ = static_cast<std::int32_t>(static_cast<std::int16_t>(
+            rob_result_[h].u32() & 0xffff));
+        ++committed_;
+        return;
+      case Op::kDet:
+        status_ = isa::RunStatus::kDetected;
+        detected_by_ = DetectionSource::kSoftware;
+        det_id_ = static_cast<std::int32_t>(rob_result_[h].u32() & 0xffff);
+        ++committed_;
+        return;
+      case Op::kOut:
+        output_.push_back(rob_result_[h].u32());
+        break;
+      case Op::kSigchk:
+        if (dfc) {
+          const auto id =
+              static_cast<std::uint16_t>(rob_result_[h].u32() & 0xffff);
+          const auto it = prog_->dfc_signatures.find(id);
+          const bool match =
+              it != prog_->dfc_signatures.end() && it->second == dfc_sig_;
+          dfc_sig_ = 0;
+          if (!match) {
+            dets_.push_back({cycle_ + 1, last_flip_cycle_,
+                             DetectionSource::kDfc, last_flip_ff_});
+          }
+        }
+        break;
+      default:
+        if (isa::is_store(op)) {
+          const std::uint64_t si = rob_stq_[h] & (kStqSize - 1);
+          // Move the store to the post-commit store buffer.
+          const std::uint64_t t = sb_tail_;
+          sb_valid_[t] = 1;
+          sb_addr_[t] = static_cast<std::uint64_t>(stq_addr_[si]);
+          sb_data_[t] = static_cast<std::uint64_t>(stq_data_[si]);
+          sb_byte_[t] = static_cast<std::uint64_t>(stq_byte_[si]);
+          sb_tail_ = (t + 1) & (kSbSize - 1);
+          sb_count_ = static_cast<std::uint64_t>(sb_count_) + 1;
+          stq_valid_[si] = 0;
+          stq_head_ = (stq_head_ + 1) & (kStqSize - 1);
+          if (stq_count_ != 0) {
+            stq_count_ = static_cast<std::uint64_t>(stq_count_) - 1;
+          }
+        } else if (isa::writes_rd(op) && rob_rd_[h] != 0) {
+          regs_[rob_rd_[h]] = rob_result_[h].u32();
+          if (rat_busy_[rob_rd_[h]] != 0 && rat_tag_[rob_rd_[h]] == h) {
+            rat_busy_[rob_rd_[h]] = 0;
+          }
+        }
+        break;
+    }
+    // Branch-direction training (gshare + BTB + squash on mispredict).
+    if (isa::is_branch(op)) {
+      const bool taken = rob_npc_[h].u32() != rob_pc_[h].u32() + 4;
+      const std::uint32_t idx =
+          ((rob_pc_[h].u32() >> 2) ^ bhr_.u32()) & ((1u << kPhtBits) - 1);
+      std::uint8_t& ctr = pht_[idx];
+      if (taken && ctr < 3) ++ctr;
+      if (!taken && ctr > 0) --ctr;
+      bhr_ = (static_cast<std::uint64_t>(bhr_) << 1) | (taken ? 1 : 0);
+    }
+    if (op == Op::kJalr) {
+      const std::uint32_t slot_i = (rob_pc_[h].u32() >> 2) & (kBtbSize - 1);
+      btb_valid_[slot_i] = 1;
+      btb_tag_[slot_i] = (rob_pc_[h].u32() >> 2) & 0xfffff;
+      btb_target_[slot_i] = static_cast<std::uint64_t>(rob_npc_[h]);
+    }
+    if (rob_npc_[h].u32() != rob_pred_[h].u32()) {
+      squash_after = true;
+      redirect = rob_npc_[h].u32();
+    }
+    commit_pc_ = static_cast<std::uint64_t>(rob_npc_[h]);
+    perf_[0] = static_cast<std::uint64_t>(perf_[0]) + 1;
+    ++committed_;
+    rob_valid_[h] = 0;
+    rob_done_[h] = 0;
+    rob_head_ = (h + 1) & (kRobSize - 1);
+    rob_count_ = static_cast<std::uint64_t>(rob_count_) - 1;
+    if (squash_after) {
+      squash_all(redirect);
+      return;
+    }
+  }
+}
+
+void OoOCore::do_execute() {
+  // ALU pipes (filled by issue in the previous cycle).
+  for (int p = 0; p < 2; ++p) {
+    if (ex_valid_[p] == 0) continue;
+    ex_valid_[p] = 0;
+    const std::uint64_t opv = ex_op_[p];
+    const std::uint64_t robid = ex_robid_[p];
+    if (!valid_op(opv)) {
+      rob_trap_[robid & (kRobSize - 1)] =
+          static_cast<std::uint64_t>(Trap::kInvalidOpcode);
+      broadcast(robid, 0);
+      continue;
+    }
+    const Op op = static_cast<Op>(opv);
+    const std::uint32_t a = ex_a_[p].u32();
+    const std::uint32_t b = ex_b_[p].u32();
+    const std::uint32_t imm = ex_imm_[p].u32();
+    const std::uint32_t pc = ex_pc_[p].u32();
+    const std::uint64_t ri = robid & (kRobSize - 1);
+    switch (isa::format_of(op)) {
+      case isa::Format::kR:
+        // mul/div normally go to the iterative units at issue; an injected
+        // flip in the pipe's opcode latch can morph an in-flight ALU op
+        // into one.  A zero divisor then raises the arithmetic trap
+        // instead of crashing the host.
+        if (isa::is_div(op) && b == 0) {
+          rob_trap_[ri] = static_cast<std::uint64_t>(Trap::kDivByZero);
+          broadcast(robid, 0);
+        } else {
+          broadcast(robid, isa::alu_eval(op, a, b));
+        }
+        break;
+      case isa::Format::kI:
+        if (op == Op::kJalr) {
+          const std::uint32_t t = a + imm;
+          if ((t & 3u) != 0 ||
+              t / 4 >= static_cast<std::uint32_t>(prog_->code.size())) {
+            rob_trap_[ri] = static_cast<std::uint64_t>(Trap::kPcOutOfBounds);
+            broadcast(robid, 0);
+          } else {
+            rob_npc_[ri] = t;
+            broadcast(robid, pc + 4);
+          }
+        } else {
+          broadcast(robid, isa::alu_eval(op, a, imm));
+        }
+        break;
+      case isa::Format::kS: {
+        const std::uint32_t addr = a + imm;
+        if ((op == Op::kSw && (addr & 3u) != 0)) {
+          rob_trap_[ri] = static_cast<std::uint64_t>(Trap::kMisalignedStore);
+        } else if (addr >= mem_bytes()) {
+          rob_trap_[ri] = static_cast<std::uint64_t>(Trap::kStoreOutOfBounds);
+        } else {
+          const std::uint64_t si = ex_stq_[p] & (kStqSize - 1);
+          stq_addr_[si] = addr;
+          stq_data_[si] = b;
+          stq_ready_[si] = 1;
+          // decorative L1D write-port staging
+          l1d_addr_in_[si & 3] = addr;
+          l1d_data_in_[si & 3] = b;
+          l1d_write_in_[si & 3] = 1;
+        }
+        broadcast(robid, 0);
+        break;
+      }
+      case isa::Format::kB: {
+        const bool taken = isa::branch_taken(op, a, b);
+        rob_npc_[ri] = taken ? pc + imm * 4 : pc + 4;
+        broadcast(robid, 0);
+        break;
+      }
+      case isa::Format::kX:  // out
+        broadcast(robid, a);
+        break;
+      default:
+        broadcast(robid, 0);
+        break;
+    }
+  }
+  // Iterative multiplier / divider.
+  if (mul_busy_ != 0) {
+    if (mul_cnt_ != 0) {
+      mul_cnt_ = static_cast<std::uint64_t>(mul_cnt_) - 1;
+    } else {
+      mul_busy_ = 0;
+      const bool hi = valid_op(mul_op_) &&
+                      static_cast<Op>(static_cast<std::uint64_t>(mul_op_)) ==
+                          Op::kMulh;
+      broadcast(mul_robid_, hi ? mul_hi_.u32() : mul_lo_.u32());
+    }
+  }
+  if (div_busy_ != 0) {
+    if (div_cnt_ != 0) {
+      div_cnt_ = static_cast<std::uint64_t>(div_cnt_) - 1;
+    } else {
+      div_busy_ = 0;
+      const bool rem = valid_op(div_op_) &&
+                       static_cast<Op>(static_cast<std::uint64_t>(div_op_)) ==
+                           Op::kRem;
+      broadcast(div_robid_, rem ? div_r_.u32() : div_q_.u32());
+    }
+  }
+}
+
+void OoOCore::do_load_unit() {
+  if (lu_valid_ == 0) return;
+  if (lu_cnt_ != 0) {
+    lu_cnt_ = static_cast<std::uint64_t>(lu_cnt_) - 1;
+    return;
+  }
+  lu_valid_ = 0;
+  const std::uint32_t addr = lu_addr_.u32();
+  std::uint32_t v;
+  if (lu_fwd_ != 0) {
+    v = lu_fwdval_.u32();
+  } else {
+    v = addr < mem_bytes() ? mem_[addr / 4] : 0;
+  }
+  if (valid_op(lu_op_)) {
+    const Op op = static_cast<Op>(static_cast<std::uint64_t>(lu_op_));
+    if (op != Op::kLw) {
+      const std::uint32_t byte = (v >> ((addr & 3u) * 8)) & 0xffu;
+      v = op == Op::kLb ? static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                              static_cast<std::int8_t>(byte)))
+                        : byte;
+    }
+  }
+  l1d_data2_out_ = v;
+  l1d_mobid2_out_ = static_cast<std::uint64_t>(lu_robid_);
+  broadcast(lu_robid_, v);
+}
+
+void OoOCore::do_issue() {
+  // Oldest-first (by ROB age) selection of up to 2 ready entries.
+  std::array<int, kIqSize> cand{};
+  int n = 0;
+  for (int i = 0; i < kIqSize; ++i) {
+    if (iq_valid_[i] != 0 && iq_s1rdy_[i] != 0 && iq_s2rdy_[i] != 0) {
+      cand[n++] = i;
+    }
+  }
+  std::sort(cand.begin(), cand.begin() + n, [this](int l, int r) {
+    return rob_age(iq_robid_[l]) < rob_age(iq_robid_[r]);
+  });
+  int issued = 0;
+  for (int c = 0; c < n && issued < 2; ++c) {
+    const int i = cand[c];
+    const std::uint64_t opv = iq_op_[i];
+    const Op op = valid_op(opv) ? static_cast<Op>(opv) : Op::kHalt;
+
+    if (valid_op(opv) && isa::is_mul(op)) {
+      if (mul_busy_ != 0) continue;
+      mul_busy_ = 1;
+      mul_cnt_ = kMulCycles;
+      mul_robid_ = static_cast<std::uint64_t>(iq_robid_[i]);
+      mul_op_ = opv;
+      mul_lo_ = isa::alu_eval(Op::kMul, iq_s1val_[i].u32(), iq_s2val_[i].u32());
+      mul_hi_ = isa::alu_eval(Op::kMulh, iq_s1val_[i].u32(), iq_s2val_[i].u32());
+      iq_valid_[i] = 0;
+      ++issued;
+      continue;
+    }
+    if (valid_op(opv) && isa::is_div(op)) {
+      if (div_busy_ != 0) continue;
+      if (iq_s2val_[i].u32() == 0) {
+        rob_trap_[iq_robid_[i] & (kRobSize - 1)] =
+            static_cast<std::uint64_t>(Trap::kDivByZero);
+        broadcast(iq_robid_[i], 0);
+        iq_valid_[i] = 0;
+        ++issued;
+        continue;
+      }
+      div_busy_ = 1;
+      div_cnt_ = kDivCycles;
+      div_robid_ = static_cast<std::uint64_t>(iq_robid_[i]);
+      div_op_ = opv;
+      div_q_ = isa::alu_eval(Op::kDiv, iq_s1val_[i].u32(), iq_s2val_[i].u32());
+      div_r_ = isa::alu_eval(Op::kRem, iq_s1val_[i].u32(), iq_s2val_[i].u32());
+      iq_valid_[i] = 0;
+      ++issued;
+      continue;
+    }
+    if (valid_op(opv) && isa::is_load(op)) {
+      if (lu_valid_ != 0) continue;  // one outstanding load
+      const std::uint32_t addr = iq_s1val_[i].u32() + iq_imm_[i].u32();
+      // Bounds/alignment resolve at issue (precise via the ROB).
+      if (op == Op::kLw && (addr & 3u) != 0) {
+        rob_trap_[iq_robid_[i] & (kRobSize - 1)] =
+            static_cast<std::uint64_t>(Trap::kMisalignedLoad);
+        broadcast(iq_robid_[i], 0);
+        iq_valid_[i] = 0;
+        ++issued;
+        continue;
+      }
+      if (addr >= mem_bytes()) {
+        rob_trap_[iq_robid_[i] & (kRobSize - 1)] =
+            static_cast<std::uint64_t>(Trap::kLoadOutOfBounds);
+        broadcast(iq_robid_[i], 0);
+        iq_valid_[i] = 0;
+        ++issued;
+        continue;
+      }
+      // Memory disambiguation against older in-flight stores.
+      const std::uint32_t my_age = rob_age(iq_robid_[i]);
+      bool blocked = false;
+      bool fwd = false;
+      std::uint32_t fwdval = 0;
+      for (int s = 0; s < kStqSize; ++s) {
+        if (stq_valid_[s] == 0) continue;
+        if (rob_age(stq_robid_[s]) >= my_age) continue;  // younger store
+        if (stq_ready_[s] == 0) {
+          blocked = true;  // unknown older address: conservative stall
+          break;
+        }
+        if ((stq_addr_[s].u32() & ~3u) == (addr & ~3u)) {
+          if (stq_byte_[s] == 0 && op == Op::kLw) {
+            fwd = true;  // newest matching older store wins (scan continues)
+            fwdval = stq_data_[s].u32();
+          } else {
+            blocked = true;  // partial overlap: wait for drain
+            break;
+          }
+        }
+      }
+      if (!blocked) {
+        // Committed-but-undrained stores in the store buffer also overlap.
+        for (int s = 0; s < kSbSize; ++s) {
+          if (sb_valid_[s] != 0 && (sb_addr_[s].u32() & ~3u) == (addr & ~3u)) {
+            blocked = true;
+            break;
+          }
+        }
+      }
+      if (blocked) continue;  // retry next cycle
+      lu_valid_ = 1;
+      lu_op_ = opv;
+      lu_robid_ = static_cast<std::uint64_t>(iq_robid_[i]);
+      lu_addr_ = addr;
+      lu_fwd_ = fwd ? 1 : 0;
+      lu_fwdval_ = fwdval;
+      // L1D tag check (timing only; data functionally from memory).
+      const std::uint32_t set = (addr >> 4) & 63u;
+      const std::uint32_t tag = addr >> 10;
+      const bool hit = l1d_valid_[set] != 0 && l1d_tag_[set] == tag;
+      if (!hit) {
+        l1d_valid_[set] = 1;
+        l1d_tag_[set] = tag;
+        for (int q = 0; q < kMqSize; ++q) {
+          if (mq_valid_[q] == 0) {
+            mq_valid_[q] = 1;
+            mq_addr_[q] = addr;
+            mq_cnt_[q] = kMissCycles;
+            break;
+          }
+        }
+      }
+      lu_cnt_ = fwd ? 0 : (hit ? kHitCycles : kMissCycles);
+      l1d_accessaddr_[0] = addr;
+      l1d_accesshit0_ = hit ? 1 : 0;
+      l1d_addr1_out_ = addr;
+      iq_valid_[i] = 0;
+      ++issued;
+      continue;
+    }
+    // Plain ALU / branch / jalr / store-agen / out -> a free ALU pipe.
+    int pipe = -1;
+    if (ex_valid_[0] == 0) {
+      pipe = 0;
+    } else if (ex_valid_[1] == 0) {
+      pipe = 1;
+    }
+    if (pipe < 0) continue;
+    ex_valid_[pipe] = 1;
+    ex_op_[pipe] = opv;
+    ex_robid_[pipe] = static_cast<std::uint64_t>(iq_robid_[i]);
+    ex_a_[pipe] = static_cast<std::uint64_t>(iq_s1val_[i]);
+    ex_b_[pipe] = static_cast<std::uint64_t>(iq_s2val_[i]);
+    ex_imm_[pipe] = static_cast<std::uint64_t>(iq_imm_[i]);
+    ex_pc_[pipe] = static_cast<std::uint64_t>(iq_pc_[i]);
+    ex_stq_[pipe] = static_cast<std::uint64_t>(iq_stq_[i]);
+    iq_valid_[i] = 0;
+    ++issued;
+  }
+  // Miss-queue countdown (decorative timing state).
+  for (int q = 0; q < kMqSize; ++q) {
+    if (mq_valid_[q] == 0) continue;
+    if (mq_cnt_[q] != 0) {
+      mq_cnt_[q] = static_cast<std::uint64_t>(mq_cnt_[q]) - 1;
+    } else {
+      mq_valid_[q] = 0;
+    }
+  }
+}
+
+void OoOCore::do_rename() {
+  for (int slot = 0; slot < 2; ++slot) {
+    if (fb_count_ == 0) return;
+    if (rob_count_ >= kRobSize) return;
+    const std::uint64_t h = fb_head_;
+    if (fb_valid_[h] == 0) {
+      // Corrupted FIFO bookkeeping: drop the slot to avoid wedging forever.
+      fb_head_ = (h + 1) & (kFbSize - 1);
+      fb_count_ = static_cast<std::uint64_t>(fb_count_) - 1;
+      continue;
+    }
+    const std::uint32_t inst = fb_inst_[h].u32();
+    const std::uint32_t pc = fb_pc_[h].u32();
+    const std::uint32_t pred = fb_pred_[h].u32();
+    const auto dec = isa::decode(inst);
+
+    const std::uint64_t robid = rob_tail_;
+    const bool need_iq = dec && !rename_only(dec->op);
+    const bool need_stq = dec && isa::is_store(dec->op);
+    if (need_iq) {
+      bool has_iq = false;
+      for (int i = 0; i < kIqSize; ++i) {
+        if (iq_valid_[i] == 0) has_iq = true;
+      }
+      if (!has_iq) return;
+    }
+    if (need_stq && stq_count_ >= kStqSize) return;
+
+    // Allocate the ROB entry.
+    rob_valid_[robid] = 1;
+    rob_done_[robid] = 0;
+    rob_op_[robid] = dec ? static_cast<std::uint64_t>(dec->op) : 0;
+    rob_rd_[robid] = dec ? dec->rd : 0;
+    rob_result_[robid] = 0;
+    rob_pc_[robid] = pc;
+    rob_npc_[robid] = pc + 4;
+    rob_pred_[robid] = pred;
+    rob_trap_[robid] = 0;
+    rob_inst_[robid] = inst;
+    rob_stq_[robid] = 0;
+    rob_tail_ = (robid + 1) & (kRobSize - 1);
+    rob_count_ = static_cast<std::uint64_t>(rob_count_) + 1;
+    fb_valid_[h] = 0;
+    fb_head_ = (h + 1) & (kFbSize - 1);
+    fb_count_ = static_cast<std::uint64_t>(fb_count_) - 1;
+    // decorative decode staging
+    rf2_d0_reg_[robid & 3] = inst;
+
+    if (!dec) {
+      rob_trap_[robid] = static_cast<std::uint64_t>(Trap::kInvalidOpcode);
+      rob_done_[robid] = 1;
+      continue;
+    }
+    const Op op = dec->op;
+    if (rename_only(op)) {
+      switch (op) {
+        case Op::kJal:
+          rob_result_[robid] = pc + 4;
+          rob_npc_[robid] = pc + static_cast<std::uint32_t>(dec->imm) * 4;
+          break;
+        case Op::kLui:
+          rob_result_[robid] = static_cast<std::uint32_t>(dec->imm) << 16;
+          break;
+        case Op::kHalt:
+        case Op::kDet:
+        case Op::kSigchk:
+          rob_result_[robid] = static_cast<std::uint32_t>(dec->imm) & 0xffff;
+          break;
+        default:
+          break;
+      }
+      rob_done_[robid] = 1;
+      if (isa::writes_rd(op) && dec->rd != 0) {
+        rat_busy_[dec->rd] = 1;
+        rat_tag_[dec->rd] = robid;
+      }
+      continue;
+    }
+
+    // Issue-queue entry with renamed sources.
+    int iq = -1;
+    for (int i = 0; i < kIqSize; ++i) {
+      if (iq_valid_[i] == 0) {
+        iq = i;
+        break;
+      }
+    }
+    if (iq < 0) return;  // defensive: free-entry scan raced an injected flip
+    iq_valid_[iq] = 1;
+    iq_op_[iq] = static_cast<std::uint64_t>(op);
+    iq_rd_[iq] = dec->rd;
+    iq_robid_[iq] = robid;
+    iq_imm_[iq] = static_cast<std::uint32_t>(dec->imm);
+    iq_pc_[iq] = pc;
+    auto rename_src = [&](int r, Reg& rdy, Reg& tag, Reg& val) {
+      if (r == 0) {
+        rdy = 1;
+        val = 0;
+        return;
+      }
+      if (rat_busy_[r] != 0) {
+        const std::uint64_t t = rat_tag_[r];
+        if (rob_done_[t & (kRobSize - 1)] != 0) {
+          rdy = 1;
+          val = static_cast<std::uint64_t>(rob_result_[t & (kRobSize - 1)]);
+        } else {
+          rdy = 0;
+          tag = t;
+          val = 0;
+        }
+      } else {
+        rdy = 1;
+        val = regs_[r];
+      }
+    };
+    if (uses_rs1(op)) {
+      rename_src(dec->rs1, iq_s1rdy_[iq], iq_s1tag_[iq], iq_s1val_[iq]);
+    } else {
+      iq_s1rdy_[iq] = 1;
+      iq_s1val_[iq] = 0;
+    }
+    if (uses_rs2(op)) {
+      rename_src(dec->rs2, iq_s2rdy_[iq], iq_s2tag_[iq], iq_s2val_[iq]);
+    } else {
+      iq_s2rdy_[iq] = 1;
+      iq_s2val_[iq] = 0;
+    }
+    if (need_stq) {
+      const std::uint64_t si = stq_tail_;
+      stq_valid_[si] = 1;
+      stq_ready_[si] = 0;
+      stq_robid_[si] = robid;
+      stq_byte_[si] = op == Op::kSb ? 1 : 0;
+      stq_tail_ = (si + 1) & (kStqSize - 1);
+      stq_count_ = static_cast<std::uint64_t>(stq_count_) + 1;
+      iq_stq_[iq] = si;
+      rob_stq_[robid] = si;
+    }
+    if (isa::writes_rd(op) && dec->rd != 0) {
+      rat_busy_[dec->rd] = 1;
+      rat_tag_[dec->rd] = robid;
+    }
+  }
+}
+
+void OoOCore::do_fetch() {
+  for (int slot = 0; slot < kFetchWidth; ++slot) {
+    if (fb_count_ >= kFbSize) return;
+    const std::uint32_t pc = f_pc_.u32();
+    std::uint32_t inst = 0;
+    bool oob = false;
+    if ((pc & 3u) != 0 ||
+        pc / 4 >= static_cast<std::uint32_t>(prog_->code.size())) {
+      oob = true;
+    } else {
+      inst = prog_->code[pc / 4];
+    }
+    // Predecode-based next-PC prediction.
+    std::uint32_t pred = pc + 4;
+    if (!oob) {
+      const auto dec = isa::decode(inst);
+      if (dec) {
+        if (dec->op == Op::kJal) {
+          pred = pc + static_cast<std::uint32_t>(dec->imm) * 4;
+          if (dec->rd == 1) {  // call: push return address
+            const std::uint64_t sp = ras_sp_;
+            ras_[sp & (kRasSize - 1)] = pc + 4;
+            ras_sp_ = (sp + 1) & (kRasSize - 1);
+          }
+        } else if (dec->op == Op::kJalr) {
+          if (dec->rd == 0 && dec->rs1 == 1) {  // return: pop RAS
+            const std::uint64_t sp =
+                (static_cast<std::uint64_t>(ras_sp_) - 1) & (kRasSize - 1);
+            ras_sp_ = sp;
+            pred = ras_[sp].u32();
+          } else {
+            const std::uint32_t bi = (pc >> 2) & (kBtbSize - 1);
+            if (btb_valid_[bi] != 0 &&
+                btb_tag_[bi] == ((pc >> 2) & 0xfffff)) {
+              pred = btb_target_[bi].u32();
+            }
+          }
+        } else if (isa::is_branch(dec->op)) {
+          const std::uint32_t idx =
+              ((pc >> 2) ^ bhr_.u32()) & ((1u << kPhtBits) - 1);
+          if (pht_[idx] >= 2) {
+            pred = pc + static_cast<std::uint32_t>(dec->imm) * 4;
+          }
+        }
+      }
+    }
+    const std::uint64_t t = fb_tail_;
+    fb_valid_[t] = 1;
+    fb_inst_[t] = inst;
+    fb_pc_[t] = pc;
+    fb_pred_[t] = pred;
+    fb_tail_ = (t + 1) & (kFbSize - 1);
+    fb_count_ = static_cast<std::uint64_t>(fb_count_) + 1;
+    rf1_f2_inst_[t & 7] = inst;  // decorative staging
+    if (oob) {
+      fb_inst_[t] = 0;
+      // Encode the fetch fault by making rename see an undecodable word:
+      // opcode field 0x3f is invalid by construction.
+      fb_inst_[t] = 0xFC000000u;
+    }
+    f_pc_ = pred;
+    if (pred != pc + 4) return;  // redirected: stop fetching this cycle
+  }
+}
+
+void OoOCore::do_cycle() {
+  apply_injections();
+  process_detections();
+  if (status_ != isa::RunStatus::kRunning) return;
+
+  do_commit();
+  if (status_ != isa::RunStatus::kRunning) return;
+  drain_store_buffer();
+  do_execute();
+  do_load_unit();
+  do_issue();
+  do_rename();
+  do_fetch();
+
+  perf_[1] = static_cast<std::uint64_t>(perf_[1]) + 1;
+  if (ring_.enabled()) {
+    ring_.push(cycle_, reg_, regs_, committed_, output_.size(), dfc_sig_);
+  }
+  ++cycle_;
+}
+
+CoreRunResult OoOCore::run(const isa::Program& prog,
+                           const ResilienceConfig* cfg,
+                           const InjectionPlan* plan,
+                           std::uint64_t max_cycles) {
+  reset(prog, cfg, plan);
+  while (status_ == isa::RunStatus::kRunning && cycle_ < max_cycles) {
+    do_cycle();
+  }
+  CoreRunResult r;
+  r.status = status_ == isa::RunStatus::kRunning ? isa::RunStatus::kWatchdog
+                                                 : status_;
+  r.trap = trap_code_;
+  r.exit_code = exit_code_;
+  r.det_id = det_id_;
+  r.cycles = cycle_;
+  r.instrs = committed_;
+  r.output = output_;
+  r.detected_by = detected_by_;
+  r.recoveries = recoveries_;
+  return r;
+}
+
+}  // namespace
+
+std::unique_ptr<Core> make_ooo_core() { return std::make_unique<OoOCore>(); }
+
+std::unique_ptr<Core> make_core(const std::string& name) {
+  if (name == "InO") return make_ino_core();
+  if (name == "OoO") return make_ooo_core();
+  return nullptr;
+}
+
+}  // namespace clear::arch

@@ -1,0 +1,91 @@
+// Cross-layer combination enumeration and evaluation (paper Sec. 3).
+//
+// enumerate_combos() reproduces the paper's 586 combinations (Table 18:
+// 417 InO + 169 OoO) from the validity rules the paper states:
+//   * any non-empty subset of the per-core detection/correction techniques
+//     with no recovery;
+//   * flush (InO) / RoB (OoO) recovery over single-cycle in-pipeline
+//     detectors {EDS, parity} (+ monitor on OoO), with LEAP-DICE forced on
+//     unflushable stages;
+//   * IR/EIR recovery over hardware detectors {EDS, parity, DFC}
+//     (+ monitor on OoO), optionally augmented with selective LEAP-DICE;
+//     EIR exactly when DFC participates (DFC needs the extended buffers);
+//   * ABFT correction composes with everything (applied first, Fig. 6);
+//     ABFT detection only with unconstrained combos (its multi-million-
+//     cycle detection latency rules out hardware recovery).
+//
+// evaluate_combo() applies the paper's top-down methodology: profile the
+// software/algorithm-transformed program, then run selective hardening on
+// top of it toward the requested target.
+#ifndef CLEAR_CORE_COMBOS_H
+#define CLEAR_CORE_COMBOS_H
+
+#include <string>
+#include <vector>
+
+#include "core/selection.h"
+
+namespace clear::core {
+
+struct Combo {
+  bool dice = false;
+  bool eds = false;
+  bool parity = false;
+  bool dfc = false;
+  bool assertions = false;
+  bool cfcss = false;
+  bool eddi = false;
+  bool monitor = false;
+  workloads::AbftKind abft = workloads::AbftKind::kNone;
+  arch::RecoveryKind recovery = arch::RecoveryKind::kNone;
+
+  [[nodiscard]] std::string name() const;
+  [[nodiscard]] bool has_tunable() const noexcept {
+    return dice || eds || parity;
+  }
+  [[nodiscard]] Palette palette() const noexcept {
+    return Palette{dice, parity, eds};
+  }
+  [[nodiscard]] Variant variant() const;
+  [[nodiscard]] int software_layers() const noexcept {
+    return (assertions ? 1 : 0) + (cfcss ? 1 : 0) + (eddi ? 1 : 0) +
+           (dfc ? 1 : 0) + (monitor ? 1 : 0) +
+           (abft != workloads::AbftKind::kNone ? 1 : 0);
+  }
+};
+
+// All valid combinations for a core ("InO": 417, "OoO": 169).
+[[nodiscard]] std::vector<Combo> enumerate_combos(const std::string& core);
+
+// Profile for a combo's software/algorithm stack.  Exact (measured) when
+// at most one profiled layer is involved; multi-layer stacks compose
+// per-FF survival ratios from the single-layer profiles under an
+// independence assumption (used only for the Fig. 1d design-space cloud;
+// every table row uses measured profiles).
+[[nodiscard]] ProfileSet combo_profile(Session& session, const Combo& combo);
+
+struct ComboPoint {
+  std::string combo;
+  double target = 0.0;  // <= 0: fixed/maximum point
+  bool target_met = true;
+  double energy = 0.0;
+  double area = 0.0;
+  double power = 0.0;
+  double exec = 0.0;
+  double sdc_protected_pct = 0.0;  // Fig. 1d x-axis
+  Improvement imp;
+};
+
+// Evaluates one combination at one SDC-improvement target.
+[[nodiscard]] ComboPoint evaluate_combo(Session& session, Selector& selector,
+                                        const Combo& combo, double target,
+                                        Metric metric = Metric::kSdc);
+
+// Full design-space exploration (Fig. 1d): every combination, evaluated at
+// `target` (tunable combos) or its fixed improvement point.
+[[nodiscard]] std::vector<ComboPoint> explore_design_space(
+    Session& session, Selector& selector, double target = 50.0);
+
+}  // namespace clear::core
+
+#endif  // CLEAR_CORE_COMBOS_H

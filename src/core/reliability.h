@@ -1,0 +1,60 @@
+// Eq. 1 improvement accounting with the gamma exposure correction
+// (paper Sec. 2.1, after [Schirmeier 15]).
+//
+//   SDC improvement = (orig OMM / new OMM) / gamma          (Eq. 1a)
+//   DUE improvement = (orig UT+Hang / new UT+Hang+ED) / gamma  (Eq. 1b)
+//   gamma = (1 + added-FF fraction) x (1 + execution-time overhead)
+//
+// "new" counts may be analytic expectations (doubles): a LEAP-DICE
+// flip-flop contributes its original counts scaled by the 2e-4 SER ratio,
+// a parity+recovery flip-flop contributes zero SDC, etc.  Improvements are
+// capped so "every error eliminated" reports a large finite factor.
+#ifndef CLEAR_CORE_RELIABILITY_H
+#define CLEAR_CORE_RELIABILITY_H
+
+#include <algorithm>
+
+#include "inject/outcome.h"
+
+namespace clear::core {
+
+inline constexpr double kImprovementCap = 1.0e7;
+
+struct Improvement {
+  double sdc = 1.0;
+  double due = 1.0;
+};
+
+[[nodiscard]] inline double gamma_correction(double ff_delta,
+                                             double exec_overhead) noexcept {
+  return (1.0 + std::max(0.0, ff_delta)) * (1.0 + std::max(0.0, exec_overhead));
+}
+
+[[nodiscard]] inline double ratio_capped(double orig, double now) noexcept {
+  if (orig <= 0.0) return 1.0;
+  if (now <= orig / kImprovementCap) return kImprovementCap;
+  return orig / now;
+}
+
+// Expected outcome masses for an (optionally protected) design.
+struct ErrorMass {
+  double sdc = 0.0;  // expected OMM count
+  double due = 0.0;  // expected UT + Hang + ED count
+};
+
+[[nodiscard]] inline Improvement improvement(const ErrorMass& orig,
+                                             const ErrorMass& now,
+                                             double gamma) noexcept {
+  Improvement imp;
+  imp.sdc = ratio_capped(orig.sdc, now.sdc) / gamma;
+  imp.due = ratio_capped(orig.due, now.due) / gamma;
+  return imp;
+}
+
+[[nodiscard]] inline ErrorMass mass_of(const inject::OutcomeCounts& c) noexcept {
+  return {static_cast<double>(c.sdc()), static_cast<double>(c.due())};
+}
+
+}  // namespace clear::core
+
+#endif  // CLEAR_CORE_RELIABILITY_H

@@ -1,0 +1,162 @@
+#include "core/session.h"
+
+#include <stdexcept>
+
+#include "arch/core.h"
+#include "util/env.h"
+
+namespace clear::core {
+
+namespace {
+
+double frac_with(const std::vector<std::uint64_t>& counts,
+                 std::uint32_t ff_count) {
+  if (ff_count == 0) return 0.0;
+  std::size_t n = 0;
+  for (const auto c : counts) n += (c > 0);
+  return static_cast<double>(n) / static_cast<double>(ff_count);
+}
+
+}  // namespace
+
+double ProfileSet::frac_ffs_with_sdc() const {
+  return frac_with(ff_sdc, ff_count);
+}
+
+double ProfileSet::frac_ffs_with_due() const {
+  return frac_with(ff_due, ff_count);
+}
+
+double ProfileSet::frac_ffs_with_either() const {
+  if (ff_count == 0) return 0.0;
+  std::size_t n = 0;
+  for (std::uint32_t f = 0; f < ff_count; ++f) {
+    n += (ff_sdc[f] > 0 || ff_due[f] > 0);
+  }
+  return static_cast<double>(n) / static_cast<double>(ff_count);
+}
+
+double ProfileSet::frac_ffs_always_vanish() const {
+  return 1.0 - frac_ffs_with_either();
+}
+
+Session::Session(std::string core, std::size_t per_ff_samples,
+                 std::uint64_t seed)
+    : core_(std::move(core)), seed_(seed) {
+  benchmarks_ = workloads::benchmarks_for_core(core_);
+  if (per_ff_samples != 0) {
+    per_ff_samples_ = per_ff_samples;
+  } else {
+    const long def = core_ == "OoO" ? 1 : 2;
+    per_ff_samples_ = static_cast<std::size_t>(
+        std::max(1L, util::env_long("CLEAR_INJECTIONS", def)));
+  }
+}
+
+const ProfileSet& Session::profiles(const Variant& v) {
+  const std::string vkey = v.key();
+  const auto it = cache_.find(vkey);
+  if (it != cache_.end()) return *it->second;
+
+  auto set = std::make_unique<ProfileSet>();
+  set->core = core_;
+  set->variant_key = vkey;
+  {
+    auto proto = arch::make_core(core_);
+    set->ff_count = proto->registry().ff_count();
+  }
+  set->ff_sdc.assign(set->ff_count, 0);
+  set->ff_due.assign(set->ff_count, 0);
+  set->ff_total.assign(set->ff_count, 0);
+
+  arch::ResilienceConfig cfg;
+  cfg.dfc = v.dfc;
+  cfg.monitor = v.monitor;
+  cfg.recovery =
+      v.monitor ? arch::RecoveryKind::kRob : arch::RecoveryKind::kNone;
+  const bool needs_cfg = v.dfc || v.monitor;
+
+  double exec_sum = 0.0;
+  std::size_t exec_n = 0;
+  for (const auto& bench : benchmarks_) {
+    if (v.abft != workloads::AbftKind::kNone) {
+      // Only benchmarks amenable to the requested ABFT kind (Sec. 3.2).
+      bool ok = false;
+      for (const auto& info : workloads::benchmark_list()) {
+        if (info.name == bench && info.abft == v.abft) ok = true;
+      }
+      if (!ok) continue;
+    }
+    const isa::Program prog = build_variant_program(bench, v, 0);
+    const isa::Program base_prog =
+        vkey == "base" ? prog : build_variant_program(bench, Variant::base(), 0);
+
+    inject::CampaignSpec spec;
+    spec.core_name = core_;
+    spec.program = &prog;
+    spec.key = core_ + "/" + bench + "/" + vkey;
+    spec.injections = per_ff_samples_ * set->ff_count;
+    spec.seed = seed_;
+    spec.cfg = needs_cfg ? &cfg : nullptr;
+
+    BenchProfile bp;
+    bp.benchmark = bench;
+    bp.campaign = inject::run_campaign(spec);
+    if (vkey == "base") {
+      bp.base_cycles = bp.campaign.nominal_cycles;
+    } else {
+      auto proto = arch::make_core(core_);
+      bp.base_cycles = proto->run_clean(base_prog).cycles;
+    }
+    exec_sum += static_cast<double>(bp.campaign.nominal_cycles) /
+                static_cast<double>(bp.base_cycles);
+    ++exec_n;
+    for (std::uint32_t f = 0; f < set->ff_count; ++f) {
+      const auto& c = bp.campaign.per_ff[f];
+      set->ff_sdc[f] += c.sdc();
+      set->ff_due[f] += c.due();
+      set->ff_total[f] += c.total();
+    }
+    set->totals.merge(bp.campaign.totals);
+    set->benches.push_back(std::move(bp));
+  }
+  if (set->benches.empty()) {
+    throw std::runtime_error("no benchmarks support variant " + vkey +
+                             " on core " + core_);
+  }
+  set->exec_overhead = exec_n ? exec_sum / static_cast<double>(exec_n) - 1.0
+                              : 0.0;
+  if (set->exec_overhead < 0) set->exec_overhead = 0.0;
+
+  auto& slot = cache_[vkey];
+  slot = std::move(set);
+  return *slot;
+}
+
+ProfileSet Session::subset(const ProfileSet& full,
+                           const std::vector<std::string>& names) const {
+  ProfileSet out;
+  out.core = full.core;
+  out.variant_key = full.variant_key + "#subset";
+  out.ff_count = full.ff_count;
+  out.ff_sdc.assign(out.ff_count, 0);
+  out.ff_due.assign(out.ff_count, 0);
+  out.ff_total.assign(out.ff_count, 0);
+  out.exec_overhead = full.exec_overhead;
+  for (const auto& bp : full.benches) {
+    bool keep = false;
+    for (const auto& n : names) keep |= (n == bp.benchmark);
+    if (!keep) continue;
+    for (std::uint32_t f = 0; f < out.ff_count; ++f) {
+      const auto& c = bp.campaign.per_ff[f];
+      out.ff_sdc[f] += c.sdc();
+      out.ff_due[f] += c.due();
+      out.ff_total[f] += c.total();
+    }
+    out.totals.merge(bp.campaign.totals);
+    out.benches.push_back(bp);
+  }
+  return out;
+}
+
+}  // namespace clear::core

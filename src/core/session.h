@@ -1,0 +1,97 @@
+// A Session bundles the experiment configuration for one core (benchmarks,
+// campaign scale, seed) and memoizes per-variant vulnerability profiles.
+//
+// A ProfileSet aggregates per-flip-flop outcome counts over the core's
+// benchmark suite for one program variant -- the data that drives every
+// selective-hardening decision, every improvement estimate and every table
+// of the evaluation.  Collection is the expensive step (thousands of
+// microarchitectural simulations); results are memoized in memory and in
+// the on-disk campaign cache shared by all bench binaries.
+#ifndef CLEAR_CORE_SESSION_H
+#define CLEAR_CORE_SESSION_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/reliability.h"
+#include "core/variants.h"
+#include "inject/campaign.h"
+
+namespace clear::core {
+
+struct BenchProfile {
+  std::string benchmark;
+  inject::CampaignResult campaign;
+  std::uint64_t base_cycles = 0;  // base-variant nominal cycles
+};
+
+struct ProfileSet {
+  std::string core;
+  std::string variant_key;
+  std::uint32_t ff_count = 0;
+  std::vector<BenchProfile> benches;
+  // Aggregates over all benchmarks:
+  std::vector<std::uint64_t> ff_sdc;    // per-FF OMM counts
+  std::vector<std::uint64_t> ff_due;    // per-FF UT+Hang+ED counts
+  std::vector<std::uint64_t> ff_total;  // per-FF injection counts
+  inject::OutcomeCounts totals;
+  // Error-free execution-time overhead vs. the base variant (mean of the
+  // per-benchmark cycle ratios minus one).
+  double exec_overhead = 0.0;
+
+  [[nodiscard]] ErrorMass mass() const noexcept { return mass_of(totals); }
+  // Fraction of FFs with at least one SDC-causing (resp. DUE-causing)
+  // error across all benchmarks (Table 2).
+  [[nodiscard]] double frac_ffs_with_sdc() const;
+  [[nodiscard]] double frac_ffs_with_due() const;
+  [[nodiscard]] double frac_ffs_with_either() const;
+  [[nodiscard]] double frac_ffs_always_vanish() const;
+};
+
+class Session {
+ public:
+  // core = "InO" or "OoO".  per_ff_samples = injections per flip-flop per
+  // benchmark (0: CLEAR_INJECTIONS env or the per-core default).
+  explicit Session(std::string core, std::size_t per_ff_samples = 0,
+                   std::uint64_t seed = 1);
+
+  [[nodiscard]] const std::string& core() const noexcept { return core_; }
+  [[nodiscard]] const std::vector<std::string>& benchmarks() const noexcept {
+    return benchmarks_;
+  }
+  // Restricts the benchmark suite (reduced-scale runs and tests).  Must be
+  // called before the first profiles() call.
+  void set_benchmarks(std::vector<std::string> names) {
+    benchmarks_ = std::move(names);
+    cache_.clear();
+  }
+  [[nodiscard]] std::size_t per_ff_samples() const noexcept {
+    return per_ff_samples_;
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  // Collects (or returns memoized) profiles for a variant.  For ABFT
+  // variants only the ABFT-capable benchmarks are profiled; benchmarks
+  // whose program the variant cannot transform are skipped.
+  const ProfileSet& profiles(const Variant& v);
+
+  // Profile restricted to a benchmark subset (used by the Sec. 4
+  // train/validate study); aggregates are recomputed from the memoized
+  // per-benchmark campaigns.
+  [[nodiscard]] ProfileSet subset(const ProfileSet& full,
+                                  const std::vector<std::string>& names) const;
+
+ private:
+  std::string core_;
+  std::vector<std::string> benchmarks_;
+  std::size_t per_ff_samples_;
+  std::uint64_t seed_;
+  std::map<std::string, std::unique_ptr<ProfileSet>> cache_;
+};
+
+}  // namespace clear::core
+
+#endif  // CLEAR_CORE_SESSION_H

@@ -1,0 +1,63 @@
+#include "core/variants.h"
+
+#include "isa/assembler.h"
+#include "soft/transforms.h"
+
+namespace clear::core {
+
+std::string Variant::key() const {
+  std::string k;
+  if (abft == workloads::AbftKind::kCorrection) k += "abftc+";
+  if (abft == workloads::AbftKind::kDetection) k += "abftd+";
+  if (eddi) k += eddi_readback ? "eddi_rb+" : "eddi+";
+  if (assertions) {
+    k += "assert";
+    if (!assert_data) k += "_noc_d";
+    if (!assert_control) k += "_no_c";
+    k += "+";
+  }
+  if (cfcss) k += "cfcss+";
+  if (dfc) k += "dfc+";
+  if (monitor) k += "monitor+";
+  if (k.empty()) return "base";
+  k.pop_back();
+  return k;
+}
+
+isa::Program build_variant_program(const std::string& benchmark,
+                                   const Variant& variant,
+                                   std::uint32_t input_seed) {
+  auto build_base = [&](std::uint32_t seed) {
+    return variant.abft == workloads::AbftKind::kNone
+               ? workloads::build_benchmark(benchmark, seed)
+               : workloads::build_abft_variant(benchmark, seed);
+  };
+  isa::AsmUnit unit = build_base(input_seed);
+  if (variant.eddi) {
+    unit = soft::apply_eddi(unit, variant.eddi_readback);
+  }
+  if (variant.assertions) {
+    auto plan = soft::insert_assertion_sites(unit);
+    std::vector<soft::ValueBounds> bounds;
+    for (std::uint32_t s = 0; s < 3; ++s) {
+      isa::AsmUnit train_unit = build_base(input_seed + s);
+      if (variant.eddi) {
+        train_unit = soft::apply_eddi(train_unit, variant.eddi_readback);
+      }
+      auto train_plan = soft::insert_assertion_sites(train_unit);
+      soft::train_assertions(isa::assemble(train_plan.unit), train_plan,
+                             &bounds);
+    }
+    unit = soft::emit_assertions(plan, bounds, variant.assert_data,
+                                 variant.assert_control);
+  }
+  if (variant.cfcss) {
+    unit = soft::apply_cfcss(unit);
+  }
+  if (variant.dfc) {
+    return soft::apply_dfc(unit);
+  }
+  return isa::assemble(unit);
+}
+
+}  // namespace clear::core

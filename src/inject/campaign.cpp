@@ -1,0 +1,225 @@
+#include "inject/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace clear::inject {
+
+namespace {
+
+constexpr std::uint32_t kCacheVersion = 3;
+
+// Stable hash of the campaign identity (key + program code + parameters).
+std::uint64_t spec_fingerprint(const CampaignSpec& spec,
+                               std::size_t injections) {
+  std::uint64_t h = 0xC1EA5u;
+  for (char c : spec.key) h = util::hash_combine(h, static_cast<unsigned char>(c));
+  for (const std::uint32_t w : spec.program->code) h = util::hash_combine(h, w);
+  for (const std::uint32_t w : spec.program->data) h = util::hash_combine(h, w);
+  h = util::hash_combine(h, injections);
+  h = util::hash_combine(h, spec.seed);
+  h = util::hash_combine(h, kCacheVersion);
+  return h;
+}
+
+std::string sanitize(const std::string& key) {
+  std::string out;
+  for (char c : key) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+            c == '-' || c == '_')
+               ? c
+               : '_';
+  }
+  return out;
+}
+
+bool load_cached(const std::string& path, std::uint64_t fp,
+                 CampaignResult* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::uint64_t file_fp = 0;
+  std::uint32_t ffs = 0;
+  if (!(in >> file_fp >> ffs >> out->nominal_cycles >> out->nominal_instrs)) {
+    return false;
+  }
+  if (file_fp != fp) return false;
+  out->ff_count = ffs;
+  out->per_ff.assign(ffs, {});
+  out->totals = {};
+  for (std::uint32_t i = 0; i < ffs; ++i) {
+    OutcomeCounts& c = out->per_ff[i];
+    if (!(in >> c.vanished >> c.omm >> c.ut >> c.hang >> c.ed >> c.recovered)) {
+      return false;
+    }
+    out->totals.merge(c);
+  }
+  return true;
+}
+
+void store_cached(const std::string& path, std::uint64_t fp,
+                  const CampaignResult& r) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) return;
+    out << fp << ' ' << r.ff_count << ' ' << r.nominal_cycles << ' '
+        << r.nominal_instrs << '\n';
+    for (const auto& c : r.per_ff) {
+      out << c.vanished << ' ' << c.omm << ' ' << c.ut << ' ' << c.hang << ' '
+          << c.ed << ' ' << c.recovered << '\n';
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+}
+
+}  // namespace
+
+double CampaignResult::sdc_margin_of_error() const noexcept {
+  return util::proportion_margin_of_error_95(
+      static_cast<std::size_t>(totals.sdc()),
+      static_cast<std::size_t>(totals.total()));
+}
+
+Outcome classify(const arch::CoreRunResult& faulty,
+                 const arch::CoreRunResult& golden) noexcept {
+  switch (faulty.status) {
+    case isa::RunStatus::kDetected:
+      return Outcome::kEd;
+    case isa::RunStatus::kTrapped:
+      return Outcome::kUt;
+    case isa::RunStatus::kWatchdog:
+      return Outcome::kHang;
+    case isa::RunStatus::kHalted:
+      if (faulty.output == golden.output) {
+        return faulty.recoveries > 0 ? Outcome::kRecovered
+                                     : Outcome::kVanished;
+      }
+      return Outcome::kOmm;
+    case isa::RunStatus::kRunning:
+      return Outcome::kHang;
+  }
+  return Outcome::kHang;
+}
+
+double ser_ratio(arch::FFProt p) noexcept {
+  switch (p) {
+    case arch::FFProt::kLeapDice:
+    case arch::FFProt::kLeapCtrlRes:
+      return 2.0e-4;  // Table 4
+    case arch::FFProt::kLhl:
+      return 2.5e-1;
+    case arch::FFProt::kLeapCtrlEco:
+    case arch::FFProt::kNone:
+    case arch::FFProt::kEds:
+    case arch::FFProt::kParity:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+std::string campaign_cache_dir() {
+  return util::env_string("CLEAR_CACHE_DIR", ".clear_cache");
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec) {
+  auto proto = arch::make_core(spec.core_name);
+  if (!proto) throw std::invalid_argument("unknown core " + spec.core_name);
+  const std::uint32_t ff_count = proto->registry().ff_count();
+  const std::size_t injections =
+      spec.injections != 0 ? spec.injections : ff_count;
+
+  CampaignResult result;
+  result.ff_count = ff_count;
+
+  // Cache lookup.
+  std::string cache_path;
+  std::uint64_t fp = 0;
+  if (!spec.key.empty() && !campaign_cache_dir().empty()) {
+    fp = spec_fingerprint(spec, injections);
+    std::error_code ec;
+    std::filesystem::create_directories(campaign_cache_dir(), ec);
+    char fpbuf[24];
+    std::snprintf(fpbuf, sizeof(fpbuf), "%016llx",
+                  static_cast<unsigned long long>(fp));
+    cache_path = campaign_cache_dir() + "/" + sanitize(spec.key) + "." +
+                 fpbuf + ".camp";
+    if (load_cached(cache_path, fp, &result)) return result;
+  }
+
+  // Golden (error-free) reference run.
+  const auto golden = proto->run(*spec.program, spec.cfg, nullptr, 20'000'000);
+  if (golden.status != isa::RunStatus::kHalted) {
+    throw std::runtime_error("golden run did not halt for key " + spec.key);
+  }
+  result.nominal_cycles = golden.cycles;
+  result.nominal_instrs = golden.instrs;
+  result.per_ff.assign(ff_count, {});
+  const std::uint64_t watchdog = golden.cycles * 2 + 1024;
+
+  unsigned threads = spec.threads != 0
+                         ? spec.threads
+                         : static_cast<unsigned>(util::env_long(
+                               "CLEAR_THREADS",
+                               std::thread::hardware_concurrency()));
+  if (threads == 0) threads = 1;
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(1, injections / 64)));
+
+  std::vector<std::vector<OutcomeCounts>> partials(
+      threads, std::vector<OutcomeCounts>(ff_count));
+  std::atomic<std::size_t> next{0};
+  auto worker = [&](unsigned tid) {
+    auto core = arch::make_core(spec.core_name);
+    auto& mine = partials[tid];
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= injections) return;
+      // Stratified-by-FF sampling with an index-derived RNG: results are
+      // independent of thread scheduling.
+      util::Rng rng(util::hash_combine(spec.seed, i));
+      const std::uint32_t ff = static_cast<std::uint32_t>(i % ff_count);
+      const std::uint64_t cycle = 1 + rng.below(result.nominal_cycles - 1);
+      // Circuit-hardened flip-flops suppress the upset with probability
+      // 1 - SER ratio (Table 4); a suppressed strike vanishes by definition.
+      const arch::FFProt p =
+          spec.cfg != nullptr ? spec.cfg->prot_of(ff) : arch::FFProt::kNone;
+      if (!rng.bernoulli(ser_ratio(p))) {
+        mine[ff].add(Outcome::kVanished);
+        continue;
+      }
+      const auto plan = arch::InjectionPlan::single(cycle, ff);
+      const auto run = core->run(*spec.program, spec.cfg, &plan, watchdog);
+      mine[ff].add(classify(run, golden));
+    }
+  };
+  if (threads <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (auto& t : pool) t.join();
+  }
+  for (const auto& part : partials) {
+    for (std::uint32_t f = 0; f < ff_count; ++f) {
+      result.per_ff[f].merge(part[f]);
+    }
+  }
+  for (const auto& c : result.per_ff) result.totals.merge(c);
+
+  if (!cache_path.empty()) store_cached(cache_path, fp, result);
+  return result;
+}
+
+}  // namespace clear::inject

@@ -1,0 +1,81 @@
+// Flip-flop soft-error injection campaigns.
+//
+// Replaces the paper's BEE3 FPGA emulation cluster + Stampede supercomputer
+// (Sec. 2.1): a deterministic, multithreaded campaign engine that injects
+// single bit-flips uniformly across the flip-flops and execution cycles of
+// a processor model run, classifies every outcome against the error-free
+// ("golden") run, and aggregates per-flip-flop vulnerability profiles.
+// Campaign results are memoized on disk (CLEAR_CACHE_DIR) because every
+// bench binary shares the same underlying campaigns.
+//
+// Sampling is stratified by flip-flop: injection i targets
+// ff = i mod ff_count at an independently drawn uniform cycle, which is an
+// exactly uniform exposure across flip-flops (the paper's "errors are
+// injected uniformly into all flip-flops and application regions").
+#ifndef CLEAR_INJECT_CAMPAIGN_H
+#define CLEAR_INJECT_CAMPAIGN_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/core.h"
+#include "inject/outcome.h"
+#include "isa/program.h"
+
+namespace clear::inject {
+
+struct CampaignSpec {
+  std::string core_name;  // "InO" or "OoO"
+  const isa::Program* program = nullptr;
+  // Cache identity.  Callers encode everything that shapes the outcome
+  // distribution (core, benchmark, program variant, in-sim technique
+  // configuration) in this key.  Empty key disables caching.
+  std::string key;
+  std::size_t injections = 0;  // 0 = one injection per flip-flop
+  std::uint64_t seed = 1;
+  unsigned threads = 0;  // 0 = hardware concurrency
+  // Optional in-simulator resilience configuration (DFC, monitor core,
+  // detection + recovery).  Per-FF hardening suppression (LEAP-DICE & co.)
+  // is applied by the campaign driver using the Table 4 SER ratios.
+  const arch::ResilienceConfig* cfg = nullptr;
+};
+
+struct CampaignResult {
+  std::uint32_t ff_count = 0;
+  std::uint64_t nominal_cycles = 0;
+  std::uint64_t nominal_instrs = 0;
+  OutcomeCounts totals;
+  std::vector<OutcomeCounts> per_ff;
+
+  [[nodiscard]] double sdc_fraction() const noexcept {
+    const auto t = totals.total();
+    return t ? static_cast<double>(totals.sdc()) / static_cast<double>(t) : 0;
+  }
+  [[nodiscard]] double due_fraction() const noexcept {
+    const auto t = totals.total();
+    return t ? static_cast<double>(totals.due()) / static_cast<double>(t) : 0;
+  }
+  // 95% margin of error on the SDC fraction (paper reports <0.1% at 9M
+  // injections; reduced-scale campaigns report their own margin).
+  [[nodiscard]] double sdc_margin_of_error() const noexcept;
+};
+
+// Classifies one faulty run against the golden run.
+[[nodiscard]] Outcome classify(const arch::CoreRunResult& faulty,
+                               const arch::CoreRunResult& golden) noexcept;
+
+// Per-FF-protection soft-error-rate ratio (Table 4): the probability that
+// a particle strike on a hardened flip-flop still produces an upset.
+[[nodiscard]] double ser_ratio(arch::FFProt p) noexcept;
+
+// Runs (or loads from cache) a campaign.
+[[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec);
+
+// Cache controls (default directory: $CLEAR_CACHE_DIR or ".clear_cache").
+[[nodiscard]] std::string campaign_cache_dir();
+
+}  // namespace clear::inject
+
+#endif  // CLEAR_INJECT_CAMPAIGN_H

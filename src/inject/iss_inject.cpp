@@ -1,0 +1,145 @@
+#include "inject/iss_inject.h"
+
+#include "isa/iss.h"
+#include "util/rng.h"
+
+namespace clear::inject {
+
+namespace {
+
+Outcome classify_iss(const isa::RunResult& faulty,
+                     const isa::RunResult& golden) {
+  switch (faulty.status) {
+    case isa::RunStatus::kDetected:
+      return Outcome::kEd;
+    case isa::RunStatus::kTrapped:
+      return Outcome::kUt;
+    case isa::RunStatus::kWatchdog:
+    case isa::RunStatus::kRunning:
+      return Outcome::kHang;
+    case isa::RunStatus::kHalted:
+      return faulty.output == golden.output ? Outcome::kVanished
+                                            : Outcome::kOmm;
+  }
+  return Outcome::kHang;
+}
+
+struct EventCounts {
+  std::uint64_t writes = 0;
+  std::uint64_t stores = 0;
+};
+
+EventCounts count_events(const isa::Program& prog, std::uint64_t max_steps) {
+  isa::Machine m(prog);
+  EventCounts ev;
+  m.post_write_hook = [&ev](isa::Machine&, const isa::Instr&, std::uint32_t) {
+    ++ev.writes;
+  };
+  m.post_store_hook = [&ev](isa::Machine&, std::uint32_t, std::uint32_t) {
+    ++ev.stores;
+  };
+  std::uint64_t steps = 0;
+  while (m.step() && ++steps < max_steps) {
+  }
+  return ev;
+}
+
+}  // namespace
+
+OutcomeCounts run_iss_campaign(const isa::Program& prog, InjectLevel level,
+                               std::size_t n, std::uint64_t seed) {
+  const auto golden = isa::run_program(prog);
+  const std::uint64_t watchdog = golden.steps * 2 + 64;
+  const EventCounts events = count_events(prog, golden.steps + 8);
+  const std::uint32_t data_words =
+      static_cast<std::uint32_t>(prog.data.size());
+
+  OutcomeCounts counts;
+  for (std::size_t i = 0; i < n; ++i) {
+    util::Rng rng(util::hash_combine(seed ^ 0x155D1E5ULL, i));
+    isa::Machine m(prog);
+    bool injected = false;
+
+    switch (level) {
+      case InjectLevel::kRegUniform: {
+        const std::uint64_t at = rng.below(golden.steps);
+        const int reg = 1 + static_cast<int>(rng.below(31));
+        const std::uint32_t bit = 1u << rng.below(32);
+        std::uint64_t step = 0;
+        m.pre_exec_hook = [&](isa::Machine& mm, const isa::Instr&) {
+          if (step++ == at && !injected) {
+            mm.set_reg(reg, mm.reg(reg) ^ bit);
+            injected = true;
+          }
+        };
+        break;
+      }
+      case InjectLevel::kRegWrite: {
+        if (events.writes == 0) {
+          counts.add(Outcome::kVanished);
+          continue;
+        }
+        const std::uint64_t at = rng.below(events.writes);
+        const std::uint32_t bit = 1u << rng.below(32);
+        std::uint64_t w = 0;
+        m.post_write_hook = [&](isa::Machine& mm, const isa::Instr& ins,
+                                std::uint32_t v) {
+          if (w++ == at && !injected && ins.rd != 0) {
+            mm.set_reg(ins.rd, v ^ bit);
+            injected = true;
+          }
+        };
+        break;
+      }
+      case InjectLevel::kVarUniform: {
+        if (data_words == 0) {
+          counts.add(Outcome::kVanished);
+          continue;
+        }
+        const std::uint64_t at = rng.below(golden.steps);
+        const std::uint32_t addr =
+            prog.data_base + 4 * static_cast<std::uint32_t>(rng.below(data_words));
+        const std::uint32_t bit = 1u << rng.below(32);
+        std::uint64_t step = 0;
+        m.pre_exec_hook = [&](isa::Machine& mm, const isa::Instr&) {
+          if (step++ == at && !injected) {
+            mm.poke_word(addr, mm.peek_word(addr) ^ bit);
+            injected = true;
+          }
+        };
+        break;
+      }
+      case InjectLevel::kVarWrite: {
+        if (events.stores == 0) {
+          counts.add(Outcome::kVanished);
+          continue;
+        }
+        const std::uint64_t at = rng.below(events.stores);
+        const std::uint32_t bit = 1u << rng.below(32);
+        std::uint64_t s = 0;
+        m.post_store_hook = [&](isa::Machine& mm, std::uint32_t addr,
+                                std::uint32_t word) {
+          if (s++ == at && !injected) {
+            mm.poke_word(addr, word ^ bit);
+            injected = true;
+          }
+        };
+        break;
+      }
+    }
+
+    std::uint64_t steps = 0;
+    while (m.status() == isa::RunStatus::kRunning && steps < watchdog) {
+      m.step();
+      ++steps;
+    }
+    isa::RunResult r;
+    r.status = m.status() == isa::RunStatus::kRunning ? isa::RunStatus::kWatchdog
+                                                      : m.status();
+    r.output = m.output();
+    counts.add(classify_iss(r, golden));
+  }
+  return counts;
+}
+
+}  // namespace clear::inject

@@ -1,0 +1,123 @@
+// The CRISC instruction set.
+//
+// The paper injects faults into the RTL of a SPARC Leon3 and an Alpha IVM
+// core.  Neither RTL (nor a SPARC/Alpha toolchain) is available here, so the
+// reproduction defines a compact 32-bit RISC ISA that both reproduction
+// cores (arch::InOCore, arch::OoOCore) and the golden functional simulator
+// (isa::Iss) execute.  The ISA is deliberately small but covers the workload
+// behaviours that matter for soft-error analysis: ALU/memory/branch mixes,
+// calls/returns (exercising the OoO return-address stack), multiplication /
+// division (multi-cycle units), byte memory access, explicit program output
+// (for silent-data-corruption detection) and explicit error-detection traps
+// (for software-implemented resilience techniques).
+//
+// Encoding (32 bits, fixed fields):
+//   [31:26] opcode
+//   R-type : [25:21] rd  [20:16] rs1 [15:11] rs2
+//   I-type : [25:21] rd  [20:16] rs1 [15:0]  imm16 (signed)
+//   S-type : [25:21] rs2 [20:16] rs1 [15:0]  imm16 (signed)   (stores)
+//   B-type : [25:21] rs1 [20:16] rs2 [15:0]  imm16 (signed, in instructions)
+//   J-type : [25:21] rd  [20:0]  imm21 (signed, in instructions)
+//   U-type : [25:21] rd  [15:0]  imm16 (rd = imm16 << 16)
+//   X-type : [20:16] rs1 or [15:0] imm16 (system ops)
+#ifndef CLEAR_ISA_ISA_H
+#define CLEAR_ISA_ISA_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace clear::isa {
+
+inline constexpr int kNumRegs = 32;
+inline constexpr std::uint32_t kInstrBytes = 4;
+
+enum class Op : std::uint8_t {
+  // R-type ALU
+  kAdd, kSub, kAnd, kOr, kXor, kSll, kSrl, kSra, kSlt, kSltu,
+  kMul, kMulh, kDiv, kRem,
+  // I-type ALU
+  kAddi, kAndi, kOri, kXori, kSlti, kSlli, kSrli, kSrai,
+  // U-type
+  kLui,
+  // Memory
+  kLw, kLb, kLbu,     // I-type loads
+  kSw, kSb,           // S-type stores
+  // Branches (B-type)
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  // Jumps
+  kJal,               // J-type
+  kJalr,              // I-type
+  // System (X-type)
+  kOut,               // append value of rs1 to the program output stream
+  kHalt,              // terminate; imm16 = exit code
+  kDet,               // software error-detection trap; imm16 = detector id
+  kSigchk,            // DFC signature checkpoint; imm16 = static block id
+  kOpCount
+};
+
+inline constexpr int kOpCount = static_cast<int>(Op::kOpCount);
+
+enum class Format : std::uint8_t { kR, kI, kS, kB, kJ, kU, kX };
+
+[[nodiscard]] Format format_of(Op op) noexcept;
+[[nodiscard]] const char* mnemonic(Op op) noexcept;
+// Parses a mnemonic; returns nullopt for unknown mnemonics.
+[[nodiscard]] std::optional<Op> op_from_mnemonic(const std::string& s) noexcept;
+
+// A decoded instruction.  Fields not used by the format are zero.
+struct Instr {
+  Op op = Op::kHalt;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;
+};
+
+// Encodes an instruction to its 32-bit word.  Field values are masked to
+// their widths (callers validate ranges; the assembler reports violations).
+[[nodiscard]] std::uint32_t encode(const Instr& ins) noexcept;
+
+// Decodes a word.  Returns nullopt when the opcode field does not name a
+// valid instruction -- in the cores this raises an invalid-opcode trap,
+// which is one of the mechanisms by which injected flips become DUEs.
+[[nodiscard]] std::optional<Instr> decode(std::uint32_t word) noexcept;
+
+[[nodiscard]] std::string disassemble(const Instr& ins);
+
+// Hardware trap causes.  Any trap terminates the program abnormally, which
+// the outcome classifier records as an Unexpected Termination (=> DUE).
+enum class Trap : std::uint8_t {
+  kNone,
+  kInvalidOpcode,
+  kMisalignedLoad,
+  kMisalignedStore,
+  kLoadOutOfBounds,
+  kStoreOutOfBounds,
+  kPcOutOfBounds,
+  kDivByZero,
+};
+
+[[nodiscard]] const char* trap_name(Trap t) noexcept;
+
+// Shared execution semantics.  Both pipeline models and the ISS evaluate
+// ALU results and branch conditions through these helpers so that a single
+// definition of the architecture exists (a corrupted core is compared
+// against this golden semantics when classifying injection outcomes).
+[[nodiscard]] std::uint32_t alu_eval(Op op, std::uint32_t a,
+                                     std::uint32_t b) noexcept;
+[[nodiscard]] bool branch_taken(Op op, std::uint32_t a,
+                                std::uint32_t b) noexcept;
+[[nodiscard]] bool is_load(Op op) noexcept;
+[[nodiscard]] bool is_store(Op op) noexcept;
+[[nodiscard]] bool is_branch(Op op) noexcept;
+[[nodiscard]] bool is_jump(Op op) noexcept;
+// True for ops whose rd is written (ALU, loads, jal/jalr, lui).
+[[nodiscard]] bool writes_rd(Op op) noexcept;
+// True for mul/mulh (multi-cycle multiplier) and div/rem (iterative divider).
+[[nodiscard]] bool is_mul(Op op) noexcept;
+[[nodiscard]] bool is_div(Op op) noexcept;
+
+}  // namespace clear::isa
+
+#endif  // CLEAR_ISA_ISA_H

@@ -1,0 +1,183 @@
+#include "isa/iss.h"
+
+namespace clear::isa {
+
+const char* run_status_name(RunStatus s) noexcept {
+  switch (s) {
+    case RunStatus::kRunning: return "running";
+    case RunStatus::kHalted: return "halted";
+    case RunStatus::kTrapped: return "trapped";
+    case RunStatus::kWatchdog: return "watchdog";
+    case RunStatus::kDetected: return "detected";
+  }
+  return "?";
+}
+
+Machine::Machine(const Program& prog) : prog_(&prog) {
+  mem_.assign(prog.mem_bytes / 4, 0);
+  const std::uint32_t base = prog.data_base / 4;
+  for (std::size_t i = 0; i < prog.data.size(); ++i) {
+    mem_[base + i] = prog.data[i];
+  }
+  pc_ = prog.entry_pc();
+}
+
+std::uint32_t Machine::peek_word(std::uint32_t addr) const noexcept {
+  const std::uint32_t idx = addr / 4;
+  return idx < mem_.size() ? mem_[idx] : 0;
+}
+
+void Machine::poke_word(std::uint32_t addr, std::uint32_t value) noexcept {
+  const std::uint32_t idx = addr / 4;
+  if (idx < mem_.size()) mem_[idx] = value;
+}
+
+bool Machine::step() {
+  if (status_ != RunStatus::kRunning) return false;
+  const std::uint32_t instr_index = pc_ / 4;
+  if ((pc_ & 3u) != 0 || instr_index >= prog_->code.size()) {
+    do_trap(Trap::kPcOutOfBounds);
+    return false;
+  }
+  const auto decoded = decode(prog_->code[instr_index]);
+  if (!decoded) {
+    do_trap(Trap::kInvalidOpcode);
+    return false;
+  }
+  const Instr ins = *decoded;
+  if (pre_exec_hook) pre_exec_hook(*this, ins);
+  if (status_ != RunStatus::kRunning) return false;  // hook may stop us
+
+  ++steps_;
+  std::uint32_t next_pc = pc_ + 4;
+  const std::uint32_t a = regs_[ins.rs1];
+  const std::uint32_t b = regs_[ins.rs2];
+  const auto immu = static_cast<std::uint32_t>(ins.imm);
+
+  switch (format_of(ins.op)) {
+    case Format::kR: {
+      if (is_div(ins.op) && b == 0) {
+        do_trap(Trap::kDivByZero);
+        return false;
+      }
+      const std::uint32_t v = alu_eval(ins.op, a, b);
+      set_reg(ins.rd, v);
+      if (post_write_hook) post_write_hook(*this, ins, v);
+      break;
+    }
+    case Format::kI: {
+      if (is_load(ins.op)) {
+        const std::uint32_t addr = a + immu;
+        if (ins.op == Op::kLw && (addr & 3u) != 0) {
+          do_trap(Trap::kMisalignedLoad);
+          return false;
+        }
+        if (addr >= mem_bytes()) {
+          do_trap(Trap::kLoadOutOfBounds);
+          return false;
+        }
+        std::uint32_t v = mem_[addr / 4];
+        if (ins.op != Op::kLw) {
+          const std::uint32_t byte = (v >> ((addr & 3u) * 8)) & 0xffu;
+          v = ins.op == Op::kLb
+                  ? static_cast<std::uint32_t>(
+                        static_cast<std::int32_t>(static_cast<std::int8_t>(byte)))
+                  : byte;
+        }
+        set_reg(ins.rd, v);
+        if (post_write_hook) post_write_hook(*this, ins, v);
+      } else if (ins.op == Op::kJalr) {
+        const std::uint32_t t = a + immu;
+        if ((t & 3u) != 0 || t / 4 >= prog_->code.size()) {
+          do_trap(Trap::kPcOutOfBounds);
+          return false;
+        }
+        set_reg(ins.rd, pc_ + 4);
+        next_pc = t;
+      } else {
+        const std::uint32_t v = alu_eval(ins.op, a, immu);
+        set_reg(ins.rd, v);
+        if (post_write_hook) post_write_hook(*this, ins, v);
+      }
+      break;
+    }
+    case Format::kS: {
+      const std::uint32_t addr = a + immu;
+      const std::uint32_t value = regs_[ins.rs2];
+      if (ins.op == Op::kSw && (addr & 3u) != 0) {
+        do_trap(Trap::kMisalignedStore);
+        return false;
+      }
+      if (addr >= mem_bytes()) {
+        do_trap(Trap::kStoreOutOfBounds);
+        return false;
+      }
+      if (ins.op == Op::kSw) {
+        mem_[addr / 4] = value;
+      } else {
+        const std::uint32_t shift = (addr & 3u) * 8;
+        std::uint32_t w = mem_[addr / 4];
+        w = (w & ~(0xffu << shift)) | ((value & 0xffu) << shift);
+        mem_[addr / 4] = w;
+      }
+      if (post_store_hook) post_store_hook(*this, addr, mem_[addr / 4]);
+      break;
+    }
+    case Format::kB:
+      if (branch_taken(ins.op, a, b)) {
+        next_pc = pc_ + static_cast<std::uint32_t>(ins.imm) * 4;
+      }
+      break;
+    case Format::kJ:
+      set_reg(ins.rd, pc_ + 4);
+      next_pc = pc_ + static_cast<std::uint32_t>(ins.imm) * 4;
+      break;
+    case Format::kU: {
+      const std::uint32_t v = immu << 16;
+      set_reg(ins.rd, v);
+      if (post_write_hook) post_write_hook(*this, ins, v);
+      break;
+    }
+    case Format::kX:
+      switch (ins.op) {
+        case Op::kOut:
+          output_.push_back(a);
+          break;
+        case Op::kHalt:
+          status_ = RunStatus::kHalted;
+          exit_code_ = ins.imm;
+          return false;
+        case Op::kDet:
+          status_ = RunStatus::kDetected;
+          det_id_ = ins.imm;
+          return false;
+        case Op::kSigchk:
+          // DFC checkpoint: architecturally a nop; checked by hardware.
+          break;
+        default:
+          break;
+      }
+      break;
+  }
+  pc_ = next_pc;
+  return true;
+}
+
+RunResult run_program(const Program& prog, std::uint64_t max_steps) {
+  if (max_steps == 0) max_steps = 50'000'000;
+  Machine m(prog);
+  while (m.status() == RunStatus::kRunning && m.steps() < max_steps) {
+    m.step();
+  }
+  RunResult r;
+  r.status = m.status() == RunStatus::kRunning ? RunStatus::kWatchdog
+                                               : m.status();
+  r.trap = m.trap();
+  r.exit_code = m.exit_code();
+  r.det_id = m.det_id();
+  r.steps = m.steps();
+  r.output = m.output();
+  return r;
+}
+
+}  // namespace clear::isa

@@ -1,0 +1,110 @@
+#include "resilience/parity.h"
+
+#include <algorithm>
+#include <map>
+
+namespace clear::resilience {
+
+namespace {
+
+// Functional unit of a flip-flop: the first dotted component of its
+// structure name ("e.ctrl.inst" -> "e", "rob.e3.result" -> "rob").
+std::string unit_of(const arch::FFRegistry& reg, std::uint32_t ff) {
+  const std::string& name = reg.structure_of(ff).name;
+  const auto dot = name.find('.');
+  return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+phys::ParityPlan chunk_into_groups(const phys::PhysModel& model,
+                                   const std::vector<std::uint32_t>& order,
+                                   std::size_t group_bits) {
+  phys::ParityPlan plan;
+  for (std::size_t i = 0; i < order.size(); i += group_bits) {
+    phys::ParityGroup g;
+    const std::size_t end = std::min(order.size(), i + group_bits);
+    g.ffs.assign(order.begin() + static_cast<std::ptrdiff_t>(i),
+                 order.begin() + static_cast<std::ptrdiff_t>(end));
+    g.pipelined = !model.group_fits_unpipelined(g.ffs);
+    plan.groups.push_back(std::move(g));
+  }
+  return plan;
+}
+
+}  // namespace
+
+phys::ParityPlan build_parity_plan(const arch::Core& core,
+                                   const phys::PhysModel& model,
+                                   const std::vector<std::uint32_t>& ffs,
+                                   ParityHeuristic heuristic,
+                                   std::size_t group_bits,
+                                   const std::vector<double>& vulnerability) {
+  std::vector<std::uint32_t> order = ffs;
+  const auto& reg = core.registry();
+  switch (heuristic) {
+    case ParityHeuristic::kGroupSize:
+      // registration order as-is
+      break;
+    case ParityHeuristic::kVulnerability:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         const double va =
+                             a < vulnerability.size() ? vulnerability[a] : 0;
+                         const double vb =
+                             b < vulnerability.size() ? vulnerability[b] : 0;
+                         return va > vb;
+                       });
+      break;
+    case ParityHeuristic::kLocality:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return unit_of(reg, a) < unit_of(reg, b);
+                       });
+      break;
+    case ParityHeuristic::kTiming:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return model.slack_ps(a) > model.slack_ps(b);
+                       });
+      break;
+    case ParityHeuristic::kOptimized: {
+      // Fig. 3: partition by whether the FF has slack for a 32-bit tree;
+      // slack-rich FFs form 32-bit unpipelined locality groups, the rest
+      // form 16-bit pipelined locality groups.
+      const double need32 = phys::PhysModel::xor_tree_delay_ps(32);
+      std::vector<std::uint32_t> fast;
+      std::vector<std::uint32_t> slow;
+      for (const std::uint32_t f : order) {
+        (model.slack_ps(f) >= need32 ? fast : slow).push_back(f);
+      }
+      auto by_unit = [&](std::vector<std::uint32_t>& v) {
+        std::stable_sort(v.begin(), v.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                           return unit_of(reg, a) < unit_of(reg, b);
+                         });
+      };
+      by_unit(fast);
+      by_unit(slow);
+      phys::ParityPlan plan;
+      for (std::size_t i = 0; i < fast.size(); i += 32) {
+        phys::ParityGroup g;
+        const std::size_t end = std::min(fast.size(), i + 32);
+        g.ffs.assign(fast.begin() + static_cast<std::ptrdiff_t>(i),
+                     fast.begin() + static_cast<std::ptrdiff_t>(end));
+        g.pipelined = false;
+        plan.groups.push_back(std::move(g));
+      }
+      for (std::size_t i = 0; i < slow.size(); i += 16) {
+        phys::ParityGroup g;
+        const std::size_t end = std::min(slow.size(), i + 16);
+        g.ffs.assign(slow.begin() + static_cast<std::ptrdiff_t>(i),
+                     slow.begin() + static_cast<std::ptrdiff_t>(end));
+        g.pipelined = true;
+        plan.groups.push_back(std::move(g));
+      }
+      return plan;
+    }
+  }
+  return chunk_into_groups(model, order, group_bits);
+}
+
+}  // namespace clear::resilience

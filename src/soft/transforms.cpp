@@ -1,0 +1,625 @@
+#include "soft/transforms.h"
+
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "isa/assembler.h"
+#include "isa/iss.h"
+
+namespace clear::soft {
+
+namespace {
+
+using isa::AsmUnit;
+using isa::Op;
+using isa::Rel;
+using isa::Stmt;
+using isa::SymInstr;
+
+constexpr int kCfcssDetId = 80;
+constexpr int kEddiDetId = 81;
+constexpr int kAssertDetId = 82;
+
+bool is_terminator(const SymInstr& s) {
+  return isa::is_branch(s.op) || isa::is_jump(s.op) || s.op == Op::kHalt ||
+         s.op == Op::kDet;
+}
+
+SymInstr bne_to(int a, int b, const std::string& label) {
+  SymInstr s;
+  s.op = Op::kBne;
+  s.rs1 = a;
+  s.rs2 = b;
+  s.target = label;
+  s.rel = Rel::kCode;
+  return s;
+}
+
+SymInstr addi(int rd, int rs1, std::int64_t imm) {
+  SymInstr s;
+  s.op = Op::kAddi;
+  s.rd = rd;
+  s.rs1 = rs1;
+  s.imm = imm;
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// EDDI
+// ---------------------------------------------------------------------
+
+int shadow(int r) { return r == 0 ? 0 : (r <= 14 ? r + 16 : r); }
+
+}  // namespace
+
+isa::AsmUnit apply_eddi(const isa::AsmUnit& unit, bool store_readback) {
+  AsmUnit out;
+  out.name = unit.name + (store_readback ? ".eddi_rb" : ".eddi");
+  out.data = unit.data;
+  const std::string fail = "__eddi_fail";
+
+  // Call targets: the link-register shadow must be synchronized at the
+  // *callee entry* (the first instruction executed after the jal), not at
+  // the call site, whose successor instruction only runs after return.
+  std::unordered_map<std::string, int> entry_sync;  // label -> link rd
+  for (const Stmt& st : unit.text) {
+    if (st.kind == Stmt::Kind::kInstr && st.ins.op == Op::kJal &&
+        st.ins.rd != 0 && !st.ins.target.empty()) {
+      entry_sync[st.ins.target] = st.ins.rd;
+    }
+  }
+
+  for (const Stmt& st : unit.text) {
+    if (st.kind == Stmt::Kind::kLabel) {
+      out.text.push_back(st);
+      const auto it = entry_sync.find(st.label);
+      if (it != entry_sync.end()) {
+        out.emit(addi(shadow(it->second), it->second, 0));
+      }
+      continue;
+    }
+    const SymInstr& s = st.ins;
+    switch (isa::format_of(s.op)) {
+      case isa::Format::kR:
+      case isa::Format::kU: {
+        out.emit(s);
+        SymInstr d = s;
+        d.rd = shadow(s.rd);
+        d.rs1 = shadow(s.rs1);
+        d.rs2 = shadow(s.rs2);
+        out.emit(d);
+        break;
+      }
+      case isa::Format::kI: {
+        if (s.op == Op::kJalr) {
+          out.emit(bne_to(s.rs1, shadow(s.rs1), fail));
+          out.emit(s);
+          if (s.rd != 0) out.emit(addi(shadow(s.rd), s.rd, 0));
+        } else {
+          // ALU-immediate and loads: duplicate with shadowed registers.
+          out.emit(s);
+          SymInstr d = s;
+          d.rd = shadow(s.rd);
+          d.rs1 = shadow(s.rs1);
+          out.emit(d);
+        }
+        break;
+      }
+      case isa::Format::kS: {
+        // Compare data and address registers against their shadows, then
+        // store once (memory is ECC-protected single-copy state).
+        out.emit(bne_to(s.rs2, shadow(s.rs2), fail));
+        out.emit(bne_to(s.rs1, shadow(s.rs1), fail));
+        out.emit(s);
+        if (store_readback) {
+          // Read the stored value back and compare against the register
+          // copy: catches corruption in the store datapath [Lin 14].
+          // Scratch register: r15 (shared transiently with the assertion
+          // pass; r16 is reserved for the CFCSS adjusting signature).
+          if (s.op == Op::kSw) {
+            SymInstr rb;
+            rb.op = Op::kLw;
+            rb.rd = 15;
+            rb.rs1 = s.rs1;
+            rb.imm = s.imm;
+            rb.target = s.target;
+            rb.rel = s.rel;
+            out.emit(rb);
+            out.emit(bne_to(15, s.rs2, fail));
+          } else {  // sb: compare low bytes using the single scratch
+            SymInstr rb;
+            rb.op = Op::kLbu;
+            rb.rd = 15;
+            rb.rs1 = s.rs1;
+            rb.imm = s.imm;
+            rb.target = s.target;
+            rb.rel = s.rel;
+            out.emit(rb);
+            SymInstr x;
+            x.op = Op::kXor;
+            x.rd = 15;
+            x.rs1 = 15;
+            x.rs2 = s.rs2;
+            out.emit(x);
+            SymInstr mask;
+            mask.op = Op::kAndi;
+            mask.rd = 15;
+            mask.rs1 = 15;
+            mask.imm = 0xff;
+            out.emit(mask);
+            out.emit(bne_to(15, 0, fail));
+          }
+        }
+        break;
+      }
+      case isa::Format::kB: {
+        out.emit(bne_to(s.rs1, shadow(s.rs1), fail));
+        out.emit(bne_to(s.rs2, shadow(s.rs2), fail));
+        out.emit(s);
+        break;
+      }
+      case isa::Format::kJ: {
+        out.emit(s);
+        if (s.rd != 0) out.emit(addi(shadow(s.rd), s.rd, 0));
+        break;
+      }
+      case isa::Format::kX: {
+        if (s.op == Op::kOut) {
+          out.emit(bne_to(s.rs1, shadow(s.rs1), fail));
+        }
+        out.emit(s);
+        break;
+      }
+    }
+  }
+  out.label(fail);
+  SymInstr det;
+  det.op = Op::kDet;
+  det.imm = kEddiDetId;
+  out.emit(det);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Basic-block analysis shared by CFCSS and DFC.
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct Block {
+  std::size_t first = 0;  // stmt index of first statement (incl. labels)
+  std::size_t last = 0;   // one past the final statement
+  std::vector<std::string> labels;
+  int instr_count = 0;
+  // terminator classification
+  bool has_term = false;
+  SymInstr term;
+};
+
+std::vector<Block> split_blocks(const AsmUnit& unit) {
+  std::vector<Block> blocks;
+  Block cur;
+  cur.first = 0;
+  bool open = false;
+  auto close = [&](std::size_t end) {
+    if (!open) return;
+    cur.last = end;
+    blocks.push_back(cur);
+    cur = Block{};
+    cur.first = end;
+    open = false;
+  };
+  for (std::size_t i = 0; i < unit.text.size(); ++i) {
+    const Stmt& st = unit.text[i];
+    if (st.kind == Stmt::Kind::kLabel) {
+      if (open && cur.instr_count > 0) close(i);
+      if (!open) {
+        cur.first = i;
+        open = true;
+      }
+      cur.labels.push_back(st.label);
+      continue;
+    }
+    if (!open) {
+      cur.first = i;
+      open = true;
+    }
+    ++cur.instr_count;
+    if (is_terminator(st.ins)) {
+      cur.has_term = true;
+      cur.term = st.ins;
+      close(i + 1);
+    }
+  }
+  close(unit.text.size());
+  return blocks;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// CFCSS
+// ---------------------------------------------------------------------
+
+isa::AsmUnit apply_cfcss(const isa::AsmUnit& unit) {
+  const std::vector<Block> blocks = split_blocks(unit);
+  const std::string fail = "__cfcss_fail";
+
+  // Label -> block index.
+  std::unordered_map<std::string, std::size_t> label_block;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (const auto& l : blocks[b].labels) label_block[l] = b;
+  }
+
+  // Signature per block (15-bit, fits positive addi immediates).
+  auto sig = [](std::size_t b) -> std::int64_t {
+    return static_cast<std::int64_t>((0x1E5B + b * 0x9E1) & 0x7fff);
+  };
+
+  // Reset blocks: program entry, call targets, post-call fall-ins.
+  std::vector<bool> reset(blocks.size(), false);
+  if (!blocks.empty()) reset[0] = true;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    if (!blocks[b].has_term) continue;
+    const SymInstr& t = blocks[b].term;
+    if (t.op == Op::kJal && t.rd != 0) {
+      const auto it = label_block.find(t.target);
+      if (it != label_block.end()) reset[it->second] = true;  // function entry
+      if (b + 1 < blocks.size()) reset[b + 1] = true;         // return point
+    }
+    if (t.op == Op::kJalr) {
+      // Returns (and indirect jumps) end checking; the landing block was
+      // already marked reset as a post-call block.
+    }
+  }
+
+  // Predecessors over chained (non-call) edges; primary = first seen.
+  std::vector<std::vector<std::size_t>> preds(blocks.size());
+  auto add_edge = [&](std::size_t from, std::size_t to) {
+    preds[to].push_back(from);
+  };
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const Block& blk = blocks[b];
+    if (!blk.has_term) {
+      if (b + 1 < blocks.size()) add_edge(b, b + 1);
+      continue;
+    }
+    const SymInstr& t = blk.term;
+    if (isa::is_branch(t.op)) {
+      const auto it = label_block.find(t.target);
+      if (it != label_block.end()) add_edge(b, it->second);
+      if (b + 1 < blocks.size()) add_edge(b, b + 1);
+    } else if (t.op == Op::kJal && t.rd == 0) {
+      const auto it = label_block.find(t.target);
+      if (it != label_block.end()) add_edge(b, it->second);
+    }
+    // calls/returns/halt: no chained successors
+  }
+  std::vector<std::int64_t> diff(blocks.size(), 0);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    if (reset[b]) continue;
+    if (preds[b].empty()) {
+      reset[b] = true;  // unreachable or only via untracked edges
+    } else {
+      diff[b] = sig(preds[b][0]) ^ sig(b);
+    }
+  }
+  // Adjusting signature needed on edge (q -> s): s_q ^ s_primary(s).
+  auto edge_adjust = [&](std::size_t q, std::size_t s) -> std::int64_t {
+    if (reset[s] || preds[s].empty()) return 0;
+    return sig(q) ^ sig(preds[s][0]);
+  };
+
+  AsmUnit out;
+  out.name = unit.name + ".cfcss";
+  out.data = unit.data;
+  auto xori31 = [&](std::int64_t v) {
+    SymInstr s;
+    s.op = Op::kXori;
+    s.rd = 31;
+    s.rs1 = 31;
+    s.imm = v & 0xffff;
+    return s;
+  };
+
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const Block& blk = blocks[b];
+    // Emit leading labels first.
+    std::size_t i = blk.first;
+    for (; i < blk.last; ++i) {
+      const Stmt& st = unit.text[i];
+      if (st.kind == Stmt::Kind::kLabel) {
+        out.text.push_back(st);
+      } else {
+        break;
+      }
+    }
+    // Entry instrumentation.  The adjusting signature lives in r16 -- a
+    // register no other pass ever uses as a branch operand, so the edge
+    // assignments inserted immediately before terminators can never
+    // corrupt another technique's comparison.  r15 is only used here as a
+    // transient compare scratch (dead across block boundaries).
+    if (blk.instr_count > 0) {
+      if (reset[b]) {
+        out.emit(addi(31, 0, sig(b)));
+      } else {
+        SymInstr adj;
+        adj.op = Op::kXor;
+        adj.rd = 31;
+        adj.rs1 = 31;
+        adj.rs2 = 16;
+        out.emit(adj);
+        out.emit(xori31(diff[b]));
+        out.emit(addi(15, 0, sig(b)));
+        out.emit(bne_to(31, 15, fail));
+      }
+    }
+    // Body.
+    for (; i < blk.last; ++i) {
+      const Stmt& st = unit.text[i];
+      if (st.kind == Stmt::Kind::kLabel) {
+        out.text.push_back(st);
+        continue;
+      }
+      const bool is_term_stmt = blk.has_term && i + 1 == blk.last;
+      if (!is_term_stmt) {
+        out.text.push_back(st);
+        continue;
+      }
+      const SymInstr& t = st.ins;
+      if (isa::is_branch(t.op)) {
+        const auto it = label_block.find(t.target);
+        if (it != label_block.end()) {
+          out.emit(addi(16, 0, edge_adjust(b, it->second)));
+        }
+        out.text.push_back(st);
+        if (b + 1 < blocks.size()) {
+          out.emit(addi(16, 0, edge_adjust(b, b + 1)));
+        }
+      } else if (t.op == Op::kJal && t.rd == 0) {
+        const auto it = label_block.find(t.target);
+        if (it != label_block.end()) {
+          out.emit(addi(16, 0, edge_adjust(b, it->second)));
+        }
+        out.text.push_back(st);
+      } else {
+        out.text.push_back(st);  // call/ret/halt/det: reset handles landing
+      }
+    }
+    // Fall-through block without terminator: set the edge adjust.
+    if (!blk.has_term && blk.instr_count > 0 && b + 1 < blocks.size()) {
+      out.emit(addi(16, 0, edge_adjust(b, b + 1)));
+    }
+  }
+  out.label(fail);
+  SymInstr det;
+  det.op = Op::kDet;
+  det.imm = kCfcssDetId;
+  out.emit(det);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// DFC signature embedding
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t rotl5(std::uint32_t x) noexcept {
+  return (x << 5) | (x >> 27);
+}
+
+}  // namespace
+
+isa::Program apply_dfc(const isa::AsmUnit& unit) {
+  AsmUnit out;
+  out.name = unit.name + ".dfc";
+  out.data = unit.data;
+  int pending = 0;  // non-control-flow instructions since the last sigchk
+  std::uint16_t next_id = 1;
+  auto flush_sigchk = [&] {
+    if (pending == 0) return;
+    SymInstr s;
+    s.op = Op::kSigchk;
+    s.imm = next_id++;
+    out.emit(s);
+    pending = 0;
+  };
+  for (const Stmt& st : unit.text) {
+    if (st.kind == Stmt::Kind::kLabel) {
+      flush_sigchk();  // fall-through block boundary
+      out.text.push_back(st);
+      continue;
+    }
+    if (is_terminator(st.ins)) {
+      flush_sigchk();
+      out.text.push_back(st);
+      continue;
+    }
+    out.text.push_back(st);
+    ++pending;
+  }
+  flush_sigchk();
+
+  isa::Program prog = isa::assemble(out);
+  // Replay the checker hardware's accumulation over the laid-out code to
+  // derive each block's static signature (control flow excluded, exactly
+  // as the commit-stage checker skips it).
+  std::uint32_t sig = 0;
+  for (const std::uint32_t word : prog.code) {
+    const auto dec = isa::decode(word);
+    if (!dec) continue;
+    if (dec->op == Op::kSigchk) {
+      prog.dfc_signatures[static_cast<std::uint16_t>(dec->imm & 0xffff)] = sig;
+      sig = 0;
+      continue;
+    }
+    if (isa::is_branch(dec->op) || isa::is_jump(dec->op) ||
+        dec->op == Op::kHalt || dec->op == Op::kDet) {
+      // Terminators are excluded: in layout order a halt/det separates a
+      // caller's last window from a callee's first window, but at run time
+      // it commits last (or never) -- hashing it would poison the window.
+      continue;
+    }
+    sig = rotl5(sig) ^ word;
+  }
+  return prog;
+}
+
+// ---------------------------------------------------------------------
+// Software assertions
+// ---------------------------------------------------------------------
+
+AssertionPlan insert_assertion_sites(const isa::AsmUnit& unit) {
+  AssertionPlan plan;
+  plan.unit.name = unit.name + ".assert";
+  plan.unit.data = unit.data;
+
+  // Label positions for backward-branch (loop) detection.
+  std::unordered_map<std::string, std::size_t> label_pos;
+  std::size_t instr_idx = 0;
+  for (const Stmt& st : unit.text) {
+    if (st.kind == Stmt::Kind::kLabel) {
+      label_pos[st.label] = instr_idx;
+    } else {
+      ++instr_idx;
+    }
+  }
+
+  int site_no = 0;
+  instr_idx = 0;
+  for (const Stmt& st : unit.text) {
+    if (st.kind == Stmt::Kind::kLabel) {
+      plan.unit.text.push_back(st);
+      continue;
+    }
+    const SymInstr& s = st.ins;
+    if (s.op == Op::kOut) {
+      // Data-variable site: the program's end results [Sahoo 08].
+      AssertionSite site;
+      site.label = "__as" + std::to_string(site_no++);
+      site.reg = s.rs1;
+      site.control = false;
+      plan.unit.label(site.label);
+      plan.sites.push_back(site);
+    } else if (isa::is_branch(s.op) && !s.target.empty()) {
+      const auto it = label_pos.find(s.target);
+      if (it != label_pos.end() && it->second <= instr_idx) {
+        // Control-variable site: loop back-edge register [Hari 12].
+        AssertionSite site;
+        site.label = "__as" + std::to_string(site_no++);
+        site.reg = s.rs1 != 0 ? s.rs1 : s.rs2;
+        site.control = true;
+        plan.unit.label(site.label);
+        plan.sites.push_back(site);
+      }
+    }
+    plan.unit.text.push_back(st);
+    ++instr_idx;
+  }
+  return plan;
+}
+
+void train_assertions(const isa::Program& training_program,
+                      const AssertionPlan& plan,
+                      std::vector<ValueBounds>* bounds) {
+  if (bounds->size() != plan.sites.size()) {
+    bounds->assign(plan.sites.size(), ValueBounds{});
+  }
+  // Map site PC -> site index.
+  std::unordered_map<std::uint32_t, std::size_t> site_at;
+  for (std::size_t i = 0; i < plan.sites.size(); ++i) {
+    const auto it = training_program.code_labels.find(plan.sites[i].label);
+    if (it == training_program.code_labels.end()) {
+      throw std::logic_error("assertion site label missing: " +
+                             plan.sites[i].label);
+    }
+    site_at[it->second * 4] = i;
+  }
+  isa::Machine m(training_program);
+  m.pre_exec_hook = [&](isa::Machine& mm, const isa::Instr&) {
+    const auto it = site_at.find(mm.pc());
+    if (it == site_at.end()) return;
+    const std::size_t i = it->second;
+    const auto v = static_cast<std::int32_t>(mm.reg(plan.sites[i].reg));
+    ValueBounds& b = (*bounds)[i];
+    if (!b.seen) {
+      b.lo = v;
+      b.hi = v;
+      b.seen = true;
+    } else {
+      if (v < b.lo) b.lo = v;
+      if (v > b.hi) b.hi = v;
+    }
+  };
+  std::uint64_t steps = 0;
+  while (m.step() && ++steps < 10'000'000) {
+  }
+}
+
+isa::AsmUnit emit_assertions(const AssertionPlan& plan,
+                             const std::vector<ValueBounds>& bounds,
+                             bool check_data, bool check_control) {
+  if (bounds.size() != plan.sites.size()) {
+    throw std::invalid_argument("bounds/site count mismatch");
+  }
+  std::unordered_map<std::string, std::size_t> site_index;
+  for (std::size_t i = 0; i < plan.sites.size(); ++i) {
+    site_index[plan.sites[i].label] = i;
+  }
+  const std::string fail = "__assert_fail";
+  AsmUnit out;
+  out.name = plan.unit.name;
+  out.data = plan.unit.data;
+  auto li15 = [&](std::int64_t v) {
+    const auto u = static_cast<std::uint32_t>(static_cast<std::int32_t>(v));
+    SymInstr hi;
+    hi.op = Op::kLui;
+    hi.rd = 15;
+    hi.imm = u >> 16;
+    out.emit(hi);
+    SymInstr lo;
+    lo.op = Op::kOri;
+    lo.rd = 15;
+    lo.rs1 = 15;
+    lo.imm = u & 0xffff;
+    out.emit(lo);
+  };
+  for (const Stmt& st : plan.unit.text) {
+    out.text.push_back(st);
+    if (st.kind != Stmt::Kind::kLabel) continue;
+    const auto it = site_index.find(st.label);
+    if (it == site_index.end()) continue;
+    const AssertionSite& site = plan.sites[it->second];
+    const ValueBounds& b = bounds[it->second];
+    if (!b.seen) continue;
+    if (site.control ? !check_control : !check_data) continue;
+    // if (reg < lo || reg > hi) -> detected
+    li15(b.lo);
+    SymInstr blo;
+    blo.op = Op::kBlt;
+    blo.rs1 = site.reg;
+    blo.rs2 = 15;
+    blo.target = fail;
+    blo.rel = Rel::kCode;
+    out.emit(blo);
+    li15(b.hi);
+    SymInstr bhi;
+    bhi.op = Op::kBlt;  // hi < reg
+    bhi.rs1 = 15;
+    bhi.rs2 = site.reg;
+    bhi.target = fail;
+    bhi.rel = Rel::kCode;
+    out.emit(bhi);
+  }
+  out.label(fail);
+  SymInstr det;
+  det.op = Op::kDet;
+  det.imm = kAssertDetId;
+  out.emit(det);
+  return out;
+}
+
+}  // namespace clear::soft

@@ -1,0 +1,89 @@
+// Software-layer resilience transformations (paper Sec. 2.4).
+//
+// The paper generated these protections with LLVM compiler passes; here
+// they are assembly-IR transformation passes over isa::AsmUnit:
+//
+//   * EDDI [Oh 02b] (+ store-readback [Lin 14]): full instruction
+//     duplication into shadow registers r17..r30 (master r1..r14), with
+//     master/shadow comparison before stores, branches, indirect jumps and
+//     program output; store-readback re-loads every stored value and
+//     compares it against the register copy, closing the store-datapath
+//     escape (Table 13).
+//   * CFCSS [Oh 02a]: static control-flow signature checking through a
+//     dedicated signature register (r31) with run-time adjusting
+//     signatures (r15) for fan-in blocks.
+//   * Software assertions [Sahoo 08, Hari 12]: likely-invariant range
+//     checks on data variables (program outputs) and control variables
+//     (loop-branch registers), trained on training inputs.
+//   * DFC signature embedding [Meixner 07]: sigchk checkpoints at basic
+//     block boundaries plus the static signature side-table checked by the
+//     DFC hardware in the cores.
+//
+// Detector-id convention: CFCSS=80, EDDI=81, assertions=82 (ABFT kernels
+// use 90..94).  All detections terminate through the `det` instruction and
+// classify as ED.
+#ifndef CLEAR_SOFT_TRANSFORMS_H
+#define CLEAR_SOFT_TRANSFORMS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace clear::soft {
+
+// ---- EDDI -----------------------------------------------------------
+[[nodiscard]] isa::AsmUnit apply_eddi(const isa::AsmUnit& unit,
+                                      bool store_readback);
+
+// ---- CFCSS ----------------------------------------------------------
+[[nodiscard]] isa::AsmUnit apply_cfcss(const isa::AsmUnit& unit);
+
+// ---- DFC ------------------------------------------------------------
+// Inserts sigchk checkpoints at basic-block ends, assembles, and computes
+// the static signature table exactly as the DFC checker hardware
+// accumulates it (control-flow instructions excluded).
+[[nodiscard]] isa::Program apply_dfc(const isa::AsmUnit& unit);
+
+// ---- software assertions ---------------------------------------------
+struct AssertionSite {
+  std::string label;  // marker label inserted into the unit
+  int reg = 0;        // register checked at this site
+  bool control = false;  // control variable (loop branch) vs data (output)
+};
+
+struct AssertionPlan {
+  isa::AsmUnit unit;  // unit with marker labels (no checks yet)
+  std::vector<AssertionSite> sites;
+};
+
+struct ValueBounds {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  bool seen = false;
+};
+
+// Phase 1: mark every data site (before each `out`) and control site
+// (before each backward conditional branch).
+[[nodiscard]] AssertionPlan insert_assertion_sites(const isa::AsmUnit& unit);
+
+// Phase 2: profile site values by running each training program on the
+// ISS; programs must be assembled from units with the same text as
+// plan.unit (e.g., the same benchmark built with different input seeds).
+// Bounds accumulate across all programs (call repeatedly to extend).
+void train_assertions(const isa::Program& training_program,
+                      const AssertionPlan& plan,
+                      std::vector<ValueBounds>* bounds);
+
+// Phase 3: materialize range checks with the trained bounds.
+// check_data / check_control select which assertion class is emitted
+// (Table 10 compares the two classes).
+[[nodiscard]] isa::AsmUnit emit_assertions(const AssertionPlan& plan,
+                                           const std::vector<ValueBounds>& bounds,
+                                           bool check_data = true,
+                                           bool check_control = true);
+
+}  // namespace clear::soft
+
+#endif  // CLEAR_SOFT_TRANSFORMS_H

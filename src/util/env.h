@@ -1,0 +1,29 @@
+// Environment-variable knobs shared by tests, benches and examples.
+//
+//   CLEAR_INJECTIONS   - injections per (core, benchmark, variant) campaign
+//   CLEAR_THREADS      - worker threads for campaigns (0 = hardware)
+//   CLEAR_CACHE_DIR    - campaign cache directory ("" disables the cache)
+#ifndef CLEAR_UTIL_ENV_H
+#define CLEAR_UTIL_ENV_H
+
+#include <cstdlib>
+#include <string>
+
+namespace clear::util {
+
+inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end != nullptr && end != v) ? parsed : fallback;
+}
+
+inline std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+}  // namespace clear::util
+
+#endif  // CLEAR_UTIL_ENV_H

@@ -1,0 +1,57 @@
+// Statistics helpers for injection campaigns and physical-design averaging.
+//
+// The paper reports: margins of error at 95% confidence per benchmark
+// (Sec. 2.1), relative standard deviations across per-benchmark SP&R runs
+// (Sec. 2.3), and p-values for the train/validate study (Tables 23/24).
+#ifndef CLEAR_UTIL_STATS_H
+#define CLEAR_UTIL_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace clear::util {
+
+// Streaming mean / variance (Welford).
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;   // sample variance
+  [[nodiscard]] double stddev() const noexcept;
+  // Relative standard deviation (stddev / mean); 0 when mean == 0.
+  [[nodiscard]] double rel_stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Two-sided 95% normal-approximation margin of error for a proportion
+// estimated from `successes` out of `trials`.
+[[nodiscard]] double proportion_margin_of_error_95(std::size_t successes,
+                                                   std::size_t trials) noexcept;
+
+// Wilson score interval for a proportion (95%); returns {lo, hi}.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+[[nodiscard]] Interval wilson_interval_95(std::size_t successes,
+                                          std::size_t trials) noexcept;
+
+// Welch's t-test two-sided p-value that two samples share a mean.
+// Used for the trained-vs-validated improvement comparison (Tables 23/24).
+[[nodiscard]] double welch_t_test_p_value(const std::vector<double>& a,
+                                          const std::vector<double>& b) noexcept;
+
+// Standard normal CDF.
+[[nodiscard]] double normal_cdf(double z) noexcept;
+
+// Mean of a vector (0 for empty input).
+[[nodiscard]] double mean_of(const std::vector<double>& xs) noexcept;
+
+}  // namespace clear::util
+
+#endif  // CLEAR_UTIL_STATS_H

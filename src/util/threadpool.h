@@ -1,0 +1,45 @@
+// Minimal thread pool used by the injection-campaign engine.  The paper ran
+// campaigns on a BEE3 FPGA cluster and the Stampede supercomputer; here the
+// "cluster" is the local machine's hardware threads.
+#ifndef CLEAR_UTIL_THREADPOOL_H
+#define CLEAR_UTIL_THREADPOOL_H
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace clear::util {
+
+// Runs fn(i) for i in [0, n) across up to `threads` workers.  Exceptions in
+// workers are not propagated (workloads are noexcept by design); determinism
+// is preserved because each index computes an independent result slot.
+inline void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                         unsigned threads = 0) {
+  if (n == 0) return;
+  unsigned hw = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  hw = static_cast<unsigned>(std::min<std::size_t>(hw, n));
+  if (hw <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(hw);
+  for (unsigned t = 0; t < hw; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace clear::util
+
+#endif  // CLEAR_UTIL_THREADPOOL_H

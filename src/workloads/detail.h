@@ -1,0 +1,45 @@
+// Internal helpers for benchmark construction (data-set generation).
+#ifndef CLEAR_WORKLOADS_DETAIL_H
+#define CLEAR_WORKLOADS_DETAIL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace clear::workloads::detail {
+
+// Formats a `.word` data definition.
+inline std::string data_def(const std::string& name,
+                            const std::vector<std::int64_t>& words) {
+  std::string out = name + ": .word ";
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(words[i]);
+  }
+  out += "\n";
+  return out;
+}
+
+// Deterministic per-benchmark input generator.
+inline util::Rng input_rng(const std::string& bench, std::uint32_t seed) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL ^ seed;
+  for (char c : bench) h = util::hash_combine(h, static_cast<std::uint64_t>(c));
+  return util::Rng(h);
+}
+
+inline std::vector<std::int64_t> random_words(util::Rng& rng, std::size_t n,
+                                              std::int64_t lo,
+                                              std::int64_t hi) {
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) {
+    x = lo + static_cast<std::int64_t>(
+                 rng.below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+  return v;
+}
+
+}  // namespace clear::workloads::detail
+
+#endif  // CLEAR_WORKLOADS_DETAIL_H

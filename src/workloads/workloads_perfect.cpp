@@ -1,0 +1,797 @@
+// PERFECT-flavoured benchmark kernels and their ABFT variants (see
+// workloads.h).  The ABFT-correction kernels follow the paper's Sec. 3.2
+// pattern: in-place correction through checksum verification + targeted
+// recompute, no external recovery hardware needed.  The ABFT-detection
+// kernels verify algorithm invariants and raise `det` on violation (the
+// paper's detector ids 90..94 are arbitrary but stable).
+#include <string>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "workloads/detail.h"
+#include "workloads/workloads.h"
+
+namespace clear::workloads {
+
+using detail::data_def;
+using detail::input_rng;
+using detail::random_words;
+
+namespace {
+
+// Shared data for 2d_convolution (8x8 image, 3x3 kernel, 6x6 output).
+std::string conv_data(std::uint32_t seed) {
+  auto rng = input_rng("2d_convolution", seed);
+  return ".data\n" + data_def("img", random_words(rng, 64, 0, 63)) +
+         data_def("kern", random_words(rng, 9, -4, 4)) +
+         "outm: .space 36\n";
+}
+
+// The convolution compute pass as a callable routine; returns the running
+// checksum of everything written in r9.  Clobbers r2..r14 except r4.
+const char* kConvRoutine = R"(
+  conv:
+    addi r9, r0, 0       ; running checksum
+    addi r2, r0, 0       ; row
+  convrow:
+    addi r3, r0, 0       ; col
+  convcol:
+    addi r5, r0, 0       ; acc
+    addi r6, r0, 0       ; krow
+  kr:
+    addi r7, r0, 0       ; kcol
+  kc:
+    add r8, r2, r6       ; img row
+    slli r10, r8, 3
+    add r11, r3, r7      ; img col
+    add r10, r10, r11
+    la r12, img
+    slli r13, r10, 2
+    add r12, r12, r13
+    lw r13, 0(r12)       ; img value
+    slli r10, r6, 1
+    add r10, r10, r6     ; krow*3
+    add r10, r10, r7
+    la r12, kern
+    slli r14, r10, 2
+    add r12, r12, r14
+    lw r14, 0(r12)       ; kern value
+    mul r13, r13, r14
+    add r5, r5, r13
+    addi r7, r7, 1
+    addi r10, r0, 3
+    blt r7, r10, kc
+    addi r6, r6, 1
+    addi r10, r0, 3
+    blt r6, r10, kr
+    ; store out[row*6+col], fold into checksum
+    slli r10, r2, 1
+    add r10, r10, r2     ; row*3
+    slli r10, r10, 1     ; row*6
+    add r10, r10, r3
+    la r12, outm
+    slli r13, r10, 2
+    add r12, r12, r13
+    sw r5, 0(r12)
+    add r9, r9, r5
+    addi r3, r3, 1
+    addi r10, r0, 6
+    blt r3, r10, convcol
+    addi r2, r2, 1
+    addi r10, r0, 6
+    blt r2, r10, convrow
+    ret
+)";
+
+}  // namespace
+
+// 2d_convolution: 3x3 integer convolution over an 8x8 image.
+isa::AsmUnit build_conv2d(std::uint32_t seed) {
+  std::string src = conv_data(seed) + R"(
+  .text
+    call conv
+    out r9
+    la r2, outm
+    lw r3, 0(r2)
+    out r3
+    lw r3, 140(r2)       ; last element (35*4)
+    out r3
+    halt 0
+)" + kConvRoutine;
+  return isa::parse_asm(src, "2d_convolution");
+}
+
+// ABFT correction for 2d_convolution: verify the stored output against the
+// checksum accumulated during compute; on mismatch recompute in place.
+isa::AsmUnit build_conv2d_abft(std::uint32_t seed) {
+  std::string src = conv_data(seed) + R"(
+  .text
+    call conv
+    mv r4, r9            ; golden running checksum
+    call sumout
+    beq r9, r4, cgood
+    call conv            ; ABFT correction: recompute in place
+    mv r4, r9
+    call sumout
+    beq r9, r4, cgood
+    det 90               ; uncorrectable: flag
+  cgood:
+    out r4
+    la r2, outm
+    lw r3, 0(r2)
+    out r3
+    lw r3, 140(r2)
+    out r3
+    halt 0
+  ; checksum of the stored output matrix -> r9 (clobbers r2, r3, r5)
+  sumout:
+    la r2, outm
+    addi r3, r0, 36
+    addi r9, r0, 0
+  soloop:
+    lw r5, 0(r2)
+    add r9, r9, r5
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne r3, r0, soloop
+    ret
+)" + kConvRoutine;
+  return isa::parse_asm(src, "2d_convolution.abft");
+}
+
+namespace {
+
+std::string debayer_data(std::uint32_t seed) {
+  auto rng = input_rng("debayer_filter", seed);
+  return ".data\n" + data_def("raw", random_words(rng, 64, 0, 255)) +
+         "outd: .space 16\n";
+}
+
+const char* kDebayerRoutine = R"(
+  demosaic:
+    addi r9, r0, 0       ; running checksum
+    addi r2, r0, 0       ; out row
+  drow:
+    addi r3, r0, 0       ; out col
+  dcol:
+    slli r5, r2, 1       ; raw row = 2*outrow
+    slli r6, r5, 3       ; raw row * 8
+    slli r7, r3, 1
+    add r6, r6, r7
+    la r8, raw
+    slli r10, r6, 2
+    add r8, r8, r10
+    lw r11, 0(r8)        ; (r,c)
+    lw r12, 4(r8)        ; (r,c+1)
+    add r11, r11, r12
+    lw r12, 32(r8)       ; (r+1,c)
+    add r11, r11, r12
+    lw r12, 36(r8)       ; (r+1,c+1)
+    add r11, r11, r12
+    srli r11, r11, 2     ; average
+    slli r10, r2, 2
+    add r10, r10, r3     ; outrow*4+outcol
+    la r8, outd
+    slli r12, r10, 2
+    add r8, r8, r12
+    sw r11, 0(r8)
+    add r9, r9, r11
+    addi r3, r3, 1
+    addi r10, r0, 4
+    blt r3, r10, dcol
+    addi r2, r2, 1
+    addi r10, r0, 4
+    blt r2, r10, drow
+    ret
+)";
+
+}  // namespace
+
+// debayer_filter: 2x2 demosaic averaging over an 8x8 Bayer mosaic.
+isa::AsmUnit build_debayer(std::uint32_t seed) {
+  std::string src = debayer_data(seed) + R"(
+  .text
+    call demosaic
+    out r9
+    la r2, outd
+    lw r3, 0(r2)
+    out r3
+    lw r3, 60(r2)
+    out r3
+    halt 0
+)" + kDebayerRoutine;
+  return isa::parse_asm(src, "debayer_filter");
+}
+
+isa::AsmUnit build_debayer_abft(std::uint32_t seed) {
+  std::string src = debayer_data(seed) + R"(
+  .text
+    call demosaic
+    mv r4, r9
+    call sumoutd
+    beq r9, r4, dgood
+    call demosaic        ; ABFT correction: recompute in place
+    mv r4, r9
+    call sumoutd
+    beq r9, r4, dgood
+    det 90
+  dgood:
+    out r4
+    la r2, outd
+    lw r3, 0(r2)
+    out r3
+    lw r3, 60(r2)
+    out r3
+    halt 0
+  sumoutd:
+    la r2, outd
+    addi r3, r0, 16
+    addi r9, r0, 0
+  sdloop:
+    lw r5, 0(r2)
+    add r9, r9, r5
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne r3, r0, sdloop
+    ret
+)" + kDebayerRoutine;
+  return isa::parse_asm(src, "debayer_filter.abft");
+}
+
+namespace {
+
+std::string inner_data(std::uint32_t seed) {
+  auto rng = input_rng("inner_product", seed);
+  return ".data\n" + data_def("va", random_words(rng, 32, -50, 50)) +
+         data_def("vb", random_words(rng, 32, -50, 50)) +
+         "psums: .space 4\n";
+}
+
+}  // namespace
+
+// inner_product: 32-element dot product.
+isa::AsmUnit build_inner_product(std::uint32_t seed) {
+  std::string src = inner_data(seed) + R"(
+  .text
+    la r2, va
+    la r3, vb
+    addi r4, r0, 32
+    addi r5, r0, 0
+  loop:
+    lw r6, 0(r2)
+    lw r7, 0(r3)
+    mul r8, r6, r7
+    add r5, r5, r8
+    addi r2, r2, 4
+    addi r3, r3, 4
+    addi r4, r4, -1
+    bne r4, r0, loop
+    out r5
+    halt 0
+)";
+  return isa::parse_asm(src, "inner_product");
+}
+
+// ABFT correction for inner_product: segment partial sums are stored; the
+// total is verified against the segment sums and faulty segments are
+// recomputed in place (Huang-Abraham checksum style at segment granularity).
+isa::AsmUnit build_inner_product_abft(std::uint32_t seed) {
+  std::string src = inner_data(seed) + R"(
+  .text
+    ; compute 4 segment partial sums of 8 products each, accumulating a
+    ; running grand total alongside (the checksum relation)
+    addi r2, r0, 0       ; segment
+    addi r9, r0, 0       ; running grand total
+  seg:
+    call segsum
+    la r6, psums
+    slli r7, r2, 2
+    add r6, r6, r7
+    sw r5, 0(r6)
+    add r9, r9, r5
+    addi r2, r2, 1
+    addi r7, r0, 4
+    blt r2, r7, seg
+    ; cheap verification: stored segment sums must reproduce the total
+    call total
+    beq r8, r9, done
+    ; mismatch: locate and repair by recomputing segments (rare path)
+    addi r2, r0, 0
+  verify:
+    call segsum
+    la r6, psums
+    slli r7, r2, 2
+    add r6, r6, r7
+    lw r7, 0(r6)
+    beq r7, r5, vok
+    sw r5, 0(r6)         ; ABFT correction: replace faulty partial sum
+  vok:
+    addi r2, r2, 1
+    addi r7, r0, 4
+    blt r2, r7, verify
+    call total
+  done:
+    out r8
+    halt 0
+  ; r5 = sum of segment r2 (8 products); clobbers r3, r4, r10..r13
+  segsum:
+    slli r3, r2, 5       ; segment * 8 elements * 4 bytes
+    la r10, va
+    add r10, r10, r3
+    la r11, vb
+    add r11, r11, r3
+    addi r4, r0, 8
+    addi r5, r0, 0
+  ssloop:
+    lw r12, 0(r10)
+    lw r13, 0(r11)
+    mul r12, r12, r13
+    add r5, r5, r12
+    addi r10, r10, 4
+    addi r11, r11, 4
+    addi r4, r4, -1
+    bne r4, r0, ssloop
+    ret
+  ; r8 = sum of stored segment sums; clobbers r10, r11, r12
+  total:
+    la r10, psums
+    addi r11, r0, 4
+    addi r8, r0, 0
+  ttloop:
+    lw r12, 0(r10)
+    add r8, r8, r12
+    addi r10, r10, 4
+    addi r11, r11, -1
+    bne r11, r0, ttloop
+    ret
+)";
+  return isa::parse_asm(src, "inner_product.abft");
+}
+
+namespace {
+
+std::string fft_data(std::uint32_t seed) {
+  auto rng = input_rng("fft1d", seed);
+  return ".data\n" + data_def("sig", random_words(rng, 16, -60, 60)) +
+         "esave: .space 1\n";
+}
+
+// In-place 16-point Walsh-Hadamard butterflies over `sig`.
+const char* kWhtRoutine = R"(
+  wht:
+    addi r2, r0, 1       ; h
+  stage:
+    addi r3, r0, 0       ; i (block start)
+  block:
+    mv r4, r3            ; j
+  pair:
+    la r5, sig
+    slli r6, r4, 2
+    add r5, r5, r6
+    add r6, r4, r2
+    la r7, sig
+    slli r8, r6, 2
+    add r7, r7, r8
+    lw r9, 0(r5)         ; x
+    lw r10, 0(r7)        ; y
+    add r11, r9, r10
+    sub r12, r9, r10
+    sw r11, 0(r5)
+    sw r12, 0(r7)
+    addi r4, r4, 1
+    add r13, r3, r2
+    blt r4, r13, pair
+    slli r13, r2, 1
+    add r3, r3, r13
+    addi r14, r0, 16
+    blt r3, r14, block
+    slli r2, r2, 1
+    addi r14, r0, 16
+    blt r2, r14, stage
+    ret
+)";
+
+}  // namespace
+
+// fft1d: 16-point integer Walsh-Hadamard transform (exact-Parseval
+// stand-in for the PERFECT FFT kernel -- see DESIGN.md).
+isa::AsmUnit build_fft1d(std::uint32_t seed) {
+  std::string src = fft_data(seed) + R"(
+  .text
+    call wht
+    la r2, sig
+    addi r3, r0, 16
+    addi r4, r0, 0
+  sum:
+    lw r5, 0(r2)
+    slli r4, r4, 1
+    xor r4, r4, r5
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne r3, r0, sum
+    out r4
+    la r2, sig
+    lw r5, 0(r2)
+    out r5
+    halt 0
+)" + kWhtRoutine;
+  return isa::parse_asm(src, "fft1d");
+}
+
+// ABFT detection for fft1d: Parseval's identity (exact for the WHT:
+// sum(X^2) == 16 * sum(x^2)).  Detection only -- no correction possible.
+isa::AsmUnit build_fft1d_abft(std::uint32_t seed) {
+  std::string src = fft_data(seed) + R"(
+  .text
+    call energy          ; r9 = sum(x^2) before
+    la r2, esave
+    sw r9, 0(r2)         ; wht clobbers every scratch register
+    call wht
+    call energy          ; r9 = sum(X^2) after
+    la r2, esave
+    lw r4, 0(r2)
+    slli r4, r4, 4       ; 16 * input energy
+    beq r9, r4, pgood
+    det 91               ; Parseval violated: detected error
+  pgood:
+    la r2, sig
+    addi r3, r0, 16
+    addi r4, r0, 0
+  sum:
+    lw r5, 0(r2)
+    slli r4, r4, 1
+    xor r4, r4, r5
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne r3, r0, sum
+    out r4
+    halt 0
+  energy:
+    la r10, sig
+    addi r11, r0, 16
+    addi r9, r0, 0
+  eloop:
+    lw r12, 0(r10)
+    mul r13, r12, r12
+    add r9, r9, r13
+    addi r10, r10, 4
+    addi r11, r11, -1
+    bne r11, r0, eloop
+    ret
+)" + kWhtRoutine;
+  return isa::parse_asm(src, "fft1d.abft");
+}
+
+namespace {
+
+std::string histogram_data(std::uint32_t seed) {
+  auto rng = input_rng("histogram_eq", seed);
+  return ".data\n" + data_def("pix", random_words(rng, 96, 0, 255)) +
+         "bins: .space 16\ncdf: .space 16\n";
+}
+
+const char* kHistogramBody = R"(
+    ; build 16-bin histogram of pix >> 4
+    la r2, pix
+    addi r3, r0, 96
+  hloop:
+    lw r4, 0(r2)
+    srli r4, r4, 4
+    la r5, bins
+    slli r6, r4, 2
+    add r5, r5, r6
+    lw r7, 0(r5)
+    addi r7, r7, 1
+    sw r7, 0(r5)
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne r3, r0, hloop
+    ; cumulative distribution
+    la r2, bins
+    la r3, cdf
+    addi r4, r0, 16
+    addi r5, r0, 0
+  cloop:
+    lw r6, 0(r2)
+    add r5, r5, r6
+    sw r5, 0(r3)
+    addi r2, r2, 4
+    addi r3, r3, 4
+    addi r4, r4, -1
+    bne r4, r0, cloop
+)";
+
+}  // namespace
+
+// histogram_eq: 16-bin histogram + CDF + equalized checksum.
+isa::AsmUnit build_histogram(std::uint32_t seed) {
+  std::string src = histogram_data(seed) + "\n  .text\n" + kHistogramBody + R"(
+    ; equalize: remap each pixel through the CDF, checksum results
+    la r2, pix
+    addi r3, r0, 96
+    addi r7, r0, 0
+  eqloop:
+    lw r4, 0(r2)
+    srli r4, r4, 4
+    la r5, cdf
+    slli r6, r4, 2
+    add r5, r5, r6
+    lw r6, 0(r5)
+    slli r6, r6, 8
+    addi r8, r0, 96
+    div r6, r6, r8       ; scaled remap
+    add r7, r7, r6
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne r3, r0, eqloop
+    out r7
+    la r5, cdf
+    lw r6, 60(r5)
+    out r6
+    halt 0
+)";
+  return isa::parse_asm(src, "histogram_eq");
+}
+
+// ABFT detection for histogram_eq: bin-count conservation (sum of bins ==
+// pixel count) and CDF monotonicity.
+isa::AsmUnit build_histogram_abft(std::uint32_t seed) {
+  std::string src = histogram_data(seed) + "\n  .text\n" + kHistogramBody + R"(
+    ; ABFT check 1: total bin mass equals the pixel count
+    la r2, bins
+    addi r3, r0, 16
+    addi r4, r0, 0
+  chk:
+    lw r5, 0(r2)
+    add r4, r4, r5
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne r3, r0, chk
+    addi r5, r0, 96
+    beq r4, r5, chkok
+    det 92
+  chkok:
+    ; ABFT check 2: CDF is non-decreasing and ends at the pixel count
+    la r2, cdf
+    addi r3, r0, 15
+    addi r6, r0, 0       ; previous
+  mono:
+    lw r5, 0(r2)
+    blt r5, r6, bad
+    mv r6, r5
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne r3, r0, mono
+    lw r5, 0(r2)
+    addi r4, r0, 96
+    beq r5, r4, eq
+  bad:
+    det 92
+  eq:
+    ; equalize as in the base kernel
+    la r2, pix
+    addi r3, r0, 96
+    addi r7, r0, 0
+  eqloop:
+    lw r4, 0(r2)
+    srli r4, r4, 4
+    la r5, cdf
+    slli r6, r4, 2
+    add r5, r5, r6
+    lw r6, 0(r5)
+    slli r6, r6, 8
+    addi r8, r0, 96
+    div r6, r6, r8
+    add r7, r7, r6
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne r3, r0, eqloop
+    out r7
+    halt 0
+)";
+  return isa::parse_asm(src, "histogram_eq.abft");
+}
+
+namespace {
+
+std::string sort_data(std::uint32_t seed) {
+  auto rng = input_rng("integer_sort", seed);
+  return ".data\n" + data_def("keys", random_words(rng, 24, 0, 9999)) + "\n";
+}
+
+const char* kSortBody = R"(
+    ; insertion sort keys[0..23]
+    addi r2, r0, 1       ; i
+  outer:
+    la r3, keys
+    slli r4, r2, 2
+    add r3, r3, r4
+    lw r5, 0(r3)         ; key
+    mv r6, r2            ; j
+  inner:
+    beq r6, r0, place
+    la r3, keys
+    slli r4, r6, 2
+    add r3, r3, r4
+    lw r7, -4(r3)        ; keys[j-1]
+    ble r7, r5, place
+    sw r7, 0(r3)
+    addi r6, r6, -1
+    j inner
+  place:
+    la r3, keys
+    slli r4, r6, 2
+    add r3, r3, r4
+    sw r5, 0(r3)
+    addi r2, r2, 1
+    addi r4, r0, 24
+    blt r2, r4, outer
+)";
+
+}  // namespace
+
+// integer_sort: insertion sort with an order-sensitive output checksum.
+isa::AsmUnit build_sort(std::uint32_t seed) {
+  std::string src = sort_data(seed) + "\n  .text\n" + kSortBody + R"(
+    la r2, keys
+    addi r3, r0, 24
+    addi r4, r0, 0
+  csum:
+    lw r5, 0(r2)
+    slli r4, r4, 1
+    add r4, r4, r5
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne r3, r0, csum
+    out r4
+    la r2, keys
+    lw r5, 0(r2)
+    out r5
+    lw r5, 92(r2)
+    out r5
+    halt 0
+)";
+  return isa::parse_asm(src, "integer_sort");
+}
+
+// ABFT detection for integer_sort: sortedness + key-mass conservation.
+isa::AsmUnit build_sort_abft(std::uint32_t seed) {
+  std::string src = sort_data(seed) + "\n  .text\n" + R"(
+    ; pre-sort key mass
+    la r2, keys
+    addi r3, r0, 24
+    addi r9, r0, 0
+  pre:
+    lw r5, 0(r2)
+    add r9, r9, r5
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne r3, r0, pre
+)" + kSortBody + R"(
+    ; ABFT checks: non-decreasing order, mass preserved
+    la r2, keys
+    addi r3, r0, 23
+    addi r6, r0, 0       ; previous
+    addi r7, r0, 0       ; post mass
+  chk:
+    lw r5, 0(r2)
+    blt r5, r6, bad
+    add r7, r7, r5
+    mv r6, r5
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne r3, r0, chk
+    lw r5, 0(r2)
+    blt r5, r6, bad
+    add r7, r7, r5
+    beq r7, r9, ok
+  bad:
+    det 93
+  ok:
+    la r2, keys
+    addi r3, r0, 24
+    addi r4, r0, 0
+  csum:
+    lw r5, 0(r2)
+    slli r4, r4, 1
+    add r4, r4, r5
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne r3, r0, csum
+    out r4
+    halt 0
+)";
+  return isa::parse_asm(src, "integer_sort.abft");
+}
+
+namespace {
+
+std::string change_data(std::uint32_t seed) {
+  auto rng = input_rng("change_detection", seed);
+  auto frame0 = random_words(rng, 48, 0, 255);
+  auto frame1 = frame0;
+  for (auto& v : frame1) {
+    if (rng.below(4) == 0) {
+      v = static_cast<std::int64_t>(rng.below(256));
+    } else {
+      v += static_cast<std::int64_t>(rng.below(9)) - 4;
+      if (v < 0) v = 0;
+    }
+  }
+  return ".data\n" + data_def("f0", frame0) + data_def("f1", frame1) + "\n";
+}
+
+// Forward change-detection pass: counts pixels whose |f1-f0| exceeds the
+// threshold and accumulates the changed-pixel magnitude.
+const char* kChangeRoutine = R"(
+  ; inputs: r10 = direction (0 fwd, 1 rev); outputs r8 = count, r9 = sum
+  scan:
+    addi r8, r0, 0
+    addi r9, r0, 0
+    addi r2, r0, 0       ; index
+  sloop:
+    mv r3, r2
+    beq r10, r0, fwd
+    addi r3, r0, 47
+    sub r3, r3, r2
+  fwd:
+    la r4, f0
+    slli r5, r3, 2
+    add r4, r4, r5
+    lw r6, 0(r4)
+    la r4, f1
+    add r4, r4, r5
+    lw r7, 0(r4)
+    sub r6, r7, r6
+    bge r6, r0, abs1
+    sub r6, r0, r6
+  abs1:
+    addi r5, r0, 16      ; threshold
+    blt r6, r5, nochange
+    addi r8, r8, 1
+    add r9, r9, r6
+  nochange:
+    addi r2, r2, 1
+    addi r5, r0, 48
+    blt r2, r5, sloop
+    ret
+)";
+
+}  // namespace
+
+// change_detection: thresholded frame difference (count + magnitude).
+isa::AsmUnit build_change_detection(std::uint32_t seed) {
+  std::string src = change_data(seed) + R"(
+  .text
+    addi r10, r0, 0
+    call scan
+    out r8
+    out r9
+    halt 0
+)" + kChangeRoutine;
+  return isa::parse_asm(src, "change_detection");
+}
+
+// ABFT detection for change_detection: a second, reverse-order pass must
+// reproduce the same count and magnitude (order-diverse recomputation).
+isa::AsmUnit build_change_detection_abft(std::uint32_t seed) {
+  std::string src = change_data(seed) + R"(
+  .text
+    addi r10, r0, 0
+    call scan
+    mv r12, r8
+    mv r13, r9
+    addi r10, r0, 1
+    call scan
+    bne r8, r12, bad
+    bne r9, r13, bad
+    out r8
+    out r9
+    halt 0
+  bad:
+    det 94
+)" + kChangeRoutine;
+  return isa::parse_asm(src, "change_detection.abft");
+}
+
+}  // namespace clear::workloads

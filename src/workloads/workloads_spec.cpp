@@ -1,0 +1,684 @@
+// SPEC-flavoured benchmark kernels (see workloads.h).  Each builder emits
+// assembly text with generated input data and returns the parsed IR.
+#include <string>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "workloads/detail.h"
+#include "workloads/workloads.h"
+
+namespace clear::workloads {
+
+using detail::data_def;
+using detail::input_rng;
+using detail::random_words;
+
+// bzip2-like: run-length encoding of a byte stream, rolling checksum of the
+// emitted (value, run) pairs.
+isa::AsmUnit build_bzip2_like(std::uint32_t seed) {
+  auto rng = input_rng("bzip2", seed);
+  std::vector<std::int64_t> input;
+  while (input.size() < 96) {
+    const std::int64_t v = static_cast<std::int64_t>(rng.below(8));
+    const std::size_t run = 1 + rng.below(5);
+    for (std::size_t i = 0; i < run && input.size() < 96; ++i) {
+      input.push_back(v);
+    }
+  }
+  std::string src = ".data\n" + data_def("input", input) + R"(
+  .text
+    la r2, input
+    addi r3, r0, 95      ; remaining after first
+    addi r5, r0, 0       ; pair count
+    addi r6, r0, 0       ; checksum
+    lw r7, 0(r2)         ; current run value
+    addi r8, r0, 1       ; current run length
+    addi r2, r2, 4
+  loop:
+    beq r3, r0, done
+    lw r9, 0(r2)
+    beq r9, r7, same
+    addi r10, r0, 31     ; emit pair
+    mul r6, r6, r10
+    slli r11, r7, 8
+    add r11, r11, r8
+    add r6, r6, r11
+    addi r5, r5, 1
+    mv r7, r9
+    addi r8, r0, 1
+    j next
+  same:
+    addi r8, r8, 1
+  next:
+    addi r2, r2, 4
+    addi r3, r3, -1
+    j loop
+  done:
+    addi r10, r0, 31
+    mul r6, r6, r10
+    slli r11, r7, 8
+    add r11, r11, r8
+    add r6, r6, r11
+    addi r5, r5, 1
+    out r5
+    out r6
+    halt 0
+)";
+  return isa::parse_asm(src, "bzip2");
+}
+
+// crafty-like: minimax over a complete depth-6 game tree (array layout),
+// max/min levels precomputed as data.
+isa::AsmUnit build_crafty_like(std::uint32_t seed) {
+  auto rng = input_rng("crafty", seed);
+  std::vector<std::int64_t> tree(127, 0);
+  for (int i = 63; i < 127; ++i) {
+    tree[i] = static_cast<std::int64_t>(rng.below(2001)) - 1000;
+  }
+  std::vector<std::int64_t> ismax(63);
+  for (int i = 0; i < 63; ++i) {
+    int depth = 0;
+    for (int n = i + 1; n > 1; n >>= 1) ++depth;
+    ismax[i] = depth % 2 == 0 ? 1 : 0;
+  }
+  std::string src = ".data\n" + data_def("tree", tree) +
+                    data_def("ismax", ismax) + R"(
+  .text
+    addi r2, r0, 62
+  loop:
+    slli r3, r2, 1
+    addi r4, r3, 1
+    addi r5, r3, 2
+    la r6, tree
+    slli r7, r4, 2
+    add r7, r6, r7
+    lw r8, 0(r7)          ; left child
+    slli r9, r5, 2
+    add r9, r6, r9
+    lw r10, 0(r9)         ; right child
+    la r11, ismax
+    slli r12, r2, 2
+    add r12, r11, r12
+    lw r13, 0(r12)
+    beq r13, r0, takemin
+    blt r8, r10, tkr
+    mv r14, r8
+    j store
+  tkr:
+    mv r14, r10
+    j store
+  takemin:
+    blt r8, r10, tkl
+    mv r14, r10
+    j store
+  tkl:
+    mv r14, r8
+  store:
+    slli r7, r2, 2
+    add r7, r6, r7
+    sw r14, 0(r7)
+    addi r2, r2, -1
+    bge r2, r0, loop
+    la r6, tree
+    lw r14, 0(r6)
+    out r14
+    lw r13, 4(r6)
+    out r13
+    lw r13, 8(r6)
+    out r13
+    halt 0
+)";
+  return isa::parse_asm(src, "crafty");
+}
+
+// gzip-like: greedy LZ77 match search over a sliding window.
+isa::AsmUnit build_gzip_like(std::uint32_t seed) {
+  auto rng = input_rng("gzip", seed);
+  std::vector<std::int64_t> input(48);
+  // Correlated data so matches exist.
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = i < 6 ? static_cast<std::int64_t>(rng.below(4))
+                     : (rng.below(3) != 0
+                            ? input[i - 4 - rng.below(2)]
+                            : static_cast<std::int64_t>(rng.below(4)));
+  }
+  std::string src = ".data\n" + data_def("input", input) + R"(
+  .text
+    addi r2, r0, 4       ; pos (start after window)
+    addi r3, r0, 0       ; total match length
+    addi r4, r0, 0       ; literal count
+    la r5, input
+  posloop:
+    addi r6, r0, 48
+    bge r2, r6, done
+    addi r7, r0, 0       ; best length
+    addi r8, r0, 1       ; offset
+  offloop:
+    addi r6, r0, 4
+    bgt r8, r6, offdone
+    addi r9, r0, 0       ; match length at this offset
+  matchloop:
+    add r10, r2, r9      ; pos + len
+    addi r6, r0, 48
+    bge r10, r6, matchdone
+    addi r6, r0, 6
+    bge r9, r6, matchdone
+    sub r11, r10, r8     ; (pos+len) - offset
+    slli r12, r10, 2
+    add r12, r5, r12
+    lw r13, 0(r12)
+    slli r12, r11, 2
+    add r12, r5, r12
+    lw r14, 0(r12)
+    bne r13, r14, matchdone
+    addi r9, r9, 1
+    j matchloop
+  matchdone:
+    ble r9, r7, offnext
+    mv r7, r9
+  offnext:
+    addi r8, r8, 1
+    j offloop
+  offdone:
+    addi r6, r0, 2
+    blt r7, r6, literal
+    add r3, r3, r7
+    add r2, r2, r7
+    j posloop
+  literal:
+    addi r4, r4, 1
+    addi r2, r2, 1
+    j posloop
+  done:
+    out r3
+    out r4
+    halt 0
+)";
+  return isa::parse_asm(src, "gzip");
+}
+
+// mcf-like: Bellman-Ford single-source shortest paths on a sparse graph.
+isa::AsmUnit build_mcf_like(std::uint32_t seed) {
+  auto rng = input_rng("mcf", seed);
+  constexpr int kNodes = 12;
+  constexpr int kEdges = 28;
+  std::vector<std::int64_t> edges;  // (u, v, w) triples
+  for (int e = 0; e < kEdges; ++e) {
+    const int u = e < kNodes - 1 ? e : static_cast<int>(rng.below(kNodes));
+    int v = e < kNodes - 1 ? e + 1 : static_cast<int>(rng.below(kNodes));
+    if (v == u) v = (v + 1) % kNodes;
+    edges.push_back(u);
+    edges.push_back(v);
+    edges.push_back(1 + static_cast<std::int64_t>(rng.below(9)));
+  }
+  std::vector<std::int64_t> dist(kNodes, 9999);
+  dist[0] = 0;
+  std::string src = ".data\n" + data_def("edges", edges) +
+                    data_def("dist", dist) + R"(
+  .text
+    addi r2, r0, 4       ; rounds
+  round:
+    la r3, edges
+    addi r4, r0, 28      ; edge count
+  edge:
+    lw r5, 0(r3)         ; u
+    lw r6, 4(r3)         ; v
+    lw r7, 8(r3)         ; w
+    la r8, dist
+    slli r9, r5, 2
+    add r9, r8, r9
+    lw r10, 0(r9)        ; dist[u]
+    slli r11, r6, 2
+    add r11, r8, r11
+    lw r12, 0(r11)       ; dist[v]
+    add r13, r10, r7
+    bge r13, r12, norelax
+    sw r13, 0(r11)
+  norelax:
+    addi r3, r3, 12
+    addi r4, r4, -1
+    bne r4, r0, edge
+    addi r2, r2, -1
+    bne r2, r0, round
+    ; output distance checksum
+    la r8, dist
+    addi r4, r0, 12
+    addi r5, r0, 0
+  sum:
+    lw r6, 0(r8)
+    slli r5, r5, 1
+    add r5, r5, r6
+    addi r8, r8, 4
+    addi r4, r4, -1
+    bne r4, r0, sum
+    out r5
+    halt 0
+)";
+  return isa::parse_asm(src, "mcf");
+}
+
+// parser-like: tokenizer classifying a character stream.
+isa::AsmUnit build_parser_like(std::uint32_t seed) {
+  auto rng = input_rng("parser", seed);
+  // Characters: 0=space, 1..26=alpha, 27..36=digit, 37..40=punct.
+  std::vector<std::int64_t> text(96);
+  for (auto& c : text) {
+    const std::uint64_t r = rng.below(10);
+    if (r < 5) {
+      c = 1 + static_cast<std::int64_t>(rng.below(26));
+    } else if (r < 7) {
+      c = 27 + static_cast<std::int64_t>(rng.below(10));
+    } else if (r < 9) {
+      c = 0;
+    } else {
+      c = 37 + static_cast<std::int64_t>(rng.below(4));
+    }
+  }
+  std::string src = ".data\n" + data_def("text", text) + R"(
+  .text
+    la r2, text
+    addi r3, r0, 96
+    addi r4, r0, 0       ; alpha count
+    addi r5, r0, 0       ; digit count
+    addi r6, r0, 0       ; space count
+    addi r7, r0, 0       ; punct count
+    addi r8, r0, 0       ; current word length
+    addi r9, r0, 0       ; max word length
+  loop:
+    lw r10, 0(r2)
+    bne r10, r0, notspace
+    addi r6, r6, 1
+    ble r8, r9, resetw
+    mv r9, r8
+  resetw:
+    addi r8, r0, 0
+    j next
+  notspace:
+    addi r11, r0, 27
+    bge r10, r11, notalpha
+    addi r4, r4, 1
+    addi r8, r8, 1
+    j next
+  notalpha:
+    addi r11, r0, 37
+    bge r10, r11, punct
+    addi r5, r5, 1
+    j next
+  punct:
+    addi r7, r7, 1
+  next:
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne r3, r0, loop
+    ble r8, r9, emit
+    mv r9, r8
+  emit:
+    out r4
+    out r5
+    out r6
+    out r7
+    out r9
+    halt 0
+)";
+  return isa::parse_asm(src, "parser");
+}
+
+// gcc-like: constant folding over an (opcode, a, b) triple stream with a
+// strength-reduction census.
+isa::AsmUnit build_gcc_like(std::uint32_t seed) {
+  auto rng = input_rng("gcc", seed);
+  std::vector<std::int64_t> ir;
+  for (int i = 0; i < 24; ++i) {
+    ir.push_back(static_cast<std::int64_t>(rng.below(4)));  // op
+    ir.push_back(static_cast<std::int64_t>(rng.below(200)) - 100);
+    std::int64_t b = static_cast<std::int64_t>(rng.below(63)) + 1;
+    ir.push_back(b);
+  }
+  std::string src = ".data\n" + data_def("ir", ir) + R"(
+  .text
+    la r2, ir
+    addi r3, r0, 24
+    addi r4, r0, 0       ; folded hash
+    addi r5, r0, 0       ; power-of-two mul count
+  loop:
+    lw r6, 0(r2)         ; op
+    lw r7, 4(r2)         ; a
+    lw r8, 8(r2)         ; b
+    addi r9, r0, 0
+    bne r6, r0, notadd
+    add r9, r7, r8
+    j fold
+  notadd:
+    addi r10, r0, 1
+    bne r6, r10, notsub
+    sub r9, r7, r8
+    j fold
+  notsub:
+    addi r10, r0, 2
+    bne r6, r10, notmul
+    mul r9, r7, r8
+    ; strength reduction census: b & (b-1) == 0 ?
+    addi r11, r8, -1
+    and r11, r11, r8
+    bne r11, r0, fold
+    addi r5, r5, 1
+    j fold
+  notmul:
+    xor r9, r7, r8
+  fold:
+    slli r10, r4, 3
+    srli r11, r4, 29
+    or r10, r10, r11
+    xor r4, r10, r9
+    addi r2, r2, 12
+    addi r3, r3, -1
+    bne r3, r0, loop
+    out r4
+    out r5
+    halt 0
+)";
+  return isa::parse_asm(src, "gcc");
+}
+
+// vpr-like: greedy placement improvement (annealing at T=0): propose swaps
+// from an LCG, accept when the linear wirelength cost improves.
+isa::AsmUnit build_vpr_like(std::uint32_t seed) {
+  auto rng = input_rng("vpr", seed);
+  std::vector<std::int64_t> place(16);
+  for (int i = 0; i < 16; ++i) place[i] = i;
+  for (int i = 15; i > 0; --i) {
+    std::swap(place[i], place[rng.below(static_cast<std::uint64_t>(i + 1))]);
+  }
+  const std::int64_t lcg0 = static_cast<std::int64_t>(rng.below(1 << 30));
+  std::string src = ".data\n" + data_def("place", place) +
+                    data_def("lcgseed", {lcg0}) + R"(
+  .text
+    la r2, place
+    la r3, lcgseed
+    lw r4, 0(r3)         ; LCG state
+    addi r5, r0, 24      ; proposals
+  propose:
+    li r6, 1103515245
+    mul r4, r4, r6
+    li r6, 12345
+    add r4, r4, r6
+    srli r7, r4, 8
+    andi r7, r7, 15      ; i
+    srli r8, r4, 16
+    andi r8, r8, 15      ; j
+    beq r7, r8, skip
+    ; cost before
+    call cost
+    mv r10, r9
+    ; swap
+    slli r11, r7, 2
+    add r11, r2, r11
+    slli r12, r8, 2
+    add r12, r2, r12
+    lw r13, 0(r11)
+    lw r14, 0(r12)
+    sw r14, 0(r11)
+    sw r13, 0(r12)
+    ; cost after
+    call cost
+    ble r9, r10, skip    ; keep if improved or equal
+    ; revert
+    lw r13, 0(r11)
+    lw r14, 0(r12)
+    sw r14, 0(r11)
+    sw r13, 0(r12)
+  skip:
+    addi r5, r5, -1
+    bne r5, r0, propose
+    call cost
+    out r9
+    lw r6, 0(r2)
+    out r6
+    halt 0
+  ; linear wirelength: sum |p[k]-p[k+1]|
+  cost:
+    addi r9, r0, 0
+    addi r6, r0, 0       ; k
+  costloop:
+    slli r13, r6, 2
+    add r13, r2, r13
+    lw r14, 0(r13)
+    lw r13, 4(r13)
+    sub r14, r14, r13
+    bge r14, r0, abspos
+    sub r14, r0, r14
+  abspos:
+    add r9, r9, r14
+    addi r6, r6, 1
+    addi r13, r0, 15
+    blt r6, r13, costloop
+    ret
+)";
+  return isa::parse_asm(src, "vpr");
+}
+
+// twolf-like: net half-perimeter wirelength over a placed netlist.
+isa::AsmUnit build_twolf_like(std::uint32_t seed) {
+  auto rng = input_rng("twolf", seed);
+  std::vector<std::int64_t> xs = random_words(rng, 20, 0, 63);
+  std::vector<std::int64_t> ys = random_words(rng, 20, 0, 63);
+  std::vector<std::int64_t> nets;  // 12 nets x 4 pin indices
+  for (int n = 0; n < 12; ++n) {
+    for (int p = 0; p < 4; ++p) {
+      nets.push_back(static_cast<std::int64_t>(rng.below(20)));
+    }
+  }
+  std::string src = ".data\n" + data_def("xs", xs) + data_def("ys", ys) +
+                    data_def("nets", nets) + R"(
+  .text
+    la r2, nets
+    addi r3, r0, 12      ; nets
+    addi r4, r0, 0       ; total hpwl
+  net:
+    addi r5, r0, 9999    ; minx
+    addi r6, r0, -9999   ; maxx
+    addi r7, r0, 9999    ; miny
+    addi r8, r0, -9999   ; maxy
+    addi r9, r0, 4       ; pins
+  pin:
+    lw r10, 0(r2)
+    la r11, xs
+    slli r12, r10, 2
+    add r11, r11, r12
+    lw r13, 0(r11)       ; x
+    la r11, ys
+    add r11, r11, r12
+    lw r14, 0(r11)       ; y
+    bge r13, r5, nominx
+    mv r5, r13
+  nominx:
+    ble r13, r6, nomaxx
+    mv r6, r13
+  nomaxx:
+    bge r14, r7, nominy
+    mv r7, r14
+  nominy:
+    ble r14, r8, nomaxy
+    mv r8, r14
+  nomaxy:
+    addi r2, r2, 4
+    addi r9, r9, -1
+    bne r9, r0, pin
+    sub r10, r6, r5
+    add r4, r4, r10
+    sub r10, r8, r7
+    add r4, r4, r10
+    addi r3, r3, -1
+    bne r3, r0, net
+    out r4
+    halt 0
+)";
+  return isa::parse_asm(src, "twolf");
+}
+
+// vortex-like: hashed in-memory database with probing lookups and updates.
+isa::AsmUnit build_vortex_like(std::uint32_t seed) {
+  auto rng = input_rng("vortex", seed);
+  // table: 16 slots x (key, value); key 0 = empty
+  std::vector<std::int64_t> table(32, 0);
+  std::vector<std::int64_t> ops;  // 24 keys to upsert
+  for (int i = 0; i < 24; ++i) {
+    ops.push_back(1 + static_cast<std::int64_t>(rng.below(20)));
+  }
+  std::string src = ".data\n" + data_def("table", table) +
+                    data_def("ops", ops) + R"(
+  .text
+    la r2, ops
+    addi r3, r0, 24
+  op:
+    lw r4, 0(r2)         ; key
+    andi r5, r4, 15      ; hash slot
+    addi r6, r0, 16      ; probes left
+  probe:
+    la r7, table
+    slli r8, r5, 3       ; slot * 8 bytes
+    add r7, r7, r8
+    lw r9, 0(r7)         ; slot key
+    beq r9, r4, hit
+    beq r9, r0, empty
+    addi r5, r5, 1
+    andi r5, r5, 15
+    addi r6, r6, -1
+    bne r6, r0, probe
+    j next               ; table full: drop
+  hit:
+    lw r10, 4(r7)
+    add r10, r10, r4
+    sw r10, 4(r7)
+    j next
+  empty:
+    sw r4, 0(r7)
+    sw r4, 4(r7)
+  next:
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne r3, r0, op
+    ; checksum pass
+    la r7, table
+    addi r3, r0, 16
+    addi r4, r0, 0
+  sum:
+    lw r5, 0(r7)
+    lw r6, 4(r7)
+    slli r4, r4, 1
+    add r4, r4, r5
+    xor r4, r4, r6
+    addi r7, r7, 8
+    addi r3, r3, -1
+    bne r3, r0, sum
+    out r4
+    halt 0
+)";
+  return isa::parse_asm(src, "vortex");
+}
+
+// gap-like: iterated permutation composition (group element powers).
+isa::AsmUnit build_gap_like(std::uint32_t seed) {
+  auto rng = input_rng("gap", seed);
+  std::vector<std::int64_t> perm(16);
+  for (int i = 0; i < 16; ++i) perm[i] = i;
+  for (int i = 15; i > 0; --i) {
+    std::swap(perm[i], perm[rng.below(static_cast<std::uint64_t>(i + 1))]);
+  }
+  std::vector<std::int64_t> q(16);
+  for (int i = 0; i < 16; ++i) q[i] = i;
+  std::string src = ".data\n" + data_def("perm", perm) + data_def("q", q) +
+                    "tmp: .space 16\n" + R"(
+  .text
+    addi r2, r0, 12      ; iterations
+    addi r9, r0, 0       ; rolling checksum
+  iter:
+    ; tmp[i] = q[perm[i]]
+    addi r3, r0, 0
+  compose:
+    la r4, perm
+    slli r5, r3, 2
+    add r4, r4, r5
+    lw r6, 0(r4)         ; perm[i]
+    la r4, q
+    slli r7, r6, 2
+    add r4, r4, r7
+    lw r8, 0(r4)         ; q[perm[i]]
+    la r4, tmp
+    add r4, r4, r5
+    sw r8, 0(r4)
+    addi r3, r3, 1
+    addi r10, r0, 16
+    blt r3, r10, compose
+    ; q = tmp, checksum
+    addi r3, r0, 0
+  copyback:
+    la r4, tmp
+    slli r5, r3, 2
+    add r4, r4, r5
+    lw r6, 0(r4)
+    la r7, q
+    add r7, r7, r5
+    sw r6, 0(r7)
+    slli r9, r9, 1
+    add r9, r9, r6
+    addi r3, r3, 1
+    addi r10, r0, 16
+    blt r3, r10, copyback
+    addi r2, r2, -1
+    bne r2, r0, iter
+    out r9
+    halt 0
+)";
+  return isa::parse_asm(src, "gap");
+}
+
+// eon-like: fixed-point DDA ray walks accumulating grid cells.
+isa::AsmUnit build_eon_like(std::uint32_t seed) {
+  auto rng = input_rng("eon", seed);
+  std::vector<std::int64_t> grid = random_words(rng, 256, 0, 255);
+  // Three rays: start (8.8 fixed point) near origin, small positive steps
+  // chosen so 40 steps stay inside the 16x16 grid.
+  std::vector<std::int64_t> rays;
+  for (int r = 0; r < 3; ++r) {
+    rays.push_back(static_cast<std::int64_t>(rng.below(512)));        // x0
+    rays.push_back(static_cast<std::int64_t>(rng.below(512)));        // y0
+    rays.push_back(64 + static_cast<std::int64_t>(rng.below(26)));    // dx
+    rays.push_back(64 + static_cast<std::int64_t>(rng.below(26)));    // dy
+  }
+  std::string src = ".data\n" + data_def("grid", grid) +
+                    data_def("rays", rays) + R"(
+  .text
+    la r2, rays
+    addi r3, r0, 3       ; rays
+    addi r4, r0, 0       ; accumulated value
+  ray:
+    lw r5, 0(r2)         ; x
+    lw r6, 4(r2)         ; y
+    lw r7, 8(r2)         ; dx
+    lw r8, 12(r2)        ; dy
+    addi r9, r0, 40      ; steps
+  step:
+    srli r10, r5, 8      ; ix
+    srli r11, r6, 8      ; iy
+    slli r12, r11, 4
+    add r12, r12, r10    ; iy*16 + ix
+    la r13, grid
+    slli r14, r12, 2
+    add r13, r13, r14
+    lw r14, 0(r13)
+    add r4, r4, r14
+    add r5, r5, r7
+    add r6, r6, r8
+    addi r9, r9, -1
+    bne r9, r0, step
+    addi r2, r2, 16
+    addi r3, r3, -1
+    bne r3, r0, ray
+    out r4
+    halt 0
+)";
+  return isa::parse_asm(src, "eon");
+}
+
+}  // namespace clear::workloads

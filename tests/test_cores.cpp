@@ -1,0 +1,266 @@
+// Cross-validation of the two microarchitectural models against the ISS
+// golden model, plus targeted pipeline-behaviour tests.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/core.h"
+#include "isa/assembler.h"
+#include "isa/iss.h"
+
+namespace {
+
+using namespace clear;
+
+const char* kSumLoop = R"(
+  .text
+    addi r1, r0, 25
+    addi r2, r0, 0
+  loop:
+    add r2, r2, r1
+    addi r1, r1, -1
+    bne r1, r0, loop
+    out r2
+    halt 0
+)";
+
+const char* kMemProgram = R"(
+  .data
+  arr: .word 7, 3, 9, 1, 5, 8, 2, 6
+  res: .space 1
+  .text
+    la r1, arr
+    addi r2, r0, 0
+    addi r3, r0, 8
+  loop:
+    lw r4, 0(r1)
+    add r2, r2, r4
+    addi r1, r1, 4
+    addi r3, r3, -1
+    bne r3, r0, loop
+    la r5, res
+    sw r2, 0(r5)
+    lw r6, 0(r5)
+    out r6
+    halt 0
+)";
+
+const char* kCallProgram = R"(
+  .text
+    addi r4, r0, 3
+    addi r5, r0, 0
+  outer:
+    call square
+    add r5, r5, r6
+    addi r4, r4, -1
+    bne r4, r0, outer
+    out r5
+    halt 0
+  square:
+    mul r6, r4, r4
+    ret
+)";
+
+const char* kMulDivProgram = R"(
+  .text
+    addi r1, r0, 1000
+    addi r2, r0, 7
+    mul r3, r1, r2
+    div r4, r3, r2
+    rem r5, r3, r1
+    mulh r6, r3, r3
+    out r3
+    out r4
+    out r5
+    out r6
+    halt 0
+)";
+
+const char* kByteProgram = R"(
+  .data
+  buf: .space 4
+  .text
+    la r1, buf
+    addi r2, r0, 200
+    sb r2, 1(r1)
+    sb r2, 6(r1)
+    lbu r3, 1(r1)
+    lb r4, 6(r1)
+    out r3
+    out r4
+    halt 0
+)";
+
+class CoreParity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CoreParity, MatchesIssOnBothCores) {
+  const auto prog = isa::assemble_text(GetParam());
+  const auto golden = isa::run_program(prog);
+  ASSERT_EQ(golden.status, isa::RunStatus::kHalted);
+
+  for (auto maker : {arch::make_ino_core, arch::make_ooo_core}) {
+    auto core = maker();
+    const auto r = core->run_clean(prog);
+    EXPECT_EQ(r.status, isa::RunStatus::kHalted) << core->name();
+    EXPECT_EQ(r.output, golden.output) << core->name();
+    EXPECT_EQ(r.exit_code, golden.exit_code) << core->name();
+    EXPECT_EQ(r.instrs, golden.steps) << core->name();
+    EXPECT_GT(r.cycles, 0u) << core->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, CoreParity,
+                         ::testing::Values(kSumLoop, kMemProgram, kCallProgram,
+                                           kMulDivProgram, kByteProgram));
+
+TEST(InOCore, RegistryIsLeonClass) {
+  auto core = arch::make_ino_core();
+  const auto n = core->registry().ff_count();
+  // Same order of magnitude as the Leon3's 1,250 flip-flops (Table 1).
+  EXPECT_GT(n, 800u);
+  EXPECT_LT(n, 2500u);
+}
+
+TEST(OoOCore, RegistryIsIvmClass) {
+  auto core = arch::make_ooo_core();
+  const auto n = core->registry().ff_count();
+  // Same order of magnitude as the IVM's 13,819 flip-flops (Table 1).
+  EXPECT_GT(n, 8000u);
+  EXPECT_LT(n, 20000u);
+}
+
+TEST(InOCore, IpcIsLow) {
+  const auto prog = isa::assemble_text(kMemProgram);
+  auto core = arch::make_ino_core();
+  const auto r = core->run_clean(prog);
+  // Paper Table 1: InO IPC ~0.4; the in-order model should be well below 1.
+  EXPECT_LT(r.ipc(), 0.8);
+  EXPECT_GT(r.ipc(), 0.15);
+}
+
+TEST(OoOCore, IpcBeatsInO) {
+  const auto prog = isa::assemble_text(kSumLoop);
+  auto ino = arch::make_ino_core();
+  auto ooo = arch::make_ooo_core();
+  const auto ri = ino->run_clean(prog);
+  const auto ro = ooo->run_clean(prog);
+  EXPECT_GT(ro.ipc(), ri.ipc());
+}
+
+TEST(Cores, WatchdogProducesHang) {
+  const auto prog = isa::assemble_text(".text\nspin: j spin\n");
+  for (auto maker : {arch::make_ino_core, arch::make_ooo_core}) {
+    auto core = maker();
+    const auto r = core->run(prog, nullptr, nullptr, 500);
+    EXPECT_EQ(r.status, isa::RunStatus::kWatchdog);
+  }
+}
+
+TEST(Cores, TrapsPropagate) {
+  const auto prog = isa::assemble_text(R"(
+    .text
+      addi r1, r0, 5
+      div r2, r1, r0
+      halt 0
+  )");
+  for (auto maker : {arch::make_ino_core, arch::make_ooo_core}) {
+    auto core = maker();
+    const auto r = core->run_clean(prog);
+    EXPECT_EQ(r.status, isa::RunStatus::kTrapped) << core->name();
+    EXPECT_EQ(r.trap, isa::Trap::kDivByZero) << core->name();
+  }
+}
+
+TEST(Cores, DeterministicAcrossRuns) {
+  const auto prog = isa::assemble_text(kCallProgram);
+  for (auto maker : {arch::make_ino_core, arch::make_ooo_core}) {
+    auto core = maker();
+    const auto a = core->run_clean(prog);
+    const auto b = core->run_clean(prog);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.instrs, b.instrs);
+  }
+}
+
+TEST(Cores, InjectionIntoStateCanChangeOutcome) {
+  // Flip every bit of the InO fetch PC at cycle 3 one at a time: at least
+  // one flip must produce a non-Vanished outcome (sanity that injection
+  // actually reaches live state).
+  const auto prog = isa::assemble_text(kMemProgram);
+  auto core = arch::make_ino_core();
+  const auto clean = core->run_clean(prog);
+  int affected = 0;
+  const auto& structures = core->registry().structures();
+  const auto* fpc = &structures[0];
+  ASSERT_EQ(fpc->name, "f.pc");
+  for (std::uint32_t b = 0; b < fpc->width; ++b) {
+    const auto plan = arch::InjectionPlan::single(3, fpc->first_ff + b);
+    const auto r = core->run(prog, nullptr, &plan, clean.cycles * 2);
+    if (r.status != isa::RunStatus::kHalted || r.output != clean.output) {
+      ++affected;
+    }
+  }
+  EXPECT_GT(affected, 4);
+}
+
+TEST(Cores, InjectionIntoDeadStateVanishes) {
+  // Flips in the InO diagnostic register (x.debug) must never affect
+  // program outcome: it is written every cycle and read by nothing.
+  const auto prog = isa::assemble_text(kSumLoop);
+  auto core = arch::make_ino_core();
+  const auto clean = core->run_clean(prog);
+  const arch::FFStructure* dbg = nullptr;
+  for (const auto& s : core->registry().structures()) {
+    if (s.name == "x.debug") dbg = &s;
+  }
+  ASSERT_NE(dbg, nullptr);
+  for (std::uint32_t b = 0; b < dbg->width; b += 7) {
+    for (std::uint64_t c = 2; c < clean.cycles; c += clean.cycles / 5) {
+      const auto plan = arch::InjectionPlan::single(c, dbg->first_ff + b);
+      const auto r = core->run(prog, nullptr, &plan, clean.cycles * 2);
+      EXPECT_EQ(r.status, isa::RunStatus::kHalted);
+      EXPECT_EQ(r.output, clean.output);
+    }
+  }
+}
+
+TEST(Cores, OpcodeFlipsNeverCrashTheSimulator) {
+  // Regression: a flip in an execute-pipe opcode latch can morph an ALU op
+  // into a divide; with a zero operand this must raise the architectural
+  // div-by-zero trap, not a host SIGFPE.  Sweep flips over every bit of
+  // the opcode-carrying structures on both cores.
+  const auto prog = isa::assemble_text(R"(
+    .text
+      addi r1, r0, 0
+      addi r2, r0, 7
+      add r3, r2, r1
+      sub r4, r2, r1
+      out r3
+      out r4
+      halt 0
+  )");
+  for (auto maker : {arch::make_ino_core, arch::make_ooo_core}) {
+    auto core = maker();
+    const auto clean = core->run_clean(prog);
+    for (const auto& s : core->registry().structures()) {
+      if (s.name.find(".op") == std::string::npos) continue;
+      for (std::uint32_t b = 0; b < s.width; ++b) {
+        for (std::uint64_t c = 1; c < clean.cycles; c += 3) {
+          const auto plan = arch::InjectionPlan::single(c, s.first_ff + b);
+          const auto r = core->run(prog, nullptr, &plan, clean.cycles * 2);
+          (void)r;  // any outcome is fine; the host must survive
+        }
+      }
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Cores, MakeCoreByName) {
+  EXPECT_NE(arch::make_core("InO"), nullptr);
+  EXPECT_NE(arch::make_core("OoO"), nullptr);
+  EXPECT_EQ(arch::make_core("bogus"), nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,244 @@
+// Injection-campaign engine tests: classification, determinism, caching,
+// hardening suppression, detection/recovery plumbing, and high-level
+// injection models.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "arch/core.h"
+#include "inject/campaign.h"
+#include "inject/iss_inject.h"
+#include "isa/assembler.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace clear;
+
+isa::Program bench(const std::string& name) {
+  return isa::assemble(workloads::build_benchmark(name));
+}
+
+class InjectEnv : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    // Isolate test campaigns from the shared bench cache.
+    ::setenv("CLEAR_CACHE_DIR", ".clear_cache_test", 1);
+  }
+};
+const ::testing::Environment* const kEnv =
+    ::testing::AddGlobalTestEnvironment(new InjectEnv);
+
+TEST(Classify, MapsStatusesToPaperOutcomes) {
+  arch::CoreRunResult golden;
+  golden.status = isa::RunStatus::kHalted;
+  golden.output = {1, 2, 3};
+
+  arch::CoreRunResult r = golden;
+  EXPECT_EQ(inject::classify(r, golden), inject::Outcome::kVanished);
+  r.recoveries = 1;
+  EXPECT_EQ(inject::classify(r, golden), inject::Outcome::kRecovered);
+  r.recoveries = 0;
+  r.output = {1, 2, 4};
+  EXPECT_EQ(inject::classify(r, golden), inject::Outcome::kOmm);
+  r.status = isa::RunStatus::kTrapped;
+  EXPECT_EQ(inject::classify(r, golden), inject::Outcome::kUt);
+  r.status = isa::RunStatus::kWatchdog;
+  EXPECT_EQ(inject::classify(r, golden), inject::Outcome::kHang);
+  r.status = isa::RunStatus::kDetected;
+  EXPECT_EQ(inject::classify(r, golden), inject::Outcome::kEd);
+}
+
+TEST(Classify, SerRatiosMatchTable4) {
+  EXPECT_DOUBLE_EQ(inject::ser_ratio(arch::FFProt::kLeapDice), 2.0e-4);
+  EXPECT_DOUBLE_EQ(inject::ser_ratio(arch::FFProt::kLhl), 2.5e-1);
+  EXPECT_DOUBLE_EQ(inject::ser_ratio(arch::FFProt::kLeapCtrlEco), 1.0);
+  EXPECT_DOUBLE_EQ(inject::ser_ratio(arch::FFProt::kLeapCtrlRes), 2.0e-4);
+  EXPECT_DOUBLE_EQ(inject::ser_ratio(arch::FFProt::kNone), 1.0);
+}
+
+TEST(Campaign, ProducesAllOutcomeKindsOnInO) {
+  const auto prog = bench("mcf");
+  inject::CampaignSpec spec;
+  spec.core_name = "InO";
+  spec.program = &prog;
+  spec.injections = 1500;
+  spec.key = "";  // no caching
+  const auto r = inject::run_campaign(spec);
+  EXPECT_EQ(r.totals.total(), 1500u);
+  // A realistic campaign has vanished, SDC and DUE outcomes.
+  EXPECT_GT(r.totals.vanished, 0u);
+  EXPECT_GT(r.totals.sdc(), 0u);
+  EXPECT_GT(r.totals.due(), 0u);
+  EXPECT_EQ(r.totals.ed, 0u);  // no detection configured
+  EXPECT_GT(r.nominal_cycles, 0u);
+}
+
+TEST(Campaign, DeterministicForSeed) {
+  const auto prog = bench("gcc");
+  inject::CampaignSpec spec;
+  spec.core_name = "InO";
+  spec.program = &prog;
+  spec.injections = 400;
+  spec.seed = 7;
+  const auto a = inject::run_campaign(spec);
+  const auto b = inject::run_campaign(spec);
+  EXPECT_EQ(a.totals.omm, b.totals.omm);
+  EXPECT_EQ(a.totals.ut, b.totals.ut);
+  EXPECT_EQ(a.totals.hang, b.totals.hang);
+  for (std::size_t i = 0; i < a.per_ff.size(); i += 97) {
+    EXPECT_EQ(a.per_ff[i].omm, b.per_ff[i].omm) << i;
+  }
+}
+
+TEST(Campaign, CacheRoundTrips) {
+  const auto prog = bench("parser");
+  inject::CampaignSpec spec;
+  spec.core_name = "InO";
+  spec.program = &prog;
+  spec.injections = 300;
+  spec.key = "test/parser/cache_roundtrip";
+  std::filesystem::remove_all(inject::campaign_cache_dir());
+  const auto a = inject::run_campaign(spec);
+  const auto b = inject::run_campaign(spec);  // served from cache
+  EXPECT_EQ(a.totals.omm, b.totals.omm);
+  EXPECT_EQ(a.totals.due(), b.totals.due());
+  EXPECT_EQ(a.nominal_cycles, b.nominal_cycles);
+  ASSERT_EQ(a.per_ff.size(), b.per_ff.size());
+  for (std::size_t i = 0; i < a.per_ff.size(); ++i) {
+    EXPECT_EQ(a.per_ff[i].omm, b.per_ff[i].omm);
+  }
+}
+
+TEST(Campaign, FullHardeningSuppressesAlmostEverything) {
+  const auto prog = bench("gcc");
+  auto core = arch::make_ino_core();
+  arch::ResilienceConfig cfg;
+  cfg.prot.assign(core->registry().ff_count(), arch::FFProt::kLeapDice);
+  inject::CampaignSpec spec;
+  spec.core_name = "InO";
+  spec.program = &prog;
+  spec.injections = 2000;
+  spec.cfg = &cfg;
+  const auto r = inject::run_campaign(spec);
+  // SER ratio 2e-4: expect ~0.4 effective upsets in 2000 strikes.
+  EXPECT_LT(r.totals.sdc() + r.totals.due(), 5u);
+  EXPECT_GT(r.totals.vanished, 1990u);
+}
+
+TEST(Campaign, ParityPlusFlushRecoversDetectedErrors) {
+  const auto prog = bench("gcc");
+  auto core = arch::make_ino_core();
+  const auto& reg = core->registry();
+  arch::ResilienceConfig cfg;
+  cfg.prot.assign(reg.ff_count(), arch::FFProt::kNone);
+  cfg.parity_group.assign(reg.ff_count(), -1);
+  // Parity on flushable FFs, LEAP-DICE elsewhere (Heuristic 1 shape).
+  std::int32_t group = 0;
+  for (const auto& s : reg.structures()) {
+    for (std::uint32_t b = 0; b < s.width; ++b) {
+      const std::uint32_t ff = s.first_ff + b;
+      if (s.flags.flushable) {
+        cfg.prot[ff] = arch::FFProt::kParity;
+        cfg.parity_group[ff] = group++ / 16;
+      } else {
+        cfg.prot[ff] = arch::FFProt::kLeapDice;
+      }
+    }
+  }
+  cfg.recovery = arch::RecoveryKind::kFlush;
+  inject::CampaignSpec spec;
+  spec.core_name = "InO";
+  spec.program = &prog;
+  spec.injections = 1200;
+  spec.cfg = &cfg;
+  const auto r = inject::run_campaign(spec);
+  // Detected + recovered errors; essentially no SDC left.
+  EXPECT_GT(r.totals.recovered, 0u);
+  EXPECT_EQ(r.totals.sdc(), 0u);
+  EXPECT_LE(r.totals.due(), 2u);
+}
+
+TEST(Campaign, EdsWithoutRecoveryTurnsErrorsIntoEd) {
+  const auto prog = bench("gcc");
+  auto core = arch::make_ino_core();
+  arch::ResilienceConfig cfg;
+  cfg.prot.assign(core->registry().ff_count(), arch::FFProt::kEds);
+  cfg.recovery = arch::RecoveryKind::kNone;
+  inject::CampaignSpec spec;
+  spec.core_name = "InO";
+  spec.program = &prog;
+  spec.injections = 600;
+  spec.cfg = &cfg;
+  const auto r = inject::run_campaign(spec);
+  // EDS detects every upset in-cycle; without recovery everything is ED.
+  EXPECT_EQ(r.totals.ed, 600u);
+  EXPECT_EQ(r.totals.sdc(), 0u);
+}
+
+TEST(Campaign, IrRecoveryRepairsEverywhereIncludingUnflushable) {
+  const auto prog = bench("gcc");
+  auto core = arch::make_ino_core();
+  arch::ResilienceConfig cfg;
+  cfg.prot.assign(core->registry().ff_count(), arch::FFProt::kEds);
+  cfg.recovery = arch::RecoveryKind::kIr;
+  inject::CampaignSpec spec;
+  spec.core_name = "InO";
+  spec.program = &prog;
+  spec.injections = 500;
+  spec.cfg = &cfg;
+  const auto r = inject::run_campaign(spec);
+  EXPECT_EQ(r.totals.sdc(), 0u);
+  EXPECT_EQ(r.totals.ed, 0u);
+  EXPECT_EQ(r.totals.due(), 0u);
+  EXPECT_GT(r.totals.recovered, 400u);  // most strikes hit live cycles
+}
+
+TEST(Campaign, MarginOfErrorReported) {
+  const auto prog = bench("gcc");
+  inject::CampaignSpec spec;
+  spec.core_name = "InO";
+  spec.program = &prog;
+  spec.injections = 500;
+  const auto r = inject::run_campaign(spec);
+  EXPECT_GT(r.sdc_margin_of_error(), 0.0);
+  EXPECT_LT(r.sdc_margin_of_error(), 0.1);
+}
+
+TEST(IssInject, AllLevelsRunAndDiffer) {
+  const auto prog = bench("mcf");  // store-heavy: exercises varW/regW
+  const std::size_t n = 300;
+  const auto regu =
+      inject::run_iss_campaign(prog, inject::InjectLevel::kRegUniform, n, 5);
+  const auto regw =
+      inject::run_iss_campaign(prog, inject::InjectLevel::kRegWrite, n, 5);
+  const auto varu =
+      inject::run_iss_campaign(prog, inject::InjectLevel::kVarUniform, n, 5);
+  const auto varw =
+      inject::run_iss_campaign(prog, inject::InjectLevel::kVarWrite, n, 5);
+  for (const auto* c : {&regu, &regw, &varu, &varw}) {
+    EXPECT_EQ(c->total(), n);
+  }
+  // Register-write-targeted injection corrupts more often than uniform
+  // register injection (uniform mostly hits dead registers) -- the
+  // [Cho 13] effect that distorts published improvement numbers.
+  EXPECT_GT(regw.omm + regw.due(), regu.omm + regu.due());
+  // Variable-level injections must corrupt as well (different model, no
+  // fixed ordering between the two variable flavours).
+  EXPECT_GT(varw.omm + varw.due(), 0u);
+  EXPECT_GT(varu.omm + varu.due(), 0u);
+}
+
+TEST(IssInject, Deterministic) {
+  const auto prog = bench("parser");
+  const auto a =
+      inject::run_iss_campaign(prog, inject::InjectLevel::kRegUniform, 200, 9);
+  const auto b =
+      inject::run_iss_campaign(prog, inject::InjectLevel::kRegUniform, 200, 9);
+  EXPECT_EQ(a.omm, b.omm);
+  EXPECT_EQ(a.ut, b.ut);
+  EXPECT_EQ(a.hang, b.hang);
+}
+
+}  // namespace

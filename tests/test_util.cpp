@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using clear::util::Rng;
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int bound : {1, 2, 3, 10, 1000, 1250, 13819}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(r.below(static_cast<std::uint64_t>(bound)),
+                static_cast<std::uint64_t>(bound));
+    }
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng r(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Hash, SplitmixIsStable) {
+  // Regression pin: deterministic noise sources (SP&R artifacts, placement
+  // jitter) depend on these exact values.
+  EXPECT_EQ(clear::util::splitmix64(0), 0xe220a8397b1dcdafULL);
+}
+
+TEST(Stats, RunningStatBasics) {
+  clear::util::RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_NEAR(s.rel_stddev(), 2.138 / 5.0, 1e-3);
+}
+
+TEST(Stats, MarginOfErrorShrinksWithSamples) {
+  const double m1 = clear::util::proportion_margin_of_error_95(50, 100);
+  const double m2 = clear::util::proportion_margin_of_error_95(5000, 10000);
+  EXPECT_GT(m1, m2);
+  EXPECT_NEAR(m1, 0.098, 0.002);
+}
+
+TEST(Stats, WilsonIntervalContainsPointEstimate) {
+  const auto iv = clear::util::wilson_interval_95(30, 100);
+  EXPECT_LT(iv.lo, 0.3);
+  EXPECT_GT(iv.hi, 0.3);
+  EXPECT_GT(iv.lo, 0.2);
+  EXPECT_LT(iv.hi, 0.4);
+}
+
+TEST(Stats, WilsonDegenerate) {
+  const auto all = clear::util::wilson_interval_95(100, 100);
+  EXPECT_GT(all.lo, 0.95);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  const auto none = clear::util::wilson_interval_95(0, 100);
+  EXPECT_DOUBLE_EQ(none.lo, 0.0);
+  EXPECT_LT(none.hi, 0.05);
+}
+
+TEST(Stats, WelchDistinguishesSeparatedSamples) {
+  std::vector<double> a = {1.0, 1.1, 0.9, 1.05, 0.95, 1.02, 0.98};
+  std::vector<double> b = {2.0, 2.1, 1.9, 2.05, 1.95, 2.02, 1.98};
+  EXPECT_LT(clear::util::welch_t_test_p_value(a, b), 1e-6);
+}
+
+TEST(Stats, WelchSameSampleHighP) {
+  std::vector<double> a = {1.0, 1.2, 0.8, 1.1, 0.9};
+  std::vector<double> b = {0.9, 1.1, 1.0, 1.2, 0.8};
+  EXPECT_GT(clear::util::welch_t_test_p_value(a, b), 0.5);
+}
+
+TEST(Stats, NormalCdf) {
+  EXPECT_NEAR(clear::util::normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(clear::util::normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(clear::util::normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(Table, FormatsFactorsLikeThePaper) {
+  using clear::util::TextTable;
+  EXPECT_EQ(TextTable::factor(50.0), "50.0x");
+  EXPECT_EQ(TextTable::factor(5568.9), "5,568.9x");
+  EXPECT_EQ(TextTable::factor(1.2), "1.2x");
+  EXPECT_EQ(TextTable::pct(2.1), "2.1%");
+}
+
+TEST(Table, RendersAlignedGrid) {
+  clear::util::TextTable t({"Core", "FFs"});
+  t.add_row({"InO", "1250"});
+  t.add_row({"OoO", "13819"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| Core |"), std::string::npos);
+  EXPECT_NE(s.find("13819"), std::string::npos);
+}
+
+}  // namespace
