@@ -1,0 +1,132 @@
+// Ablation (infrastructure, supporting Sec. 2.1's campaign methodology):
+// what the checkpoint/fork execution engine buys over re-simulating every
+// faulty run from cycle 0.  The golden run is snapshotted at intervals;
+// each faulty run forks from the snapshot nearest below its injection
+// cycle and terminates early once its full state re-converges to the
+// golden trajectory.  Results are bit-identical to the legacy path (a
+// ctest asserts this); this bench measures the wall-clock side.
+#include "bench/common.h"
+
+#include <chrono>
+
+#include "inject/campaign.h"
+#include "util/env.h"
+
+namespace {
+
+using namespace clear;
+
+double time_campaign(inject::CampaignSpec spec, int use_checkpoint,
+                     inject::CampaignResult* out) {
+  spec.key = "";  // no caching: measure execution, not the cache
+  spec.use_checkpoint = use_checkpoint;
+  const auto t0 = std::chrono::steady_clock::now();
+  *out = inject::run_campaign(spec);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void print_tables() {
+  bench::header("Ablation",
+                "checkpoint/fork injection engine vs from-cycle-0 runs");
+  bench::TextTable t({"Core", "Benchmark", "Injections", "Nominal cycles",
+                      "Legacy (s)", "Forked (s)", "Speedup"});
+  double worst = 1e9;
+  for (const char* benchname : {"mcf", "gcc", "parser"}) {
+    const auto prog =
+        core::build_variant_program(benchname, core::Variant::base());
+    inject::CampaignSpec spec;
+    spec.core_name = "InO";
+    spec.program = &prog;
+    spec.injections = 0;  // default scale: one injection per flip-flop
+    inject::CampaignResult legacy, forked;
+    const double t_legacy = time_campaign(spec, 0, &legacy);
+    const double t_forked = time_campaign(spec, 1, &forked);
+    const double speedup = t_forked > 0 ? t_legacy / t_forked : 0.0;
+    worst = std::min(worst, speedup);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", t_legacy);
+    std::string legacy_s = buf;
+    std::snprintf(buf, sizeof(buf), "%.3f", t_forked);
+    std::string forked_s = buf;
+    t.add_row({"InO", benchname, std::to_string(legacy.totals.total()),
+               std::to_string(legacy.nominal_cycles), legacy_s, forked_s,
+               util::TextTable::factor(speedup)});
+    // Bit-identical results are a hard invariant, not a statistics detail.
+    if (legacy.totals.omm != forked.totals.omm ||
+        legacy.totals.vanished != forked.totals.vanished ||
+        legacy.totals.due() != forked.totals.due()) {
+      bench::note("!! MISMATCH between legacy and forked results");
+    }
+  }
+  t.print(std::cout);
+  std::printf("worst-case speedup: %.1fx (target: >= 3x)\n", worst);
+  bench::note("(the forked engine skips the golden prefix of every faulty"
+              " run and early-terminates once the corrupted state provably"
+              " re-converges to the golden trajectory; CLEAR_CHECKPOINT=0"
+              " forces the legacy path)");
+}
+
+// Kernel: one faulty run, forked vs from cycle 0.  The campaign-level
+// speedup above compounds this with early termination.
+void BM_LegacyFaultyRun(benchmark::State& state) {
+  const auto prog = core::build_variant_program("mcf", core::Variant::base());
+  auto proto = arch::make_core("InO");
+  const auto clean = proto->run_clean(prog);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto plan = arch::InjectionPlan::single(
+        1 + (i * 131) % (clean.cycles - 1),
+        static_cast<std::uint32_t>((i * 7) % proto->registry().ff_count()));
+    ++i;
+    benchmark::DoNotOptimize(
+        proto->run(prog, nullptr, &plan, clean.cycles * 2).cycles);
+  }
+}
+BENCHMARK(BM_LegacyFaultyRun);
+
+void BM_ForkedFaultyRun(benchmark::State& state) {
+  const auto prog = core::build_variant_program("mcf", core::Variant::base());
+  auto proto = arch::make_core("InO");
+  const auto clean = proto->run_clean(prog);
+  // Record golden checkpoints once (amortized across the whole campaign).
+  const std::uint64_t interval =
+      std::max<std::uint64_t>(64, clean.cycles / 96);
+  std::vector<arch::CoreCheckpoint> chks;
+  proto->begin(prog, nullptr, nullptr);
+  chks.emplace_back();
+  proto->snapshot(&chks.back());
+  while (proto->step_to(proto->cycle() + interval, clean.cycles * 2)) {
+    chks.emplace_back();
+    proto->snapshot(&chks.back());
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::uint64_t cycle = 1 + (i * 131) % (clean.cycles - 1);
+    const auto plan = arch::InjectionPlan::single(
+        cycle,
+        static_cast<std::uint32_t>((i * 7) % proto->registry().ff_count()));
+    ++i;
+    const std::size_t ci = std::min<std::size_t>(
+        static_cast<std::size_t>(cycle / interval), chks.size() - 1);
+    proto->restore(chks[ci], &plan);
+    for (;;) {
+      const std::uint64_t boundary =
+          (proto->cycle() / interval + 1) * interval;
+      if (!proto->step_to(boundary, clean.cycles * 2)) break;
+      const std::uint64_t cyc = proto->cycle();
+      if (cyc % interval != 0) continue;
+      const std::size_t bi = static_cast<std::size_t>(cyc / interval);
+      if (bi < chks.size() && proto->quiescent() &&
+          proto->state_matches(chks[bi])) {
+        break;  // re-converged to golden
+      }
+    }
+    benchmark::DoNotOptimize(proto->cycle());
+  }
+}
+BENCHMARK(BM_ForkedFaultyRun);
+
+}  // namespace
+
+CLEAR_BENCH_MAIN(print_tables)

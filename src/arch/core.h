@@ -11,16 +11,57 @@
 //
 // Both execute the same CRISC ISA; outcomes of corrupted runs are compared
 // against the ISS golden model by the injection engine.
+//
+// Execution is segmented: begin() arms a run, step_to() advances it in
+// cycle-bounded increments, and current_result() reads the outcome.  The
+// complete execution state is serializable at any cycle boundary
+// (snapshot()/restore()), which is what the checkpoint/fork injection
+// engine builds on: the golden run is snapshotted at intervals, each
+// faulty run forks from the snapshot nearest its injection cycle, and
+// state_hash()/quiescent() let a faulty run terminate early once it has
+// provably re-converged to the golden trajectory.
 #ifndef CLEAR_ARCH_CORE_H
 #define CLEAR_ARCH_CORE_H
 
 #include <memory>
+#include <vector>
 
 #include "arch/ff.h"
+#include "arch/rollback.h"
 #include "arch/types.h"
+#include "isa/iss.h"
 #include "isa/program.h"
 
 namespace clear::arch {
+
+// Complete serialized execution state of a core at a cycle boundary.
+// restore() into a core that has begun the same (program, config) resumes
+// execution bit-exactly.  Snapshots are immutable once taken and may be
+// shared read-only across campaign worker threads.
+struct CoreCheckpoint {
+  // Common state (all cores).
+  std::vector<std::uint64_t> ff;       // flip-flop registry pool
+  std::vector<std::uint32_t> mem;      // data memory image
+  std::vector<std::uint32_t> regs;     // architectural register file
+  std::vector<std::uint32_t> output;   // OUT stream emitted so far
+  std::uint64_t cycle = 0;
+  std::uint64_t committed = 0;
+  isa::RunStatus status = isa::RunStatus::kRunning;
+  isa::Trap trap = isa::Trap::kNone;
+  std::int32_t exit_code = 0;
+  std::int32_t det_id = 0;
+  DetectionSource detected_by = DetectionSource::kNone;
+  std::uint32_t recoveries = 0;
+  std::uint32_t dfc_sig = 0;
+  std::vector<PendingDetection> dets;  // latched, not-yet-acted detections
+  RollbackRing ring;                   // IR/EIR replay window
+  // Core-specific state.
+  std::vector<std::uint64_t> extra;    // scalar fields (core-defined layout)
+  std::vector<std::uint8_t> sram8;     // byte arrays (e.g., gshare PHT)
+  std::vector<std::uint32_t> sram32;   // word arrays (e.g., L1D tags)
+  // Monitor-core checker state (OoO only; null when no monitor is active).
+  std::shared_ptr<const isa::Machine> shadow;
+};
 
 class Core {
  public:
@@ -32,15 +73,57 @@ class Core {
   [[nodiscard]] virtual double clock_ghz() const noexcept = 0;
   [[nodiscard]] virtual const FFRegistry& registry() const noexcept = 0;
 
-  // Runs `prog` to completion (or to max_cycles -> watchdog/Hang).
+  // ---- segmented execution ----
+  // Resets all state and arms a run of `prog`.
   //   cfg  - optional in-simulator resilience configuration
   //   plan - optional soft errors to apply (cycle, flip-flop)
-  // The call resets all state; a Core instance is reused across runs but is
-  // not thread-safe (campaigns give each worker its own instance).
-  virtual CoreRunResult run(const isa::Program& prog,
-                            const ResilienceConfig* cfg,
-                            const InjectionPlan* plan,
-                            std::uint64_t max_cycles) = 0;
+  // A Core instance is reused across runs but is not thread-safe
+  // (campaigns give each worker its own instance).
+  virtual void begin(const isa::Program& prog, const ResilienceConfig* cfg,
+                     const InjectionPlan* plan) = 0;
+  // Advances until cycle() >= target_cycle, the run ends, or cycle() >=
+  // max_cycles (watchdog).  Returns true iff the run can still advance.
+  virtual bool step_to(std::uint64_t target_cycle,
+                       std::uint64_t max_cycles) = 0;
+  // Outcome of the (possibly still segmented) run; a run that is still
+  // within budget reports Watchdog, so call this only once step_to()
+  // returned false or the caller has given up on the run.
+  [[nodiscard]] virtual CoreRunResult current_result() const = 0;
+  [[nodiscard]] virtual std::uint64_t cycle() const noexcept = 0;
+  [[nodiscard]] virtual std::uint32_t recovery_count() const noexcept = 0;
+
+  // ---- serializable state ----
+  // Captures the complete execution state (valid at cycle boundaries, i.e.
+  // between step_to() calls).
+  virtual void snapshot(CoreCheckpoint* out) const = 0;
+  // Restores a snapshot taken by the same core model after a begin() with
+  // the same program/config, then re-arms `plan` (flips scheduled before
+  // the snapshot cycle are dropped; they can no longer occur).
+  virtual void restore(const CoreCheckpoint& cp, const InjectionPlan* plan) = 0;
+  // Hash of all state that can influence the remainder of the run (the
+  // flip-flop pool, memory, registers, output, detector accumulators and
+  // timing-relevant SRAM).  Two runs of the same (program, config) whose
+  // hashes match at the same cycle boundary -- and which are quiescent() --
+  // evolve identically from that point on.
+  [[nodiscard]] virtual std::uint64_t state_hash() const = 0;
+  // Exact-comparison form of the state_hash() convergence test: true iff
+  // every state bit that can influence the remainder of the run equals the
+  // checkpoint's.  Collision-free and cheap to reject (returns at the
+  // first divergent word), so the injection engine uses this at boundary
+  // checks instead of hashing ~all state of both runs.
+  [[nodiscard]] virtual bool state_matches(const CoreCheckpoint& cp) const = 0;
+  // True when nothing besides the serialized state can perturb the future:
+  // the run is live, every planned flip has been applied and no detection
+  // is pending.
+  [[nodiscard]] virtual bool quiescent() const noexcept = 0;
+
+  // Runs `prog` to completion (or to max_cycles -> watchdog/Hang).
+  CoreRunResult run(const isa::Program& prog, const ResilienceConfig* cfg,
+                    const InjectionPlan* plan, std::uint64_t max_cycles) {
+    begin(prog, cfg, plan);
+    step_to(max_cycles, max_cycles);
+    return current_result();
+  }
 
   // Convenience: error-free, unprotected run.
   CoreRunResult run_clean(const isa::Program& prog,
@@ -49,6 +132,27 @@ class Core {
                max_cycles == 0 ? 20'000'000 : max_cycles);
   }
 };
+
+// Earliest cycle an IR/EIR rollback can still target given a core's
+// serialized state: a restore always aims at the cycle before a
+// detection's causing flip, and the flips reachable from a snapshot are
+// the pending detections, the last recorded flip, and plan flips re-armed
+// by restore() (which drops flips older than the snapshot cycle).  Ring
+// entries older than this are unreachable and are pruned from snapshots --
+// both cores must share this rule or checkpoint/legacy bit-identity
+// silently breaks on one of them.
+[[nodiscard]] inline std::uint64_t earliest_rollback_target(
+    std::uint64_t cycle, const std::vector<PendingDetection>& dets,
+    std::uint64_t last_flip_cycle) noexcept {
+  std::uint64_t t = cycle == 0 ? 0 : cycle - 1;
+  for (const auto& d : dets) {
+    t = std::min<std::uint64_t>(t, d.flip_cycle == 0 ? 0 : d.flip_cycle - 1);
+  }
+  if (last_flip_cycle > 0) {
+    t = std::min<std::uint64_t>(t, last_flip_cycle - 1);
+  }
+  return t;
+}
 
 [[nodiscard]] std::unique_ptr<Core> make_ino_core();
 [[nodiscard]] std::unique_ptr<Core> make_ooo_core();

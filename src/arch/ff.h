@@ -93,6 +93,10 @@ class FFRegistry {
   [[nodiscard]] std::vector<std::uint64_t> snapshot() const {
     return pool_;
   }
+  // Direct read-only view of the storage pool (state hashing).
+  [[nodiscard]] const std::vector<std::uint64_t>& pool() const noexcept {
+    return pool_;
+  }
   void restore(const std::vector<std::uint64_t>& snap) noexcept {
     // Element-wise copy: Reg handles hold raw pointers into the pool, so
     // the pool's buffer must never reallocate after registration.

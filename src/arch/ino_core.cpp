@@ -30,6 +30,7 @@
 
 #include "arch/core.h"
 #include "arch/rollback.h"
+#include "util/rng.h"
 
 namespace clear::arch {
 
@@ -119,9 +120,35 @@ class InOCore final : public Core {
     return reg_;
   }
 
-  CoreRunResult run(const isa::Program& prog, const ResilienceConfig* cfg,
-                    const InjectionPlan* plan,
-                    std::uint64_t max_cycles) override;
+  void begin(const isa::Program& prog, const ResilienceConfig* cfg,
+             const InjectionPlan* plan) override {
+    reset(prog, cfg, plan);
+  }
+
+  bool step_to(std::uint64_t target_cycle, std::uint64_t max_cycles) override {
+    while (status_ == isa::RunStatus::kRunning && cycle_ < target_cycle &&
+           cycle_ < max_cycles) {
+      do_cycle();
+    }
+    return status_ == isa::RunStatus::kRunning && cycle_ < max_cycles;
+  }
+
+  [[nodiscard]] CoreRunResult current_result() const override;
+  [[nodiscard]] std::uint64_t cycle() const noexcept override {
+    return cycle_;
+  }
+  [[nodiscard]] std::uint32_t recovery_count() const noexcept override {
+    return recoveries_;
+  }
+
+  void snapshot(CoreCheckpoint* out) const override;
+  void restore(const CoreCheckpoint& cp, const InjectionPlan* plan) override;
+  [[nodiscard]] std::uint64_t state_hash() const override;
+  [[nodiscard]] bool state_matches(const CoreCheckpoint& cp) const override;
+  [[nodiscard]] bool quiescent() const noexcept override {
+    return status_ == isa::RunStatus::kRunning &&
+           next_flip_ >= flips_.size() && dets_.empty();
+  }
 
  private:
   void build();
@@ -187,12 +214,7 @@ class InOCore final : public Core {
   bool redirect_ = false;
   std::uint32_t redirect_pc_ = 0;
 
-  struct PendingDet {
-    std::uint64_t due = 0;
-    std::uint64_t flip_cycle = 0;
-    DetectionSource src = DetectionSource::kNone;
-    std::uint32_t ff = 0;
-  };
+  using PendingDet = PendingDetection;
   std::vector<InjectionPlan::Flip> flips_;
   std::size_t next_flip_ = 0;
   std::uint64_t last_flip_cycle_ = 0;
@@ -304,14 +326,9 @@ void InOCore::reset(const isa::Program& prog, const ResilienceConfig* cfg,
   dfc_sig_ = 0;
   flush_drain_ = 0;
   redirect_ = false;
-  flips_.clear();
+  flips_ = armed_flips(plan, 0);
   next_flip_ = 0;
   dets_.clear();
-  if (plan != nullptr) {
-    flips_ = plan->flips;
-    std::sort(flips_.begin(), flips_.end(),
-              [](const auto& l, const auto& r) { return l.cycle < r.cycle; });
-  }
   const bool ir = cfg != nullptr && (cfg->recovery == RecoveryKind::kIr ||
                                      cfg->recovery == RecoveryKind::kEir);
   ring_.reset(ir ? kRingDepth : 0);
@@ -812,14 +829,7 @@ void InOCore::do_cycle() {
   ++cycle_;
 }
 
-CoreRunResult InOCore::run(const isa::Program& prog,
-                           const ResilienceConfig* cfg,
-                           const InjectionPlan* plan,
-                           std::uint64_t max_cycles) {
-  reset(prog, cfg, plan);
-  while (status_ == isa::RunStatus::kRunning && cycle_ < max_cycles) {
-    do_cycle();
-  }
+CoreRunResult InOCore::current_result() const {
   CoreRunResult r;
   r.status = status_ == isa::RunStatus::kRunning ? isa::RunStatus::kWatchdog
                                                  : status_;
@@ -832,6 +842,81 @@ CoreRunResult InOCore::run(const isa::Program& prog,
   r.detected_by = detected_by_;
   r.recoveries = recoveries_;
   return r;
+}
+
+void InOCore::snapshot(CoreCheckpoint* out) const {
+  out->ff = reg_.snapshot();
+  out->mem = mem_;
+  out->regs = regs_;
+  out->output = output_;
+  out->cycle = cycle_;
+  out->committed = committed_;
+  out->status = status_;
+  out->trap = trap_code_;
+  out->exit_code = exit_code_;
+  out->det_id = det_id_;
+  out->detected_by = detected_by_;
+  out->recoveries = recoveries_;
+  out->dfc_sig = dfc_sig_;
+  out->dets = dets_;
+  out->ring =
+      ring_.pruned(earliest_rollback_target(cycle_, dets_, last_flip_cycle_));
+  out->extra = {static_cast<std::uint64_t>(flush_drain_),
+                redirect_ ? 1u : 0u,
+                redirect_pc_,
+                last_flip_cycle_,
+                last_flip_ff_};
+  out->sram8.clear();
+  out->sram32.clear();
+  out->shadow.reset();
+}
+
+void InOCore::restore(const CoreCheckpoint& cp, const InjectionPlan* plan) {
+  reg_.restore(cp.ff);
+  mem_ = cp.mem;
+  regs_ = cp.regs;
+  output_ = cp.output;
+  cycle_ = cp.cycle;
+  committed_ = cp.committed;
+  status_ = cp.status;
+  trap_code_ = cp.trap;
+  exit_code_ = cp.exit_code;
+  det_id_ = cp.det_id;
+  detected_by_ = cp.detected_by;
+  recoveries_ = cp.recoveries;
+  dfc_sig_ = cp.dfc_sig;
+  dets_ = cp.dets;
+  ring_ = cp.ring;
+  flush_drain_ = static_cast<int>(cp.extra[0]);
+  redirect_ = cp.extra[1] != 0;
+  redirect_pc_ = static_cast<std::uint32_t>(cp.extra[2]);
+  last_flip_cycle_ = cp.extra[3];
+  last_flip_ff_ = static_cast<std::uint32_t>(cp.extra[4]);
+  flips_ = armed_flips(plan, cycle_);
+  next_flip_ = 0;
+}
+
+std::uint64_t InOCore::state_hash() const {
+  // Forward-relevant state only: cycle/instruction counters, recovery
+  // tallies, the replay ring and injection bookkeeping are deliberately
+  // excluded (they cannot influence the remainder of a quiescent run).
+  std::uint64_t h = 0x1A0C0DEULL;
+  for (const std::uint64_t w : reg_.pool()) h = util::hash_combine(h, w);
+  for (const std::uint32_t w : mem_) h = util::hash_combine(h, w);
+  for (const std::uint32_t w : regs_) h = util::hash_combine(h, w);
+  h = util::hash_combine(h, output_.size());
+  for (const std::uint32_t w : output_) h = util::hash_combine(h, w);
+  h = util::hash_combine(h, dfc_sig_);
+  h = util::hash_combine(h, static_cast<std::uint64_t>(flush_drain_));
+  return h;
+}
+
+bool InOCore::state_matches(const CoreCheckpoint& cp) const {
+  // Same coverage as state_hash(); cheapest-to-diverge fields first.
+  return reg_.pool() == cp.ff && regs_ == cp.regs &&
+         dfc_sig_ == cp.dfc_sig &&
+         static_cast<std::uint64_t>(flush_drain_) == cp.extra[0] &&
+         output_ == cp.output && mem_ == cp.mem;
 }
 
 }  // namespace

@@ -36,6 +36,7 @@
 #include "arch/core.h"
 #include "arch/rollback.h"
 #include "isa/iss.h"
+#include "util/rng.h"
 
 namespace clear::arch {
 
@@ -112,11 +113,38 @@ class OoOCore final : public Core {
     return reg_;
   }
 
-  CoreRunResult run(const isa::Program& prog, const ResilienceConfig* cfg,
-                    const InjectionPlan* plan,
-                    std::uint64_t max_cycles) override;
+  void begin(const isa::Program& prog, const ResilienceConfig* cfg,
+             const InjectionPlan* plan) override {
+    reset(prog, cfg, plan);
+  }
+
+  bool step_to(std::uint64_t target_cycle, std::uint64_t max_cycles) override {
+    while (status_ == isa::RunStatus::kRunning && cycle_ < target_cycle &&
+           cycle_ < max_cycles) {
+      do_cycle();
+    }
+    return status_ == isa::RunStatus::kRunning && cycle_ < max_cycles;
+  }
+
+  [[nodiscard]] CoreRunResult current_result() const override;
+  [[nodiscard]] std::uint64_t cycle() const noexcept override {
+    return cycle_;
+  }
+  [[nodiscard]] std::uint32_t recovery_count() const noexcept override {
+    return recoveries_;
+  }
+
+  void snapshot(CoreCheckpoint* out) const override;
+  void restore(const CoreCheckpoint& cp, const InjectionPlan* plan) override;
+  [[nodiscard]] std::uint64_t state_hash() const override;
+  [[nodiscard]] bool state_matches(const CoreCheckpoint& cp) const override;
+  [[nodiscard]] bool quiescent() const noexcept override {
+    return status_ == isa::RunStatus::kRunning &&
+           next_flip_ >= flips_.size() && dets_.empty();
+  }
 
  private:
+  void bind_shadow_hook();
   void build();
   void reset(const isa::Program& prog, const ResilienceConfig* cfg,
              const InjectionPlan* plan);
@@ -212,12 +240,7 @@ class OoOCore final : public Core {
   std::uint32_t shadow_store_word_ = 0;
   bool shadow_stored_ = false;
 
-  struct PendingDet {
-    std::uint64_t due = 0;
-    std::uint64_t flip_cycle = 0;
-    DetectionSource src = DetectionSource::kNone;
-    std::uint32_t ff = 0;
-  };
+  using PendingDet = PendingDetection;
   std::vector<InjectionPlan::Flip> flips_;
   std::size_t next_flip_ = 0;
   std::uint64_t last_flip_cycle_ = 0;
@@ -385,21 +408,21 @@ void OoOCore::reset(const isa::Program& prog, const ResilienceConfig* cfg,
   shadow_.reset();
   if (cfg != nullptr && cfg->monitor) {
     shadow_ = std::make_unique<isa::Machine>(prog);
-    shadow_->post_store_hook = [this](isa::Machine&, std::uint32_t addr,
-                                      std::uint32_t word) {
-      shadow_store_addr_ = addr;
-      shadow_store_word_ = word;
-      shadow_stored_ = true;
-    };
+    bind_shadow_hook();
   }
-  if (plan != nullptr) {
-    flips_ = plan->flips;
-    std::sort(flips_.begin(), flips_.end(),
-              [](const auto& l, const auto& r) { return l.cycle < r.cycle; });
-  }
+  flips_ = armed_flips(plan, 0);
   const bool ir = cfg != nullptr && (cfg->recovery == RecoveryKind::kIr ||
                                      cfg->recovery == RecoveryKind::kEir);
   ring_.reset(ir ? kRingDepth : 0);
+}
+
+void OoOCore::bind_shadow_hook() {
+  shadow_->post_store_hook = [this](isa::Machine&, std::uint32_t addr,
+                                    std::uint32_t word) {
+    shadow_store_addr_ = addr;
+    shadow_store_word_ = word;
+    shadow_stored_ = true;
+  };
 }
 
 void OoOCore::apply_injections() {
@@ -1333,14 +1356,7 @@ void OoOCore::do_cycle() {
   ++cycle_;
 }
 
-CoreRunResult OoOCore::run(const isa::Program& prog,
-                           const ResilienceConfig* cfg,
-                           const InjectionPlan* plan,
-                           std::uint64_t max_cycles) {
-  reset(prog, cfg, plan);
-  while (status_ == isa::RunStatus::kRunning && cycle_ < max_cycles) {
-    do_cycle();
-  }
+CoreRunResult OoOCore::current_result() const {
   CoreRunResult r;
   r.status = status_ == isa::RunStatus::kRunning ? isa::RunStatus::kWatchdog
                                                  : status_;
@@ -1353,6 +1369,141 @@ CoreRunResult OoOCore::run(const isa::Program& prog,
   r.detected_by = detected_by_;
   r.recoveries = recoveries_;
   return r;
+}
+
+void OoOCore::snapshot(CoreCheckpoint* out) const {
+  out->ff = reg_.snapshot();
+  out->mem = mem_;
+  out->regs = regs_;
+  out->output = output_;
+  out->cycle = cycle_;
+  out->committed = committed_;
+  out->status = status_;
+  out->trap = trap_code_;
+  out->exit_code = exit_code_;
+  out->det_id = det_id_;
+  out->detected_by = detected_by_;
+  out->recoveries = recoveries_;
+  out->dfc_sig = dfc_sig_;
+  out->dets = dets_;
+  out->ring =
+      ring_.pruned(earliest_rollback_target(cycle_, dets_, last_flip_cycle_));
+  out->extra = {last_flip_cycle_,
+                last_flip_ff_,
+                shadow_store_addr_,
+                shadow_store_word_,
+                shadow_stored_ ? 1u : 0u};
+  // SRAM structures (timing-relevant, not in the FF registry).
+  out->sram8.assign(pht_.begin(), pht_.end());
+  out->sram8.insert(out->sram8.end(), l1d_valid_.begin(), l1d_valid_.end());
+  out->sram32 = l1d_tag_;
+  if (shadow_) {
+    // The checkpoint's checker copy carries no hooks: hooks capture the
+    // owning core and are re-bound on restore().
+    auto m = std::make_unique<isa::Machine>(*shadow_);
+    m->pre_exec_hook = nullptr;
+    m->post_write_hook = nullptr;
+    m->post_store_hook = nullptr;
+    out->shadow = std::shared_ptr<const isa::Machine>(std::move(m));
+  } else {
+    out->shadow.reset();
+  }
+}
+
+void OoOCore::restore(const CoreCheckpoint& cp, const InjectionPlan* plan) {
+  reg_.restore(cp.ff);
+  mem_ = cp.mem;
+  regs_ = cp.regs;
+  output_ = cp.output;
+  cycle_ = cp.cycle;
+  committed_ = cp.committed;
+  status_ = cp.status;
+  trap_code_ = cp.trap;
+  exit_code_ = cp.exit_code;
+  det_id_ = cp.det_id;
+  detected_by_ = cp.detected_by;
+  recoveries_ = cp.recoveries;
+  dfc_sig_ = cp.dfc_sig;
+  dets_ = cp.dets;
+  ring_ = cp.ring;
+  last_flip_cycle_ = cp.extra[0];
+  last_flip_ff_ = static_cast<std::uint32_t>(cp.extra[1]);
+  shadow_store_addr_ = static_cast<std::uint32_t>(cp.extra[2]);
+  shadow_store_word_ = static_cast<std::uint32_t>(cp.extra[3]);
+  shadow_stored_ = cp.extra[4] != 0;
+  pht_.assign(cp.sram8.begin(), cp.sram8.begin() + static_cast<std::ptrdiff_t>(pht_.size()));
+  l1d_valid_.assign(cp.sram8.begin() + static_cast<std::ptrdiff_t>(pht_.size()),
+                    cp.sram8.end());
+  l1d_tag_ = cp.sram32;
+  if (cp.shadow) {
+    shadow_ = std::make_unique<isa::Machine>(*cp.shadow);
+    bind_shadow_hook();
+  } else {
+    shadow_.reset();
+  }
+  flips_ = armed_flips(plan, cycle_);
+  next_flip_ = 0;
+}
+
+std::uint64_t OoOCore::state_hash() const {
+  // Forward-relevant state only (see InOCore::state_hash): counters,
+  // recovery tallies, the replay ring and injection bookkeeping are
+  // excluded.  Timing-relevant SRAM (PHT, L1D tags) and the monitor
+  // checker's architectural state are included -- they steer the future
+  // cycle-by-cycle trajectory.
+  std::uint64_t h = 0x000C0DEULL;
+  for (const std::uint64_t w : reg_.pool()) h = util::hash_combine(h, w);
+  for (const std::uint32_t w : mem_) h = util::hash_combine(h, w);
+  for (const std::uint32_t w : regs_) h = util::hash_combine(h, w);
+  h = util::hash_combine(h, output_.size());
+  for (const std::uint32_t w : output_) h = util::hash_combine(h, w);
+  h = util::hash_combine(h, dfc_sig_);
+  for (const std::uint8_t b : pht_) h = util::hash_combine(h, b);
+  for (const std::uint8_t b : l1d_valid_) h = util::hash_combine(h, b);
+  for (const std::uint32_t w : l1d_tag_) h = util::hash_combine(h, w);
+  if (shadow_) {
+    h = util::hash_combine(h, shadow_->pc());
+    h = util::hash_combine(h, static_cast<std::uint64_t>(shadow_->status()));
+    for (int r = 0; r < isa::kNumRegs; ++r) {
+      h = util::hash_combine(h, shadow_->reg(r));
+    }
+    for (const std::uint32_t w : shadow_->memory()) {
+      h = util::hash_combine(h, w);
+    }
+    h = util::hash_combine(h, shadow_->output().size());
+    for (const std::uint32_t w : shadow_->output()) {
+      h = util::hash_combine(h, w);
+    }
+  }
+  return h;
+}
+
+bool OoOCore::state_matches(const CoreCheckpoint& cp) const {
+  // Same coverage as state_hash(); cheapest-to-diverge fields first.
+  if (!(reg_.pool() == cp.ff && regs_ == cp.regs &&
+        dfc_sig_ == cp.dfc_sig && output_ == cp.output)) {
+    return false;
+  }
+  // SRAM: cp.sram8 = PHT ++ l1d_valid.
+  if (!std::equal(pht_.begin(), pht_.end(), cp.sram8.begin()) ||
+      !std::equal(l1d_valid_.begin(), l1d_valid_.end(),
+                  cp.sram8.begin() + static_cast<std::ptrdiff_t>(pht_.size())) ||
+      l1d_tag_ != cp.sram32) {
+    return false;
+  }
+  if (static_cast<bool>(shadow_) != static_cast<bool>(cp.shadow)) return false;
+  if (shadow_) {
+    if (shadow_->pc() != cp.shadow->pc() ||
+        shadow_->status() != cp.shadow->status() ||
+        shadow_->output() != cp.shadow->output()) {
+      return false;
+    }
+    for (int r = 0; r < isa::kNumRegs; ++r) {
+      if (shadow_->reg(r) != cp.shadow->reg(r)) return false;
+    }
+    if (shadow_->memory() != cp.shadow->memory()) return false;
+  }
+  return mem_ == cp.mem;
 }
 
 }  // namespace

@@ -95,6 +95,20 @@ class RollbackRing {
     return true;
   }
 
+  // Serialization copy truncated to entries at or after `min_cycle`.
+  // Entries older than every reachable restore target are dead weight in a
+  // checkpoint (restoring to them is impossible), and the ring is by far
+  // the largest part of a snapshot when IR/EIR recovery is armed.
+  [[nodiscard]] RollbackRing pruned(std::uint64_t min_cycle) const {
+    RollbackRing out;
+    out.depth_ = depth_;
+    out.pending_writes_ = pending_writes_;
+    for (const Entry& e : ring_) {
+      if (e.cycle >= min_cycle) out.ring_.push_back(e);
+    }
+    return out;
+  }
+
  private:
   struct Entry {
     std::uint64_t cycle = 0;

@@ -2,6 +2,7 @@
 #ifndef CLEAR_ARCH_TYPES_H
 #define CLEAR_ARCH_TYPES_H
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -73,6 +74,25 @@ struct InjectionPlan {
   }
 };
 
+// Arms a plan for a run segment starting at `from_cycle`: flips sorted by
+// cycle, with those scheduled earlier dropped (they can no longer occur).
+// Shared by the cores' reset() (from_cycle 0) and restore() paths so both
+// agree on ordering and the drop rule.
+[[nodiscard]] inline std::vector<InjectionPlan::Flip> armed_flips(
+    const InjectionPlan* plan, std::uint64_t from_cycle) {
+  std::vector<InjectionPlan::Flip> flips;
+  if (plan == nullptr) return flips;
+  flips = plan->flips;
+  std::sort(flips.begin(), flips.end(),
+            [](const InjectionPlan::Flip& l, const InjectionPlan::Flip& r) {
+              return l.cycle < r.cycle;
+            });
+  auto first = flips.begin();
+  while (first != flips.end() && first->cycle < from_cycle) ++first;
+  flips.erase(flips.begin(), first);
+  return flips;
+}
+
 // What the detection logic observed during a run.
 enum class DetectionSource : std::uint8_t {
   kNone,
@@ -81,6 +101,16 @@ enum class DetectionSource : std::uint8_t {
   kDfc,
   kMonitor,
   kSoftware,  // DET instruction committed (EDDI/CFCSS/assertions/ABFT-detect)
+};
+
+// A detection event latched by checker hardware but not yet acted upon
+// (EDS/parity fire in-cycle, DFC one cycle after the failing sigchk).
+// Part of a core's serializable execution state.
+struct PendingDetection {
+  std::uint64_t due = 0;         // cycle at which recovery/ED engages
+  std::uint64_t flip_cycle = 0;  // cycle of the causing upset (IR target)
+  DetectionSource src = DetectionSource::kNone;
+  std::uint32_t ff = 0;
 };
 
 struct CoreRunResult {

@@ -6,7 +6,10 @@
 // selective-hardening decision, every improvement estimate and every table
 // of the evaluation.  Collection is the expensive step (thousands of
 // microarchitectural simulations); results are memoized in memory and in
-// the on-disk campaign cache shared by all bench binaries.
+// the on-disk campaign cache shared by all bench binaries.  The underlying
+// campaigns run on the process-wide persistent worker pool
+// (util::ThreadPool) with the checkpoint/fork engine, and every worker
+// reuses its core-model instances across all of a session's campaigns.
 #ifndef CLEAR_CORE_SESSION_H
 #define CLEAR_CORE_SESSION_H
 

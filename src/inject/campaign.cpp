@@ -6,18 +6,26 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <thread>
 
 #include "util/env.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/threadpool.h"
 
 namespace clear::inject {
 
 namespace {
 
-constexpr std::uint32_t kCacheVersion = 3;
+// v4: checkpoint/fork execution engine (results are bit-identical to v3,
+// but the bump invalidates caches written by builds without the hardened
+// loader below).
+constexpr std::uint32_t kCacheVersion = 4;
+
+constexpr std::uint64_t kGoldenBudget = 20'000'000;
 
 // Stable hash of the campaign identity (key + program code + parameters).
 std::uint64_t spec_fingerprint(const CampaignSpec& spec,
@@ -43,26 +51,33 @@ std::string sanitize(const std::string& key) {
   return out;
 }
 
+// Loads a cached campaign.  Tolerates truncated or corrupted files: any
+// parse failure, fingerprint mismatch or implausible header leaves *out
+// untouched and returns false, so the caller falls back to re-running the
+// campaign (and rewrites the cache entry).
 bool load_cached(const std::string& path, std::uint64_t fp,
-                 CampaignResult* out) {
+                 std::uint32_t expected_ffs, CampaignResult* out) {
   std::ifstream in(path);
   if (!in) return false;
   std::uint64_t file_fp = 0;
   std::uint32_t ffs = 0;
-  if (!(in >> file_fp >> ffs >> out->nominal_cycles >> out->nominal_instrs)) {
+  CampaignResult r;
+  if (!(in >> file_fp >> ffs >> r.nominal_cycles >> r.nominal_instrs)) {
     return false;
   }
-  if (file_fp != fp) return false;
-  out->ff_count = ffs;
-  out->per_ff.assign(ffs, {});
-  out->totals = {};
+  if (file_fp != fp || ffs != expected_ffs || r.nominal_cycles == 0) {
+    return false;
+  }
+  r.ff_count = ffs;
+  r.per_ff.assign(ffs, {});
   for (std::uint32_t i = 0; i < ffs; ++i) {
-    OutcomeCounts& c = out->per_ff[i];
+    OutcomeCounts& c = r.per_ff[i];
     if (!(in >> c.vanished >> c.omm >> c.ut >> c.hang >> c.ed >> c.recovered)) {
       return false;
     }
-    out->totals.merge(c);
+    r.totals.merge(c);
   }
+  *out = std::move(r);
   return true;
 }
 
@@ -81,6 +96,89 @@ void store_cached(const std::string& path, std::uint64_t fp,
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
+}
+
+// ---- persistent per-worker simulators --------------------------------------
+//
+// Core models are expensive to construct (the FF registry materializes
+// hundreds of named structures), so each pool worker -- the threads live
+// for the whole process -- keeps its own instances and rebinds them per
+// campaign.  Campaigns are identified by a token; a worker calls begin()
+// once per (campaign, worker) to bind the program/config, then forks every
+// faulty run off the shared golden checkpoints with restore().
+std::atomic<std::uint64_t> g_campaign_tokens{1};
+
+arch::Core* worker_core(const std::string& name) {
+  thread_local std::map<std::string, std::unique_ptr<arch::Core>> cores;
+  auto& slot = cores[name];
+  if (!slot) slot = arch::make_core(name);
+  return slot.get();
+}
+
+arch::Core* bound_worker_core(const CampaignSpec& spec,
+                              std::uint64_t campaign_token) {
+  thread_local std::uint64_t bound = 0;
+  arch::Core* core = worker_core(spec.core_name);
+  if (bound != campaign_token) {
+    core->begin(*spec.program, spec.cfg, nullptr);
+    bound = campaign_token;
+  }
+  return core;
+}
+
+// Golden trajectory: periodic full-state snapshots, shared read-only by
+// all workers.  Each snapshot doubles as the fork origin for injections in
+// its interval and as the reference for the convergence test at its
+// boundary.
+struct GoldenTrajectory {
+  std::uint64_t interval = 0;
+  std::vector<arch::CoreCheckpoint> checkpoints;  // at cycles 0, I, 2I, ...
+};
+
+std::uint64_t pick_interval(const CampaignSpec& spec,
+                            std::uint64_t nominal_cycles) {
+  std::uint64_t interval = spec.checkpoint_interval;
+  if (interval == 0) {
+    interval = static_cast<std::uint64_t>(
+        std::max(0L, util::env_long("CLEAR_CHECKPOINT_INTERVAL", 0)));
+  }
+  if (interval == 0) {
+    interval = std::max<std::uint64_t>(64, nominal_cycles / 96);
+  }
+  return interval;
+}
+
+// Runs one faulty execution forked from the nearest golden checkpoint and
+// classifies it.  Early-terminates as soon as the faulty state provably
+// re-converges to the golden trajectory at a checkpoint boundary.
+Outcome run_forked(arch::Core* core, const GoldenTrajectory& traj,
+                   const arch::InjectionPlan& plan, std::uint64_t inj_cycle,
+                   std::uint64_t watchdog, const arch::CoreRunResult& golden) {
+  const std::uint64_t interval = traj.interval;
+  const std::size_t ci =
+      std::min<std::size_t>(static_cast<std::size_t>(inj_cycle / interval),
+                            traj.checkpoints.size() - 1);
+  core->restore(traj.checkpoints[ci], &plan);
+  for (;;) {
+    const std::uint64_t boundary = (core->cycle() / interval + 1) * interval;
+    if (!core->step_to(boundary, watchdog)) {
+      return classify(core->current_result(), golden);
+    }
+    const std::uint64_t cyc = core->cycle();
+    // Recovery latency charges can overshoot a boundary; convergence is
+    // only checked when the faulty run lands exactly on one.
+    if (cyc % interval != 0) continue;
+    const std::size_t bi = static_cast<std::size_t>(cyc / interval);
+    if (bi < traj.checkpoints.size() && core->quiescent() &&
+        core->state_matches(traj.checkpoints[bi])) {
+      // Every forward-relevant state bit matches the golden trajectory:
+      // the remainder of the run is bit-identical to golden, so it halts
+      // with golden's output.  (Exactly what classify() would conclude
+      // after simulating the rest.)
+      return core->recovery_count() > 0 ? Outcome::kRecovered
+                                        : Outcome::kVanished;
+    }
+  }
 }
 
 }  // namespace
@@ -133,9 +231,11 @@ std::string campaign_cache_dir() {
 }
 
 CampaignResult run_campaign(const CampaignSpec& spec) {
-  auto proto = arch::make_core(spec.core_name);
-  if (!proto) throw std::invalid_argument("unknown core " + spec.core_name);
-  const std::uint32_t ff_count = proto->registry().ff_count();
+  arch::Core* gcore = worker_core(spec.core_name);
+  if (gcore == nullptr) {
+    throw std::invalid_argument("unknown core " + spec.core_name);
+  }
+  const std::uint32_t ff_count = gcore->registry().ff_count();
   const std::size_t injections =
       spec.injections != 0 ? spec.injections : ff_count;
 
@@ -154,13 +254,43 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
                   static_cast<unsigned long long>(fp));
     cache_path = campaign_cache_dir() + "/" + sanitize(spec.key) + "." +
                  fpbuf + ".camp";
-    if (load_cached(cache_path, fp, &result)) return result;
+    if (load_cached(cache_path, fp, ff_count, &result)) return result;
   }
 
-  // Golden (error-free) reference run.
-  const auto golden = proto->run(*spec.program, spec.cfg, nullptr, 20'000'000);
-  if (golden.status != isa::RunStatus::kHalted) {
-    throw std::runtime_error("golden run did not halt for key " + spec.key);
+  const bool use_checkpoint =
+      spec.use_checkpoint >= 0
+          ? spec.use_checkpoint != 0
+          : util::env_long("CLEAR_CHECKPOINT", 1) != 0;
+
+  // Golden (error-free) reference run; with checkpointing it doubles as
+  // the recording pass for the fork snapshots and convergence hashes.
+  const std::uint64_t campaign_token =
+      g_campaign_tokens.fetch_add(1, std::memory_order_relaxed);
+  GoldenTrajectory traj;
+  arch::CoreRunResult golden;
+  if (use_checkpoint) {
+    // The snapshot interval depends on the nominal run length, which is
+    // unknown until the golden run finishes: run once to learn the length,
+    // then re-run recording snapshots at the chosen interval.  The golden
+    // run is paid twice per campaign versus `injections` faulty runs, so
+    // the extra pass is noise.
+    golden = gcore->run(*spec.program, spec.cfg, nullptr, kGoldenBudget);
+    if (golden.status != isa::RunStatus::kHalted) {
+      throw std::runtime_error("golden run did not halt for key " + spec.key);
+    }
+    traj.interval = pick_interval(spec, golden.cycles);
+    gcore->begin(*spec.program, spec.cfg, nullptr);
+    traj.checkpoints.emplace_back();
+    gcore->snapshot(&traj.checkpoints.back());
+    while (gcore->step_to(gcore->cycle() + traj.interval, kGoldenBudget)) {
+      traj.checkpoints.emplace_back();
+      gcore->snapshot(&traj.checkpoints.back());
+    }
+  } else {
+    golden = gcore->run(*spec.program, spec.cfg, nullptr, kGoldenBudget);
+    if (golden.status != isa::RunStatus::kHalted) {
+      throw std::runtime_error("golden run did not halt for key " + spec.key);
+    }
   }
   result.nominal_cycles = golden.cycles;
   result.nominal_instrs = golden.instrs;
@@ -176,44 +306,46 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
   threads = static_cast<unsigned>(
       std::min<std::size_t>(threads, std::max<std::size_t>(1, injections / 64)));
 
+  // One OutcomeCounts strip per pool worker (ids are always < threads)
+  // plus one for the inline caller slot, merged afterwards: counter
+  // addition is commutative, so totals are independent of scheduling.
   std::vector<std::vector<OutcomeCounts>> partials(
-      threads, std::vector<OutcomeCounts>(ff_count));
-  std::atomic<std::size_t> next{0};
-  auto worker = [&](unsigned tid) {
-    auto core = arch::make_core(spec.core_name);
-    auto& mine = partials[tid];
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= injections) return;
-      // Stratified-by-FF sampling with an index-derived RNG: results are
-      // independent of thread scheduling.
-      util::Rng rng(util::hash_combine(spec.seed, i));
-      const std::uint32_t ff = static_cast<std::uint32_t>(i % ff_count);
-      const std::uint64_t cycle = 1 + rng.below(result.nominal_cycles - 1);
-      // Circuit-hardened flip-flops suppress the upset with probability
-      // 1 - SER ratio (Table 4); a suppressed strike vanishes by definition.
-      const arch::FFProt p =
-          spec.cfg != nullptr ? spec.cfg->prot_of(ff) : arch::FFProt::kNone;
-      if (!rng.bernoulli(ser_ratio(p))) {
-        mine[ff].add(Outcome::kVanished);
-        continue;
-      }
-      const auto plan = arch::InjectionPlan::single(cycle, ff);
-      const auto run = core->run(*spec.program, spec.cfg, &plan, watchdog);
-      mine[ff].add(classify(run, golden));
-    }
-  };
-  if (threads <= 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-    for (auto& t : pool) t.join();
-  }
-  for (const auto& part : partials) {
+      threads + 1, std::vector<OutcomeCounts>(ff_count));
+
+  util::ThreadPool::instance().run(
+      injections, threads, [&](std::size_t i, unsigned worker_id) {
+        auto& mine = partials[worker_id == util::ThreadPool::kCallerSlot
+                                  ? threads
+                                  : worker_id];
+        // Stratified-by-FF sampling with an index-derived RNG: results are
+        // independent of thread scheduling and thread count.
+        util::Rng rng(util::hash_combine(spec.seed, i));
+        const std::uint32_t ff = static_cast<std::uint32_t>(i % ff_count);
+        const std::uint64_t cycle = 1 + rng.below(result.nominal_cycles - 1);
+        // Circuit-hardened flip-flops suppress the upset with probability
+        // 1 - SER ratio (Table 4); a suppressed strike vanishes by
+        // definition.
+        const arch::FFProt p =
+            spec.cfg != nullptr ? spec.cfg->prot_of(ff) : arch::FFProt::kNone;
+        if (!rng.bernoulli(ser_ratio(p))) {
+          mine[ff].add(Outcome::kVanished);
+          return;
+        }
+        const auto plan = arch::InjectionPlan::single(cycle, ff);
+        if (use_checkpoint) {
+          arch::Core* core = bound_worker_core(spec, campaign_token);
+          mine[ff].add(run_forked(core, traj, plan, cycle, watchdog, golden));
+        } else {
+          arch::Core* core = worker_core(spec.core_name);
+          mine[ff].add(
+              classify(core->run(*spec.program, spec.cfg, &plan, watchdog),
+                       golden));
+        }
+      });
+
+  for (const auto& strip : partials) {
     for (std::uint32_t f = 0; f < ff_count; ++f) {
-      result.per_ff[f].merge(part[f]);
+      result.per_ff[f].merge(strip[f]);
     }
   }
   for (const auto& c : result.per_ff) result.totals.merge(c);

@@ -12,6 +12,18 @@
 // ff = i mod ff_count at an independently drawn uniform cycle, which is an
 // exactly uniform exposure across flip-flops (the paper's "errors are
 // injected uniformly into all flip-flops and application regions").
+//
+// Execution strategy (checkpoint/fork engine): the golden run executes
+// once, snapshotting its complete state at cycle intervals.  Each faulty
+// run forks from the snapshot nearest below its injection cycle instead of
+// re-simulating the identical prefix from cycle 0, and terminates early --
+// as Vanished/Recovered -- at the first checkpoint boundary where its full
+// state hash re-converges to the golden trajectory.  Results are
+// bit-identical to the from-cycle-0 path (CLEAR_CHECKPOINT=0 forces the
+// legacy behaviour) and independent of the worker-thread count: every
+// injection derives its RNG from the sample index alone.  Workers run on a
+// persistent pool (util::ThreadPool) and reuse per-worker core instances
+// across the campaigns of a session.
 #ifndef CLEAR_INJECT_CAMPAIGN_H
 #define CLEAR_INJECT_CAMPAIGN_H
 
@@ -35,11 +47,19 @@ struct CampaignSpec {
   std::string key;
   std::size_t injections = 0;  // 0 = one injection per flip-flop
   std::uint64_t seed = 1;
-  unsigned threads = 0;  // 0 = hardware concurrency
+  unsigned threads = 0;  // 0 = CLEAR_THREADS / hardware concurrency
   // Optional in-simulator resilience configuration (DFC, monitor core,
   // detection + recovery).  Per-FF hardening suppression (LEAP-DICE & co.)
   // is applied by the campaign driver using the Table 4 SER ratios.
   const arch::ResilienceConfig* cfg = nullptr;
+  // Checkpoint/fork engine controls.
+  //   use_checkpoint: -1 = CLEAR_CHECKPOINT env (default on), 0 = legacy
+  //                   from-cycle-0 execution, 1 = force checkpointing.
+  //   checkpoint_interval: cycles between golden snapshots; 0 = the
+  //                   CLEAR_CHECKPOINT_INTERVAL env or an automatic choice
+  //                   (~1/96 of the nominal run).
+  int use_checkpoint = -1;
+  std::uint64_t checkpoint_interval = 0;
 };
 
 struct CampaignResult {

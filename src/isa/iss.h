@@ -69,6 +69,10 @@ class Machine {
   [[nodiscard]] std::uint32_t mem_bytes() const noexcept {
     return static_cast<std::uint32_t>(mem_.size()) * 4;
   }
+  // Read-only view of data memory (state hashing / checkpointing).
+  [[nodiscard]] const std::vector<std::uint32_t>& memory() const noexcept {
+    return mem_;
+  }
 
   const Program& program() const noexcept { return *prog_; }
 

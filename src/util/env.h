@@ -1,8 +1,13 @@
 // Environment-variable knobs shared by tests, benches and examples.
 //
-//   CLEAR_INJECTIONS   - injections per (core, benchmark, variant) campaign
-//   CLEAR_THREADS      - worker threads for campaigns (0 = hardware)
-//   CLEAR_CACHE_DIR    - campaign cache directory ("" disables the cache)
+//   CLEAR_INJECTIONS          - injections per (core, benchmark, variant)
+//                               campaign
+//   CLEAR_THREADS             - worker threads for campaigns (0 = hardware)
+//   CLEAR_CACHE_DIR           - campaign cache directory ("" disables)
+//   CLEAR_CHECKPOINT          - 0 forces the legacy from-cycle-0 injection
+//                               path (default 1: checkpoint/fork engine)
+//   CLEAR_CHECKPOINT_INTERVAL - cycles between golden snapshots (0 = auto,
+//                               ~1/96 of the nominal run)
 #ifndef CLEAR_UTIL_ENV_H
 #define CLEAR_UTIL_ENV_H
 

@@ -263,4 +263,110 @@ TEST(Cores, MakeCoreByName) {
   EXPECT_EQ(arch::make_core("bogus"), nullptr);
 }
 
+TEST(Cores, SegmentedExecutionMatchesMonolithic) {
+  // Driving a run through many small step_to() segments must be
+  // bit-identical to a single run() call.
+  const auto prog = isa::assemble_text(kMemProgram);
+  for (auto maker : {arch::make_ino_core, arch::make_ooo_core}) {
+    auto core = maker();
+    const auto mono = core->run_clean(prog);
+    core->begin(prog, nullptr, nullptr);
+    while (core->step_to(core->cycle() + 37, 20'000'000)) {
+    }
+    const auto seg = core->current_result();
+    EXPECT_EQ(seg.status, mono.status) << core->name();
+    EXPECT_EQ(seg.cycles, mono.cycles) << core->name();
+    EXPECT_EQ(seg.instrs, mono.instrs) << core->name();
+    EXPECT_EQ(seg.output, mono.output) << core->name();
+  }
+}
+
+TEST(Cores, SnapshotRestoreResumesBitExactly) {
+  const auto prog = isa::assemble_text(kCallProgram);
+  for (auto maker : {arch::make_ino_core, arch::make_ooo_core}) {
+    auto core = maker();
+    const auto full = core->run_clean(prog);
+    ASSERT_EQ(full.status, isa::RunStatus::kHalted) << core->name();
+
+    core->begin(prog, nullptr, nullptr);
+    ASSERT_TRUE(core->step_to(full.cycles / 2, 20'000'000)) << core->name();
+    arch::CoreCheckpoint cp;
+    core->snapshot(&cp);
+
+    // Resume on a *different* instance of the same model.
+    auto other = maker();
+    other->begin(prog, nullptr, nullptr);
+    other->restore(cp, nullptr);
+    EXPECT_EQ(other->cycle(), cp.cycle) << core->name();
+    EXPECT_TRUE(other->state_matches(cp)) << core->name();
+    other->step_to(20'000'000, 20'000'000);
+    const auto resumed = other->current_result();
+    EXPECT_EQ(resumed.status, full.status) << core->name();
+    EXPECT_EQ(resumed.cycles, full.cycles) << core->name();
+    EXPECT_EQ(resumed.instrs, full.instrs) << core->name();
+    EXPECT_EQ(resumed.output, full.output) << core->name();
+  }
+}
+
+TEST(Cores, RestoredFaultyRunMatchesFromCycleZero) {
+  // Fork semantics: restoring a mid-run snapshot and arming a flip after
+  // the snapshot cycle must reproduce the from-cycle-0 faulty run exactly,
+  // for live and dead targets alike.
+  const auto prog = isa::assemble_text(kMemProgram);
+  for (auto maker : {arch::make_ino_core, arch::make_ooo_core}) {
+    auto core = maker();
+    const auto clean = core->run_clean(prog);
+    const std::uint64_t snap_cycle = clean.cycles / 3;
+    core->begin(prog, nullptr, nullptr);
+    ASSERT_TRUE(core->step_to(snap_cycle, 20'000'000));
+    arch::CoreCheckpoint cp;
+    core->snapshot(&cp);
+
+    const std::uint32_t ffs = core->registry().ff_count();
+    for (std::uint32_t ff = 0; ff < ffs; ff += ffs / 23) {
+      const auto plan =
+          arch::InjectionPlan::single(snap_cycle + 5, ff % ffs);
+      const auto slow = core->run(prog, nullptr, &plan, clean.cycles * 2);
+      core->begin(prog, nullptr, nullptr);
+      core->restore(cp, &plan);
+      core->step_to(clean.cycles * 2, clean.cycles * 2);
+      const auto fast = core->current_result();
+      EXPECT_EQ(fast.status, slow.status) << core->name() << " ff " << ff;
+      EXPECT_EQ(fast.cycles, slow.cycles) << core->name() << " ff " << ff;
+      EXPECT_EQ(fast.output, slow.output) << core->name() << " ff " << ff;
+      EXPECT_EQ(fast.instrs, slow.instrs) << core->name() << " ff " << ff;
+    }
+  }
+}
+
+TEST(Cores, StateHashTracksConvergence) {
+  // Two independent instances following the same program agree on the
+  // state hash at every boundary; a corrupted run disagrees while the
+  // corruption is live.
+  const auto prog = isa::assemble_text(kSumLoop);
+  auto a = arch::make_ino_core();
+  auto b = arch::make_ino_core();
+  const auto clean = a->run_clean(prog);
+  a->begin(prog, nullptr, nullptr);
+  b->begin(prog, nullptr, nullptr);
+  for (std::uint64_t c = 8; c < clean.cycles; c += 8) {
+    const bool ra = a->step_to(c, 20'000'000);
+    const bool rb = b->step_to(c, 20'000'000);
+    ASSERT_EQ(ra, rb);
+    EXPECT_EQ(a->state_hash(), b->state_hash()) << "cycle " << c;
+    if (!ra) break;
+  }
+  // Corrupt b's fetch PC mid-run (bit 31: the bogus fetch takes several
+  // cycles to reach writeback): hashes must diverge at the next check
+  // while the run is still live.
+  const auto plan = arch::InjectionPlan::single(4, 31);
+  a->begin(prog, nullptr, nullptr);
+  b->begin(prog, nullptr, &plan);
+  a->step_to(6, 20'000'000);
+  ASSERT_TRUE(b->step_to(6, 20'000'000));
+  EXPECT_NE(a->state_hash(), b->state_hash());
+  EXPECT_TRUE(a->quiescent());
+  EXPECT_TRUE(b->quiescent());  // flip applied, nothing pending
+}
+
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 
 #include "arch/core.h"
 #include "inject/campaign.h"
@@ -90,6 +91,151 @@ TEST(Campaign, DeterministicForSeed) {
   for (std::size_t i = 0; i < a.per_ff.size(); i += 97) {
     EXPECT_EQ(a.per_ff[i].omm, b.per_ff[i].omm) << i;
   }
+}
+
+void expect_identical(const inject::CampaignResult& a,
+                      const inject::CampaignResult& b) {
+  EXPECT_EQ(a.nominal_cycles, b.nominal_cycles);
+  EXPECT_EQ(a.nominal_instrs, b.nominal_instrs);
+  EXPECT_EQ(a.totals.vanished, b.totals.vanished);
+  EXPECT_EQ(a.totals.omm, b.totals.omm);
+  EXPECT_EQ(a.totals.ut, b.totals.ut);
+  EXPECT_EQ(a.totals.hang, b.totals.hang);
+  EXPECT_EQ(a.totals.ed, b.totals.ed);
+  EXPECT_EQ(a.totals.recovered, b.totals.recovered);
+  ASSERT_EQ(a.per_ff.size(), b.per_ff.size());
+  for (std::size_t i = 0; i < a.per_ff.size(); ++i) {
+    EXPECT_EQ(a.per_ff[i].vanished, b.per_ff[i].vanished) << i;
+    EXPECT_EQ(a.per_ff[i].omm, b.per_ff[i].omm) << i;
+    EXPECT_EQ(a.per_ff[i].ut, b.per_ff[i].ut) << i;
+    EXPECT_EQ(a.per_ff[i].hang, b.per_ff[i].hang) << i;
+    EXPECT_EQ(a.per_ff[i].ed, b.per_ff[i].ed) << i;
+    EXPECT_EQ(a.per_ff[i].recovered, b.per_ff[i].recovered) << i;
+  }
+}
+
+TEST(Campaign, DeterministicAcrossThreadCounts) {
+  // Index-derived RNGs make results independent of worker scheduling: one
+  // worker thread and eight must produce the same CampaignResult.
+  const auto prog = bench("gcc");
+  inject::CampaignSpec spec;
+  spec.core_name = "InO";
+  spec.program = &prog;
+  spec.injections = 600;
+  spec.seed = 11;
+  spec.threads = 1;
+  const auto one = inject::run_campaign(spec);
+  spec.threads = 8;
+  const auto eight = inject::run_campaign(spec);
+  expect_identical(one, eight);
+}
+
+TEST(Campaign, CheckpointMatchesLegacyOnInO) {
+  const auto prog = bench("mcf");
+  inject::CampaignSpec spec;
+  spec.core_name = "InO";
+  spec.program = &prog;
+  spec.injections = 900;
+  spec.seed = 5;
+  spec.use_checkpoint = 0;
+  const auto legacy = inject::run_campaign(spec);
+  spec.use_checkpoint = 1;
+  const auto forked = inject::run_campaign(spec);
+  expect_identical(legacy, forked);
+}
+
+TEST(Campaign, CheckpointMatchesLegacyOnInOWithRecovery) {
+  // Exercise detection + IR rollback across the fork boundary: the pruned
+  // replay ring serialized into each checkpoint must behave exactly like
+  // the legacy full-history ring.
+  const auto prog = bench("gcc");
+  auto core = arch::make_ino_core();
+  arch::ResilienceConfig cfg;
+  cfg.prot.assign(core->registry().ff_count(), arch::FFProt::kEds);
+  cfg.recovery = arch::RecoveryKind::kIr;
+  inject::CampaignSpec spec;
+  spec.core_name = "InO";
+  spec.program = &prog;
+  spec.injections = 400;
+  spec.seed = 23;
+  spec.cfg = &cfg;
+  spec.use_checkpoint = 0;
+  const auto legacy = inject::run_campaign(spec);
+  spec.use_checkpoint = 1;
+  const auto forked = inject::run_campaign(spec);
+  EXPECT_GT(forked.totals.recovered, 0u);
+  expect_identical(legacy, forked);
+}
+
+TEST(Campaign, CheckpointMatchesLegacyOnOoO) {
+  const auto prog = bench("mcf");
+  inject::CampaignSpec spec;
+  spec.core_name = "OoO";
+  spec.program = &prog;
+  spec.injections = 250;
+  spec.seed = 7;
+  spec.use_checkpoint = 0;
+  const auto legacy = inject::run_campaign(spec);
+  spec.use_checkpoint = 1;
+  const auto forked = inject::run_campaign(spec);
+  expect_identical(legacy, forked);
+}
+
+TEST(Campaign, CheckpointMatchesLegacyOnOoOWithMonitor) {
+  // The monitor's shadow machine is part of the serialized state; forked
+  // runs must validate commits exactly like from-cycle-0 runs.
+  const auto prog = bench("mcf");
+  arch::ResilienceConfig cfg;
+  cfg.monitor = true;
+  cfg.recovery = arch::RecoveryKind::kRob;
+  inject::CampaignSpec spec;
+  spec.core_name = "OoO";
+  spec.program = &prog;
+  spec.injections = 120;
+  spec.seed = 13;
+  spec.cfg = &cfg;
+  spec.use_checkpoint = 0;
+  const auto legacy = inject::run_campaign(spec);
+  spec.use_checkpoint = 1;
+  const auto forked = inject::run_campaign(spec);
+  expect_identical(legacy, forked);
+}
+
+TEST(Campaign, CorruptCacheFallsBackToRerun) {
+  const auto prog = bench("parser");
+  inject::CampaignSpec spec;
+  spec.core_name = "InO";
+  spec.program = &prog;
+  spec.injections = 200;
+  spec.key = "test/parser/corrupt_cache";
+  std::filesystem::remove_all(inject::campaign_cache_dir());
+  const auto fresh = inject::run_campaign(spec);
+
+  // Locate the cache file this campaign wrote.
+  std::filesystem::path cache_file;
+  for (const auto& e :
+       std::filesystem::directory_iterator(inject::campaign_cache_dir())) {
+    if (e.path().extension() == ".camp") cache_file = e.path();
+  }
+  ASSERT_FALSE(cache_file.empty());
+
+  // Truncated file: loader must reject it and the campaign re-runs.
+  {
+    const auto full_size = std::filesystem::file_size(cache_file);
+    std::filesystem::resize_file(cache_file, full_size / 2);
+    const auto again = inject::run_campaign(spec);
+    expect_identical(fresh, again);
+  }
+  // Binary garbage: same story.
+  {
+    std::ofstream out(cache_file, std::ios::binary | std::ios::trunc);
+    out << "\x7f""ELFgarbage\0\1\2\3";
+  }
+  const auto again = inject::run_campaign(spec);
+  expect_identical(fresh, again);
+  // An empty file as well.
+  { std::ofstream out(cache_file, std::ios::trunc); }
+  expect_identical(fresh, inject::run_campaign(spec));
 }
 
 TEST(Campaign, CacheRoundTrips) {

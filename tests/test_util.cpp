@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/threadpool.h"
 
 namespace {
 
@@ -117,6 +120,97 @@ TEST(Table, FormatsFactorsLikeThePaper) {
   EXPECT_EQ(TextTable::factor(5568.9), "5,568.9x");
   EXPECT_EQ(TextTable::factor(1.2), "1.2x");
   EXPECT_EQ(TextTable::pct(2.1), "2.1%");
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  auto& pool = clear::util::ThreadPool::instance();
+  std::vector<std::atomic<int>> hits(1000);
+  pool.run(hits.size(), 4, [&](std::size_t i, unsigned worker_id) {
+    EXPECT_TRUE(worker_id < pool.size() ||
+                worker_id == clear::util::ThreadPool::kCallerSlot);
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, SurvivesRepeatedJobs) {
+  // The pool is persistent: many back-to-back jobs must all complete.
+  auto& pool = clear::util::ThreadPool::instance();
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.run(64, 3, [&](std::size_t i, unsigned) {
+      sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 64 * 63 / 2);
+  }
+}
+
+TEST(ThreadPool, GrowingAfterCompletedJobsIsSafe) {
+  // Regression: workers spawned by a later, wider run() must not adopt an
+  // already-completed job generation (that caused a spurious worker-count
+  // decrement, letting run() return while a worker still executed fn).
+  clear::util::ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::atomic<int>> hits(300);
+    pool.run(hits.size(), 2, [&](std::size_t i, unsigned) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    // Wider than the pool: forces grow() between jobs.
+    pool.run(hits.size(), 4 + static_cast<unsigned>(round % 3),
+             [&](std::size_t i, unsigned) {
+               hits[i].fetch_add(1, std::memory_order_relaxed);
+             });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 2) << "round " << round << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, RethrowsFirstWorkerException) {
+  auto& pool = clear::util::ThreadPool::instance();
+  EXPECT_THROW(
+      pool.run(200, 4,
+               [](std::size_t i, unsigned) {
+                 if (i == 37) throw std::runtime_error("worker 37 failed");
+               }),
+      std::runtime_error);
+  // The pool must remain usable after a failed job.
+  std::atomic<int> count{0};
+  pool.run(10, 4, [&](std::size_t, unsigned) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, InlinePathAlsoThrows) {
+  auto& pool = clear::util::ThreadPool::instance();
+  EXPECT_THROW(pool.run(3, 1,
+                        [](std::size_t i, unsigned worker_id) {
+                          EXPECT_EQ(worker_id,
+                                    clear::util::ThreadPool::kCallerSlot);
+                          if (i == 2) throw std::runtime_error("inline");
+                        }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, RunsAllAndPropagatesExceptions) {
+  std::vector<std::atomic<int>> hits(256);
+  clear::util::parallel_for(
+      hits.size(),
+      [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
+      4);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+  EXPECT_THROW(clear::util::parallel_for(
+                   100,
+                   [](std::size_t i) {
+                     if (i == 50) throw std::logic_error("boom");
+                   },
+                   4),
+               std::logic_error);
 }
 
 TEST(Table, RendersAlignedGrid) {
