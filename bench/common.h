@@ -4,8 +4,14 @@
 // it prints the measured reproduction next to the paper-reported reference
 // values, then runs a google-benchmark measurement of the underlying
 // computational kernel.  All binaries share the on-disk campaign cache
-// (CLEAR_CACHE_DIR, default .clear_cache), so the expensive injection
-// campaigns run once across the whole bench suite.
+// pack (CLEAR_CACHE_DIR, default .clear_cache -- exactly one pack + one
+// index per directory, LRU-bounded by CLEAR_CACHE_MAX_BYTES), so the
+// expensive injection campaigns run once across the whole bench suite.
+// Sessions submit each variant's campaigns as one batch
+// (inject::run_campaigns), overlapping golden-run recording with faulty
+// runs on the shared worker pool; campaigns too big for one machine shard
+// across processes via CampaignSpec::shard_index/shard_count and merge
+// with inject::merge_campaign_results (see example_shard_and_merge).
 #ifndef CLEAR_BENCH_COMMON_H
 #define CLEAR_BENCH_COMMON_H
 

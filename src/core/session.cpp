@@ -76,8 +76,14 @@ const ProfileSet& Session::profiles(const Variant& v) {
       v.monitor ? arch::RecoveryKind::kRob : arch::RecoveryKind::kNone;
   const bool needs_cfg = v.dfc || v.monitor;
 
-  double exec_sum = 0.0;
-  std::size_t exec_n = 0;
+  // Build every benchmark's program first, then submit the whole variant
+  // as one batch: the campaign engine overlaps golden-run recording with
+  // faulty runs across benchmarks on the shared worker pool.
+  struct Pending {
+    std::string bench;
+    isa::Program prog;
+  };
+  std::vector<Pending> pending;
   for (const auto& bench : benchmarks_) {
     if (v.abft != workloads::AbftKind::kNone) {
       // Only benchmarks amenable to the requested ABFT kind (Sec. 3.2).
@@ -87,24 +93,35 @@ const ProfileSet& Session::profiles(const Variant& v) {
       }
       if (!ok) continue;
     }
-    const isa::Program prog = build_variant_program(bench, v, 0);
-    const isa::Program base_prog =
-        vkey == "base" ? prog : build_variant_program(bench, Variant::base(), 0);
+    pending.push_back({bench, build_variant_program(bench, v, 0)});
+  }
+  if (pending.empty()) {
+    throw std::runtime_error("no benchmarks support variant " + vkey +
+                             " on core " + core_);
+  }
 
-    inject::CampaignSpec spec;
-    spec.core_name = core_;
-    spec.program = &prog;
-    spec.key = core_ + "/" + bench + "/" + vkey;
-    spec.injections = per_ff_samples_ * set->ff_count;
-    spec.seed = seed_;
-    spec.cfg = needs_cfg ? &cfg : nullptr;
+  std::vector<inject::CampaignSpec> specs(pending.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    specs[i].core_name = core_;
+    specs[i].program = &pending[i].prog;
+    specs[i].key = core_ + "/" + pending[i].bench + "/" + vkey;
+    specs[i].injections = per_ff_samples_ * set->ff_count;
+    specs[i].seed = seed_;
+    specs[i].cfg = needs_cfg ? &cfg : nullptr;
+  }
+  std::vector<inject::CampaignResult> campaigns = inject::run_campaigns(specs);
 
+  double exec_sum = 0.0;
+  std::size_t exec_n = 0;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
     BenchProfile bp;
-    bp.benchmark = bench;
-    bp.campaign = inject::run_campaign(spec);
+    bp.benchmark = pending[i].bench;
+    bp.campaign = std::move(campaigns[i]);
     if (vkey == "base") {
       bp.base_cycles = bp.campaign.nominal_cycles;
     } else {
+      const isa::Program base_prog =
+          build_variant_program(bp.benchmark, Variant::base(), 0);
       auto proto = arch::make_core(core_);
       bp.base_cycles = proto->run_clean(base_prog).cycles;
     }
@@ -119,10 +136,6 @@ const ProfileSet& Session::profiles(const Variant& v) {
     }
     set->totals.merge(bp.campaign.totals);
     set->benches.push_back(std::move(bp));
-  }
-  if (set->benches.empty()) {
-    throw std::runtime_error("no benchmarks support variant " + vkey +
-                             " on core " + core_);
   }
   set->exec_overhead = exec_n ? exec_sum / static_cast<double>(exec_n) - 1.0
                               : 0.0;

@@ -6,10 +6,13 @@
 // selective-hardening decision, every improvement estimate and every table
 // of the evaluation.  Collection is the expensive step (thousands of
 // microarchitectural simulations); results are memoized in memory and in
-// the on-disk campaign cache shared by all bench binaries.  The underlying
-// campaigns run on the process-wide persistent worker pool
-// (util::ThreadPool) with the checkpoint/fork engine, and every worker
-// reuses its core-model instances across all of a session's campaigns.
+// the on-disk campaign cache pack shared by all bench binaries.  The
+// underlying campaigns are submitted per variant as one batch
+// (inject::run_campaigns) to the process-wide persistent worker pool
+// (util::ThreadPool): golden-run recordings of later benchmarks overlap
+// the faulty runs of earlier ones, every worker reuses its core-model
+// instances across all of a session's campaigns, and the checkpoint/fork
+// engine accelerates each faulty run.
 #ifndef CLEAR_CORE_SESSION_H
 #define CLEAR_CORE_SESSION_H
 

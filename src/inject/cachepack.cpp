@@ -1,0 +1,544 @@
+#include "inject/cachepack.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "util/env.h"
+#include "util/fs.h"
+
+namespace clear::inject {
+
+namespace {
+
+constexpr unsigned char kMagic[4] = {'C', 'P', 'K', '1'};
+constexpr std::size_t kHeaderSize = 36;   // 28 checksummed bytes + 8
+constexpr std::uint32_t kMaxKeyLen = 1u << 16;
+constexpr std::uint32_t kMaxPayloadLen = 1u << 30;
+
+std::uint64_t fnv1a(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void put_u32(unsigned char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+void put_u64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+struct Header {
+  std::uint32_t key_len = 0;
+  std::uint32_t payload_len = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t payload_sum = 0;
+};
+
+// Serializes a header into its 36-byte on-disk form (checksum included).
+void encode_header(const Header& h, unsigned char* out) {
+  std::memcpy(out, kMagic, 4);
+  put_u32(out + 4, h.key_len);
+  put_u32(out + 8, h.payload_len);
+  put_u64(out + 12, h.fp);
+  put_u64(out + 20, h.payload_sum);
+  put_u64(out + 28, fnv1a(out, 28));
+}
+
+// Validates magic + header checksum + length sanity; false on any damage.
+bool decode_header(const unsigned char* in, Header* h) {
+  if (std::memcmp(in, kMagic, 4) != 0) return false;
+  if (get_u64(in + 28) != fnv1a(in, 28)) return false;
+  h->key_len = get_u32(in + 4);
+  h->payload_len = get_u32(in + 8);
+  h->fp = get_u64(in + 12);
+  h->payload_sum = get_u64(in + 20);
+  return h->key_len <= kMaxKeyLen && h->payload_len <= kMaxPayloadLen;
+}
+
+std::uint64_t record_size(const Header& h) {
+  return kHeaderSize + h.key_len + h.payload_len;
+}
+
+bool read_all(int fd, std::uint64_t offset, void* buf, std::size_t n) {
+  auto* p = static_cast<unsigned char*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::pread(fd, p, n, static_cast<off_t>(offset));
+    if (r <= 0) return false;
+    p += r;
+    offset += static_cast<std::uint64_t>(r);
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_all(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(buf);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w <= 0) return false;
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+// Scoped flock(): serializes appends and compaction across processes.
+// flock is not recursive -- an inner LOCK_UN would release an outer
+// scope's lock -- so `engage=false` lets a callee run under a lock its
+// caller already holds.
+class FileLock {
+ public:
+  explicit FileLock(int fd, bool engage = true)
+      : fd_(engage ? fd : -1) {
+    if (fd_ >= 0) ::flock(fd_, LOCK_EX);
+  }
+  ~FileLock() {
+    if (fd_ >= 0) ::flock(fd_, LOCK_UN);
+  }
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+CachePack::CachePack(std::string dir, std::uint64_t max_bytes)
+    : dir_(std::move(dir)) {
+  pack_path_ = dir_ + "/" + kPackName;
+  index_path_ = dir_ + "/" + kIndexName;
+  max_bytes_ =
+      max_bytes != 0 ? max_bytes : util::env_bytes("CLEAR_CACHE_MAX_BYTES", 0);
+  std::lock_guard<std::mutex> g(m_);
+  open_locked(/*dir_lock_held=*/false);
+}
+
+CachePack::~CachePack() {
+  std::lock_guard<std::mutex> g(m_);
+  close_locked();
+  if (dir_fd_ >= 0) ::close(dir_fd_);
+  dir_fd_ = -1;
+}
+
+void CachePack::close_locked() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  entries_.clear();
+  pack_size_ = 0;
+  index_lines_ = 0;
+}
+
+// The flock target: the cache directory itself.  Its inode is stable --
+// compaction renames files *inside* it -- so two processes always contend
+// on the same lock, which a lock on the (replaceable) pack fd would not
+// guarantee.  Opened once and kept for the object's lifetime; if the
+// whole directory is removed and recreated externally, locking degrades
+// to best-effort (correctness within each process is unaffected).
+int CachePack::dir_lock_fd_locked() {
+  if (dir_fd_ < 0) {
+    util::ensure_dir(dir_);
+    dir_fd_ = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  }
+  return dir_fd_;
+}
+
+void CachePack::open_locked(bool dir_lock_held) {
+  close_locked();
+  stats_ = {};
+  clock_ = 0;
+  if (!util::ensure_dir(dir_)) return;
+  fd_ = ::open(pack_path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) return;
+  // Migration and eviction write; take the cross-process lock unless the
+  // caller (resync) already holds it.
+  FileLock lock(dir_lock_fd_locked(), !dir_lock_held);
+  scan_pack_range_locked(0);
+  load_index_clocks_locked();
+  migrate_legacy_locked();
+  maybe_evict_locked();
+  stats_.records = entries_.size();
+  stats_.pack_bytes = pack_size_;
+}
+
+// Called with the directory flock held before any write: folds in what
+// other processes did since our last look.  A replaced or truncated pack
+// triggers a full reopen; a grown pack gets its new tail scanned so
+// records appended by other processes survive our compaction.
+void CachePack::resync_locked() {
+  struct stat on_disk;
+  struct stat ours;
+  const bool same_file = fd_ >= 0 &&
+                         ::stat(pack_path_.c_str(), &on_disk) == 0 &&
+                         ::fstat(fd_, &ours) == 0 &&
+                         ours.st_ino == on_disk.st_ino &&
+                         ours.st_dev == on_disk.st_dev;
+  if (!same_file ||
+      static_cast<std::uint64_t>(ours.st_size) < pack_size_) {
+    open_locked(/*dir_lock_held=*/true);
+    return;
+  }
+  if (static_cast<std::uint64_t>(ours.st_size) > pack_size_) {
+    scan_pack_range_locked(pack_size_);
+  }
+}
+
+// Recovers every intact record in pack bytes [from, end).  The index is
+// never trusted for locations: a sequential scan accepts records whose
+// header and payload checksums both verify, skips damaged records by
+// their self-described length when the header is intact, and
+// re-synchronizes on the next magic otherwise.  Later records win over
+// earlier ones with the same fingerprint (re-puts append).  `from = 0`
+// is the full open-time scan; a nonzero `from` folds in a tail another
+// process appended since our last look.
+void CachePack::scan_pack_range_locked(std::uint64_t from) {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return;
+  const auto end = static_cast<std::uint64_t>(st.st_size);
+  pack_size_ = end;
+  if (end <= from) return;
+  std::vector<unsigned char> buf(end - from);
+  if (!read_all(fd_, from, buf.data(), buf.size())) {
+    pack_size_ = from;
+    return;
+  }
+  std::uint64_t pos = 0;
+  bool in_bad_region = false;
+  while (pos + kHeaderSize <= buf.size()) {
+    Header h;
+    if (!decode_header(buf.data() + pos, &h) ||
+        pos + record_size(h) > buf.size()) {
+      // Damaged or torn header (or a false magic inside a payload of a
+      // damaged region): quarantine the region once, then hunt for the
+      // next record start.
+      if (!in_bad_region) {
+        ++stats_.quarantined;
+        in_bad_region = true;
+      }
+      const auto* next = static_cast<const unsigned char*>(
+          std::memchr(buf.data() + pos + 1, kMagic[0], buf.size() - pos - 1));
+      if (next == nullptr) break;
+      pos = static_cast<std::uint64_t>(next - buf.data());
+      continue;
+    }
+    in_bad_region = false;
+    const std::uint64_t payload_off = pos + kHeaderSize + h.key_len;
+    if (fnv1a(buf.data() + payload_off, h.payload_len) != h.payload_sum) {
+      ++stats_.quarantined;  // intact header, damaged payload: skip exactly
+    } else {
+      Entry e;
+      e.offset = from + pos;
+      e.key_len = h.key_len;
+      e.payload_len = h.payload_len;
+      e.payload_sum = h.payload_sum;
+      e.clock = ++clock_;  // file order seeds LRU; the index refines it
+      entries_[h.fp] = e;
+    }
+    pos += record_size(h);
+  }
+}
+
+// Applies LRU clocks from the advisory index.  Any malformed line is
+// ignored -- the pack scan above is authoritative for what exists.
+void CachePack::load_index_clocks_locked() {
+  std::ifstream in(index_path_);
+  if (!in) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++index_lines_;
+    unsigned long long fp_in = 0, clk_in = 0;
+    if (std::sscanf(line.c_str(), "%llx %llu", &fp_in, &clk_in) != 2) continue;
+    const auto fp = static_cast<std::uint64_t>(fp_in);
+    const auto clk = static_cast<std::uint64_t>(clk_in);
+    const auto it = entries_.find(fp);
+    if (it != entries_.end()) it->second.clock = std::max(it->second.clock, clk);
+    clock_ = std::max(clock_, clk);
+  }
+}
+
+// One-shot ingestion of legacy per-campaign `.camp` files.  The first
+// whitespace token of a legacy file is its own fingerprint; files that do
+// not even yield one are dropped (the legacy loader would have rejected
+// them anyway).  Ingested and unparseable files are removed so the
+// directory converges to exactly pack + index.
+void CachePack::migrate_legacy_locked() {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir_, ec);
+  if (ec) return;
+  std::vector<std::filesystem::path> legacy;
+  for (const auto& e : it) {
+    if (e.path().extension() == ".camp") legacy.push_back(e.path());
+  }
+  std::sort(legacy.begin(), legacy.end());  // deterministic ingest order
+  for (const auto& path : legacy) {
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    in.close();
+    unsigned long long fp = 0;
+    if (std::sscanf(content.c_str(), "%llu", &fp) == 1 && fp != 0 &&
+        entries_.find(fp) == entries_.end()) {
+      append_record_locked(fp, path.stem().string(), content);
+      ++stats_.migrated;
+    }
+    std::filesystem::remove(path, ec);
+  }
+}
+
+CachePack& CachePack::instance(const std::string& dir) {
+  static std::mutex mu;
+  // One instance per directory, leaked deliberately: a thread that
+  // fetched a reference must be able to use it even if another thread
+  // concurrently asks for a different directory, and leaking sidesteps
+  // static-destruction-order races with worker threads at exit.
+  static auto* insts = new std::map<std::string, std::unique_ptr<CachePack>>;
+  std::lock_guard<std::mutex> g(mu);
+  auto& slot = (*insts)[dir];
+  if (!slot) slot = std::make_unique<CachePack>(dir);
+  return *slot;
+}
+
+// Reopens when the pack file at pack_path_ is no longer the file behind
+// fd_ (removed or atomically replaced by another process's compaction).
+// Returns true when a usable pack is open.
+bool CachePack::reopen_if_stale_locked() {
+  struct stat on_disk;
+  if (fd_ >= 0 && ::stat(pack_path_.c_str(), &on_disk) == 0) {
+    struct stat ours;
+    if (::fstat(fd_, &ours) == 0 && ours.st_ino == on_disk.st_ino &&
+        ours.st_dev == on_disk.st_dev) {
+      return true;
+    }
+  }
+  open_locked(/*dir_lock_held=*/false);
+  return fd_ >= 0;
+}
+
+bool CachePack::get(std::uint64_t fp, std::string* payload) {
+  std::lock_guard<std::mutex> g(m_);
+  if (!reopen_if_stale_locked()) return false;
+  const auto it = entries_.find(fp);
+  if (it == entries_.end()) return false;
+  Entry& e = it->second;
+  std::string data(e.payload_len, '\0');
+  if (!read_all(fd_, e.offset + kHeaderSize + e.key_len, data.data(),
+                data.size()) ||
+      fnv1a(data.data(), data.size()) != e.payload_sum) {
+    // The bytes under this entry no longer verify (external truncation or
+    // overwrite): drop it so the caller re-runs and re-appends.
+    entries_.erase(it);
+    return false;
+  }
+  e.clock = ++clock_;
+  {
+    FileLock lock(dir_lock_fd_locked());
+    append_index_line_locked(fp, e.clock);
+    // The index is append-only outside eviction; once it dwarfs the live
+    // entry set (warm suites touch it on every hit), rewrite it in place.
+    if (index_lines_ > 1024 &&
+        index_lines_ / 8 > entries_.size()) {
+      rewrite_index_locked();
+    }
+  }
+  *payload = std::move(data);
+  return true;
+}
+
+void CachePack::put(std::uint64_t fp, const std::string& key,
+                    const std::string& payload) {
+  std::lock_guard<std::mutex> g(m_);
+  // One cross-process critical section for the whole write: re-sync with
+  // whatever other processes appended or compacted, append, then maybe
+  // evict -- so our compaction can never drop their records.
+  FileLock lock(dir_lock_fd_locked());
+  resync_locked();
+  if (fd_ < 0) return;
+  append_record_locked(fp, key, payload);
+  maybe_evict_locked();
+  stats_.records = entries_.size();
+  stats_.pack_bytes = pack_size_;
+}
+
+// Appends one record (caller holds the directory flock): record bytes +
+// fsync first, index line last, so a crash can only lose the
+// not-yet-indexed tail (which the next open's scan recovers anyway).
+void CachePack::append_record_locked(std::uint64_t fp, const std::string& key,
+                                     const std::string& payload) {
+  if (fd_ < 0) return;
+  Header h;
+  h.key_len = static_cast<std::uint32_t>(
+      std::min<std::size_t>(key.size(), kMaxKeyLen));
+  h.payload_len = static_cast<std::uint32_t>(payload.size());
+  h.fp = fp;
+  h.payload_sum = fnv1a(payload.data(), payload.size());
+  std::vector<unsigned char> rec(record_size(h));
+  encode_header(h, rec.data());
+  std::memcpy(rec.data() + kHeaderSize, key.data(), h.key_len);
+  std::memcpy(rec.data() + kHeaderSize + h.key_len, payload.data(),
+              h.payload_len);
+
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) return;
+  if (!write_all(fd_, rec.data(), rec.size())) {
+    // Torn append (e.g. disk full): trim it so the pack tail stays clean.
+    if (::ftruncate(fd_, end) != 0) { /* scan quarantines the tail */ }
+    return;
+  }
+  ::fsync(fd_);
+
+  Entry e;
+  e.offset = static_cast<std::uint64_t>(end);
+  e.key_len = h.key_len;
+  e.payload_len = h.payload_len;
+  e.payload_sum = h.payload_sum;
+  e.clock = ++clock_;
+  entries_[fp] = e;
+  pack_size_ = static_cast<std::uint64_t>(end) + rec.size();
+  append_index_line_locked(fp, e.clock);
+}
+
+void CachePack::append_index_line_locked(std::uint64_t fp,
+                                         std::uint64_t clock) {
+  const int ifd = ::open(index_path_.c_str(),
+                         O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (ifd < 0) return;
+  char line[64];
+  const int n = std::snprintf(line, sizeof(line), "%016llx %llu\n",
+                              static_cast<unsigned long long>(fp),
+                              static_cast<unsigned long long>(clock));
+  if (n > 0 && write_all(ifd, line, static_cast<std::size_t>(n))) {
+    ++index_lines_;
+  }
+  ::close(ifd);
+}
+
+// Rewrites the advisory index to one line per live entry (caller holds
+// the directory flock); tmp file + atomic rename so readers never see a
+// half-written index.
+void CachePack::rewrite_index_locked() {
+  const std::string tmp_idx = index_path_ + ".tmp";
+  {
+    std::ofstream idx(tmp_idx, std::ios::trunc);
+    if (!idx) return;
+    for (const auto& [fp, e] : entries_) {
+      char line[64];
+      std::snprintf(line, sizeof(line), "%016llx %llu\n",
+                    static_cast<unsigned long long>(fp),
+                    static_cast<unsigned long long>(e.clock));
+      idx << line;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_idx, index_path_, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_idx, ec);
+    return;
+  }
+  index_lines_ = entries_.size();
+}
+
+// LRU eviction by byte budget (caller holds the directory flock and has
+// resync'd, so entries_ covers every process's records): when the pack
+// outgrows max_bytes_, keep the most recently used records that fit
+// (always at least the newest) and compact pack + index via tmp file +
+// atomic rename.  Compaction also reclaims records superseded by re-puts.
+void CachePack::maybe_evict_locked() {
+  if (max_bytes_ == 0 || pack_size_ <= max_bytes_ || fd_ < 0) return;
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> by_use;  // clock, fp
+  by_use.reserve(entries_.size());
+  for (const auto& [fp, e] : entries_) by_use.emplace_back(e.clock, fp);
+  std::sort(by_use.rbegin(), by_use.rend());
+
+  const std::string tmp_pack = pack_path_ + ".tmp";
+  const int out = ::open(tmp_pack.c_str(),
+                         O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (out < 0) return;
+
+  std::map<std::uint64_t, Entry> kept;
+  std::uint64_t used = 0;
+  std::size_t dropped = 0;
+  bool ok = true;
+  for (std::size_t i = 0; i < by_use.size() && ok; ++i) {
+    const std::uint64_t fp = by_use[i].second;
+    const Entry& e = entries_[fp];
+    const std::uint64_t rec_len = kHeaderSize + e.key_len + e.payload_len;
+    if (i > 0 && used + rec_len > max_bytes_) {
+      ++dropped;
+      continue;
+    }
+    std::vector<unsigned char> rec(rec_len);
+    Header h;
+    if (!read_all(fd_, e.offset, rec.data(), rec.size()) ||
+        !decode_header(rec.data(), &h) || h.fp != fp) {
+      ++dropped;  // damaged since open: evict rather than copy garbage
+      continue;
+    }
+    Entry ne = e;
+    ne.offset = used;
+    ok = write_all(out, rec.data(), rec.size());
+    if (ok) {
+      kept[fp] = ne;
+      used += rec_len;
+    }
+  }
+  ::fsync(out);
+  ::close(out);
+  std::error_code ec;
+  if (!ok) {
+    std::filesystem::remove(tmp_pack, ec);
+    return;
+  }
+  std::filesystem::rename(tmp_pack, pack_path_, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_pack, ec);
+    return;
+  }
+
+  // Swap in the compacted pack, then rewrite the index to one line per
+  // surviving record.
+  const int nfd = ::open(pack_path_.c_str(), O_RDWR | O_CLOEXEC);
+  if (nfd < 0) {
+    close_locked();
+    return;
+  }
+  ::close(fd_);
+  fd_ = nfd;
+  entries_ = std::move(kept);
+  pack_size_ = used;
+  stats_.evictions += dropped;
+  rewrite_index_locked();
+}
+
+CachePackStats CachePack::stats() const {
+  std::lock_guard<std::mutex> g(m_);
+  return stats_;
+}
+
+}  // namespace clear::inject

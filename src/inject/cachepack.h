@@ -1,0 +1,141 @@
+// Packed on-disk store for the campaign cache.
+//
+// The legacy cache wrote one `.camp` file per campaign; a full bench-suite
+// run left thousands of small files behind.  The pack replaces them with
+// exactly two files per cache directory:
+//
+//   campaigns.pack - append-only sequence of checksummed records
+//   campaigns.idx  - append-only LRU metadata (one "<fp> <clock>" line per
+//                    put/get); purely advisory, never trusted for record
+//                    locations
+//
+// Record layout (little-endian):
+//
+//   magic            u32   "CPK1"
+//   key_len          u32
+//   payload_len      u32
+//   fingerprint      u64   campaign identity (spec_fingerprint)
+//   payload_checksum u64   FNV-1a over the payload bytes
+//   header_checksum  u64   FNV-1a over the 28 header bytes above
+//   key bytes, payload bytes
+//
+// Durability and corruption tolerance: an append writes the full record,
+// fsyncs the pack, and only then appends the index line -- a crash at any
+// point leaves a prefix of intact records plus at most one torn tail.
+// open() never trusts the index for locations: it scans the pack, accepts
+// only records whose header and payload checksums verify, quarantines the
+// rest (skipping by the self-described length when the header is intact,
+// re-synchronizing on the next magic otherwise), and get() re-reads and
+// re-verifies the payload from disk so a post-open corruption can never be
+// served.  Concurrent processes serialize appends and compaction with an
+// flock() on the cache directory itself (a stable inode that compaction's
+// rename cannot swap out from under a waiter); before writing, a process
+// re-synchronizes under the lock -- a replaced pack inode triggers a full
+// reopen, a grown pack gets its tail scanned -- so compaction never drops
+// records another process appended, and appends never land in an
+// already-unlinked pack.
+//
+// Eviction: when the pack exceeds `max_bytes` (CLEAR_CACHE_MAX_BYTES,
+// 0 = unlimited), the least-recently-used records are dropped and the pack
+// + index are compacted via tmp-file + atomic rename.
+//
+// A one-shot migrator ingests any legacy `*.camp` files found in the cache
+// directory into the pack and removes them.
+#ifndef CLEAR_INJECT_CACHEPACK_H
+#define CLEAR_INJECT_CACHEPACK_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace clear::inject {
+
+struct CachePackStats {
+  std::size_t records = 0;      // live (verified) records
+  std::size_t quarantined = 0;  // corrupt records/regions dropped at open
+  std::size_t migrated = 0;     // legacy .camp files ingested at open
+  std::size_t evictions = 0;    // records dropped by the byte budget
+  std::uint64_t pack_bytes = 0; // pack file size after open/compaction
+};
+
+class CachePack {
+ public:
+  // Opens (creating if needed) the pack inside `dir`, recovering every
+  // intact record and migrating legacy `.camp` files.  max_bytes = 0 reads
+  // CLEAR_CACHE_MAX_BYTES (0 = unlimited).
+  explicit CachePack(std::string dir, std::uint64_t max_bytes = 0);
+  ~CachePack();
+
+  CachePack(const CachePack&) = delete;
+  CachePack& operator=(const CachePack&) = delete;
+
+  // Process-wide instance for the given cache directory (one per dir,
+  // never destroyed while the process runs: a reference obtained before a
+  // concurrent instance() call for another dir must stay valid).  Each
+  // instance reopens itself when its pack file is removed/replaced
+  // externally.
+  static CachePack& instance(const std::string& dir);
+
+  // Loads the payload stored under `fp`.  Returns false on a miss or when
+  // the on-disk bytes no longer verify (never serves a wrong-checksum
+  // payload).  A hit refreshes the entry's LRU clock.
+  bool get(std::uint64_t fp, std::string* payload);
+
+  // Appends (or replaces) the record for `fp`.  `key` is stored alongside
+  // the payload for debuggability only.  Triggers LRU eviction when the
+  // pack exceeds the byte budget.
+  void put(std::uint64_t fp, const std::string& key,
+           const std::string& payload);
+
+  [[nodiscard]] CachePackStats stats() const;
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  // File names inside the cache directory.
+  static constexpr const char* kPackName = "campaigns.pack";
+  static constexpr const char* kIndexName = "campaigns.idx";
+
+ private:
+  struct Entry {
+    std::uint64_t offset = 0;    // record start in the pack
+    std::uint32_t key_len = 0;
+    std::uint32_t payload_len = 0;
+    std::uint64_t payload_sum = 0;
+    std::uint64_t clock = 0;     // LRU stamp (higher = more recent)
+  };
+
+  // `_locked` = caller holds m_.  Methods that write to disk additionally
+  // document whether the caller must hold the cross-process directory
+  // flock (see dir_lock_fd_locked).
+  void open_locked(bool dir_lock_held);
+  void close_locked() noexcept;
+  bool reopen_if_stale_locked();
+  int dir_lock_fd_locked();
+  void resync_locked();  // requires the directory flock
+  void scan_pack_range_locked(std::uint64_t from);
+  void load_index_clocks_locked();
+  void migrate_legacy_locked();  // requires the directory flock
+  // The append/evict/index writers all require the directory flock.
+  void append_record_locked(std::uint64_t fp, const std::string& key,
+                            const std::string& payload);
+  void append_index_line_locked(std::uint64_t fp, std::uint64_t clock);
+  void rewrite_index_locked();
+  void maybe_evict_locked();
+
+  mutable std::mutex m_;
+  std::string dir_;
+  std::string pack_path_;
+  std::string index_path_;
+  std::uint64_t max_bytes_ = 0;
+  int fd_ = -1;                 // pack file descriptor (append + read)
+  int dir_fd_ = -1;             // directory fd, flock target (stable inode)
+  std::uint64_t pack_size_ = 0; // our view of the pack size
+  std::uint64_t clock_ = 0;     // logical LRU clock
+  std::size_t index_lines_ = 0; // advisory-index length (compaction trigger)
+  std::map<std::uint64_t, Entry> entries_;  // fingerprint -> record
+  CachePackStats stats_;
+};
+
+}  // namespace clear::inject
+
+#endif  // CLEAR_INJECT_CACHEPACK_H

@@ -2,16 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cctype>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
+#include "inject/cachepack.h"
 #include "util/env.h"
+#include "util/fs.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/threadpool.h"
@@ -22,12 +25,16 @@ namespace {
 
 // v4: checkpoint/fork execution engine (results are bit-identical to v3,
 // but the bump invalidates caches written by builds without the hardened
-// loader below).
+// loader below).  The payload format is unchanged by the pack store, so
+// migrated v4 `.camp` entries stay valid.
 constexpr std::uint32_t kCacheVersion = 4;
 
 constexpr std::uint64_t kGoldenBudget = 20'000'000;
 
 // Stable hash of the campaign identity (key + program code + parameters).
+// The shard selection participates only when sharding is active, so
+// unsharded fingerprints -- and therefore pre-sharding caches -- are
+// unchanged.
 std::uint64_t spec_fingerprint(const CampaignSpec& spec,
                                std::size_t injections) {
   std::uint64_t h = 0xC1EA5u;
@@ -37,6 +44,10 @@ std::uint64_t spec_fingerprint(const CampaignSpec& spec,
   h = util::hash_combine(h, injections);
   h = util::hash_combine(h, spec.seed);
   h = util::hash_combine(h, kCacheVersion);
+  if (spec.shard_count > 1) {
+    h = util::hash_combine(h, 0x5AA5D0000ULL + spec.shard_count);
+    h = util::hash_combine(h, spec.shard_index);
+  }
   return h;
 }
 
@@ -51,14 +62,25 @@ std::string sanitize(const std::string& key) {
   return out;
 }
 
-// Loads a cached campaign.  Tolerates truncated or corrupted files: any
-// parse failure, fingerprint mismatch or implausible header leaves *out
-// untouched and returns false, so the caller falls back to re-running the
-// campaign (and rewrites the cache entry).
-bool load_cached(const std::string& path, std::uint64_t fp,
-                 std::uint32_t expected_ffs, CampaignResult* out) {
-  std::ifstream in(path);
-  if (!in) return false;
+// Debug label stored next to the payload in the cache pack.
+std::string cache_label(const CampaignSpec& spec) {
+  std::string label = sanitize(spec.key);
+  if (spec.shard_count > 1) {
+    label += ".s" + std::to_string(spec.shard_index) + "of" +
+             std::to_string(spec.shard_count);
+  }
+  return label;
+}
+
+// Campaign payload <-> text.  The format is byte-compatible with the
+// legacy one-file-per-campaign `.camp` cache, so the pack migrator can
+// ingest old entries verbatim.  Parsing tolerates truncated or corrupted
+// payloads: any parse failure, fingerprint mismatch or implausible header
+// leaves *out untouched and returns false, so the caller falls back to
+// re-running the campaign (and rewrites the cache entry).
+bool parse_result(const std::string& payload, std::uint64_t fp,
+                  std::uint32_t expected_ffs, CampaignResult* out) {
+  std::istringstream in(payload);
   std::uint64_t file_fp = 0;
   std::uint32_t ffs = 0;
   CampaignResult r;
@@ -81,21 +103,15 @@ bool load_cached(const std::string& path, std::uint64_t fp,
   return true;
 }
 
-void store_cached(const std::string& path, std::uint64_t fp,
-                  const CampaignResult& r) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp);
-    if (!out) return;
-    out << fp << ' ' << r.ff_count << ' ' << r.nominal_cycles << ' '
-        << r.nominal_instrs << '\n';
-    for (const auto& c : r.per_ff) {
-      out << c.vanished << ' ' << c.omm << ' ' << c.ut << ' ' << c.hang << ' '
-          << c.ed << ' ' << c.recovered << '\n';
-    }
+std::string serialize_result(std::uint64_t fp, const CampaignResult& r) {
+  std::ostringstream out;
+  out << fp << ' ' << r.ff_count << ' ' << r.nominal_cycles << ' '
+      << r.nominal_instrs << '\n';
+  for (const auto& c : r.per_ff) {
+    out << c.vanished << ' ' << c.omm << ' ' << c.ut << ' ' << c.hang << ' '
+        << c.ed << ' ' << c.recovered << '\n';
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
+  return out.str();
 }
 
 // ---- persistent per-worker simulators --------------------------------------
@@ -117,11 +133,15 @@ arch::Core* worker_core(const std::string& name) {
 
 arch::Core* bound_worker_core(const CampaignSpec& spec,
                               std::uint64_t campaign_token) {
-  thread_local std::uint64_t bound = 0;
+  // Batched submission interleaves campaigns on one worker, so the
+  // binding is tracked per core model (an InO and an OoO campaign never
+  // evict each other's binding).
+  thread_local std::map<std::string, std::uint64_t> bound;
   arch::Core* core = worker_core(spec.core_name);
-  if (bound != campaign_token) {
+  auto& token = bound[spec.core_name];
+  if (token != campaign_token) {
     core->begin(*spec.program, spec.cfg, nullptr);
-    bound = campaign_token;
+    token = campaign_token;
   }
   return core;
 }
@@ -181,6 +201,94 @@ Outcome run_forked(arch::Core* core, const GoldenTrajectory& traj,
   }
 }
 
+// ---- batched campaign execution --------------------------------------------
+//
+// One campaign of a batch.  The golden-recording task fills traj/golden/
+// watchdog and flips `ready`; faulty tasks of the campaign wait on that.
+struct CampaignJob {
+  const CampaignSpec* spec = nullptr;
+  std::size_t spec_index = 0;     // slot in the run_campaigns() result
+  std::uint32_t ff_count = 0;
+  std::size_t injections = 0;     // global sample count
+  std::size_t local_count = 0;    // samples owned by this shard
+  std::uint64_t fp = 0;           // cache fingerprint; 0 = no caching
+  std::uint64_t token = 0;
+  bool use_checkpoint = true;
+  // Written by the golden task, read by faulty tasks after `ready`.
+  GoldenTrajectory traj;
+  arch::CoreRunResult golden;
+  std::uint64_t watchdog = 0;
+  // One OutcomeCounts strip per pool worker plus one for the inline
+  // caller slot, merged afterwards: counter addition is commutative, so
+  // totals are independent of scheduling.
+  std::vector<std::vector<OutcomeCounts>> partials;
+};
+
+// Records the golden (error-free) reference run; with checkpointing it
+// doubles as the recording pass for the fork snapshots and convergence
+// hashes.  Runs on a pool worker so recordings of different campaigns
+// overlap each other and the faulty runs of already-recorded campaigns.
+void record_golden(CampaignJob& job) {
+  const CampaignSpec& spec = *job.spec;
+  arch::Core* gcore = worker_core(spec.core_name);
+  if (job.use_checkpoint) {
+    // The snapshot interval depends on the nominal run length, which is
+    // unknown until the golden run finishes: run once to learn the length,
+    // then re-run recording snapshots at the chosen interval.  The golden
+    // run is paid twice per campaign versus `injections` faulty runs, so
+    // the extra pass is noise.
+    job.golden = gcore->run(*spec.program, spec.cfg, nullptr, kGoldenBudget);
+    if (job.golden.status != isa::RunStatus::kHalted) {
+      throw std::runtime_error("golden run did not halt for key " + spec.key);
+    }
+    job.traj.interval = pick_interval(spec, job.golden.cycles);
+    gcore->begin(*spec.program, spec.cfg, nullptr);
+    job.traj.checkpoints.emplace_back();
+    gcore->snapshot(&job.traj.checkpoints.back());
+    while (gcore->step_to(gcore->cycle() + job.traj.interval, kGoldenBudget)) {
+      job.traj.checkpoints.emplace_back();
+      gcore->snapshot(&job.traj.checkpoints.back());
+    }
+  } else {
+    job.golden = gcore->run(*spec.program, spec.cfg, nullptr, kGoldenBudget);
+    if (job.golden.status != isa::RunStatus::kHalted) {
+      throw std::runtime_error("golden run did not halt for key " + spec.key);
+    }
+  }
+  job.watchdog = job.golden.cycles * 2 + 1024;
+}
+
+// One faulty sample.  `g` is the global sample index: the RNG, target
+// flip-flop and injection cycle derive from it alone, which is what makes
+// results independent of threads, batching and shard partitioning.
+void run_faulty_sample(CampaignJob& job, std::size_t g, unsigned slot) {
+  const CampaignSpec& spec = *job.spec;
+  auto& mine = job.partials[slot];
+  // Stratified-by-FF sampling with an index-derived RNG: results are
+  // independent of thread scheduling and thread count.
+  util::Rng rng(util::hash_combine(spec.seed, g));
+  const std::uint32_t ff = static_cast<std::uint32_t>(g % job.ff_count);
+  const std::uint64_t cycle = 1 + rng.below(job.golden.cycles - 1);
+  // Circuit-hardened flip-flops suppress the upset with probability
+  // 1 - SER ratio (Table 4); a suppressed strike vanishes by definition.
+  const arch::FFProt p =
+      spec.cfg != nullptr ? spec.cfg->prot_of(ff) : arch::FFProt::kNone;
+  if (!rng.bernoulli(ser_ratio(p))) {
+    mine[ff].add(Outcome::kVanished);
+    return;
+  }
+  const auto plan = arch::InjectionPlan::single(cycle, ff);
+  if (job.use_checkpoint) {
+    arch::Core* core = bound_worker_core(spec, job.token);
+    mine[ff].add(
+        run_forked(core, job.traj, plan, cycle, job.watchdog, job.golden));
+  } else {
+    arch::Core* core = worker_core(spec.core_name);
+    mine[ff].add(classify(
+        core->run(*spec.program, spec.cfg, &plan, job.watchdog), job.golden));
+  }
+}
+
 }  // namespace
 
 double CampaignResult::sdc_margin_of_error() const noexcept {
@@ -230,128 +338,191 @@ std::string campaign_cache_dir() {
   return util::env_string("CLEAR_CACHE_DIR", ".clear_cache");
 }
 
-CampaignResult run_campaign(const CampaignSpec& spec) {
-  arch::Core* gcore = worker_core(spec.core_name);
-  if (gcore == nullptr) {
-    throw std::invalid_argument("unknown core " + spec.core_name);
+CampaignResult merge_campaign_results(
+    const std::vector<CampaignResult>& shards) {
+  if (shards.empty()) {
+    throw std::invalid_argument("merge_campaign_results: no shards");
   }
-  const std::uint32_t ff_count = gcore->registry().ff_count();
-  const std::size_t injections =
-      spec.injections != 0 ? spec.injections : ff_count;
-
-  CampaignResult result;
-  result.ff_count = ff_count;
-
-  // Cache lookup.
-  std::string cache_path;
-  std::uint64_t fp = 0;
-  if (!spec.key.empty() && !campaign_cache_dir().empty()) {
-    fp = spec_fingerprint(spec, injections);
-    std::error_code ec;
-    std::filesystem::create_directories(campaign_cache_dir(), ec);
-    char fpbuf[24];
-    std::snprintf(fpbuf, sizeof(fpbuf), "%016llx",
-                  static_cast<unsigned long long>(fp));
-    cache_path = campaign_cache_dir() + "/" + sanitize(spec.key) + "." +
-                 fpbuf + ".camp";
-    if (load_cached(cache_path, fp, ff_count, &result)) return result;
-  }
-
-  const bool use_checkpoint =
-      spec.use_checkpoint >= 0
-          ? spec.use_checkpoint != 0
-          : util::env_long("CLEAR_CHECKPOINT", 1) != 0;
-
-  // Golden (error-free) reference run; with checkpointing it doubles as
-  // the recording pass for the fork snapshots and convergence hashes.
-  const std::uint64_t campaign_token =
-      g_campaign_tokens.fetch_add(1, std::memory_order_relaxed);
-  GoldenTrajectory traj;
-  arch::CoreRunResult golden;
-  if (use_checkpoint) {
-    // The snapshot interval depends on the nominal run length, which is
-    // unknown until the golden run finishes: run once to learn the length,
-    // then re-run recording snapshots at the chosen interval.  The golden
-    // run is paid twice per campaign versus `injections` faulty runs, so
-    // the extra pass is noise.
-    golden = gcore->run(*spec.program, spec.cfg, nullptr, kGoldenBudget);
-    if (golden.status != isa::RunStatus::kHalted) {
-      throw std::runtime_error("golden run did not halt for key " + spec.key);
+  CampaignResult out;
+  out.ff_count = shards.front().ff_count;
+  out.nominal_cycles = shards.front().nominal_cycles;
+  out.nominal_instrs = shards.front().nominal_instrs;
+  out.per_ff.assign(out.ff_count, {});
+  for (const auto& s : shards) {
+    if (s.ff_count != out.ff_count || s.per_ff.size() != out.per_ff.size() ||
+        s.nominal_cycles != out.nominal_cycles ||
+        s.nominal_instrs != out.nominal_instrs) {
+      throw std::invalid_argument(
+          "merge_campaign_results: shards disagree on campaign identity");
     }
-    traj.interval = pick_interval(spec, golden.cycles);
-    gcore->begin(*spec.program, spec.cfg, nullptr);
-    traj.checkpoints.emplace_back();
-    gcore->snapshot(&traj.checkpoints.back());
-    while (gcore->step_to(gcore->cycle() + traj.interval, kGoldenBudget)) {
-      traj.checkpoints.emplace_back();
-      gcore->snapshot(&traj.checkpoints.back());
-    }
-  } else {
-    golden = gcore->run(*spec.program, spec.cfg, nullptr, kGoldenBudget);
-    if (golden.status != isa::RunStatus::kHalted) {
-      throw std::runtime_error("golden run did not halt for key " + spec.key);
+    for (std::uint32_t f = 0; f < out.ff_count; ++f) {
+      out.per_ff[f].merge(s.per_ff[f]);
     }
   }
-  result.nominal_cycles = golden.cycles;
-  result.nominal_instrs = golden.instrs;
-  result.per_ff.assign(ff_count, {});
-  const std::uint64_t watchdog = golden.cycles * 2 + 1024;
+  for (const auto& c : out.per_ff) out.totals.merge(c);
+  return out;
+}
 
-  unsigned threads = spec.threads != 0
-                         ? spec.threads
-                         : static_cast<unsigned>(util::env_long(
-                               "CLEAR_THREADS",
-                               std::thread::hardware_concurrency()));
+std::vector<CampaignResult> run_campaigns(
+    const std::vector<CampaignSpec>& specs) {
+  std::vector<CampaignResult> results(specs.size());
+  if (specs.empty()) return results;
+
+  const std::string cache_dir = campaign_cache_dir();
+  std::vector<CampaignJob> jobs;
+  jobs.reserve(specs.size());
+  for (std::size_t si = 0; si < specs.size(); ++si) {
+    const CampaignSpec& spec = specs[si];
+    arch::Core* proto = worker_core(spec.core_name);
+    if (proto == nullptr) {
+      throw std::invalid_argument("unknown core " + spec.core_name);
+    }
+    if (spec.shard_count == 0 || spec.shard_index >= spec.shard_count) {
+      throw std::invalid_argument("invalid shard " +
+                                  std::to_string(spec.shard_index) + "/" +
+                                  std::to_string(spec.shard_count) +
+                                  " for key " + spec.key);
+    }
+    CampaignJob job;
+    job.spec = &spec;
+    job.spec_index = si;
+    job.ff_count = proto->registry().ff_count();
+    job.injections = spec.injections != 0 ? spec.injections : job.ff_count;
+    job.local_count =
+        job.injections > spec.shard_index
+            ? (job.injections - spec.shard_index + spec.shard_count - 1) /
+                  spec.shard_count
+            : 0;
+    job.use_checkpoint = spec.use_checkpoint >= 0
+                             ? spec.use_checkpoint != 0
+                             : util::env_long("CLEAR_CHECKPOINT", 1) != 0;
+    if (!spec.key.empty() && !cache_dir.empty()) {
+      job.fp = spec_fingerprint(spec, job.injections);
+      std::string payload;
+      if (CachePack::instance(cache_dir).get(job.fp, &payload) &&
+          parse_result(payload, job.fp, job.ff_count, &results[si])) {
+        continue;  // served from the pack
+      }
+    }
+    jobs.push_back(std::move(job));
+  }
+  if (jobs.empty()) return results;
+
+  unsigned threads = 0;
+  std::size_t total_local = 0;
+  for (auto& job : jobs) {
+    const unsigned want =
+        job.spec->threads != 0
+            ? job.spec->threads
+            : static_cast<unsigned>(util::env_long(
+                  "CLEAR_THREADS", std::thread::hardware_concurrency()));
+    threads = std::max(threads, want);
+    total_local += job.local_count;
+    job.token = g_campaign_tokens.fetch_add(1, std::memory_order_relaxed);
+  }
   if (threads == 0) threads = 1;
-  threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, std::max<std::size_t>(1, injections / 64)));
+  threads = static_cast<unsigned>(std::min<std::size_t>(
+      threads, std::max<std::size_t>(1, total_local / 64)));
+  for (auto& job : jobs) {
+    job.partials.assign(threads + 1,
+                        std::vector<OutcomeCounts>(job.ff_count));
+  }
 
-  // One OutcomeCounts strip per pool worker (ids are always < threads)
-  // plus one for the inline caller slot, merged afterwards: counter
-  // addition is commutative, so totals are independent of scheduling.
-  std::vector<std::vector<OutcomeCounts>> partials(
-      threads + 1, std::vector<OutcomeCounts>(ff_count));
+  // Index space of the single pool job: the first J indices record the
+  // golden trajectories, the rest are the campaigns' faulty samples in
+  // job order.  The pool hands indices out monotonically, so every golden
+  // is claimed by some worker before any faulty sample -- a faulty task
+  // that finds its campaign's golden not yet `ready` can safely block on
+  // the batch condition variable: the recording is already in flight on
+  // another worker (or this batch is aborting).
+  const std::size_t njobs = jobs.size();
+  std::vector<std::size_t> faulty_prefix(njobs + 1, 0);
+  for (std::size_t j = 0; j < njobs; ++j) {
+    faulty_prefix[j + 1] = faulty_prefix[j] + jobs[j].local_count;
+  }
+
+  std::mutex batch_m;
+  std::condition_variable batch_cv;
+  std::vector<char> ready(njobs, 0);  // golden attempted (set even on throw)
+  std::vector<char> golden_ok(njobs, 0);
+  // Checkpoints dominate a batch's memory (each holds a full state + data
+  // image, ~96 per campaign): drop a campaign's trajectory as soon as its
+  // last faulty sample finishes instead of holding every trajectory until
+  // the whole batch drains.
+  std::vector<std::atomic<std::size_t>> samples_left(njobs);
+  for (std::size_t j = 0; j < njobs; ++j) {
+    samples_left[j].store(jobs[j].local_count, std::memory_order_relaxed);
+  }
 
   util::ThreadPool::instance().run(
-      injections, threads, [&](std::size_t i, unsigned worker_id) {
-        auto& mine = partials[worker_id == util::ThreadPool::kCallerSlot
-                                  ? threads
-                                  : worker_id];
-        // Stratified-by-FF sampling with an index-derived RNG: results are
-        // independent of thread scheduling and thread count.
-        util::Rng rng(util::hash_combine(spec.seed, i));
-        const std::uint32_t ff = static_cast<std::uint32_t>(i % ff_count);
-        const std::uint64_t cycle = 1 + rng.below(result.nominal_cycles - 1);
-        // Circuit-hardened flip-flops suppress the upset with probability
-        // 1 - SER ratio (Table 4); a suppressed strike vanishes by
-        // definition.
-        const arch::FFProt p =
-            spec.cfg != nullptr ? spec.cfg->prot_of(ff) : arch::FFProt::kNone;
-        if (!rng.bernoulli(ser_ratio(p))) {
-          mine[ff].add(Outcome::kVanished);
+      njobs + total_local, threads, [&](std::size_t i, unsigned worker_id) {
+        const unsigned slot =
+            worker_id == util::ThreadPool::kCallerSlot ? threads : worker_id;
+        if (i < njobs) {
+          try {
+            record_golden(jobs[i]);
+          } catch (...) {
+            {
+              std::lock_guard<std::mutex> g(batch_m);
+              ready[i] = 1;  // wake waiters; golden_ok stays 0
+            }
+            batch_cv.notify_all();
+            throw;  // first exception is rethrown by the pool
+          }
+          {
+            std::lock_guard<std::mutex> g(batch_m);
+            ready[i] = 1;
+            golden_ok[i] = 1;
+          }
+          batch_cv.notify_all();
           return;
         }
-        const auto plan = arch::InjectionPlan::single(cycle, ff);
-        if (use_checkpoint) {
-          arch::Core* core = bound_worker_core(spec, campaign_token);
-          mine[ff].add(run_forked(core, traj, plan, cycle, watchdog, golden));
-        } else {
-          arch::Core* core = worker_core(spec.core_name);
-          mine[ff].add(
-              classify(core->run(*spec.program, spec.cfg, &plan, watchdog),
-                       golden));
+        const std::size_t fi = i - njobs;
+        const std::size_t j =
+            static_cast<std::size_t>(
+                std::upper_bound(faulty_prefix.begin(), faulty_prefix.end(),
+                                 fi) -
+                faulty_prefix.begin()) -
+            1;
+        CampaignJob& job = jobs[j];
+        {
+          std::unique_lock<std::mutex> g(batch_m);
+          batch_cv.wait(g, [&] { return ready[j] != 0; });
+          if (!golden_ok[j]) return;  // aborting: the recording threw
+        }
+        const std::size_t local = fi - faulty_prefix[j];
+        const std::size_t global =
+            local * job.spec->shard_count + job.spec->shard_index;
+        run_faulty_sample(job, global, slot);
+        if (samples_left[j].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::vector<arch::CoreCheckpoint>().swap(job.traj.checkpoints);
         }
       });
 
-  for (const auto& strip : partials) {
-    for (std::uint32_t f = 0; f < ff_count; ++f) {
-      result.per_ff[f].merge(strip[f]);
+  for (auto& job : jobs) {
+    CampaignResult& result = results[job.spec_index];
+    result.ff_count = job.ff_count;
+    result.nominal_cycles = job.golden.cycles;
+    result.nominal_instrs = job.golden.instrs;
+    result.per_ff.assign(job.ff_count, {});
+    for (const auto& strip : job.partials) {
+      for (std::uint32_t f = 0; f < job.ff_count; ++f) {
+        result.per_ff[f].merge(strip[f]);
+      }
+    }
+    for (const auto& c : result.per_ff) result.totals.merge(c);
+    if (job.fp != 0) {
+      CachePack::instance(cache_dir)
+          .put(job.fp, cache_label(*job.spec),
+               serialize_result(job.fp, result));
     }
   }
-  for (const auto& c : result.per_ff) result.totals.merge(c);
+  return results;
+}
 
-  if (!cache_path.empty()) store_cached(cache_path, fp, result);
-  return result;
+CampaignResult run_campaign(const CampaignSpec& spec) {
+  auto results = run_campaigns({spec});
+  return std::move(results.front());
 }
 
 }  // namespace clear::inject

@@ -24,6 +24,20 @@
 // injection derives its RNG from the sample index alone.  Workers run on a
 // persistent pool (util::ThreadPool) and reuse per-worker core instances
 // across the campaigns of a session.
+//
+// Sharding: because each injection depends only on its global sample
+// index, a campaign partitions arbitrarily across processes or machines.
+// A shard (shard_index, shard_count) simulates exactly the samples i with
+// i % shard_count == shard_index; folding the K shard results with
+// merge_campaign_results() is bit-identical to the unsharded campaign.
+//
+// Batching: run_campaigns() submits several campaigns as one pool job, so
+// golden-run recordings of later campaigns overlap the faulty runs of
+// earlier ones instead of serializing on the caller thread.
+//
+// Caching: results are memoized in a single append-only pack file per
+// cache directory (inject/cachepack.h) instead of one file per campaign;
+// legacy `.camp` caches are migrated automatically on first open.
 #ifndef CLEAR_INJECT_CAMPAIGN_H
 #define CLEAR_INJECT_CAMPAIGN_H
 
@@ -60,6 +74,13 @@ struct CampaignSpec {
   //                   (~1/96 of the nominal run).
   int use_checkpoint = -1;
   std::uint64_t checkpoint_interval = 0;
+  // Shard selection: this spec simulates only the global sample indices i
+  // with i % shard_count == shard_index.  The defaults run the whole
+  // campaign; shard results fold with merge_campaign_results().  The cache
+  // fingerprint covers the shard selection, so shards and the unsharded
+  // campaign memoize independently.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
 };
 
 struct CampaignResult {
@@ -92,6 +113,21 @@ struct CampaignResult {
 
 // Runs (or loads from cache) a campaign.
 [[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec);
+
+// Runs a batch of campaigns as one pool job.  Results are bit-identical
+// to running each spec through run_campaign() in order, but golden-run
+// recording and faulty runs of different campaigns overlap on the shared
+// worker pool.  The spec-referenced programs/configs must outlive the
+// call.
+[[nodiscard]] std::vector<CampaignResult> run_campaigns(
+    const std::vector<CampaignSpec>& specs);
+
+// Folds shard results (any order, any partition sizes) into the result of
+// the corresponding unsharded campaign.  All shards must agree on
+// ff_count and the nominal golden run; throws std::invalid_argument
+// otherwise (merging shards of different campaigns is always a bug).
+[[nodiscard]] CampaignResult merge_campaign_results(
+    const std::vector<CampaignResult>& shards);
 
 // Cache controls (default directory: $CLEAR_CACHE_DIR or ".clear_cache").
 [[nodiscard]] std::string campaign_cache_dir();

@@ -65,8 +65,11 @@ OutcomeCounts run_iss_campaign(const isa::Program& prog, InjectLevel level,
         const std::uint64_t at = rng.below(golden.steps);
         const int reg = 1 + static_cast<int>(rng.below(31));
         const std::uint32_t bit = 1u << rng.below(32);
-        std::uint64_t step = 0;
-        m.pre_exec_hook = [&](isa::Machine& mm, const isa::Instr&) {
+        // Hooks outlive this case's scope: capture parameters by value and
+        // keep the event counter inside the lambda; only `injected` (which
+        // outlives the run loop) is shared by reference.
+        m.pre_exec_hook = [&injected, at, reg, bit, step = std::uint64_t{0}](
+                              isa::Machine& mm, const isa::Instr&) mutable {
           if (step++ == at && !injected) {
             mm.set_reg(reg, mm.reg(reg) ^ bit);
             injected = true;
@@ -81,9 +84,9 @@ OutcomeCounts run_iss_campaign(const isa::Program& prog, InjectLevel level,
         }
         const std::uint64_t at = rng.below(events.writes);
         const std::uint32_t bit = 1u << rng.below(32);
-        std::uint64_t w = 0;
-        m.post_write_hook = [&](isa::Machine& mm, const isa::Instr& ins,
-                                std::uint32_t v) {
+        m.post_write_hook = [&injected, at, bit, w = std::uint64_t{0}](
+                                isa::Machine& mm, const isa::Instr& ins,
+                                std::uint32_t v) mutable {
           if (w++ == at && !injected && ins.rd != 0) {
             mm.set_reg(ins.rd, v ^ bit);
             injected = true;
@@ -100,8 +103,8 @@ OutcomeCounts run_iss_campaign(const isa::Program& prog, InjectLevel level,
         const std::uint32_t addr =
             prog.data_base + 4 * static_cast<std::uint32_t>(rng.below(data_words));
         const std::uint32_t bit = 1u << rng.below(32);
-        std::uint64_t step = 0;
-        m.pre_exec_hook = [&](isa::Machine& mm, const isa::Instr&) {
+        m.pre_exec_hook = [&injected, at, addr, bit, step = std::uint64_t{0}](
+                              isa::Machine& mm, const isa::Instr&) mutable {
           if (step++ == at && !injected) {
             mm.poke_word(addr, mm.peek_word(addr) ^ bit);
             injected = true;
@@ -116,9 +119,9 @@ OutcomeCounts run_iss_campaign(const isa::Program& prog, InjectLevel level,
         }
         const std::uint64_t at = rng.below(events.stores);
         const std::uint32_t bit = 1u << rng.below(32);
-        std::uint64_t s = 0;
-        m.post_store_hook = [&](isa::Machine& mm, std::uint32_t addr,
-                                std::uint32_t word) {
+        m.post_store_hook = [&injected, at, bit, s = std::uint64_t{0}](
+                                isa::Machine& mm, std::uint32_t addr,
+                                std::uint32_t word) mutable {
           if (s++ == at && !injected) {
             mm.poke_word(addr, word ^ bit);
             injected = true;

@@ -4,6 +4,9 @@
 //                               campaign
 //   CLEAR_THREADS             - worker threads for campaigns (0 = hardware)
 //   CLEAR_CACHE_DIR           - campaign cache directory ("" disables)
+//   CLEAR_CACHE_MAX_BYTES     - campaign cache pack byte budget; exceeding
+//                               it evicts least-recently-used entries
+//                               (0 = unlimited; accepts K/M/G suffixes)
 //   CLEAR_CHECKPOINT          - 0 forces the legacy from-cycle-0 injection
 //                               path (default 1: checkpoint/fork engine)
 //   CLEAR_CHECKPOINT_INTERVAL - cycles between golden snapshots (0 = auto,
@@ -11,6 +14,7 @@
 #ifndef CLEAR_UTIL_ENV_H
 #define CLEAR_UTIL_ENV_H
 
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 
@@ -22,6 +26,25 @@ inline long env_long(const char* name, long fallback) {
   char* end = nullptr;
   const long parsed = std::strtol(v, &end, 10);
   return (end != nullptr && end != v) ? parsed : fallback;
+}
+
+// Byte-count knob: a plain number, optionally suffixed with K/M/G (powers
+// of 1024, case-insensitive).  Malformed values fall back.
+inline std::uint64_t env_bytes(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == nullptr || end == v) return fallback;
+  std::uint64_t scale = 1;
+  switch (*end) {
+    case 'k': case 'K': scale = 1ULL << 10; ++end; break;
+    case 'm': case 'M': scale = 1ULL << 20; ++end; break;
+    case 'g': case 'G': scale = 1ULL << 30; ++end; break;
+    default: break;
+  }
+  if (*end != '\0') return fallback;
+  return static_cast<std::uint64_t>(parsed) * scale;
 }
 
 inline std::string env_string(const char* name, const std::string& fallback) {

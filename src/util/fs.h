@@ -1,0 +1,29 @@
+// Small filesystem helpers shared by the campaign cache and benches.
+#ifndef CLEAR_UTIL_FS_H
+#define CLEAR_UTIL_FS_H
+
+#include <filesystem>
+#include <string>
+#include <system_error>
+
+namespace clear::util {
+
+// Creates `path` (and parents) if missing; returns true iff the directory
+// exists afterwards.  Unlike a bare create_directories() this is safe
+// against the create/create race: when two processes (or pool workers)
+// race through the exists-check and one mkdir loses with EEXIST, the loser
+// re-checks instead of failing -- both callers see success as long as a
+// directory ends up in place.
+inline bool ensure_dir(const std::string& path) {
+  if (path.empty()) return false;
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  // EEXIST (or any transient error another creator can cause) is benign
+  // iff the directory is there now; re-stat rather than trusting ec.
+  std::error_code ignored;
+  return std::filesystem::is_directory(path, ignored);
+}
+
+}  // namespace clear::util
+
+#endif  // CLEAR_UTIL_FS_H

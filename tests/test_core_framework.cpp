@@ -18,7 +18,8 @@ using namespace clear::core;
 class CoreEnv : public ::testing::Environment {
  public:
   void SetUp() override {
-    ::setenv("CLEAR_CACHE_DIR", ".clear_cache_test", 1);
+    // Unique per test binary: parallel ctest must not share a mutable dir.
+    ::setenv("CLEAR_CACHE_DIR", ".clear_cache_test_core", 1);
   }
 };
 const ::testing::Environment* const kEnv =

@@ -1,16 +1,21 @@
 // Injection-campaign engine tests: classification, determinism, caching,
-// hardening suppression, detection/recovery plumbing, and high-level
-// injection models.
+// sharding, batched submission, hardening suppression, detection/recovery
+// plumbing, and high-level injection models.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "arch/core.h"
+#include "inject/cachepack.h"
 #include "inject/campaign.h"
 #include "inject/iss_inject.h"
 #include "isa/assembler.h"
+#include "util/fs.h"
+#include "util/threadpool.h"
 #include "workloads/workloads.h"
 
 namespace {
@@ -24,8 +29,10 @@ isa::Program bench(const std::string& name) {
 class InjectEnv : public ::testing::Environment {
  public:
   void SetUp() override {
-    // Isolate test campaigns from the shared bench cache.
-    ::setenv("CLEAR_CACHE_DIR", ".clear_cache_test", 1);
+    // Isolate test campaigns from the shared bench cache AND from other
+    // test binaries: ctest runs binaries in parallel, and two processes
+    // mutating (truncating, removing) one cache directory race.
+    ::setenv("CLEAR_CACHE_DIR", ".clear_cache_test_inject", 1);
   }
 };
 const ::testing::Environment* const kEnv =
@@ -211,30 +218,34 @@ TEST(Campaign, CorruptCacheFallsBackToRerun) {
   std::filesystem::remove_all(inject::campaign_cache_dir());
   const auto fresh = inject::run_campaign(spec);
 
-  // Locate the cache file this campaign wrote.
-  std::filesystem::path cache_file;
+  // The cache is a single pack + index; no legacy per-campaign files.
+  const std::filesystem::path pack_file =
+      std::filesystem::path(inject::campaign_cache_dir()) /
+      inject::CachePack::kPackName;
+  ASSERT_TRUE(std::filesystem::exists(pack_file));
   for (const auto& e :
        std::filesystem::directory_iterator(inject::campaign_cache_dir())) {
-    if (e.path().extension() == ".camp") cache_file = e.path();
+    EXPECT_NE(e.path().extension(), ".camp") << e.path();
   }
-  ASSERT_FALSE(cache_file.empty());
 
-  // Truncated file: loader must reject it and the campaign re-runs.
+  // Truncated pack: the stored payload no longer verifies, so the
+  // campaign re-runs (and re-appends a good record).
   {
-    const auto full_size = std::filesystem::file_size(cache_file);
-    std::filesystem::resize_file(cache_file, full_size / 2);
+    const auto full_size = std::filesystem::file_size(pack_file);
+    std::filesystem::resize_file(pack_file, full_size / 2);
     const auto again = inject::run_campaign(spec);
     expect_identical(fresh, again);
   }
   // Binary garbage: same story.
   {
-    std::ofstream out(cache_file, std::ios::binary | std::ios::trunc);
+    std::ofstream out(pack_file, std::ios::binary | std::ios::trunc);
     out << "\x7f""ELFgarbage\0\1\2\3";
   }
   const auto again = inject::run_campaign(spec);
   expect_identical(fresh, again);
-  // An empty file as well.
-  { std::ofstream out(cache_file, std::ios::trunc); }
+  // Cache directory removed outright (new inode underneath the open
+  // pack): the store reopens and the campaign re-runs.
+  std::filesystem::remove_all(inject::campaign_cache_dir());
   expect_identical(fresh, inject::run_campaign(spec));
 }
 
@@ -350,6 +361,249 @@ TEST(Campaign, MarginOfErrorReported) {
   const auto r = inject::run_campaign(spec);
   EXPECT_GT(r.sdc_margin_of_error(), 0.0);
   EXPECT_LT(r.sdc_margin_of_error(), 0.1);
+}
+
+// ---- sharding --------------------------------------------------------------
+
+// Runs spec split into K shards (alternating 1 and 8 worker threads to
+// exercise scheduling independence) and folds them back together.
+inject::CampaignResult run_sharded(inject::CampaignSpec spec, std::uint32_t k) {
+  std::vector<inject::CampaignResult> shards;
+  for (std::uint32_t s = 0; s < k; ++s) {
+    inject::CampaignSpec shard = spec;
+    shard.shard_count = k;
+    shard.shard_index = s;
+    shard.threads = (s % 2 == 0) ? 1 : 8;
+    shards.push_back(inject::run_campaign(shard));
+  }
+  return inject::merge_campaign_results(shards);
+}
+
+TEST(Sharding, MergeIsBitIdenticalToUnshardedOnInO) {
+  const auto prog = bench("gcc");
+  inject::CampaignSpec spec;
+  spec.core_name = "InO";
+  spec.program = &prog;
+  spec.injections = 630;
+  spec.seed = 17;
+  spec.threads = 1;
+  const auto whole = inject::run_campaign(spec);
+  ASSERT_EQ(whole.totals.total(), 630u);
+  for (const std::uint32_t k : {2u, 3u, 7u}) {
+    const auto merged = run_sharded(spec, k);
+    EXPECT_EQ(merged.totals.total(), 630u) << "K=" << k;
+    expect_identical(whole, merged);
+  }
+}
+
+TEST(Sharding, MergeIsBitIdenticalToUnshardedOnOoO) {
+  const auto prog = bench("mcf");
+  inject::CampaignSpec spec;
+  spec.core_name = "OoO";
+  spec.program = &prog;
+  spec.injections = 210;
+  spec.seed = 3;
+  spec.threads = 1;
+  const auto whole = inject::run_campaign(spec);
+  for (const std::uint32_t k : {2u, 3u, 7u}) {
+    expect_identical(whole, run_sharded(spec, k));
+  }
+}
+
+TEST(Sharding, MergeMatchesUnshardedOnLegacyEngine) {
+  // CLEAR_CHECKPOINT=0 equivalent: the from-cycle-0 path must shard and
+  // merge exactly like the checkpoint/fork engine.
+  const auto prog = bench("mcf");
+  inject::CampaignSpec spec;
+  spec.core_name = "InO";
+  spec.program = &prog;
+  spec.injections = 450;
+  spec.seed = 29;
+  spec.threads = 1;
+  spec.use_checkpoint = 0;
+  const auto whole_legacy = inject::run_campaign(spec);
+  expect_identical(whole_legacy, run_sharded(spec, 3));
+  // Cross-engine: forked shards merge to the legacy unsharded answer too.
+  inject::CampaignSpec forked = spec;
+  forked.use_checkpoint = 1;
+  expect_identical(whole_legacy, run_sharded(forked, 3));
+}
+
+TEST(Sharding, CommutesWithHardeningSuppression) {
+  // The SER-suppression Bernoulli draw consumes RNG state: it must come
+  // out identically whether the sample runs in the whole campaign or in a
+  // shard.
+  const auto prog = bench("gcc");
+  auto core = arch::make_ino_core();
+  arch::ResilienceConfig cfg;
+  cfg.prot.assign(core->registry().ff_count(), arch::FFProt::kLhl);
+  inject::CampaignSpec spec;
+  spec.core_name = "InO";
+  spec.program = &prog;
+  spec.injections = 400;
+  spec.seed = 41;
+  spec.threads = 1;
+  spec.cfg = &cfg;
+  const auto whole = inject::run_campaign(spec);
+  EXPECT_GT(whole.totals.vanished, 0u);  // ~75% suppressed at LHL SER
+  expect_identical(whole, run_sharded(spec, 3));
+}
+
+TEST(Sharding, RejectsInvalidShardAndMismatchedMerges) {
+  const auto prog = bench("gcc");
+  inject::CampaignSpec spec;
+  spec.core_name = "InO";
+  spec.program = &prog;
+  spec.injections = 100;
+  spec.shard_index = 3;
+  spec.shard_count = 3;
+  EXPECT_THROW((void)inject::run_campaign(spec), std::invalid_argument);
+  spec.shard_count = 0;
+  EXPECT_THROW((void)inject::run_campaign(spec), std::invalid_argument);
+
+  EXPECT_THROW((void)inject::merge_campaign_results({}),
+               std::invalid_argument);
+  inject::CampaignResult a, b;
+  a.ff_count = 4;
+  a.nominal_cycles = 100;
+  a.per_ff.assign(4, {});
+  b = a;
+  b.nominal_cycles = 101;  // different golden run: different campaign
+  EXPECT_THROW((void)inject::merge_campaign_results({a, b}),
+               std::invalid_argument);
+}
+
+// ---- batched submission ----------------------------------------------------
+
+TEST(Campaign, BatchedSubmissionMatchesSequential) {
+  const auto p1 = bench("mcf");
+  const auto p2 = bench("gcc");
+  const auto p3 = bench("parser");
+  std::vector<inject::CampaignSpec> specs(3);
+  specs[0].core_name = "InO";
+  specs[0].program = &p1;
+  specs[0].injections = 300;
+  specs[0].seed = 7;
+  specs[1].core_name = "InO";
+  specs[1].program = &p2;
+  specs[1].injections = 400;
+  specs[1].seed = 11;
+  specs[2].core_name = "InO";
+  specs[2].program = &p3;
+  specs[2].injections = 200;
+  specs[2].seed = 13;
+  specs[2].use_checkpoint = 0;  // engines can be mixed within a batch
+  std::vector<inject::CampaignResult> sequential;
+  for (const auto& s : specs) sequential.push_back(inject::run_campaign(s));
+  const auto batched = inject::run_campaigns(specs);
+  ASSERT_EQ(batched.size(), sequential.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    expect_identical(sequential[i], batched[i]);
+  }
+}
+
+TEST(Campaign, BatchedSubmissionUsesTheCache) {
+  const auto p1 = bench("mcf");
+  const auto p2 = bench("gcc");
+  std::vector<inject::CampaignSpec> specs(2);
+  specs[0].core_name = "InO";
+  specs[0].program = &p1;
+  specs[0].injections = 150;
+  specs[0].key = "test/batch/mcf";
+  specs[1].core_name = "InO";
+  specs[1].program = &p2;
+  specs[1].injections = 150;
+  specs[1].key = "test/batch/gcc";
+  const auto first = inject::run_campaigns(specs);
+  const auto second = inject::run_campaigns(specs);  // served from the pack
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    expect_identical(first[i], second[i]);
+  }
+}
+
+TEST(Campaign, BatchGoldenFailurePropagatesWithoutDeadlock) {
+  // An empty program cannot halt; the batch must rethrow the golden-run
+  // failure instead of wedging faulty-run workers on the ready latch.
+  const auto good = bench("gcc");
+  isa::Program broken;  // no code: the golden run never halts
+  std::vector<inject::CampaignSpec> specs(2);
+  specs[0].core_name = "InO";
+  specs[0].program = &broken;
+  specs[0].injections = 100;
+  specs[1].core_name = "InO";
+  specs[1].program = &good;
+  specs[1].injections = 100;
+  EXPECT_THROW((void)inject::run_campaigns(specs), std::runtime_error);
+}
+
+// ---- classification golden table -------------------------------------------
+
+TEST(Classify, GoldenTableLocksOutcomeTaxonomy) {
+  // tests/data/classify_golden.txt pins classify() against hand-checked
+  // faulty-vs-golden pairs; a refactor that reshuffles the taxonomy fails
+  // here even if every other campaign statistic happens to survive.
+  const std::string path =
+      std::string(CLEAR_TEST_DATA_DIR) + "/classify_golden.txt";
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing " << path;
+
+  arch::CoreRunResult golden;
+  golden.status = isa::RunStatus::kHalted;
+  golden.output = {0xBEEF, 42, 7};
+
+  const auto parse_status = [](const std::string& s) {
+    if (s == "Halted") return isa::RunStatus::kHalted;
+    if (s == "Trapped") return isa::RunStatus::kTrapped;
+    if (s == "Watchdog") return isa::RunStatus::kWatchdog;
+    if (s == "Detected") return isa::RunStatus::kDetected;
+    if (s == "Running") return isa::RunStatus::kRunning;
+    ADD_FAILURE() << "unknown status " << s;
+    return isa::RunStatus::kRunning;
+  };
+
+  int cases = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string status, expected;
+    int output_matches = 0;
+    unsigned recoveries = 0;
+    ASSERT_TRUE(
+        static_cast<bool>(ls >> status >> output_matches >> recoveries >>
+                          expected))
+        << "bad line: " << line;
+    arch::CoreRunResult faulty = golden;
+    faulty.status = parse_status(status);
+    faulty.recoveries = recoveries;
+    if (output_matches == 0) faulty.output = {0xDEAD};
+    EXPECT_STREQ(inject::outcome_name(inject::classify(faulty, golden)),
+                 expected.c_str())
+        << "case: " << line;
+    ++cases;
+  }
+  EXPECT_EQ(cases, 14) << "golden table changed size unexpectedly";
+}
+
+// ---- cache directory creation race -----------------------------------------
+
+TEST(Campaign, CacheDirCreationRaceIsTolerated) {
+  // Two bench processes starting at once both try to create the cache
+  // directory; neither may fail.  Hammer the helper from the worker pool
+  // with the directory re-removed every round.
+  const std::string dir = inject::campaign_cache_dir() + "/race_nest/deep";
+  for (int round = 0; round < 20; ++round) {
+    std::filesystem::remove_all(inject::campaign_cache_dir() + "/race_nest");
+    std::atomic<int> failures{0};
+    util::parallel_for(
+        64,
+        [&](std::size_t) {
+          if (!util::ensure_dir(dir)) failures.fetch_add(1);
+        },
+        8);
+    EXPECT_EQ(failures.load(), 0) << "round " << round;
+    EXPECT_TRUE(std::filesystem::is_directory(dir));
+  }
 }
 
 TEST(IssInject, AllLevelsRunAndDiffer) {

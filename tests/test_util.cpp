@@ -2,9 +2,14 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <stdexcept>
 
+#include "util/env.h"
+#include "util/fs.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -13,6 +18,58 @@
 namespace {
 
 using clear::util::Rng;
+
+TEST(Env, BytesParsesPlainAndSuffixedValues) {
+  ::setenv("CLEAR_TEST_BYTES", "4096", 1);
+  EXPECT_EQ(clear::util::env_bytes("CLEAR_TEST_BYTES", 7), 4096u);
+  ::setenv("CLEAR_TEST_BYTES", "16K", 1);
+  EXPECT_EQ(clear::util::env_bytes("CLEAR_TEST_BYTES", 7), 16384u);
+  ::setenv("CLEAR_TEST_BYTES", "2m", 1);
+  EXPECT_EQ(clear::util::env_bytes("CLEAR_TEST_BYTES", 7), 2u << 20);
+  ::setenv("CLEAR_TEST_BYTES", "1G", 1);
+  EXPECT_EQ(clear::util::env_bytes("CLEAR_TEST_BYTES", 7), 1u << 30);
+  ::setenv("CLEAR_TEST_BYTES", "junk", 1);
+  EXPECT_EQ(clear::util::env_bytes("CLEAR_TEST_BYTES", 7), 7u);
+  ::setenv("CLEAR_TEST_BYTES", "12Q", 1);
+  EXPECT_EQ(clear::util::env_bytes("CLEAR_TEST_BYTES", 7), 7u);
+  ::unsetenv("CLEAR_TEST_BYTES");
+  EXPECT_EQ(clear::util::env_bytes("CLEAR_TEST_BYTES", 7), 7u);
+}
+
+TEST(Fs, EnsureDirCreatesIsIdempotentAndRejectsFiles) {
+  const std::string dir = ".fs_test/nested/dir";
+  std::filesystem::remove_all(".fs_test");
+  EXPECT_TRUE(clear::util::ensure_dir(dir));
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  EXPECT_TRUE(clear::util::ensure_dir(dir));  // already exists: still fine
+  EXPECT_FALSE(clear::util::ensure_dir(""));
+  { std::ofstream(".fs_test/afile") << "x"; }
+  EXPECT_FALSE(clear::util::ensure_dir(".fs_test/afile"));
+  std::filesystem::remove_all(".fs_test");
+}
+
+TEST(Fs, EnsureDirSurvivesCreationRaceFromThePool) {
+  // Regression for the campaign_cache_dir() creation race: two bench
+  // processes (here: pool workers) racing to create the same directory
+  // must both see success -- one mkdir wins, the loser gets EEXIST and
+  // re-checks.  Hammer many rounds so the race window is actually hit.
+  for (int round = 0; round < 25; ++round) {
+    const std::string dir =
+        ".fs_race_test/r" + std::to_string(round) + "/nested/cache";
+    std::atomic<int> failures{0};
+    clear::util::parallel_for(
+        16,
+        [&](std::size_t) {
+          if (!clear::util::ensure_dir(dir)) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        },
+        8);
+    EXPECT_EQ(failures.load(), 0) << "round " << round;
+    EXPECT_TRUE(std::filesystem::is_directory(dir));
+  }
+  std::filesystem::remove_all(".fs_race_test");
+}
 
 TEST(Rng, DeterministicFromSeed) {
   Rng a(42);
