@@ -1,0 +1,116 @@
+#include "cli/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "inject/wire.h"
+#include "util/env.h"
+
+namespace clear::cli {
+
+namespace {
+
+constexpr const char* kTopHelp =
+    "usage: clear <command> [options]\n"
+    "\n"
+    "Distributed soft-error injection campaigns for the CLEAR simulator.\n"
+    "Run shards anywhere, merge the results bit-exactly (docs/FORMATS.md\n"
+    "specifies the .csr wire format; docs/CONFIG.md every knob).\n"
+    "\n"
+    "commands:\n"
+    "  run     simulate one shard of a campaign, write a .csr result file\n"
+    "  merge   fold .csr shard files into one .csr (refuses mismatches)\n"
+    "  report  render .csr files as human/CSV/JSON tables\n"
+    "  cache   campaign cache pack maintenance (stats/compact/evict)\n"
+    "\n"
+    "run 'clear <command> --help' for per-command flags.\n";
+
+}  // namespace
+
+core::Variant parse_variant(const std::string& key) {
+  core::Variant v;
+  if (key.empty() || key == "base") return v;
+  std::stringstream in(key);
+  std::string token;
+  while (std::getline(in, token, '+')) {
+    if (token == "abftc") {
+      v.abft = workloads::AbftKind::kCorrection;
+    } else if (token == "abftd") {
+      v.abft = workloads::AbftKind::kDetection;
+    } else if (token == "eddi") {
+      v.eddi = true;
+      v.eddi_readback = false;
+    } else if (token == "eddi_rb") {
+      v.eddi = true;
+      v.eddi_readback = true;
+    } else if (token == "assert") {
+      v.assertions = true;
+    } else if (token == "cfcss") {
+      v.cfcss = true;
+    } else if (token == "dfc") {
+      v.dfc = true;
+    } else if (token == "monitor") {
+      v.monitor = true;
+    } else {
+      throw std::invalid_argument(
+          "unknown variant token '" + token +
+          "' (expected: base, abftc, abftd, eddi, eddi_rb, assert, cfcss, "
+          "dfc, monitor, joined with '+')");
+    }
+  }
+  return v;
+}
+
+bool parse_shard(const std::string& text, std::uint32_t* index,
+                 std::uint32_t* count) {
+  unsigned long long k = 0, n = 0;
+  char trailing = '\0';
+  if (std::sscanf(text.c_str(), "%llu/%llu%c", &k, &n, &trailing) != 2) {
+    return false;
+  }
+  if (n == 0 || k >= n || n > (1ULL << 20)) return false;
+  *index = static_cast<std::uint32_t>(k);
+  *count = static_cast<std::uint32_t>(n);
+  return true;
+}
+
+bool parse_bytes(const std::string& text, std::uint64_t* bytes) {
+  // One grammar with the CLEAR_CACHE_MAX_BYTES env knob, by construction.
+  return util::parse_bytes(text.c_str(), bytes);
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) {
+    std::fputs(kTopHelp, stderr);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const int sub_argc = argc - 2;
+  const char* const* sub_argv = argv + 2;
+  try {
+    if (cmd == "run") return cmd_run(sub_argc, sub_argv);
+    if (cmd == "merge") return cmd_merge(sub_argc, sub_argv);
+    if (cmd == "report") return cmd_report(sub_argc, sub_argv);
+    if (cmd == "cache") return cmd_cache(sub_argc, sub_argv);
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+      std::fputs(kTopHelp, stdout);
+      return 0;
+    }
+    if (cmd == "--version" || cmd == "version") {
+      std::printf("clear (wire format v%u, cache pack CPK1)\n",
+                  inject::kWireVersion);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "clear %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "clear: unknown command '%s'\n\n", cmd.c_str());
+  std::fputs(kTopHelp, stderr);
+  return 2;
+}
+
+}  // namespace clear::cli

@@ -1,0 +1,59 @@
+// The `clear` command-line tool (built from tools/clear_main.cpp).
+//
+// Turns the library's sharded-campaign API into a real multi-machine
+// workflow: each cluster job runs `clear run` for one shard and ships the
+// resulting `.csr` file home (inject/wire.h), the frontend folds them
+// with `clear merge`, renders them with `clear report`, and maintains the
+// on-disk campaign cache with `clear cache`.  docs/ARCHITECTURE.md shows
+// the data flow; docs/CONFIG.md lists every flag next to its env-var
+// equivalent.
+//
+// Subcommands:
+//   clear run     simulate one shard (or the whole campaign), write a .csr
+//   clear merge   fold any partition of .csr shard files into one .csr
+//   clear report  human/CSV/JSON tables from .csr files
+//   clear cache   stats / compact / evict for the campaign cache pack
+//
+// Exit codes: 0 success, 1 operational failure (I/O, corrupt or
+// mismatched inputs, failed simulation), 2 usage error.
+#ifndef CLEAR_CLI_CLI_H
+#define CLEAR_CLI_CLI_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/variants.h"
+
+namespace clear::cli {
+
+// Entry point for tools/clear_main.cpp: dispatches argv[1] to the
+// subcommands below, handles `--help`/`--version`/unknown commands.
+int run(int argc, char** argv);
+
+// Subcommand entry points (argc/argv exclude the program name and the
+// subcommand word).  Each is independently testable.
+int cmd_run(int argc, const char* const* argv);
+int cmd_merge(int argc, const char* const* argv);
+int cmd_report(int argc, const char* const* argv);
+int cmd_cache(int argc, const char* const* argv);
+
+// Parses a variant key of '+'-joined technique tokens into the technique
+// set it denotes: "base", "abftc", "abftd", "eddi" (no store-readback),
+// "eddi_rb", "assert", "cfcss", "dfc", "monitor".  The output's key()
+// round-trips to a canonical ordering of the same tokens.  Throws
+// std::invalid_argument on an unknown token.
+core::Variant parse_variant(const std::string& key);
+
+// Parses "k/K" shard syntax (e.g. "2/8") into *index, *count.  Returns
+// false on malformed input or index >= count.
+bool parse_shard(const std::string& text, std::uint32_t* index,
+                 std::uint32_t* count);
+
+// Parses a byte count with optional K/M/G suffix (powers of 1024), the
+// same grammar as the CLEAR_CACHE_MAX_BYTES env knob.  Returns false on
+// malformed input.
+bool parse_bytes(const std::string& text, std::uint64_t* bytes);
+
+}  // namespace clear::cli
+
+#endif  // CLEAR_CLI_CLI_H

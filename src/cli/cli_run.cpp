@@ -1,0 +1,286 @@
+// `clear run`: simulate one shard of an injection campaign and write the
+// result as a .csr wire file for `clear merge` / `clear report`.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "arch/core.h"
+#include "cli/cli.h"
+#include "core/variants.h"
+#include "inject/campaign.h"
+#include "inject/wire.h"
+#include "util/args.h"
+#include "util/table.h"
+#include "workloads/workloads.h"
+
+namespace clear::cli {
+
+namespace {
+
+int list_benches(const std::string& core) {
+  util::TextTable table({"benchmark", "suite", "cores", "abft"});
+  for (const auto& info : workloads::benchmark_list()) {
+    if (core == "OoO" && !info.ooo) continue;
+    table.add_row({info.name, info.suite, info.ooo ? "InO+OoO" : "InO",
+                   info.abft == workloads::AbftKind::kCorrection ? "correction"
+                   : info.abft == workloads::AbftKind::kDetection ? "detection"
+                                                                  : "-"});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+// Reads a campaign spec file into flag tokens: the same `--flag value`
+// grammar as the command line, whitespace-separated across any number of
+// lines, `#` to end-of-line is a comment.  Cluster schedulers template
+// one spec file per campaign and pass `--shard k/K` on the command line.
+bool read_spec_tokens(const std::string& path,
+                      std::vector<std::string>* tokens) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream words(line);
+    std::string word;
+    while (words >> word) tokens->push_back(word);
+  }
+  return true;
+}
+
+}  // namespace
+
+int cmd_run(int argc, const char* const* argv) {
+  util::ArgParser args(
+      "clear run --bench <name> [options]",
+      "Simulates one shard of a flip-flop soft-error injection campaign\n"
+      "and prints its outcome profile.  With --shard k/K this process\n"
+      "owns exactly the global sample indices i with i % K == k, so K\n"
+      "processes on K machines reproduce the unsharded campaign\n"
+      "bit-exactly once their .csr files are folded by 'clear merge'.");
+  args.add_option("core", "InO|OoO", "processor model", "InO");
+  args.add_option("bench", "name", "benchmark to run (see --list-benches)");
+  args.add_option("variant", "key",
+                  "program variant: '+'-joined tokens among abftc, abftd, "
+                  "eddi, eddi_rb, assert, cfcss, dfc, monitor",
+                  "base");
+  args.add_option("input-seed", "N", "benchmark input data set", "0");
+  args.add_option("injections", "N",
+                  "global campaign sample count, all shards together "
+                  "(0 = one per flip-flop)",
+                  "0");
+  args.add_option("seed", "N", "campaign RNG seed", "1");
+  args.add_option("shard", "k/K", "own samples i with i mod K == k", "0/1");
+  args.add_option("threads", "N",
+                  "worker threads (0 = CLEAR_THREADS or hardware)", "0");
+  args.add_option("checkpoint", "auto|on|off",
+                  "checkpoint/fork engine (auto = CLEAR_CHECKPOINT env)",
+                  "auto");
+  args.add_option("checkpoint-interval", "cycles",
+                  "golden snapshot spacing (0 = CLEAR_CHECKPOINT_INTERVAL "
+                  "or ~1/96 of the run)",
+                  "0");
+  args.add_option("recovery", "none|flush|rob|ir|eir",
+                  "hardware recovery technique", "");
+  args.add_option("key", "text",
+                  "cache key (default derived from core/bench/variant)");
+  args.add_flag("no-cache", "skip the campaign cache for this run");
+  args.add_option("out", "file.csr", "write the shard result here");
+  args.add_option("spec", "file",
+                  "read flags from a campaign spec file (same --flag value "
+                  "grammar, '#' comments); command-line flags win");
+  args.add_flag("dry-run", "resolve and print the plan, simulate nothing");
+  args.add_flag("list-benches", "list benchmarks for --core and exit");
+
+  std::string error;
+  if (!args.parse(argc, argv, &error)) {
+    std::fprintf(stderr, "clear run: %s\n%s", error.c_str(),
+                 args.help().c_str());
+    return 2;
+  }
+  if (args.has("spec")) {
+    std::vector<std::string> tokens;
+    if (!read_spec_tokens(args.get("spec"), &tokens)) {
+      std::fprintf(stderr, "clear run: cannot read spec file '%s'\n",
+                   args.get("spec").c_str());
+      return 1;
+    }
+    std::vector<const char*> spec_argv;
+    spec_argv.reserve(tokens.size());
+    for (const auto& t : tokens) spec_argv.push_back(t.c_str());
+    // Spec first, then the command line again so explicit flags override
+    // the file (parsing is cumulative: later values win).
+    if (!args.parse(static_cast<int>(spec_argv.size()), spec_argv.data(),
+                    &error) ||
+        !args.parse(argc, argv, &error)) {
+      std::fprintf(stderr, "clear run: in spec '%s': %s\n%s",
+                   args.get("spec").c_str(), error.c_str(),
+                   args.help().c_str());
+      return 2;
+    }
+  }
+  if (args.help_requested()) {
+    std::fputs(args.help().c_str(), stdout);
+    return 0;
+  }
+
+  const std::string core_name = args.get("core");
+  if (core_name != "InO" && core_name != "OoO") {
+    std::fprintf(stderr, "clear run: unknown core '%s' (InO or OoO)\n",
+                 core_name.c_str());
+    return 2;
+  }
+  if (args.has("list-benches")) return list_benches(core_name);
+
+  const std::string bench = args.get("bench");
+  if (bench.empty()) {
+    std::fprintf(stderr, "clear run: --bench is required\n%s",
+                 args.help().c_str());
+    return 2;
+  }
+  std::uint32_t shard_index = 0, shard_count = 1;
+  if (!parse_shard(args.get("shard"), &shard_index, &shard_count)) {
+    std::fprintf(stderr,
+                 "clear run: bad --shard '%s' (want k/K with k < K)\n",
+                 args.get("shard").c_str());
+    return 2;
+  }
+  const std::string ckpt = args.get("checkpoint");
+  int use_checkpoint = -1;
+  if (ckpt == "on" || ckpt == "1") use_checkpoint = 1;
+  else if (ckpt == "off" || ckpt == "0") use_checkpoint = 0;
+  else if (ckpt != "auto") {
+    std::fprintf(stderr, "clear run: bad --checkpoint '%s'\n", ckpt.c_str());
+    return 2;
+  }
+
+  core::Variant variant;
+  try {
+    variant = parse_variant(args.get("variant"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "clear run: %s\n", e.what());
+    return 2;
+  }
+  arch::ResilienceConfig cfg;
+  cfg.dfc = variant.dfc;
+  cfg.monitor = variant.monitor;
+  cfg.recovery =
+      variant.monitor ? arch::RecoveryKind::kRob : arch::RecoveryKind::kNone;
+  const std::string recovery = args.get("recovery");
+  if (recovery == "none") cfg.recovery = arch::RecoveryKind::kNone;
+  else if (recovery == "flush") cfg.recovery = arch::RecoveryKind::kFlush;
+  else if (recovery == "rob") cfg.recovery = arch::RecoveryKind::kRob;
+  else if (recovery == "ir") cfg.recovery = arch::RecoveryKind::kIr;
+  else if (recovery == "eir") cfg.recovery = arch::RecoveryKind::kEir;
+  else if (!recovery.empty()) {
+    std::fprintf(stderr, "clear run: bad --recovery '%s'\n", recovery.c_str());
+    return 2;
+  }
+  const bool needs_cfg =
+      cfg.dfc || cfg.monitor || cfg.recovery != arch::RecoveryKind::kNone;
+
+  // Numeric flags are strict: a mistyped --injections must fail loudly,
+  // never silently shrink a cluster campaign to its default.
+  std::uint64_t input_seed64 = 0, injections = 0, seed = 1, threads = 0,
+                interval = 0;
+  const auto numeric = [&args](const char* flag, std::uint64_t def,
+                               std::uint64_t* out) {
+    if (args.get_u64(flag, def, out)) return true;
+    std::fprintf(stderr, "clear run: bad numeric value '--%s %s'\n", flag,
+                 args.get(flag).c_str());
+    return false;
+  };
+  if (!numeric("input-seed", 0, &input_seed64) ||
+      !numeric("injections", 0, &injections) || !numeric("seed", 1, &seed) ||
+      !numeric("threads", 0, &threads) ||
+      !numeric("checkpoint-interval", 0, &interval)) {
+    return 2;
+  }
+  const auto input_seed = static_cast<std::uint32_t>(input_seed64);
+  const isa::Program prog =
+      core::build_variant_program(bench, variant, input_seed);
+  const std::uint32_t ff_count =
+      arch::make_core(core_name)->registry().ff_count();
+
+  inject::CampaignSpec spec;
+  spec.core_name = core_name;
+  spec.program = &prog;
+  spec.injections = static_cast<std::size_t>(injections);
+  spec.seed = seed;
+  spec.threads = static_cast<unsigned>(threads);
+  spec.cfg = needs_cfg ? &cfg : nullptr;
+  spec.use_checkpoint = use_checkpoint;
+  spec.checkpoint_interval = interval;
+  spec.shard_index = shard_index;
+  spec.shard_count = shard_count;
+  if (args.has("no-cache")) {
+    spec.key.clear();
+  } else if (args.has("key")) {
+    spec.key = args.get("key");
+  } else {
+    spec.key = "cli/" + core_name + "/" + bench + "/" + variant.key();
+    if (input_seed != 0) spec.key += "/in" + std::to_string(input_seed);
+  }
+
+  const std::uint64_t global =
+      spec.injections != 0 ? spec.injections : ff_count;
+  const std::uint64_t local =
+      global > shard_index
+          ? (global - shard_index + shard_count - 1) / shard_count
+          : 0;
+  std::printf("campaign   %s/%s variant=%s seed=%llu\n", core_name.c_str(),
+              bench.c_str(), variant.key().c_str(),
+              static_cast<unsigned long long>(spec.seed));
+  std::printf("samples    %llu global, %llu owned by shard %u/%u\n",
+              static_cast<unsigned long long>(global),
+              static_cast<unsigned long long>(local), shard_index,
+              shard_count);
+  std::printf("program    %u flip-flops, hash %016llx\n", ff_count,
+              static_cast<unsigned long long>(inject::wire_program_hash(prog)));
+  const std::string cache_dir = inject::campaign_cache_dir();
+  std::printf("cache      %s\n",
+              spec.key.empty() || cache_dir.empty()
+                  ? "(disabled)"
+                  : (cache_dir + " key=" + spec.key).c_str());
+  if (args.has("dry-run")) {
+    std::printf("dry run: nothing simulated\n");
+    return 0;
+  }
+
+  const inject::CampaignResult result = inject::run_campaign(spec);
+
+  inject::ShardFile shard;
+  shard.core_name = core_name;
+  shard.key = spec.key;
+  shard.program_hash = inject::wire_program_hash(prog);
+  shard.injections = global;
+  shard.seed = spec.seed;
+  shard.shard_count = shard_count;
+  shard.covered = {shard_index};
+  shard.result = result;
+
+  util::TextTable table({"samples", "vanished", "SDC", "DUE", "recovered",
+                         "SDC frac", "+/-95%"});
+  table.add_row({std::to_string(result.totals.total()),
+                 std::to_string(result.totals.vanished),
+                 std::to_string(result.totals.sdc()),
+                 std::to_string(result.totals.due()),
+                 std::to_string(result.totals.recovered),
+                 util::TextTable::num(result.sdc_fraction(), 4),
+                 util::TextTable::num(result.sdc_margin_of_error(), 4)});
+  table.print(std::cout);
+
+  if (args.has("out")) {
+    inject::write_shard_file(args.get("out"), shard);
+    std::printf("wrote %s (%s)\n", args.get("out").c_str(),
+                shard.complete() ? "complete campaign" : "1 shard");
+  }
+  return 0;
+}
+
+}  // namespace clear::cli

@@ -29,21 +29,23 @@
 namespace clear::core {
 
 struct BenchProfile {
-  std::string benchmark;
-  inject::CampaignResult campaign;
-  std::uint64_t base_cycles = 0;  // base-variant nominal cycles
+  std::string benchmark;            // canonical name (workloads.h)
+  inject::CampaignResult campaign;  // full campaign for this benchmark
+  // Error-free cycles of the BASE variant of the same benchmark (the
+  // denominator of the execution-overhead ratio).
+  std::uint64_t base_cycles = 0;
 };
 
 struct ProfileSet {
-  std::string core;
-  std::string variant_key;
-  std::uint32_t ff_count = 0;
-  std::vector<BenchProfile> benches;
-  // Aggregates over all benchmarks:
+  std::string core;         // "InO" or "OoO"
+  std::string variant_key;  // Variant::key() this set was collected for
+  std::uint32_t ff_count = 0;         // flip-flops of the core model
+  std::vector<BenchProfile> benches;  // one entry per profiled benchmark
+  // Aggregates over all benchmarks (each vector has ff_count elements):
   std::vector<std::uint64_t> ff_sdc;    // per-FF OMM counts
   std::vector<std::uint64_t> ff_due;    // per-FF UT+Hang+ED counts
   std::vector<std::uint64_t> ff_total;  // per-FF injection counts
-  inject::OutcomeCounts totals;
+  inject::OutcomeCounts totals;         // sum over benches' campaign totals
   // Error-free execution-time overhead vs. the base variant (mean of the
   // per-benchmark cycle ratios minus one).
   double exec_overhead = 0.0;
@@ -57,6 +59,10 @@ struct ProfileSet {
   [[nodiscard]] double frac_ffs_always_vanish() const;
 };
 
+// Not thread-safe: use one Session per thread (the campaigns it submits
+// share the process-wide worker pool and on-disk cache regardless).
+// Profiles are deterministic for (core, benchmarks, per_ff_samples, seed)
+// -- bit-identical across runs, hosts and thread counts.
 class Session {
  public:
   // core = "InO" or "OoO".  per_ff_samples = injections per flip-flop per
@@ -81,7 +87,10 @@ class Session {
 
   // Collects (or returns memoized) profiles for a variant.  For ABFT
   // variants only the ABFT-capable benchmarks are profiled; benchmarks
-  // whose program the variant cannot transform are skipped.
+  // whose program the variant cannot transform are skipped.  The
+  // returned reference stays valid until set_benchmarks() or the
+  // Session's destruction.  Throws std::runtime_error when no benchmark
+  // supports the variant on this core.
   const ProfileSet& profiles(const Variant& v);
 
   // Profile restricted to a benchmark subset (used by the Sec. 4

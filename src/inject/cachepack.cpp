@@ -16,25 +16,18 @@
 
 #include "util/env.h"
 #include "util/fs.h"
+#include "util/hash.h"
 
 namespace clear::inject {
 
 namespace {
 
+using util::fnv1a64;
+
 constexpr unsigned char kMagic[4] = {'C', 'P', 'K', '1'};
 constexpr std::size_t kHeaderSize = 36;   // 28 checksummed bytes + 8
 constexpr std::uint32_t kMaxKeyLen = 1u << 16;
 constexpr std::uint32_t kMaxPayloadLen = 1u << 30;
-
-std::uint64_t fnv1a(const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = 1469598103934665603ULL;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
 
 void put_u32(unsigned char* p, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
@@ -67,13 +60,13 @@ void encode_header(const Header& h, unsigned char* out) {
   put_u32(out + 8, h.payload_len);
   put_u64(out + 12, h.fp);
   put_u64(out + 20, h.payload_sum);
-  put_u64(out + 28, fnv1a(out, 28));
+  put_u64(out + 28, fnv1a64(out, 28));
 }
 
 // Validates magic + header checksum + length sanity; false on any damage.
 bool decode_header(const unsigned char* in, Header* h) {
   if (std::memcmp(in, kMagic, 4) != 0) return false;
-  if (get_u64(in + 28) != fnv1a(in, 28)) return false;
+  if (get_u64(in + 28) != fnv1a64(in, 28)) return false;
   h->key_len = get_u32(in + 4);
   h->payload_len = get_u32(in + 8);
   h->fp = get_u64(in + 12);
@@ -179,6 +172,20 @@ void CachePack::open_locked(bool dir_lock_held) {
   // Migration and eviction write; take the cross-process lock unless the
   // caller (resync) already holds it.
   FileLock lock(dir_lock_fd_locked(), !dir_lock_held);
+  // Another process's compaction may have renamed a new pack into place
+  // between our open() above and acquiring the lock; re-check under the
+  // lock and reopen so the scan/migration/eviction below never operate on
+  // (or write into) a stale unlinked inode.  Converges immediately: while
+  // we hold the lock nobody else can replace the pack.
+  struct stat on_disk;
+  struct stat ours;
+  if (::stat(pack_path_.c_str(), &on_disk) != 0 ||
+      ::fstat(fd_, &ours) != 0 || ours.st_ino != on_disk.st_ino ||
+      ours.st_dev != on_disk.st_dev) {
+    ::close(fd_);
+    fd_ = ::open(pack_path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0) return;
+  }
   scan_pack_range_locked(0);
   load_index_clocks_locked();
   migrate_legacy_locked();
@@ -249,7 +256,7 @@ void CachePack::scan_pack_range_locked(std::uint64_t from) {
     }
     in_bad_region = false;
     const std::uint64_t payload_off = pos + kHeaderSize + h.key_len;
-    if (fnv1a(buf.data() + payload_off, h.payload_len) != h.payload_sum) {
+    if (fnv1a64(buf.data() + payload_off, h.payload_len) != h.payload_sum) {
       ++stats_.quarantined;  // intact header, damaged payload: skip exactly
     } else {
       Entry e;
@@ -349,7 +356,7 @@ bool CachePack::get(std::uint64_t fp, std::string* payload) {
   std::string data(e.payload_len, '\0');
   if (!read_all(fd_, e.offset + kHeaderSize + e.key_len, data.data(),
                 data.size()) ||
-      fnv1a(data.data(), data.size()) != e.payload_sum) {
+      fnv1a64(data.data(), data.size()) != e.payload_sum) {
     // The bytes under this entry no longer verify (external truncation or
     // overwrite): drop it so the caller re-runs and re-appends.
     entries_.erase(it);
@@ -396,7 +403,7 @@ void CachePack::append_record_locked(std::uint64_t fp, const std::string& key,
       std::min<std::size_t>(key.size(), kMaxKeyLen));
   h.payload_len = static_cast<std::uint32_t>(payload.size());
   h.fp = fp;
-  h.payload_sum = fnv1a(payload.data(), payload.size());
+  h.payload_sum = fnv1a64(payload.data(), payload.size());
   std::vector<unsigned char> rec(record_size(h));
   encode_header(h, rec.data());
   std::memcpy(rec.data() + kHeaderSize, key.data(), h.key_len);
@@ -463,13 +470,21 @@ void CachePack::rewrite_index_locked() {
   index_lines_ = entries_.size();
 }
 
-// LRU eviction by byte budget (caller holds the directory flock and has
-// resync'd, so entries_ covers every process's records): when the pack
-// outgrows max_bytes_, keep the most recently used records that fit
-// (always at least the newest) and compact pack + index via tmp file +
-// atomic rename.  Compaction also reclaims records superseded by re-puts.
+// LRU eviction by byte budget: when the pack outgrows max_bytes_, keep
+// the most recently used records that fit (always at least the newest)
+// and compact pack + index via tmp file + atomic rename.
 void CachePack::maybe_evict_locked() {
   if (max_bytes_ == 0 || pack_size_ <= max_bytes_ || fd_ < 0) return;
+  compact_locked(max_bytes_);
+}
+
+// Rewrites the pack keeping the most-recently-used records that fit
+// `budget` (0 = keep every live record; the rewrite still reclaims bytes
+// of superseded re-puts and quarantined regions).  Caller holds the
+// directory flock and has resync'd, so entries_ covers every process's
+// records and nothing another process appended can be dropped.
+void CachePack::compact_locked(std::uint64_t budget) {
+  if (fd_ < 0) return;
 
   std::vector<std::pair<std::uint64_t, std::uint64_t>> by_use;  // clock, fp
   by_use.reserve(entries_.size());
@@ -489,7 +504,7 @@ void CachePack::maybe_evict_locked() {
     const std::uint64_t fp = by_use[i].second;
     const Entry& e = entries_[fp];
     const std::uint64_t rec_len = kHeaderSize + e.key_len + e.payload_len;
-    if (i > 0 && used + rec_len > max_bytes_) {
+    if (budget != 0 && i > 0 && used + rec_len > budget) {
       ++dropped;
       continue;
     }
@@ -534,6 +549,18 @@ void CachePack::maybe_evict_locked() {
   pack_size_ = used;
   stats_.evictions += dropped;
   rewrite_index_locked();
+}
+
+CachePackStats CachePack::compact(std::uint64_t max_bytes) {
+  std::lock_guard<std::mutex> g(m_);
+  FileLock lock(dir_lock_fd_locked());
+  resync_locked();
+  if (fd_ >= 0) {
+    compact_locked(max_bytes);
+    stats_.records = entries_.size();
+    stats_.pack_bytes = pack_size_;
+  }
+  return stats_;
 }
 
 CachePackStats CachePack::stats() const {

@@ -88,6 +88,15 @@ class CachePack {
   void put(std::uint64_t fp, const std::string& key,
            const std::string& payload);
 
+  // Rewrites the pack immediately (tmp file + atomic rename), reclaiming
+  // bytes of superseded re-puts and quarantined regions.  max_bytes > 0
+  // additionally evicts least-recently-used records until the survivors
+  // fit the budget (the same policy CLEAR_CACHE_MAX_BYTES applies on
+  // put()); max_bytes = 0 keeps every live record.  Cross-process safe
+  // (directory flock + resync).  Returns the post-compaction stats.
+  // Exposed to operators as `clear cache compact` / `clear cache evict`.
+  CachePackStats compact(std::uint64_t max_bytes = 0);
+
   [[nodiscard]] CachePackStats stats() const;
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
 
@@ -121,6 +130,7 @@ class CachePack {
   void append_index_line_locked(std::uint64_t fp, std::uint64_t clock);
   void rewrite_index_locked();
   void maybe_evict_locked();
+  void compact_locked(std::uint64_t budget);  // budget 0 = keep all live
 
   mutable std::mutex m_;
   std::string dir_;

@@ -38,6 +38,10 @@
 // Caching: results are memoized in a single append-only pack file per
 // cache directory (inject/cachepack.h) instead of one file per campaign;
 // legacy `.camp` caches are migrated automatically on first open.
+//
+// Shard transport: inject/wire.h defines the checksummed `.csr` file
+// format shard results travel in between machines, and the `clear` CLI
+// (src/cli) drives the run-on-K-machines -> merge workflow end to end.
 #ifndef CLEAR_INJECT_CAMPAIGN_H
 #define CLEAR_INJECT_CAMPAIGN_H
 
@@ -53,18 +57,28 @@
 namespace clear::inject {
 
 struct CampaignSpec {
-  std::string core_name;  // "InO" or "OoO"
+  std::string core_name;  // "InO" or "OoO"; anything else throws
+  // Program to simulate; must be non-null and outlive the run_campaign(s)
+  // call (the engine keeps only this pointer).
   const isa::Program* program = nullptr;
   // Cache identity.  Callers encode everything that shapes the outcome
   // distribution (core, benchmark, program variant, in-sim technique
   // configuration) in this key.  Empty key disables caching.
   std::string key;
-  std::size_t injections = 0;  // 0 = one injection per flip-flop
+  // Global sample count across ALL shards (0 = one injection per
+  // flip-flop).  A shard simulates ~injections/shard_count of them.
+  std::size_t injections = 0;
+  // Campaign RNG seed.  Together with the global sample index it fully
+  // determines every injection (FF, cycle, suppression draw): results
+  // are bit-identical across runs, hosts, thread counts and partitions.
   std::uint64_t seed = 1;
-  unsigned threads = 0;  // 0 = CLEAR_THREADS / hardware concurrency
+  // Worker threads (0 = CLEAR_THREADS env, then hardware concurrency).
+  // Affects wall-clock only, never results.
+  unsigned threads = 0;
   // Optional in-simulator resilience configuration (DFC, monitor core,
   // detection + recovery).  Per-FF hardening suppression (LEAP-DICE & co.)
   // is applied by the campaign driver using the Table 4 SER ratios.
+  // Nullable; must outlive the call like `program`.
   const arch::ResilienceConfig* cfg = nullptr;
   // Checkpoint/fork engine controls.
   //   use_checkpoint: -1 = CLEAR_CHECKPOINT env (default on), 0 = legacy
@@ -84,9 +98,12 @@ struct CampaignSpec {
 };
 
 struct CampaignResult {
-  std::uint32_t ff_count = 0;
-  std::uint64_t nominal_cycles = 0;
-  std::uint64_t nominal_instrs = 0;
+  std::uint32_t ff_count = 0;        // flip-flops of the core model
+  std::uint64_t nominal_cycles = 0;  // error-free run length, in cycles
+  std::uint64_t nominal_instrs = 0;  // error-free committed instructions
+  // Outcome counters summed over all simulated samples; totals is always
+  // the element-wise sum of per_ff (per_ff.size() == ff_count).  For a
+  // shard these cover only the shard's samples until merged.
   OutcomeCounts totals;
   std::vector<OutcomeCounts> per_ff;
 
@@ -103,7 +120,8 @@ struct CampaignResult {
   [[nodiscard]] double sdc_margin_of_error() const noexcept;
 };
 
-// Classifies one faulty run against the golden run.
+// Classifies one faulty run against the golden run.  Pure function of
+// its arguments (pinned by tests/data/classify_golden.txt).
 [[nodiscard]] Outcome classify(const arch::CoreRunResult& faulty,
                                const arch::CoreRunResult& golden) noexcept;
 
@@ -111,7 +129,12 @@ struct CampaignResult {
 // a particle strike on a hardened flip-flop still produces an upset.
 [[nodiscard]] double ser_ratio(arch::FFProt p) noexcept;
 
-// Runs (or loads from cache) a campaign.
+// Runs (or loads from cache) a campaign.  Deterministic: bit-identical
+// for a given (program, cfg, injections, seed, shard) across runs,
+// hosts, thread counts and engine settings.  Thread-safe (may be called
+// from several threads; campaigns then share the process-wide worker
+// pool).  Throws std::invalid_argument on a bad spec, std::runtime_error
+// when the golden run does not halt.
 [[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec);
 
 // Runs a batch of campaigns as one pool job.  Results are bit-identical
@@ -129,7 +152,8 @@ struct CampaignResult {
 [[nodiscard]] CampaignResult merge_campaign_results(
     const std::vector<CampaignResult>& shards);
 
-// Cache controls (default directory: $CLEAR_CACHE_DIR or ".clear_cache").
+// The campaign cache directory ($CLEAR_CACHE_DIR, default ".clear_cache";
+// empty = caching disabled).  Reads the env on every call.
 [[nodiscard]] std::string campaign_cache_dir();
 
 }  // namespace clear::inject

@@ -1,0 +1,279 @@
+#include "inject/wire.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace clear::inject {
+
+namespace {
+
+constexpr unsigned char kMagic[4] = {'C', 'S', 'R', '1'};
+
+// Sanity bounds: a header that passes its checksum but declares sizes
+// beyond these is treated as corrupt rather than allocated for.
+constexpr std::uint64_t kMaxBodyLen = 1ULL << 30;
+constexpr std::uint32_t kMaxStringLen = 1u << 16;
+constexpr std::uint32_t kMaxFfCount = 1u << 24;
+constexpr std::uint32_t kMaxShardCount = 1u << 20;
+
+void put_u32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>(static_cast<unsigned char>(v >> (8 * i))));
+  }
+}
+void put_u64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(static_cast<unsigned char>(v >> (8 * i))));
+  }
+}
+void put_str(std::string* out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out->append(s);
+}
+
+// Bounded little-endian reader over the body bytes: every read checks the
+// remaining length, so a damaged length field can never walk out of the
+// buffer (the checksum already failed closed, but decode stays safe even
+// on crafted bytes).
+class Reader {
+ public:
+  Reader(const unsigned char* p, std::size_t n) : p_(p), n_(n) {}
+
+  bool u32(std::uint32_t* v) {
+    if (pos_ + 4 > n_) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<std::uint32_t>(p_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool u64(std::uint64_t* v) {
+    if (pos_ + 8 > n_) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<std::uint64_t>(p_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool str(std::string* s) {
+    std::uint32_t len = 0;
+    if (!u32(&len) || len > kMaxStringLen || pos_ + len > n_) return false;
+    s->assign(reinterpret_cast<const char*>(p_ + pos_), len);
+    pos_ += len;
+    return true;
+  }
+  [[nodiscard]] bool exhausted() const { return pos_ == n_; }
+
+ private:
+  const unsigned char* p_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* wire_status_name(WireStatus s) noexcept {
+  switch (s) {
+    case WireStatus::kOk: return "ok";
+    case WireStatus::kBadMagic: return "bad magic (not a .csr file)";
+    case WireStatus::kVersionUnsupported: return "unsupported wire version";
+    case WireStatus::kTruncated: return "truncated";
+    case WireStatus::kCorrupt: return "corrupt (checksum mismatch)";
+  }
+  return "?";
+}
+
+std::uint64_t wire_program_hash(const isa::Program& prog) noexcept {
+  std::uint64_t h = fnv1a64(nullptr, 0);
+  const auto mix_words = [&h](const std::vector<std::uint32_t>& words) {
+    for (const std::uint32_t w : words) {
+      unsigned char le[4];
+      for (int i = 0; i < 4; ++i) le[i] = static_cast<unsigned char>(w >> (8 * i));
+      h = fnv1a64(le, 4, h);
+    }
+  };
+  mix_words(prog.code);
+  mix_words(prog.data);
+  return h;
+}
+
+std::string encode_shard(const ShardFile& shard) {
+  std::string body;
+  put_str(&body, shard.core_name);
+  put_str(&body, shard.key);
+  put_u64(&body, shard.program_hash);
+  put_u64(&body, shard.injections);
+  put_u64(&body, shard.seed);
+  put_u32(&body, shard.shard_count);
+  put_u32(&body, static_cast<std::uint32_t>(shard.covered.size()));
+  for (const std::uint32_t s : shard.covered) put_u32(&body, s);
+  const CampaignResult& r = shard.result;
+  put_u32(&body, r.ff_count);
+  put_u64(&body, r.nominal_cycles);
+  put_u64(&body, r.nominal_instrs);
+  for (const OutcomeCounts& c : r.per_ff) {
+    put_u32(&body, c.vanished);
+    put_u32(&body, c.omm);
+    put_u32(&body, c.ut);
+    put_u32(&body, c.hang);
+    put_u32(&body, c.ed);
+    put_u32(&body, c.recovered);
+  }
+
+  std::string out;
+  out.reserve(kWireHeaderSize + body.size());
+  out.append(reinterpret_cast<const char*>(kMagic), 4);
+  put_u32(&out, kWireVersion);
+  put_u64(&out, body.size());
+  put_u64(&out, fnv1a64(body.data(), body.size()));
+  put_u64(&out, fnv1a64(out.data(), 24));
+  out.append(body);
+  return out;
+}
+
+WireStatus decode_shard(const std::string& bytes, ShardFile* out) {
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  if (bytes.size() < 4) return WireStatus::kTruncated;
+  if (std::memcmp(p, kMagic, 4) != 0) return WireStatus::kBadMagic;
+  if (bytes.size() < kWireHeaderSize) return WireStatus::kTruncated;
+  Reader header(p + 4, kWireHeaderSize - 4);
+  std::uint32_t version = 0;
+  std::uint64_t body_len = 0, body_sum = 0, header_sum = 0;
+  header.u32(&version);
+  header.u64(&body_len);
+  header.u64(&body_sum);
+  header.u64(&header_sum);
+  if (header_sum != fnv1a64(p, 24)) return WireStatus::kCorrupt;
+  // The header checksum vouches for the version field: an unknown version
+  // is a genuinely newer writer, not bit rot.
+  if (version == 0 || version > kWireVersion) {
+    return WireStatus::kVersionUnsupported;
+  }
+  if (body_len > kMaxBodyLen) return WireStatus::kCorrupt;
+  if (bytes.size() < kWireHeaderSize + body_len) return WireStatus::kTruncated;
+  if (bytes.size() > kWireHeaderSize + body_len) return WireStatus::kCorrupt;
+  if (fnv1a64(p + kWireHeaderSize, body_len) != body_sum) {
+    return WireStatus::kCorrupt;
+  }
+
+  ShardFile s;
+  Reader body(p + kWireHeaderSize, static_cast<std::size_t>(body_len));
+  std::uint32_t covered_count = 0, ff_count = 0;
+  if (!body.str(&s.core_name) || !body.str(&s.key) ||
+      !body.u64(&s.program_hash) || !body.u64(&s.injections) ||
+      !body.u64(&s.seed) || !body.u32(&s.shard_count) ||
+      !body.u32(&covered_count)) {
+    return WireStatus::kCorrupt;
+  }
+  if (s.shard_count == 0 || s.shard_count > kMaxShardCount ||
+      covered_count == 0 || covered_count > s.shard_count) {
+    return WireStatus::kCorrupt;
+  }
+  s.covered.resize(covered_count);
+  std::uint32_t prev = 0;
+  for (std::uint32_t i = 0; i < covered_count; ++i) {
+    if (!body.u32(&s.covered[i])) return WireStatus::kCorrupt;
+    // Sorted + strictly increasing + bounded: canonical coverage sets only.
+    if (s.covered[i] >= s.shard_count || (i > 0 && s.covered[i] <= prev)) {
+      return WireStatus::kCorrupt;
+    }
+    prev = s.covered[i];
+  }
+  if (!body.u32(&ff_count) || ff_count == 0 || ff_count > kMaxFfCount ||
+      !body.u64(&s.result.nominal_cycles) ||
+      !body.u64(&s.result.nominal_instrs)) {
+    return WireStatus::kCorrupt;
+  }
+  s.result.ff_count = ff_count;
+  s.result.per_ff.assign(ff_count, {});
+  for (std::uint32_t f = 0; f < ff_count; ++f) {
+    OutcomeCounts& c = s.result.per_ff[f];
+    if (!body.u32(&c.vanished) || !body.u32(&c.omm) || !body.u32(&c.ut) ||
+        !body.u32(&c.hang) || !body.u32(&c.ed) || !body.u32(&c.recovered)) {
+      return WireStatus::kCorrupt;
+    }
+    s.result.totals.merge(c);
+  }
+  if (!body.exhausted()) return WireStatus::kCorrupt;
+  *out = std::move(s);
+  return WireStatus::kOk;
+}
+
+void write_shard_file(const std::string& path, const ShardFile& shard) {
+  const std::string bytes = encode_shard(shard);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out || !out.write(bytes.data(),
+                           static_cast<std::streamsize>(bytes.size()))) {
+      throw std::runtime_error("cannot write " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("cannot rename into place: " + path);
+  }
+}
+
+WireStatus load_shard_file(const std::string& path, ShardFile* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return WireStatus::kTruncated;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return decode_shard(bytes, out);
+}
+
+ShardFile merge_shard_files(const std::vector<ShardFile>& shards) {
+  if (shards.empty()) {
+    throw std::invalid_argument("merge_shard_files: no shards");
+  }
+  const ShardFile& ref = shards.front();
+  const auto mismatch = [](const std::string& field) {
+    throw std::invalid_argument(
+        "merge_shard_files: shards disagree on " + field +
+        " (refusing to fold results of different campaigns)");
+  };
+  std::vector<char> seen(ref.shard_count, 0);
+  std::vector<CampaignResult> results;
+  results.reserve(shards.size());
+  for (const ShardFile& s : shards) {
+    if (s.core_name != ref.core_name) mismatch("core_name");
+    if (s.key != ref.key) mismatch("key");
+    if (s.program_hash != ref.program_hash) mismatch("program_hash");
+    if (s.injections != ref.injections) mismatch("injections");
+    if (s.seed != ref.seed) mismatch("seed");
+    if (s.shard_count != ref.shard_count) mismatch("shard_count");
+    for (const std::uint32_t idx : s.covered) {
+      if (idx >= ref.shard_count || seen[idx]) {
+        throw std::invalid_argument(
+            "merge_shard_files: shard index " + std::to_string(idx) +
+            " covered twice (same shard file merged more than once?)");
+      }
+      seen[idx] = 1;
+    }
+    results.push_back(s.result);
+  }
+
+  ShardFile merged;
+  merged.core_name = ref.core_name;
+  merged.key = ref.key;
+  merged.program_hash = ref.program_hash;
+  merged.injections = ref.injections;
+  merged.seed = ref.seed;
+  merged.shard_count = ref.shard_count;
+  for (std::uint32_t i = 0; i < ref.shard_count; ++i) {
+    if (seen[i]) merged.covered.push_back(i);
+  }
+  // ff_count / nominal-run agreement is checked (and thrown on) here.
+  merged.result = merge_campaign_results(results);
+  return merged;
+}
+
+}  // namespace clear::inject

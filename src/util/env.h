@@ -28,14 +28,14 @@ inline long env_long(const char* name, long fallback) {
   return (end != nullptr && end != v) ? parsed : fallback;
 }
 
-// Byte-count knob: a plain number, optionally suffixed with K/M/G (powers
-// of 1024, case-insensitive).  Malformed values fall back.
-inline std::uint64_t env_bytes(const char* name, std::uint64_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
+// Byte-count grammar shared by the env knob and the CLI's --max-bytes:
+// a plain number, optionally suffixed with K/M/G (powers of 1024,
+// case-insensitive).  Returns false on malformed input.
+inline bool parse_bytes(const char* v, std::uint64_t* out) {
+  if (v == nullptr || *v == '\0') return false;
   char* end = nullptr;
   const unsigned long long parsed = std::strtoull(v, &end, 10);
-  if (end == nullptr || end == v) return fallback;
+  if (end == nullptr || end == v) return false;
   std::uint64_t scale = 1;
   switch (*end) {
     case 'k': case 'K': scale = 1ULL << 10; ++end; break;
@@ -43,8 +43,17 @@ inline std::uint64_t env_bytes(const char* name, std::uint64_t fallback) {
     case 'g': case 'G': scale = 1ULL << 30; ++end; break;
     default: break;
   }
-  if (*end != '\0') return fallback;
-  return static_cast<std::uint64_t>(parsed) * scale;
+  if (*end != '\0') return false;
+  *out = static_cast<std::uint64_t>(parsed) * scale;
+  return true;
+}
+
+// Byte-count knob; malformed or unset values fall back.
+inline std::uint64_t env_bytes(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  std::uint64_t bytes = 0;
+  return parse_bytes(v, &bytes) ? bytes : fallback;
 }
 
 inline std::string env_string(const char* name, const std::string& fallback) {

@@ -1,0 +1,30 @@
+// FNV-1a 64-bit: the repo-wide on-disk checksum.  Both binary formats
+// (the CPK1 cache pack and the CSR1 shard-result wire format, see
+// docs/FORMATS.md) checksum with this one definition so the formats can
+// never silently diverge.
+#ifndef CLEAR_UTIL_HASH_H
+#define CLEAR_UTIL_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace clear::util {
+
+// The three-argument form chains: pass a previous digest as `seed` to
+// hash a logical byte stream delivered in pieces.
+inline std::uint64_t fnv1a64(const void* data, std::size_t n,
+                             std::uint64_t seed =
+                                 1469598103934665603ULL /* offset basis */)
+    noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace clear::util
+
+#endif  // CLEAR_UTIL_HASH_H

@@ -78,6 +78,30 @@ std::string TextTable::str() const {
   return out.str();
 }
 
+std::string TextTable::csv() const {
+  const auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (const char c : cell) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) out << ',';
+      out << escape(c < cells.size() ? cells[c] : "");
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
 void TextTable::print(std::ostream& os) const { os << str(); }
 
 }  // namespace clear::util

@@ -23,6 +23,10 @@ class TextTable {
   static std::string pct(double v, int precision = 1);
 
   [[nodiscard]] std::string str() const;
+  // RFC-4180-style CSV of the same header + rows (cells containing commas,
+  // quotes or newlines are quoted; quotes doubled).  Used by
+  // `clear report --format csv`.
+  [[nodiscard]] std::string csv() const;
   void print(std::ostream& os) const;
 
  private:

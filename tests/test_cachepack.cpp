@@ -97,6 +97,33 @@ TEST(CachePack, RePutReplacesAndSurvivesReload) {
   EXPECT_EQ(got, "new");  // later record wins on scan too
 }
 
+TEST(CachePack, ExplicitCompactReclaimsSupersededBytes) {
+  // `clear cache compact` path: re-puts leave dead records behind; an
+  // explicit compact() rewrites the pack keeping every live record.
+  const auto dir = fresh_dir("compact");
+  inject::CachePack pack(dir);
+  for (int round = 0; round < 4; ++round) {
+    for (std::size_t i = 0; i < 6; ++i) {
+      pack.put(500 + i, "k" + std::to_string(i), payload_for(i));
+    }
+  }
+  const auto before = fs::file_size(pack_path(dir));
+  const auto stats = pack.compact(0);  // budget 0: no eviction
+  EXPECT_EQ(stats.records, 6u);
+  EXPECT_LT(stats.pack_bytes, before);        // dead re-put bytes reclaimed
+  EXPECT_EQ(stats.pack_bytes, fs::file_size(pack_path(dir)));
+  for (std::size_t i = 0; i < 6; ++i) {       // every live payload survives
+    std::string got;
+    EXPECT_TRUE(pack.get(500 + i, &got)) << i;
+    EXPECT_EQ(got, payload_for(i)) << i;
+  }
+  // With a budget, compact() evicts LRU records like the put() path does.
+  const auto evicted = pack.compact(stats.pack_bytes / 2);
+  EXPECT_LT(evicted.records, 6u);
+  EXPECT_GT(evicted.records, 0u);
+  EXPECT_LE(evicted.pack_bytes, stats.pack_bytes / 2);
+}
+
 TEST(CachePack, MigratesLegacyCampFilesToExactlyPackPlusIndex) {
   const auto dir = fresh_dir("migrate");
   fs::create_directories(dir);

@@ -1,0 +1,346 @@
+// End-to-end tests of the `clear` CLI binary (CLEAR_CLI_BIN, injected by
+// CMake): real child processes running `clear run` for each shard, a real
+// `clear merge` over the .csr files they wrote, and the acceptance
+// assertion of the workflow -- the merged result is bit-identical to the
+// single-process unsharded campaign.  Flag parsing units live here too.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+#include "inject/campaign.h"
+#include "inject/wire.h"
+#include "isa/assembler.h"
+#include "util/args.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace clear;
+
+class CliEnv : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    // Isolate from other test binaries (ctest runs them in parallel); the
+    // spawned `clear` children inherit this.
+    ::setenv("CLEAR_CACHE_DIR", ".clear_cache_test_cli", 1);
+    std::filesystem::remove_all(".clear_cache_test_cli");
+    std::filesystem::remove_all("cli_e2e");
+    std::filesystem::create_directories("cli_e2e");
+  }
+};
+const ::testing::Environment* const kEnv =
+    ::testing::AddGlobalTestEnvironment(new CliEnv);
+
+// Runs a shell command, returns its exit status (-1 if it died on a
+// signal).  Child stdout is routed to /dev/null to keep ctest logs tidy;
+// stderr stays visible for debugging.
+int sh(const std::string& cmd) {
+  const int rc = std::system((cmd + " > /dev/null").c_str());
+  if (rc == -1) return -1;
+  if (WIFEXITED(rc)) return WEXITSTATUS(rc);
+  return -1;
+}
+
+const std::string kBin = CLEAR_CLI_BIN;
+
+// ---- flag-parsing units ----------------------------------------------------
+
+TEST(CliParse, ShardSyntax) {
+  std::uint32_t k = 0, n = 0;
+  EXPECT_TRUE(cli::parse_shard("2/8", &k, &n));
+  EXPECT_EQ(k, 2u);
+  EXPECT_EQ(n, 8u);
+  EXPECT_TRUE(cli::parse_shard("0/1", &k, &n));
+  EXPECT_FALSE(cli::parse_shard("8/8", &k, &n));  // index out of range
+  EXPECT_FALSE(cli::parse_shard("1/0", &k, &n));
+  EXPECT_FALSE(cli::parse_shard("1", &k, &n));
+  EXPECT_FALSE(cli::parse_shard("1/2/3", &k, &n));
+  EXPECT_FALSE(cli::parse_shard("a/b", &k, &n));
+}
+
+TEST(CliParse, ByteSuffixes) {
+  std::uint64_t b = 0;
+  EXPECT_TRUE(cli::parse_bytes("1024", &b));
+  EXPECT_EQ(b, 1024u);
+  EXPECT_TRUE(cli::parse_bytes("4K", &b));
+  EXPECT_EQ(b, 4096u);
+  EXPECT_TRUE(cli::parse_bytes("2m", &b));
+  EXPECT_EQ(b, 2u << 20);
+  EXPECT_TRUE(cli::parse_bytes("1G", &b));
+  EXPECT_EQ(b, 1u << 30);
+  EXPECT_FALSE(cli::parse_bytes("", &b));
+  EXPECT_FALSE(cli::parse_bytes("12Q", &b));
+  EXPECT_FALSE(cli::parse_bytes("K", &b));
+}
+
+TEST(CliParse, VariantTokensRoundTripThroughKey) {
+  EXPECT_EQ(cli::parse_variant("base").key(), "base");
+  EXPECT_EQ(cli::parse_variant("").key(), "base");
+  EXPECT_EQ(cli::parse_variant("eddi_rb").key(), "eddi_rb");
+  EXPECT_EQ(cli::parse_variant("eddi").key(), "eddi");
+  EXPECT_EQ(cli::parse_variant("abftc+eddi_rb+cfcss").key(),
+            "abftc+eddi_rb+cfcss");
+  EXPECT_EQ(cli::parse_variant("assert+dfc+monitor").key(),
+            "assert+dfc+monitor");
+  EXPECT_THROW((void)cli::parse_variant("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)cli::parse_variant("eddi+bogus"), std::invalid_argument);
+}
+
+TEST(CliParse, ArgParserBasics) {
+  util::ArgParser args("prog [options]", "test parser");
+  args.add_flag("verbose", "chatty");
+  args.add_option("out", "file", "output", "default.out");
+  args.allow_positionals("inputs", "input files");
+  const char* argv[] = {"--verbose", "--out=result.bin", "a.csr", "b.csr"};
+  std::string error;
+  ASSERT_TRUE(args.parse(4, argv, &error)) << error;
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get("out"), "result.bin");
+  EXPECT_EQ(args.positionals(),
+            (std::vector<std::string>{"a.csr", "b.csr"}));
+
+  util::ArgParser defaults("prog", "d");
+  defaults.add_option("out", "file", "output", "default.out");
+  ASSERT_TRUE(defaults.parse(0, nullptr, &error));
+  EXPECT_EQ(defaults.get("out"), "default.out");
+
+  util::ArgParser nums("prog", "d");
+  nums.add_option("n", "N", "count", "0");
+  std::uint64_t n = 0;
+  EXPECT_TRUE(nums.get_u64("n", 42, &n));  // absent -> default, ok
+  EXPECT_EQ(n, 42u);
+  const char* good[] = {"--n", "600"};
+  ASSERT_TRUE(nums.parse(2, good, &error));
+  EXPECT_TRUE(nums.get_u64("n", 42, &n));
+  EXPECT_EQ(n, 600u);
+  util::ArgParser bad_nums("prog", "d");
+  bad_nums.add_option("n", "N", "count", "0");
+  const char* bad[] = {"--n", "9,000,000"};
+  ASSERT_TRUE(bad_nums.parse(2, bad, &error));
+  EXPECT_FALSE(bad_nums.get_u64("n", 42, &n));  // malformed -> hard error
+  EXPECT_EQ(n, 42u);                            // ...and *out is the default
+
+  util::ArgParser strict("prog", "d");
+  EXPECT_FALSE(strict.parse(1, argv, &error));  // unknown --verbose
+  util::ArgParser missing("prog", "d");
+  missing.add_option("out", "file", "output");
+  const char* dangling[] = {"--out"};
+  EXPECT_FALSE(missing.parse(1, dangling, &error));
+}
+
+// ---- process-level smoke ---------------------------------------------------
+
+TEST(CliSmoke, HelpAndDryRunSucceed) {
+  EXPECT_EQ(sh(kBin + " --help"), 0);
+  EXPECT_EQ(sh(kBin + " version"), 0);
+  EXPECT_EQ(sh(kBin + " run --help"), 0);
+  EXPECT_EQ(sh(kBin + " merge --help"), 0);
+  EXPECT_EQ(sh(kBin + " report --help"), 0);
+  EXPECT_EQ(sh(kBin + " cache --help"), 0);
+  EXPECT_EQ(sh(kBin + " run --bench mcf --dry-run"), 0);
+  EXPECT_EQ(sh(kBin + " run --list-benches"), 0);
+}
+
+TEST(CliSmoke, UsageErrorsExitTwo) {
+  EXPECT_EQ(sh(kBin + " 2>/dev/null"), 2);
+  EXPECT_EQ(sh(kBin + " frobnicate 2>/dev/null"), 2);
+  EXPECT_EQ(sh(kBin + " run --dry-run 2>/dev/null"), 2);  // missing --bench
+  EXPECT_EQ(sh(kBin + " run --bench mcf --shard 3/3 --dry-run 2>/dev/null"),
+            2);
+  EXPECT_EQ(sh(kBin + " run --bench mcf --variant bogus --dry-run "
+                      "2>/dev/null"),
+            2);
+  // Malformed numerics fail loudly instead of silently running with the
+  // default sample count.
+  EXPECT_EQ(sh(kBin + " run --bench mcf --injections 9,000,000 --dry-run "
+                      "2>/dev/null"),
+            2);
+  EXPECT_EQ(sh(kBin + " run --bench mcf --seed seven --dry-run 2>/dev/null"),
+            2);
+  EXPECT_EQ(sh(kBin + " merge shard.csr 2>/dev/null"), 2);  // missing --out
+  EXPECT_EQ(sh(kBin + " report --format yaml x.csr 2>/dev/null"), 2);
+  EXPECT_EQ(sh(kBin + " cache frobnicate 2>/dev/null"), 2);
+}
+
+// ---- the acceptance test: multi-process shard -> merge ---------------------
+
+TEST(CliE2E, ShardedProcessesMergeBitIdenticalToUnsharded) {
+  const std::uint32_t kShards = 3;
+  const std::size_t kInjections = 600;
+  const std::uint64_t kSeed = 7;
+
+  // Reference: the unsharded campaign, in-process.
+  const auto prog = isa::assemble(workloads::build_benchmark("mcf"));
+  inject::CampaignSpec spec;
+  spec.core_name = "InO";
+  spec.program = &prog;
+  spec.injections = kInjections;
+  spec.seed = kSeed;
+  const auto whole = inject::run_campaign(spec);
+  ASSERT_EQ(whole.totals.total(), kInjections);
+
+  // K real `clear run` processes, one per shard.
+  std::string merge_cmd = kBin + " merge --out cli_e2e/merged.csr";
+  for (std::uint32_t k = 0; k < kShards; ++k) {
+    const std::string out =
+        "cli_e2e/shard_" + std::to_string(k) + ".csr";
+    const std::string cmd =
+        kBin + " run --bench mcf --injections " +
+        std::to_string(kInjections) + " --seed " + std::to_string(kSeed) +
+        " --shard " + std::to_string(k) + "/" + std::to_string(kShards) +
+        " --out " + out;
+    ASSERT_EQ(sh(cmd), 0) << cmd;
+    merge_cmd += " " + out;
+  }
+  ASSERT_EQ(sh(merge_cmd), 0) << merge_cmd;
+
+  inject::ShardFile merged;
+  ASSERT_EQ(inject::load_shard_file("cli_e2e/merged.csr", &merged),
+            inject::WireStatus::kOk);
+  EXPECT_TRUE(merged.complete());
+  EXPECT_EQ(merged.shard_count, kShards);
+  EXPECT_EQ(merged.injections, kInjections);
+
+  // Bit-identity, totals and per-FF.
+  const inject::CampaignResult& m = merged.result;
+  EXPECT_EQ(m.nominal_cycles, whole.nominal_cycles);
+  EXPECT_EQ(m.nominal_instrs, whole.nominal_instrs);
+  EXPECT_EQ(m.totals.vanished, whole.totals.vanished);
+  EXPECT_EQ(m.totals.omm, whole.totals.omm);
+  EXPECT_EQ(m.totals.ut, whole.totals.ut);
+  EXPECT_EQ(m.totals.hang, whole.totals.hang);
+  EXPECT_EQ(m.totals.ed, whole.totals.ed);
+  EXPECT_EQ(m.totals.recovered, whole.totals.recovered);
+  ASSERT_EQ(m.per_ff.size(), whole.per_ff.size());
+  for (std::size_t f = 0; f < whole.per_ff.size(); ++f) {
+    EXPECT_EQ(m.per_ff[f].vanished, whole.per_ff[f].vanished) << f;
+    EXPECT_EQ(m.per_ff[f].omm, whole.per_ff[f].omm) << f;
+    EXPECT_EQ(m.per_ff[f].ut, whole.per_ff[f].ut) << f;
+    EXPECT_EQ(m.per_ff[f].hang, whole.per_ff[f].hang) << f;
+    EXPECT_EQ(m.per_ff[f].ed, whole.per_ff[f].ed) << f;
+    EXPECT_EQ(m.per_ff[f].recovered, whole.per_ff[f].recovered) << f;
+  }
+
+  // The merged file renders in every format.
+  EXPECT_EQ(sh(kBin + " report cli_e2e/merged.csr"), 0);
+  EXPECT_EQ(sh(kBin + " report --format csv --per-ff cli_e2e/merged.csr"), 0);
+  EXPECT_EQ(sh(kBin + " report --format json cli_e2e/merged.csr"), 0);
+  // The shards memoized their campaigns: the cache pack has records.
+  EXPECT_EQ(sh(kBin + " cache stats"), 0);
+  EXPECT_EQ(sh(kBin + " cache compact"), 0);
+}
+
+TEST(CliE2E, SpecFileDrivesRunAndCommandLineWins) {
+  // Cluster workflow: one spec file templated per campaign, `--shard`
+  // (and any override) supplied on the command line.
+  {
+    std::ofstream spec("cli_e2e/campaign.spec");
+    spec << "# InO/gcc smoke campaign\n"
+         << "--bench gcc --injections 60\n"
+         << "--seed 3 --no-cache\n";
+  }
+  ASSERT_EQ(sh(kBin + " run --spec cli_e2e/campaign.spec --shard 0/2"
+                      " --out cli_e2e/spec0.csr"),
+            0);
+  inject::ShardFile s;
+  ASSERT_EQ(inject::load_shard_file("cli_e2e/spec0.csr", &s),
+            inject::WireStatus::kOk);
+  EXPECT_EQ(s.injections, 60u);
+  EXPECT_EQ(s.seed, 3u);
+  EXPECT_EQ(s.shard_count, 2u);
+  EXPECT_EQ(s.covered, (std::vector<std::uint32_t>{0}));
+
+  // The command line overrides the file.
+  ASSERT_EQ(sh(kBin + " run --spec cli_e2e/campaign.spec --seed 9"
+                      " --out cli_e2e/spec9.csr"),
+            0);
+  ASSERT_EQ(inject::load_shard_file("cli_e2e/spec9.csr", &s),
+            inject::WireStatus::kOk);
+  EXPECT_EQ(s.seed, 9u);
+  EXPECT_EQ(s.injections, 60u);
+
+  EXPECT_EQ(sh(kBin + " run --spec cli_e2e/nonexistent.spec 2>/dev/null"),
+            1);
+}
+
+TEST(CliE2E, MergeRefusesMismatchedSeeds) {
+  // Same campaign shape, different seed: a different experiment.  The
+  // merge must fail loudly instead of producing a silently wrong fold.
+  const std::string a = "cli_e2e/seed7.csr";
+  const std::string b = "cli_e2e/seed8.csr";
+  ASSERT_EQ(sh(kBin + " run --bench gcc --injections 60 --seed 7 "
+                      "--shard 0/2 --no-cache --out " + a),
+            0);
+  ASSERT_EQ(sh(kBin + " run --bench gcc --injections 60 --seed 8 "
+                      "--shard 1/2 --no-cache --out " + b),
+            0);
+  EXPECT_EQ(sh(kBin + " merge --out cli_e2e/bad.csr " + a + " " + b +
+               " 2>/dev/null"),
+            1);
+  EXPECT_FALSE(std::filesystem::exists("cli_e2e/bad.csr"));
+}
+
+TEST(CliE2E, PartialMergeNeedsOptIn) {
+  const std::string a = "cli_e2e/part0.csr";
+  ASSERT_EQ(sh(kBin + " run --bench gcc --injections 60 --seed 3 "
+                      "--shard 0/2 --no-cache --out " + a),
+            0);
+  EXPECT_EQ(sh(kBin + " merge --out cli_e2e/part.csr " + a + " 2>/dev/null"),
+            1);
+  EXPECT_EQ(sh(kBin + " merge --allow-partial --out cli_e2e/part.csr " + a),
+            0);
+  inject::ShardFile part;
+  ASSERT_EQ(inject::load_shard_file("cli_e2e/part.csr", &part),
+            inject::WireStatus::kOk);
+  EXPECT_FALSE(part.complete());
+  EXPECT_EQ(part.covered, (std::vector<std::uint32_t>{0}));
+}
+
+TEST(CliE2E, MergeRejectsCorruptAndFutureVersionFiles) {
+  const std::string good = "cli_e2e/vgood.csr";
+  ASSERT_EQ(sh(kBin + " run --bench gcc --injections 60 --seed 3 "
+                      "--shard 0/1 --no-cache --out " + good),
+            0);
+
+  // Corrupt copy: flip one payload byte.
+  {
+    std::ifstream in(good, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes[bytes.size() - 1] = static_cast<char>(bytes.back() ^ 0x40);
+    std::ofstream out("cli_e2e/corrupt.csr", std::ios::binary);
+    out << bytes;
+  }
+  EXPECT_EQ(sh(kBin + " merge --out cli_e2e/x.csr cli_e2e/corrupt.csr "
+                      "2>/dev/null"),
+            1);
+
+  // Future-version copy: version bumped, header checksum re-stamped (what
+  // a newer `clear` would write).  Today's binary must refuse it.
+  {
+    std::ifstream in(good, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes[4] = static_cast<char>(inject::kWireVersion + 1);
+    const std::uint64_t sum = inject::fnv1a64(bytes.data(), 24);
+    for (int i = 0; i < 8; ++i) {
+      bytes[24 + i] = static_cast<char>(
+          static_cast<unsigned char>(sum >> (8 * i)));
+    }
+    std::ofstream out("cli_e2e/future.csr", std::ios::binary);
+    out << bytes;
+  }
+  EXPECT_EQ(sh(kBin + " merge --out cli_e2e/x.csr cli_e2e/future.csr "
+                      "2>/dev/null"),
+            1);
+  EXPECT_EQ(sh(kBin + " report cli_e2e/future.csr 2>/dev/null"), 1);
+}
+
+}  // namespace

@@ -1,0 +1,248 @@
+// Wire-format (.csr) tests: encode/decode round trips, the tolerant
+// loader against truncation at every byte boundary and seeded byte flips,
+// version-mismatch rejection, and merge identity checks.  The
+// multi-process `clear run` / `clear merge` end-to-end test lives in
+// tests/test_cli.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "inject/wire.h"
+#include "isa/assembler.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace clear;
+
+// A deterministic synthetic shard: small enough that exhaustive
+// truncation is instant, irregular enough that every field matters.
+inject::ShardFile sample_shard() {
+  inject::ShardFile s;
+  s.core_name = "InO";
+  s.key = "test/wire/sample";
+  s.program_hash = 0x0123456789ABCDEFULL;
+  s.injections = 1234;
+  s.seed = 99;
+  s.shard_count = 7;
+  s.covered = {1, 4, 6};
+  s.result.ff_count = 5;
+  s.result.nominal_cycles = 4321;
+  s.result.nominal_instrs = 2100;
+  s.result.per_ff.assign(5, {});
+  for (std::uint32_t f = 0; f < 5; ++f) {
+    auto& c = s.result.per_ff[f];
+    c.vanished = 10 + f;
+    c.omm = f;
+    c.ut = 2 * f;
+    c.hang = f % 2;
+    c.ed = f % 3;
+    c.recovered = 7 - f;
+    s.result.totals.merge(c);
+  }
+  return s;
+}
+
+void expect_equal(const inject::ShardFile& a, const inject::ShardFile& b) {
+  EXPECT_EQ(a.core_name, b.core_name);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.program_hash, b.program_hash);
+  EXPECT_EQ(a.injections, b.injections);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.shard_count, b.shard_count);
+  EXPECT_EQ(a.covered, b.covered);
+  EXPECT_EQ(a.result.ff_count, b.result.ff_count);
+  EXPECT_EQ(a.result.nominal_cycles, b.result.nominal_cycles);
+  EXPECT_EQ(a.result.nominal_instrs, b.result.nominal_instrs);
+  EXPECT_EQ(a.result.totals.total(), b.result.totals.total());
+  ASSERT_EQ(a.result.per_ff.size(), b.result.per_ff.size());
+  for (std::size_t f = 0; f < a.result.per_ff.size(); ++f) {
+    EXPECT_EQ(a.result.per_ff[f].vanished, b.result.per_ff[f].vanished) << f;
+    EXPECT_EQ(a.result.per_ff[f].omm, b.result.per_ff[f].omm) << f;
+    EXPECT_EQ(a.result.per_ff[f].ut, b.result.per_ff[f].ut) << f;
+    EXPECT_EQ(a.result.per_ff[f].hang, b.result.per_ff[f].hang) << f;
+    EXPECT_EQ(a.result.per_ff[f].ed, b.result.per_ff[f].ed) << f;
+    EXPECT_EQ(a.result.per_ff[f].recovered, b.result.per_ff[f].recovered)
+        << f;
+  }
+}
+
+TEST(Wire, EncodeDecodeRoundTrip) {
+  const auto shard = sample_shard();
+  const std::string bytes = inject::encode_shard(shard);
+  EXPECT_EQ(bytes.size(),
+            inject::kWireHeaderSize +
+                (4 + 3) + (4 + 16) + 8 + 8 + 8 + 4 + 4 + 3 * 4 + 4 + 8 + 8 +
+                5 * 6 * 4);
+  inject::ShardFile out;
+  ASSERT_EQ(inject::decode_shard(bytes, &out), inject::WireStatus::kOk);
+  expect_equal(shard, out);
+  // Totals are recomputed, not stored.
+  EXPECT_EQ(out.result.totals.total(), shard.result.totals.total());
+  EXPECT_FALSE(out.complete());
+}
+
+TEST(Wire, FileRoundTripIsAtomic) {
+  const std::string path = "wire_roundtrip.csr";
+  const auto shard = sample_shard();
+  inject::write_shard_file(path, shard);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  inject::ShardFile out;
+  ASSERT_EQ(inject::load_shard_file(path, &out), inject::WireStatus::kOk);
+  expect_equal(shard, out);
+  std::filesystem::remove(path);
+}
+
+TEST(Wire, MissingFileIsTruncated) {
+  inject::ShardFile out;
+  EXPECT_EQ(inject::load_shard_file("does_not_exist.csr", &out),
+            inject::WireStatus::kTruncated);
+}
+
+TEST(Wire, TruncationAtEveryByteBoundaryIsDetected) {
+  const std::string bytes = inject::encode_shard(sample_shard());
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    inject::ShardFile out;
+    out.core_name = "sentinel";
+    const auto st = inject::decode_shard(bytes.substr(0, n), &out);
+    EXPECT_NE(st, inject::WireStatus::kOk) << "prefix length " << n;
+    EXPECT_EQ(out.core_name, "sentinel") << "output touched at " << n;
+  }
+}
+
+TEST(Wire, EveryByteFlipIsDetected) {
+  // Single-bit damage anywhere in the file must be caught: the header
+  // checksum covers bytes [0, 24), the header checksum field itself
+  // breaks by definition, and the body checksum covers the rest.
+  const std::string bytes = inject::encode_shard(sample_shard());
+  util::Rng rng(2024);
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string damaged = bytes;
+    damaged[pos] = static_cast<char>(
+        static_cast<unsigned char>(damaged[pos]) ^
+        (1u << rng.below(8)));
+    inject::ShardFile out;
+    EXPECT_NE(inject::decode_shard(damaged, &out), inject::WireStatus::kOk)
+        << "flip at byte " << pos;
+  }
+}
+
+TEST(Wire, RandomGarbageNeverDecodes) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage(rng.below(512), '\0');
+    for (auto& c : garbage) c = static_cast<char>(rng.below(256));
+    inject::ShardFile out;
+    EXPECT_NE(inject::decode_shard(garbage, &out), inject::WireStatus::kOk);
+  }
+}
+
+TEST(Wire, TrailingGarbageIsCorrupt) {
+  std::string bytes = inject::encode_shard(sample_shard());
+  bytes += "extra";
+  inject::ShardFile out;
+  EXPECT_EQ(inject::decode_shard(bytes, &out), inject::WireStatus::kCorrupt);
+}
+
+TEST(Wire, BadMagicIsReportedAsSuch) {
+  std::string bytes = inject::encode_shard(sample_shard());
+  bytes[0] = 'X';
+  inject::ShardFile out;
+  EXPECT_EQ(inject::decode_shard(bytes, &out), inject::WireStatus::kBadMagic);
+}
+
+TEST(Wire, NewerVersionIsRejectedNotMisparsed) {
+  // A file stamped with a future format version but otherwise intact
+  // (checksums re-computed, as a newer writer would) must be refused with
+  // kVersionUnsupported -- never parsed with today's body layout.
+  std::string bytes = inject::encode_shard(sample_shard());
+  bytes[4] = static_cast<char>(inject::kWireVersion + 1);
+  const std::uint64_t header_sum = inject::fnv1a64(bytes.data(), 24);
+  for (int i = 0; i < 8; ++i) {
+    bytes[24 + i] = static_cast<char>(
+        static_cast<unsigned char>(header_sum >> (8 * i)));
+  }
+  inject::ShardFile out;
+  EXPECT_EQ(inject::decode_shard(bytes, &out),
+            inject::WireStatus::kVersionUnsupported);
+  // Without the checksum re-stamp the same edit is just corruption.
+  std::string torn = inject::encode_shard(sample_shard());
+  torn[4] = static_cast<char>(inject::kWireVersion + 1);
+  EXPECT_EQ(inject::decode_shard(torn, &out), inject::WireStatus::kCorrupt);
+}
+
+TEST(Wire, ProgramHashIsStableAndDiscriminates) {
+  const auto mcf = isa::assemble(workloads::build_benchmark("mcf"));
+  const auto gcc = isa::assemble(workloads::build_benchmark("gcc"));
+  EXPECT_EQ(inject::wire_program_hash(mcf), inject::wire_program_hash(mcf));
+  EXPECT_NE(inject::wire_program_hash(mcf), inject::wire_program_hash(gcc));
+}
+
+// ---- merge identity --------------------------------------------------------
+
+TEST(WireMerge, UnionsDisjointCoverage) {
+  auto a = sample_shard();
+  a.covered = {0, 2};
+  auto b = sample_shard();
+  b.covered = {1, 5};
+  const auto merged = inject::merge_shard_files({a, b});
+  EXPECT_EQ(merged.covered, (std::vector<std::uint32_t>{0, 1, 2, 5}));
+  EXPECT_FALSE(merged.complete());
+  EXPECT_EQ(merged.result.totals.total(),
+            a.result.totals.total() + b.result.totals.total());
+}
+
+TEST(WireMerge, CompleteUnionReportsComplete) {
+  std::vector<inject::ShardFile> parts;
+  for (std::uint32_t k = 0; k < 7; ++k) {
+    auto s = sample_shard();
+    s.covered = {k};
+    parts.push_back(std::move(s));
+  }
+  const auto merged = inject::merge_shard_files(parts);
+  EXPECT_TRUE(merged.complete());
+  EXPECT_EQ(merged.covered.size(), 7u);
+}
+
+TEST(WireMerge, RefusesIdentityMismatches) {
+  const auto base = [] {
+    auto s = sample_shard();
+    s.covered = {0};
+    return s;
+  }();
+  auto other = base;
+  other.covered = {1};
+
+  auto wrong = other;
+  wrong.seed = 100;
+  EXPECT_THROW((void)inject::merge_shard_files({base, wrong}),
+               std::invalid_argument);
+  wrong = other;
+  wrong.program_hash ^= 1;
+  EXPECT_THROW((void)inject::merge_shard_files({base, wrong}),
+               std::invalid_argument);
+  wrong = other;
+  wrong.core_name = "OoO";
+  EXPECT_THROW((void)inject::merge_shard_files({base, wrong}),
+               std::invalid_argument);
+  wrong = other;
+  wrong.injections = 4;
+  EXPECT_THROW((void)inject::merge_shard_files({base, wrong}),
+               std::invalid_argument);
+  wrong = other;
+  wrong.shard_count = 3;
+  wrong.covered = {1};
+  EXPECT_THROW((void)inject::merge_shard_files({base, wrong}),
+               std::invalid_argument);
+  // Double coverage: same shard folded twice.
+  EXPECT_THROW((void)inject::merge_shard_files({base, base}),
+               std::invalid_argument);
+  EXPECT_THROW((void)inject::merge_shard_files({}), std::invalid_argument);
+  // The valid counterpart still merges.
+  EXPECT_NO_THROW((void)inject::merge_shard_files({base, other}));
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Intra-repo markdown link checker (CI docs job; stdlib only).
+
+Scans README.md and docs/*.md for [text](target) links and verifies that
+every relative target resolves to a file or directory in the repository.
+For targets with a #fragment pointing at a markdown file, the fragment
+must match a heading in that file (GitHub anchor rules: lowercase,
+punctuation stripped, spaces to dashes).  External links (http/https/
+mailto) are out of scope -- this job must stay hermetic.
+
+Exit status: 0 when every link resolves, 1 otherwise (each broken link is
+reported as file:line: message).
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_anchor(heading: str) -> str:
+    heading = re.sub(r"`([^`]*)`", r"\1", heading.strip().lower())
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(md_path: Path) -> set:
+    anchors = set()
+    in_fence = False
+    for line in md_path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(github_anchor(m.group(1)))
+    return anchors
+
+
+def check_file(md_path: Path, repo_root: Path) -> list:
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(
+            md_path.read_text(encoding="utf-8").splitlines(), start=1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if not path_part:  # same-file anchor
+                dest = md_path
+            else:
+                dest = (md_path.parent / path_part).resolve()
+                try:
+                    dest.relative_to(repo_root)
+                except ValueError:
+                    errors.append((lineno, f"link escapes the repo: {target}"))
+                    continue
+                if not dest.exists():
+                    errors.append((lineno, f"broken link: {target}"))
+                    continue
+            if fragment and dest.suffix == ".md":
+                if github_anchor(fragment) not in anchors_of(dest):
+                    errors.append(
+                        (lineno, f"broken anchor: {target} "
+                                 f"(no heading '#{fragment}')"))
+    return errors
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    md_files = [repo_root / "README.md"]
+    md_files += sorted((repo_root / "docs").glob("*.md"))
+    failures = 0
+    checked = 0
+    for md in md_files:
+        if not md.exists():
+            print(f"{md}: missing", file=sys.stderr)
+            failures += 1
+            continue
+        checked += 1
+        for lineno, message in check_file(md, repo_root):
+            print(f"{md.relative_to(repo_root)}:{lineno}: {message}",
+                  file=sys.stderr)
+            failures += 1
+    print(f"checked {checked} markdown files: "
+          f"{'OK' if failures == 0 else f'{failures} broken link(s)'}")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

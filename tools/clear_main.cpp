@@ -1,0 +1,5 @@
+// Entry point of the `clear` CLI binary (all logic lives in src/cli so it
+// is linkable and testable as part of the library).
+#include "cli/cli.h"
+
+int main(int argc, char** argv) { return clear::cli::run(argc, argv); }
