@@ -1,53 +1,72 @@
-// Cross-layer design-space exploration (the paper's Fig. 1d / Sec. 3):
-// evaluate every valid combination on a core and report the cheapest ways
-// to reach an SDC-improvement target.
+// Cross-layer design-space exploration (the paper's Fig. 1d / Sec. 3) on
+// the distributed exploration engine (src/explore): evaluate every valid
+// combination on a core, persist the search in a resumable .cxl ledger,
+// and report the Pareto frontier and the cheapest ways to reach an
+// SDC-improvement target.
 //
-//   $ ./explore_design_space [InO|OoO] [target]
-#include <algorithm>
+//   $ ./explore_design_space [InO|OoO] [target] [ledger.cxl]
+//
+// With a ledger path the exploration is durable: kill it, re-run the
+// same command, and it resumes where it stopped.  Shard it across
+// machines with the `clear explore` CLI (same engine, same ledger
+// format):
+//
+//   $ clear explore run --core InO --shard k/K --ledger shard_k.cxl
+//   $ clear explore merge --out whole.cxl shard_*.cxl
+//   $ clear explore frontier whole.cxl
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <string>
 
-#include "core/combos.h"
+#include "explore/explore.h"
 
 int main(int argc, char** argv) {
   using namespace clear;
   const std::string core_name = argc > 1 ? argv[1] : "InO";
   const double target = argc > 2 ? std::atof(argv[2]) : 50.0;
+  const std::string ledger_path = argc > 3 ? argv[3] : "";
   if (core_name != "InO" && core_name != "OoO") {
-    std::fprintf(stderr, "usage: %s [InO|OoO] [target]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [InO|OoO] [target] [ledger.cxl]\n",
+                 argv[0]);
     return 2;
   }
 
-  core::Session session(core_name);
-  core::Selector selector(session);
-  std::printf("exploring %zu combinations on %s at %.0fx SDC target...\n",
-              core::enumerate_combos(core_name).size(), core_name.c_str(),
-              target);
-  auto points = core::explore_design_space(session, selector, target);
+  explore::ExploreSpec spec;
+  spec.core = core_name;
+  spec.target = target;
+  std::printf("exploring %u combinations on %s at %.0fx SDC target%s...\n",
+              explore::resolve_identity(spec).combo_count, core_name.c_str(),
+              target,
+              ledger_path.empty() ? ""
+                                  : (" (ledger " + ledger_path + ")").c_str());
 
-  std::sort(points.begin(), points.end(),
-            [](const auto& a, const auto& b) { return a.energy < b.energy; });
+  const explore::Ledger ledger = explore::run_exploration(
+      spec, ledger_path, [](const explore::Progress& p) {
+        if (p.done % 100 == 0 || p.done == p.pending) {
+          std::printf("  %zu/%zu combos (%zu evaluated, %zu pruned)\n",
+                      p.done, p.pending, p.evaluated, p.pruned);
+        }
+      });
 
   std::printf("\ncheapest combinations that MEET the target:\n");
   std::printf("%-52s %10s %10s %10s\n", "combination", "energy", "SDC imp",
               "DUE imp");
   int shown = 0;
-  for (const auto& p : points) {
-    if (!p.target_met || p.imp.sdc < target) continue;
-    std::printf("%-52s %9.2f%% %9.1fx %9.1fx\n", p.combo.c_str(),
-                p.energy * 100, p.imp.sdc, p.imp.due);
+  for (const auto* p : explore::target_meeting_points(ledger)) {
+    std::printf("%-52s %9.2f%% %9.1fx %9.1fx\n", p->combo.c_str(),
+                p->energy * 100, p->imp_sdc, p->imp_due);
     if (++shown >= 10) break;
   }
 
-  std::printf("\nmost expensive ways to try (for contrast):\n");
-  for (std::size_t i = points.size() >= 3 ? points.size() - 3 : 0;
-       i < points.size(); ++i) {
-    std::printf("%-52s %9.2f%% %9.1fx\n", points[i].combo.c_str(),
-                points[i].energy * 100, points[i].imp.sdc);
+  std::printf("\nPareto frontier (minimal energy per protection level):\n");
+  for (const auto* p : explore::pareto_frontier(ledger)) {
+    std::printf("%-52s %9.2f%% %9.2f%% SDC protected\n", p->combo.c_str(),
+                p->energy * 100, p->sdc_protected_pct);
   }
   std::printf(
       "\n(the paper's conclusion: carefully optimized DICE+parity+recovery"
-      " dominates;\n most cross-layer combinations are far costlier)\n");
+      " dominates;\n most cross-layer combinations are far costlier -- the"
+      " engine prunes those\n without evaluating them; pass a ledger path to"
+      " make the search resumable)\n");
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "explore/ledger.h"
 #include "inject/wire.h"
 #include "util/env.h"
 
@@ -21,10 +22,13 @@ constexpr const char* kTopHelp =
     "specifies the .csr wire format; docs/CONFIG.md every knob).\n"
     "\n"
     "commands:\n"
-    "  run     simulate one shard of a campaign, write a .csr result file\n"
-    "  merge   fold .csr shard files into one .csr (refuses mismatches)\n"
-    "  report  render .csr files as human/CSV/JSON tables\n"
-    "  cache   campaign cache pack maintenance (stats/compact/evict)\n"
+    "  run      simulate one shard of a campaign, write a .csr result file\n"
+    "           (--spec also takes multi-campaign manifests)\n"
+    "  merge    fold .csr shard files into one .csr (refuses mismatches)\n"
+    "  report   render .csr files as human/CSV/JSON tables\n"
+    "  cache    campaign cache pack maintenance (stats/compact/evict)\n"
+    "  explore  distributed design-space exploration over the 586\n"
+    "           combinations (run/merge/frontier/report on .cxl ledgers)\n"
     "\n"
     "run 'clear <command> --help' for per-command flags.\n";
 
@@ -82,6 +86,23 @@ bool parse_bytes(const std::string& text, std::uint64_t* bytes) {
   return util::parse_bytes(text.c_str(), bytes);
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 int run(int argc, char** argv) {
   if (argc < 2) {
     std::fputs(kTopHelp, stderr);
@@ -95,13 +116,15 @@ int run(int argc, char** argv) {
     if (cmd == "merge") return cmd_merge(sub_argc, sub_argv);
     if (cmd == "report") return cmd_report(sub_argc, sub_argv);
     if (cmd == "cache") return cmd_cache(sub_argc, sub_argv);
+    if (cmd == "explore") return cmd_explore(sub_argc, sub_argv);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
       std::fputs(kTopHelp, stdout);
       return 0;
     }
     if (cmd == "--version" || cmd == "version") {
-      std::printf("clear (wire format v%u, cache pack CPK1)\n",
-                  inject::kWireVersion);
+      std::printf("clear (wire format v%u, ledger format v%u, cache pack "
+                  "CPK1)\n",
+                  inject::kWireVersion, explore::kLedgerVersion);
       return 0;
     }
   } catch (const std::exception& e) {

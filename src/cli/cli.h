@@ -9,10 +9,15 @@
 // equivalent.
 //
 // Subcommands:
-//   clear run     simulate one shard (or the whole campaign), write a .csr
-//   clear merge   fold any partition of .csr shard files into one .csr
-//   clear report  human/CSV/JSON tables from .csr files
-//   clear cache   stats / compact / evict for the campaign cache pack
+//   clear run      simulate one shard (or the whole campaign), write a .csr;
+//                  --spec accepts multi-campaign manifests batched through
+//                  one run_campaigns submission
+//   clear merge    fold any partition of .csr shard files into one .csr
+//   clear report   human/CSV/JSON tables from .csr files
+//   clear cache    stats / compact / evict for the campaign cache pack
+//   clear explore  distributed design-space exploration: run/resume one
+//                  combo-space shard into a .cxl ledger, merge shard
+//                  ledgers, render the Pareto frontier (explore/explore.h)
 //
 // Exit codes: 0 success, 1 operational failure (I/O, corrupt or
 // mismatched inputs, failed simulation), 2 usage error.
@@ -36,6 +41,9 @@ int cmd_run(int argc, const char* const* argv);
 int cmd_merge(int argc, const char* const* argv);
 int cmd_report(int argc, const char* const* argv);
 int cmd_cache(int argc, const char* const* argv);
+// `clear explore <run|merge|frontier|report>`: argv[0] is the explore
+// subcommand word.
+int cmd_explore(int argc, const char* const* argv);
 
 // Parses a variant key of '+'-joined technique tokens into the technique
 // set it denotes: "base", "abftc", "abftd", "eddi" (no store-readback),
@@ -53,6 +61,10 @@ bool parse_shard(const std::string& text, std::uint32_t* index,
 // same grammar as the CLEAR_CACHE_MAX_BYTES env knob.  Returns false on
 // malformed input.
 bool parse_bytes(const std::string& text, std::uint64_t* bytes);
+
+// Escapes a string for embedding in the JSON output of `clear report` /
+// `clear explore` (backslash, quote, and control characters).
+[[nodiscard]] std::string json_escape(const std::string& s);
 
 }  // namespace clear::cli
 

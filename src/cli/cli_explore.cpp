@@ -1,0 +1,590 @@
+// `clear explore`: distributed design-space exploration.
+//
+//   clear explore run       run (or resume) one shard of an exploration,
+//                           appending every outcome to a .cxl ledger
+//   clear explore merge     fold disjoint shard ledgers into one .cxl
+//   clear explore frontier  Pareto frontier + target-meeting set
+//   clear explore report    ledger identity, coverage and point dump
+//
+// The sharded workflow mirrors `clear run`/`merge`/`report`: K cluster
+// jobs each run `clear explore run --shard k/K`, ship their .cxl home,
+// the frontend folds them with `clear explore merge` -- bit-identical to
+// the unsharded exploration -- and renders them with `frontier`/`report`.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+#include "explore/explore.h"
+#include "explore/ledger.h"
+#include "util/args.h"
+#include "util/table.h"
+
+namespace clear::cli {
+
+namespace {
+
+bool parse_metric(const std::string& text, core::Metric* out) {
+  if (text == "sdc") *out = core::Metric::kSdc;
+  else if (text == "due") *out = core::Metric::kDue;
+  else if (text == "joint") *out = core::Metric::kJoint;
+  else return false;
+  return true;
+}
+
+const char* metric_name(std::uint32_t m) {
+  switch (m) {
+    case 0: return "sdc";
+    case 1: return "due";
+    case 2: return "joint";
+  }
+  return "?";
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+void add_point_row(util::TextTable* t, const explore::LedgerRecord& r) {
+  t->add_row({r.combo, explore::record_kind_name(r.kind),
+              util::TextTable::num(r.energy * 100, 2),
+              util::TextTable::num(r.sdc_protected_pct, 2),
+              util::TextTable::num(r.imp_sdc, 1),
+              util::TextTable::num(r.imp_due, 1),
+              r.target_met ? "yes" : "no"});
+}
+
+util::TextTable point_table() {
+  return util::TextTable({"combination", "kind", "energy %", "SDC prot %",
+                          "SDC imp", "DUE imp", "met"});
+}
+
+void emit_point_json(std::ostringstream* out, const explore::LedgerRecord& r) {
+  *out << "{\"combo\": \"" << json_escape(r.combo) << "\", \"index\": "
+       << r.combo_index << ", \"kind\": \""
+       << explore::record_kind_name(r.kind) << "\", \"target\": " << r.target
+       << ", \"target_met\": " << (r.target_met ? "true" : "false")
+       << ", \"energy\": " << r.energy << ", \"area\": " << r.area
+       << ", \"power\": " << r.power << ", \"exec\": " << r.exec
+       << ", \"sdc_protected_pct\": " << r.sdc_protected_pct
+       << ", \"imp_sdc\": " << r.imp_sdc << ", \"imp_due\": " << r.imp_due
+       << "}";
+}
+
+void emit_identity_json(std::ostringstream* out, const explore::Ledger& l) {
+  *out << "{\"core\": \"" << json_escape(l.core) << "\", \"target\": "
+       << l.target << ", \"metric\": \"" << metric_name(l.metric)
+       << "\", \"seed\": " << l.seed << ", \"per_ff_samples\": "
+       << l.per_ff_samples << ", \"combo_count\": " << l.combo_count
+       << ", \"pruning\": " << (l.pruning ? "true" : "false")
+       << ", \"shard_count\": " << l.shard_count << ", \"covered\": [";
+  for (std::size_t i = 0; i < l.covered.size(); ++i) {
+    *out << (i ? ", " : "") << l.covered[i];
+  }
+  *out << "], \"complete\": " << (l.complete() ? "true" : "false")
+       << ", \"benchmarks\": [";
+  for (std::size_t i = 0; i < l.benchmarks.size(); ++i) {
+    *out << (i ? ", " : "") << "\"" << json_escape(l.benchmarks[i]) << "\"";
+  }
+  *out << "]}";
+}
+
+int load_or_complain(const char* cmd, const std::string& path,
+                     explore::Ledger* out) {
+  explore::LedgerLoadInfo info;
+  const explore::LedgerStatus st = explore::load_ledger_file(path, out, &info);
+  if (st != explore::LedgerStatus::kOk) {
+    std::fprintf(stderr, "clear explore %s: %s: %s\n", cmd, path.c_str(),
+                 explore::ledger_status_name(st));
+    return 1;
+  }
+  if (info.tail_dropped_bytes > 0) {
+    std::fprintf(stderr,
+                 "clear explore %s: %s: dropped %zu damaged trailing bytes "
+                 "(%zu clean records kept)\n",
+                 cmd, path.c_str(), info.tail_dropped_bytes,
+                 info.records_loaded);
+  }
+  return 0;
+}
+
+int explore_run(int argc, const char* const* argv) {
+  util::ArgParser args(
+      "clear explore run --ledger <out.cxl> [options]",
+      "Runs (or resumes) one shard of a cross-layer design-space\n"
+      "exploration: every valid combination owned by this shard (combo\n"
+      "index i with i mod K == k) is evaluated at the improvement target\n"
+      "and appended to the ledger.  Killed runs resume from the ledger\n"
+      "without re-running completed combos; K shard ledgers fold with\n"
+      "'clear explore merge' bit-identically to the unsharded run.");
+  args.add_option("core", "InO|OoO", "processor model", "InO");
+  args.add_option("target", "X", "SDC/DUE improvement target", "50");
+  args.add_option("metric", "sdc|due|joint", "improvement metric", "sdc");
+  args.add_option("seed", "N", "campaign RNG seed", "1");
+  args.add_option("per-ff", "N",
+                  "injections per flip-flop per benchmark (0 = "
+                  "CLEAR_INJECTIONS or the per-core default)",
+                  "0");
+  args.add_option("benches", "a,b,c",
+                  "benchmark suite to profile on (default: full core suite)");
+  args.add_option("shard", "k/K", "own combo indices i with i mod K == k",
+                  "0/1");
+  args.add_option("batch", "N",
+                  "combos per scheduling batch (0 = CLEAR_EXPLORE_BATCH or "
+                  "64)",
+                  "0");
+  args.add_option("ledger", "file.cxl", "exploration ledger to append to");
+  args.add_flag("no-prune",
+                "evaluate every combination (skip dominance pruning)");
+  args.add_option("emit-manifest", "file",
+                  "write the profiling campaigns as a multi-campaign spec "
+                  "for 'clear run --spec' and exit");
+  args.add_flag("dry-run", "resolve and print the plan, simulate nothing");
+  args.add_flag("quiet", "suppress per-batch progress lines");
+
+  std::string error;
+  if (!args.parse(argc, argv, &error)) {
+    std::fprintf(stderr, "clear explore run: %s\n%s", error.c_str(),
+                 args.help().c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.help().c_str(), stdout);
+    return 0;
+  }
+
+  explore::ExploreSpec spec;
+  spec.core = args.get("core");
+  if (!parse_metric(args.get("metric"), &spec.metric)) {
+    std::fprintf(stderr, "clear explore run: bad --metric '%s'\n",
+                 args.get("metric").c_str());
+    return 2;
+  }
+  if (!parse_shard(args.get("shard"), &spec.shard_index, &spec.shard_count)) {
+    std::fprintf(stderr,
+                 "clear explore run: bad --shard '%s' (want k/K with k < K)\n",
+                 args.get("shard").c_str());
+    return 2;
+  }
+  const std::string target_text = args.get("target");
+  char* end = nullptr;
+  spec.target = std::strtod(target_text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || !(spec.target > 0)) {
+    std::fprintf(stderr, "clear explore run: bad --target '%s'\n",
+                 target_text.c_str());
+    return 2;
+  }
+  std::uint64_t seed = 1, per_ff = 0, batch = 0;
+  if (!args.get_u64("seed", 1, &seed) || !args.get_u64("per-ff", 0, &per_ff) ||
+      !args.get_u64("batch", 0, &batch)) {
+    std::fprintf(stderr, "clear explore run: bad numeric flag value\n");
+    return 2;
+  }
+  spec.seed = seed;
+  spec.per_ff_samples = static_cast<std::size_t>(per_ff);
+  spec.batch = static_cast<std::size_t>(batch);
+  if (args.has("benches")) spec.benchmarks = split_csv(args.get("benches"));
+  spec.prune = !args.has("no-prune");
+
+  explore::Ledger identity;
+  try {
+    identity = explore::resolve_identity(spec);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "clear explore run: %s\n", e.what());
+    return 2;
+  }
+
+  const std::string ledger_path = args.get("ledger");
+  std::printf("exploration %s: %u combos, target %gx %s, seed %" PRIu64
+              ", %" PRIu64 " per-FF samples\n",
+              identity.core.c_str(), identity.combo_count, identity.target,
+              metric_name(identity.metric), identity.seed,
+              identity.per_ff_samples);
+  const std::uint32_t owned =
+      identity.combo_count > spec.shard_index
+          ? (identity.combo_count - spec.shard_index + spec.shard_count - 1) /
+                spec.shard_count
+          : 0;
+  std::printf("suite      %zu benchmarks; shard %u/%u owns %u combos; "
+              "pruning %s\n",
+              identity.benchmarks.size(), spec.shard_index, spec.shard_count,
+              owned, identity.pruning ? "on" : "off");
+
+  if (args.has("emit-manifest")) {
+    explore::write_profile_manifest(spec, args.get("emit-manifest"));
+    std::printf("wrote profiling manifest %s\n",
+                args.get("emit-manifest").c_str());
+    return 0;
+  }
+
+  if (args.has("dry-run")) {
+    if (!ledger_path.empty()) {
+      explore::Ledger on_disk;
+      explore::LedgerLoadInfo info;
+      const explore::LedgerStatus st =
+          explore::load_ledger_file(ledger_path, &on_disk, &info);
+      if (st == explore::LedgerStatus::kOk) {
+        if (!on_disk.same_identity(identity) ||
+            on_disk.covered != identity.covered) {
+          std::fprintf(stderr,
+                       "clear explore run: %s belongs to a different "
+                       "exploration\n",
+                       ledger_path.c_str());
+          return 1;
+        }
+        std::printf("ledger     %s: %zu records, %zu combos pending\n",
+                    ledger_path.c_str(), on_disk.records.size(),
+                    on_disk.missing_indices().size());
+      } else {
+        std::printf("ledger     %s: %s (a run would start fresh)\n",
+                    ledger_path.c_str(), explore::ledger_status_name(st));
+      }
+    }
+    std::printf("dry run: nothing simulated\n");
+    return 0;
+  }
+  if (ledger_path.empty()) {
+    std::fprintf(stderr, "clear explore run: --ledger is required\n%s",
+                 args.help().c_str());
+    return 2;
+  }
+
+  const bool quiet = args.has("quiet");
+  explore::Ledger result;
+  try {
+    result = explore::run_exploration(
+        spec, ledger_path, [&](const explore::Progress& p) {
+          if (quiet) return;
+          if (p.done % 50 != 0 && p.done != p.pending) return;
+          std::printf("progress   %zu/%zu (evaluated %zu, pruned %zu, "
+                      "skipped %zu)\n",
+                      p.done, p.pending, p.evaluated, p.pruned, p.skipped);
+          std::fflush(stdout);
+        });
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "clear explore run: %s\n", e.what());
+    return 1;
+  }
+
+  std::size_t points = 0, pruned = 0, skipped = 0, anchors = 0;
+  for (const auto& r : result.records) {
+    switch (r.kind) {
+      case explore::RecordKind::kPoint: ++points; break;
+      case explore::RecordKind::kAnchor: ++anchors; break;
+      case explore::RecordKind::kPruned: ++pruned; break;
+      case explore::RecordKind::kSkipped: ++skipped; break;
+    }
+  }
+  std::printf("ledger     %s: %zu evaluated + %zu anchors, %zu pruned, "
+              "%zu skipped%s\n",
+              ledger_path.c_str(), points, anchors, pruned, skipped,
+              result.complete() ? " (exploration complete)" : "");
+  const auto meeting = explore::target_meeting_points(result);
+  if (!meeting.empty()) {
+    std::printf("cheapest combination meeting the target: %s "
+                "(energy %.2f%%, SDC %.1fx)\n",
+                meeting.front()->combo.c_str(),
+                meeting.front()->energy * 100, meeting.front()->imp_sdc);
+  }
+  return 0;
+}
+
+int explore_merge(int argc, const char* const* argv) {
+  util::ArgParser args(
+      "clear explore merge --out <merged.cxl> <shard.cxl>...",
+      "Folds shard exploration ledgers into one.  Refuses ledgers whose\n"
+      "experiment identity (core, target, metric, seed, scale, suite,\n"
+      "combination space, pruning, shard count) differs or whose shard\n"
+      "coverage overlaps.  A complete merge carries exactly the records\n"
+      "the unsharded exploration would have written.");
+  args.add_option("out", "file.cxl", "write the merged ledger here");
+  args.add_flag("allow-partial",
+                "succeed even when some shards or combos are missing");
+  args.allow_positionals("shard.cxl...", "shard ledgers to fold");
+
+  std::string error;
+  if (!args.parse(argc, argv, &error)) {
+    std::fprintf(stderr, "clear explore merge: %s\n%s", error.c_str(),
+                 args.help().c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.help().c_str(), stdout);
+    return 0;
+  }
+  if (args.positionals().empty()) {
+    std::fprintf(stderr, "clear explore merge: no ledgers given\n%s",
+                 args.help().c_str());
+    return 2;
+  }
+  if (!args.has("out")) {
+    std::fprintf(stderr, "clear explore merge: --out is required\n%s",
+                 args.help().c_str());
+    return 2;
+  }
+
+  std::vector<explore::Ledger> ledgers;
+  ledgers.reserve(args.positionals().size());
+  for (const std::string& path : args.positionals()) {
+    explore::Ledger l;
+    if (load_or_complain("merge", path, &l) != 0) return 1;
+    ledgers.push_back(std::move(l));
+  }
+
+  explore::Ledger merged;
+  try {
+    merged = explore::merge_ledger_files(ledgers);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "clear explore merge: %s\n", e.what());
+    return 1;
+  }
+  if (!merged.complete() && !args.has("allow-partial")) {
+    std::fprintf(stderr,
+                 "clear explore merge: %zu of %u shards covered, %zu combos "
+                 "missing; pass --allow-partial to write a partial ledger\n",
+                 merged.covered.size(), merged.shard_count,
+                 merged.missing_indices().size());
+    return 1;
+  }
+  explore::write_ledger_file(args.get("out"), merged);
+  std::printf("merged %zu ledgers -> %s: %zu/%u shards, %zu records%s\n",
+              ledgers.size(), args.get("out").c_str(), merged.covered.size(),
+              merged.shard_count, merged.records.size(),
+              merged.complete() ? " (complete exploration)" : " (partial)");
+  return 0;
+}
+
+int explore_frontier(int argc, const char* const* argv) {
+  util::ArgParser args(
+      "clear explore frontier [--format human|csv|json] <ledger.cxl>",
+      "Renders the Pareto frontier (minimal energy for each protection\n"
+      "level) and the cheapest target-meeting combinations of an\n"
+      "exploration ledger.");
+  args.add_option("format", "human|csv|json", "output format", "human");
+  args.add_option("limit", "N", "cap the target-meeting list (0 = all)",
+                  "10");
+  args.allow_positionals("ledger.cxl", "exploration ledger to render");
+
+  std::string error;
+  if (!args.parse(argc, argv, &error)) {
+    std::fprintf(stderr, "clear explore frontier: %s\n%s", error.c_str(),
+                 args.help().c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.help().c_str(), stdout);
+    return 0;
+  }
+  const std::string format = args.get("format");
+  if (format != "human" && format != "csv" && format != "json") {
+    std::fprintf(stderr, "clear explore frontier: bad --format '%s'\n",
+                 format.c_str());
+    return 2;
+  }
+  std::uint64_t limit = 10;
+  if (!args.get_u64("limit", 10, &limit)) {
+    std::fprintf(stderr, "clear explore frontier: bad --limit\n");
+    return 2;
+  }
+  if (args.positionals().size() != 1) {
+    std::fprintf(stderr, "clear explore frontier: exactly one ledger\n%s",
+                 args.help().c_str());
+    return 2;
+  }
+
+  explore::Ledger l;
+  if (load_or_complain("frontier", args.positionals()[0], &l) != 0) return 1;
+  const auto frontier = explore::pareto_frontier(l);
+  auto meeting = explore::target_meeting_points(l);
+  if (limit != 0 && meeting.size() > limit) meeting.resize(limit);
+
+  if (format == "json") {
+    std::ostringstream out;
+    out << "{\"identity\": ";
+    emit_identity_json(&out, l);
+    out << ",\n \"frontier\": [";
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      out << (i ? ",\n   " : "");
+      emit_point_json(&out, *frontier[i]);
+    }
+    out << "],\n \"target_meeting\": [";
+    for (std::size_t i = 0; i < meeting.size(); ++i) {
+      out << (i ? ",\n   " : "");
+      emit_point_json(&out, *meeting[i]);
+    }
+    out << "]}\n";
+    std::fputs(out.str().c_str(), stdout);
+    return 0;
+  }
+
+  util::TextTable ft = point_table();
+  for (const auto* r : frontier) add_point_row(&ft, *r);
+  util::TextTable mt = point_table();
+  for (const auto* r : meeting) add_point_row(&mt, *r);
+  if (format == "csv") {
+    std::fputs(ft.csv().c_str(), stdout);
+    std::fputs("\n", stdout);
+    std::fputs(mt.csv().c_str(), stdout);
+    return 0;
+  }
+  std::size_t evaluated = 0;
+  for (const auto& r : l.records) {
+    evaluated += (r.kind == explore::RecordKind::kPoint ||
+                  r.kind == explore::RecordKind::kAnchor);
+  }
+  std::printf("Pareto frontier (%zu of %zu evaluated points; target %gx "
+              "%s):\n",
+              frontier.size(), evaluated, l.target, metric_name(l.metric));
+  ft.print(std::cout);
+  std::printf("\ncheapest combinations meeting the target:\n");
+  mt.print(std::cout);
+  return 0;
+}
+
+int explore_report(int argc, const char* const* argv) {
+  util::ArgParser args(
+      "clear explore report [--format human|csv|json] [--all] "
+      "<ledger.cxl>...",
+      "Ledger identity, shard coverage and record statistics; --all adds\n"
+      "every record (the full design-space cloud).");
+  args.add_option("format", "human|csv|json", "output format", "human");
+  args.add_flag("all", "dump every record, not just the summary");
+  args.allow_positionals("ledger.cxl...", "exploration ledgers");
+
+  std::string error;
+  if (!args.parse(argc, argv, &error)) {
+    std::fprintf(stderr, "clear explore report: %s\n%s", error.c_str(),
+                 args.help().c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.help().c_str(), stdout);
+    return 0;
+  }
+  const std::string format = args.get("format");
+  if (format != "human" && format != "csv" && format != "json") {
+    std::fprintf(stderr, "clear explore report: bad --format '%s'\n",
+                 format.c_str());
+    return 2;
+  }
+  if (args.positionals().empty()) {
+    std::fprintf(stderr, "clear explore report: no ledgers given\n%s",
+                 args.help().c_str());
+    return 2;
+  }
+
+  std::vector<std::pair<std::string, explore::Ledger>> files;
+  for (const std::string& path : args.positionals()) {
+    explore::Ledger l;
+    if (load_or_complain("report", path, &l) != 0) return 1;
+    files.emplace_back(path, std::move(l));
+  }
+
+  if (format == "json") {
+    std::ostringstream out;
+    out << "[\n";
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      const auto& [path, l] = files[i];
+      out << " {\"file\": \"" << json_escape(path) << "\", \"identity\": ";
+      emit_identity_json(&out, l);
+      out << ", \"records\": " << l.records.size();
+      if (args.has("all")) {
+        out << ", \"points\": [";
+        for (std::size_t r = 0; r < l.records.size(); ++r) {
+          out << (r ? ",\n   " : "");
+          emit_point_json(&out, l.records[r]);
+        }
+        out << "]";
+      }
+      out << "}" << (i + 1 < files.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    std::fputs(out.str().c_str(), stdout);
+    return 0;
+  }
+
+  util::TextTable summary({"file", "core", "target", "metric", "seed",
+                           "per-FF", "benches", "combos", "shards",
+                           "evaluated", "pruned", "skipped", "missing"});
+  for (const auto& [path, l] : files) {
+    std::size_t points = 0, pruned = 0, skipped = 0;
+    for (const auto& r : l.records) {
+      if (r.kind == explore::RecordKind::kPruned) ++pruned;
+      else if (r.kind == explore::RecordKind::kSkipped) ++skipped;
+      else ++points;
+    }
+    summary.add_row(
+        {path, l.core, util::TextTable::num(l.target, 1),
+         metric_name(l.metric), std::to_string(l.seed),
+         std::to_string(l.per_ff_samples), std::to_string(l.benchmarks.size()),
+         std::to_string(l.combo_count),
+         std::to_string(l.covered.size()) + "/" +
+             std::to_string(l.shard_count) + (l.complete() ? " (full)" : ""),
+         std::to_string(points), std::to_string(pruned),
+         std::to_string(skipped), std::to_string(l.missing_indices().size())});
+  }
+  std::fputs(format == "csv" ? summary.csv().c_str() : summary.str().c_str(),
+             stdout);
+
+  if (args.has("all")) {
+    util::TextTable pts = point_table();
+    for (const auto& [path, l] : files) {
+      (void)path;
+      for (const auto& r : l.records) add_point_row(&pts, r);
+    }
+    std::fputs("\n", stdout);
+    std::fputs(format == "csv" ? pts.csv().c_str() : pts.str().c_str(),
+               stdout);
+  }
+  return 0;
+}
+
+constexpr const char* kExploreHelp =
+    "usage: clear explore <command> [options]\n"
+    "\n"
+    "Distributed cross-layer design-space exploration (the paper's 586\n"
+    "combinations).  Shard the combination space across machines, merge\n"
+    "the ledgers bit-exactly, render the Pareto frontier (docs/FORMATS.md\n"
+    "specifies the .cxl ledger format).\n"
+    "\n"
+    "commands:\n"
+    "  run       run/resume one shard, appending to a .cxl ledger\n"
+    "  merge     fold shard ledgers into one .cxl (refuses mismatches)\n"
+    "  frontier  Pareto frontier + cheapest target-meeting combinations\n"
+    "  report    ledger identity, coverage and record statistics\n"
+    "\n"
+    "run 'clear explore <command> --help' for per-command flags.\n";
+
+}  // namespace
+
+int cmd_explore(int argc, const char* const* argv) {
+  if (argc < 1) {
+    std::fputs(kExploreHelp, stderr);
+    return 2;
+  }
+  const std::string sub = argv[0];
+  if (sub == "run") return explore_run(argc - 1, argv + 1);
+  if (sub == "merge") return explore_merge(argc - 1, argv + 1);
+  if (sub == "frontier") return explore_frontier(argc - 1, argv + 1);
+  if (sub == "report") return explore_report(argc - 1, argv + 1);
+  if (sub == "--help" || sub == "-h" || sub == "help") {
+    std::fputs(kExploreHelp, stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "clear explore: unknown command '%s'\n\n", sub.c_str());
+  std::fputs(kExploreHelp, stderr);
+  return 2;
+}
+
+}  // namespace clear::cli

@@ -23,23 +23,6 @@ std::string coverage(const inject::ShardFile& s) {
          std::to_string(s.shard_count) + (s.complete() ? " (full)" : "");
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
-
 void emit_json(const std::vector<std::pair<std::string, inject::ShardFile>>&
                    files,
                bool per_ff) {

@@ -34,28 +34,40 @@ int list_benches(const std::string& core) {
   return 0;
 }
 
-// Reads a campaign spec file into flag tokens: the same `--flag value`
-// grammar as the command line, whitespace-separated across any number of
-// lines, `#` to end-of-line is a comment.  Cluster schedulers template
-// one spec file per campaign and pass `--shard k/K` on the command line.
-bool read_spec_tokens(const std::string& path,
-                      std::vector<std::string>* tokens) {
+// Reads a campaign spec file into per-campaign flag-token stanzas: the
+// same `--flag value` grammar as the command line, whitespace-separated
+// across any number of lines, `#` to end-of-line is a comment.  A line
+// whose first token is `---` starts the next campaign stanza, turning the
+// file into a multi-campaign manifest (`clear explore run --emit-manifest`
+// writes these); all stanzas of a manifest run as ONE run_campaigns batch.
+// Cluster schedulers template one spec file per job and pass `--shard k/K`
+// on the command line.
+bool read_spec_stanzas(const std::string& path,
+                       std::vector<std::vector<std::string>>* stanzas) {
   std::ifstream in(path);
   if (!in) return false;
+  stanzas->emplace_back();
   std::string line;
   while (std::getline(in, line)) {
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
     std::istringstream words(line);
     std::string word;
-    while (words >> word) tokens->push_back(word);
+    bool first_word = true;
+    while (words >> word) {
+      if (first_word && word == "---") {
+        if (!stanzas->back().empty()) stanzas->emplace_back();
+        break;  // rest of a separator line is ignored
+      }
+      first_word = false;
+      stanzas->back().push_back(word);
+    }
   }
+  if (stanzas->size() > 1 && stanzas->back().empty()) stanzas->pop_back();
   return true;
 }
 
-}  // namespace
-
-int cmd_run(int argc, const char* const* argv) {
+util::ArgParser make_run_parser() {
   util::ArgParser args(
       "clear run --bench <name> [options]",
       "Simulates one shard of a flip-flop soft-error injection campaign\n"
@@ -93,26 +105,234 @@ int cmd_run(int argc, const char* const* argv) {
   args.add_option("out", "file.csr", "write the shard result here");
   args.add_option("spec", "file",
                   "read flags from a campaign spec file (same --flag value "
-                  "grammar, '#' comments); command-line flags win");
+                  "grammar, '#' comments, '---' lines separate the campaigns "
+                  "of a multi-campaign manifest); command-line flags win");
   args.add_flag("dry-run", "resolve and print the plan, simulate nothing");
   args.add_flag("list-benches", "list benchmarks for --core and exit");
+  return args;
+}
 
+// Everything one campaign needs, with stable storage for the pointers a
+// CampaignSpec holds (the manifest path batches many of these through one
+// run_campaigns call).
+struct RunPlan {
+  std::string core_name;
+  std::string bench;
+  core::Variant variant;
+  std::uint32_t input_seed = 0;
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  std::uint32_t ff_count = 0;
+  std::uint64_t global = 0;  // global sample count (all shards)
+  arch::ResilienceConfig cfg;
+  bool needs_cfg = false;
+  isa::Program prog;
+  std::string out;  // empty: print only (cache-warming manifests)
+  inject::CampaignSpec spec;  // program/cfg pointers patched by the caller
+};
+
+// Resolves parsed flags into one campaign plan.  Returns 0, or the exit
+// code to fail with; `ctx` prefixes error messages ("clear run" or
+// "clear run: in spec 'x' campaign #2").
+int resolve_plan(const util::ArgParser& args, const std::string& ctx,
+                 RunPlan* plan) {
+  plan->core_name = args.get("core");
+  if (plan->core_name != "InO" && plan->core_name != "OoO") {
+    std::fprintf(stderr, "%s: unknown core '%s' (InO or OoO)\n", ctx.c_str(),
+                 plan->core_name.c_str());
+    return 2;
+  }
+  plan->bench = args.get("bench");
+  if (plan->bench.empty()) {
+    std::fprintf(stderr, "%s: --bench is required\n%s", ctx.c_str(),
+                 args.help().c_str());
+    return 2;
+  }
+  if (!parse_shard(args.get("shard"), &plan->shard_index,
+                   &plan->shard_count)) {
+    std::fprintf(stderr, "%s: bad --shard '%s' (want k/K with k < K)\n",
+                 ctx.c_str(), args.get("shard").c_str());
+    return 2;
+  }
+  const std::string ckpt = args.get("checkpoint");
+  int use_checkpoint = -1;
+  if (ckpt == "on" || ckpt == "1") use_checkpoint = 1;
+  else if (ckpt == "off" || ckpt == "0") use_checkpoint = 0;
+  else if (ckpt != "auto") {
+    std::fprintf(stderr, "%s: bad --checkpoint '%s'\n", ctx.c_str(),
+                 ckpt.c_str());
+    return 2;
+  }
+
+  try {
+    plan->variant = parse_variant(args.get("variant"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s: %s\n", ctx.c_str(), e.what());
+    return 2;
+  }
+  plan->cfg.dfc = plan->variant.dfc;
+  plan->cfg.monitor = plan->variant.monitor;
+  plan->cfg.recovery = plan->variant.monitor ? arch::RecoveryKind::kRob
+                                             : arch::RecoveryKind::kNone;
+  const std::string recovery = args.get("recovery");
+  if (recovery == "none") plan->cfg.recovery = arch::RecoveryKind::kNone;
+  else if (recovery == "flush") plan->cfg.recovery = arch::RecoveryKind::kFlush;
+  else if (recovery == "rob") plan->cfg.recovery = arch::RecoveryKind::kRob;
+  else if (recovery == "ir") plan->cfg.recovery = arch::RecoveryKind::kIr;
+  else if (recovery == "eir") plan->cfg.recovery = arch::RecoveryKind::kEir;
+  else if (!recovery.empty()) {
+    std::fprintf(stderr, "%s: bad --recovery '%s'\n", ctx.c_str(),
+                 recovery.c_str());
+    return 2;
+  }
+  plan->needs_cfg = plan->cfg.dfc || plan->cfg.monitor ||
+                    plan->cfg.recovery != arch::RecoveryKind::kNone;
+
+  // Numeric flags are strict: a mistyped --injections must fail loudly,
+  // never silently shrink a cluster campaign to its default.
+  std::uint64_t input_seed64 = 0, injections = 0, seed = 1, threads = 0,
+                interval = 0;
+  const auto numeric = [&args, &ctx](const char* flag, std::uint64_t def,
+                                     std::uint64_t* out) {
+    if (args.get_u64(flag, def, out)) return true;
+    std::fprintf(stderr, "%s: bad numeric value '--%s %s'\n", ctx.c_str(),
+                 flag, args.get(flag).c_str());
+    return false;
+  };
+  if (!numeric("input-seed", 0, &input_seed64) ||
+      !numeric("injections", 0, &injections) || !numeric("seed", 1, &seed) ||
+      !numeric("threads", 0, &threads) ||
+      !numeric("checkpoint-interval", 0, &interval)) {
+    return 2;
+  }
+  plan->input_seed = static_cast<std::uint32_t>(input_seed64);
+  plan->prog =
+      core::build_variant_program(plan->bench, plan->variant, plan->input_seed);
+  plan->ff_count = arch::make_core(plan->core_name)->registry().ff_count();
+
+  plan->spec.core_name = plan->core_name;
+  plan->spec.injections = static_cast<std::size_t>(injections);
+  plan->spec.seed = seed;
+  plan->spec.threads = static_cast<unsigned>(threads);
+  plan->spec.use_checkpoint = use_checkpoint;
+  plan->spec.checkpoint_interval = interval;
+  plan->spec.shard_index = plan->shard_index;
+  plan->spec.shard_count = plan->shard_count;
+  if (args.has("no-cache")) {
+    plan->spec.key.clear();
+  } else if (args.has("key")) {
+    plan->spec.key = args.get("key");
+  } else {
+    plan->spec.key = "cli/" + plan->core_name + "/" + plan->bench + "/" +
+                     plan->variant.key();
+    if (plan->input_seed != 0) {
+      plan->spec.key += "/in" + std::to_string(plan->input_seed);
+    }
+    // Recovery changes the outcome distribution but is not part of the
+    // variant key: encode it, or two runs differing only in --recovery
+    // would silently share cached results.
+    if (plan->cfg.recovery != arch::RecoveryKind::kNone) {
+      plan->spec.key +=
+          std::string("/rec_") + arch::recovery_name(plan->cfg.recovery);
+    }
+  }
+  plan->global =
+      plan->spec.injections != 0 ? plan->spec.injections : plan->ff_count;
+  plan->out = args.get("out");
+  return 0;
+}
+
+void print_plan(const RunPlan& plan) {
+  const std::uint64_t local =
+      plan.global > plan.shard_index
+          ? (plan.global - plan.shard_index + plan.shard_count - 1) /
+                plan.shard_count
+          : 0;
+  std::printf("campaign   %s/%s variant=%s seed=%llu\n",
+              plan.core_name.c_str(), plan.bench.c_str(),
+              plan.variant.key().c_str(),
+              static_cast<unsigned long long>(plan.spec.seed));
+  std::printf("samples    %llu global, %llu owned by shard %u/%u\n",
+              static_cast<unsigned long long>(plan.global),
+              static_cast<unsigned long long>(local), plan.shard_index,
+              plan.shard_count);
+  std::printf("program    %u flip-flops, hash %016llx\n", plan.ff_count,
+              static_cast<unsigned long long>(
+                  inject::wire_program_hash(plan.prog)));
+  const std::string cache_dir = inject::campaign_cache_dir();
+  std::printf("cache      %s\n",
+              plan.spec.key.empty() || cache_dir.empty()
+                  ? "(disabled)"
+                  : (cache_dir + " key=" + plan.spec.key).c_str());
+}
+
+// Prints a campaign's outcome table and writes its .csr when requested.
+int finish_campaign(const RunPlan& plan, const inject::CampaignResult& result) {
+  util::TextTable table({"samples", "vanished", "SDC", "DUE", "recovered",
+                         "SDC frac", "+/-95%"});
+  table.add_row({std::to_string(result.totals.total()),
+                 std::to_string(result.totals.vanished),
+                 std::to_string(result.totals.sdc()),
+                 std::to_string(result.totals.due()),
+                 std::to_string(result.totals.recovered),
+                 util::TextTable::num(result.sdc_fraction(), 4),
+                 util::TextTable::num(result.sdc_margin_of_error(), 4)});
+  table.print(std::cout);
+
+  if (!plan.out.empty()) {
+    inject::ShardFile shard;
+    shard.core_name = plan.core_name;
+    shard.key = plan.spec.key;
+    shard.program_hash = inject::wire_program_hash(plan.prog);
+    shard.injections = plan.global;
+    shard.seed = plan.spec.seed;
+    shard.shard_count = plan.shard_count;
+    shard.covered = {plan.shard_index};
+    shard.result = result;
+    inject::write_shard_file(plan.out, shard);
+    std::printf("wrote %s (%s)\n", plan.out.c_str(),
+                shard.complete() ? "complete campaign" : "1 shard");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int cmd_run(int argc, const char* const* argv) {
+  util::ArgParser args = make_run_parser();
   std::string error;
   if (!args.parse(argc, argv, &error)) {
     std::fprintf(stderr, "clear run: %s\n%s", error.c_str(),
                  args.help().c_str());
     return 2;
   }
+
+  std::vector<std::vector<std::string>> stanzas;
   if (args.has("spec")) {
-    std::vector<std::string> tokens;
-    if (!read_spec_tokens(args.get("spec"), &tokens)) {
+    if (!read_spec_stanzas(args.get("spec"), &stanzas)) {
       std::fprintf(stderr, "clear run: cannot read spec file '%s'\n",
                    args.get("spec").c_str());
       return 1;
     }
+    // A spec file must not name another spec file: the command-line
+    // re-parse would silently overwrite it in the one-stanza case, so
+    // refuse it loudly everywhere.
+    for (std::size_t i = 0; i < stanzas.size(); ++i) {
+      for (const auto& t : stanzas[i]) {
+        if (t == "--spec" || t.rfind("--spec=", 0) == 0) {
+          std::fprintf(stderr,
+                       "clear run: in spec '%s' campaign #%zu: nested --spec "
+                       "is not allowed\n",
+                       args.get("spec").c_str(), i + 1);
+          return 2;
+        }
+      }
+    }
+  }
+  if (stanzas.size() == 1) {
     std::vector<const char*> spec_argv;
-    spec_argv.reserve(tokens.size());
-    for (const auto& t : tokens) spec_argv.push_back(t.c_str());
+    spec_argv.reserve(stanzas[0].size());
+    for (const auto& t : stanzas[0]) spec_argv.push_back(t.c_str());
     // Spec first, then the command line again so explicit flags override
     // the file (parsing is cumulative: later values win).
     if (!args.parse(static_cast<int>(spec_argv.size()), spec_argv.data(),
@@ -128,157 +348,101 @@ int cmd_run(int argc, const char* const* argv) {
     std::fputs(args.help().c_str(), stdout);
     return 0;
   }
-
-  const std::string core_name = args.get("core");
-  if (core_name != "InO" && core_name != "OoO") {
-    std::fprintf(stderr, "clear run: unknown core '%s' (InO or OoO)\n",
-                 core_name.c_str());
-    return 2;
+  if (args.has("list-benches")) {
+    const std::string core_name = args.get("core");
+    if (core_name != "InO" && core_name != "OoO") {
+      std::fprintf(stderr, "clear run: unknown core '%s' (InO or OoO)\n",
+                   core_name.c_str());
+      return 2;
+    }
+    return list_benches(core_name);
   }
-  if (args.has("list-benches")) return list_benches(core_name);
 
-  const std::string bench = args.get("bench");
-  if (bench.empty()) {
-    std::fprintf(stderr, "clear run: --bench is required\n%s",
-                 args.help().c_str());
-    return 2;
+  // ---- single campaign (no spec, or a one-stanza spec file) ----------------
+  if (stanzas.size() <= 1) {
+    RunPlan plan;
+    const int rc = resolve_plan(args, "clear run", &plan);
+    if (rc != 0) return rc;
+    plan.spec.program = &plan.prog;
+    plan.spec.cfg = plan.needs_cfg ? &plan.cfg : nullptr;
+    print_plan(plan);
+    if (args.has("dry-run")) {
+      std::printf("dry run: nothing simulated\n");
+      return 0;
+    }
+    return finish_campaign(plan, inject::run_campaign(plan.spec));
   }
-  std::uint32_t shard_index = 0, shard_count = 1;
-  if (!parse_shard(args.get("shard"), &shard_index, &shard_count)) {
+
+  // ---- multi-campaign manifest ----------------------------------------------
+  // Every stanza resolves independently (stanza flags, then the command
+  // line again, which wins -- the cluster job passes --shard/--threads
+  // once for the whole manifest); all campaigns are submitted as ONE
+  // run_campaigns batch so golden-run recording overlaps faulty runs
+  // across campaigns.
+  // In the manifest path `args` holds the command-line parse alone (the
+  // spec-token merge above only ran for one-stanza files).
+  if (args.has("out")) {
     std::fprintf(stderr,
-                 "clear run: bad --shard '%s' (want k/K with k < K)\n",
-                 args.get("shard").c_str());
+                 "clear run: --out on the command line would make all %zu "
+                 "manifest campaigns overwrite one file; put --out in the "
+                 "stanzas instead\n",
+                 stanzas.size());
     return 2;
   }
-  const std::string ckpt = args.get("checkpoint");
-  int use_checkpoint = -1;
-  if (ckpt == "on" || ckpt == "1") use_checkpoint = 1;
-  else if (ckpt == "off" || ckpt == "0") use_checkpoint = 0;
-  else if (ckpt != "auto") {
-    std::fprintf(stderr, "clear run: bad --checkpoint '%s'\n", ckpt.c_str());
-    return 2;
+  bool dry_run = args.has("dry-run");
+  std::vector<RunPlan> plans(stanzas.size());
+  for (std::size_t i = 0; i < stanzas.size(); ++i) {
+    util::ArgParser stanza_args = make_run_parser();
+    std::vector<const char*> stanza_argv;
+    stanza_argv.reserve(stanzas[i].size());
+    for (const auto& t : stanzas[i]) stanza_argv.push_back(t.c_str());
+    const std::string ctx = "clear run: in spec '" + args.get("spec") +
+                            "' campaign #" + std::to_string(i + 1);
+    if (!stanza_args.parse(static_cast<int>(stanza_argv.size()),
+                           stanza_argv.data(), &error) ||
+        !stanza_args.parse(argc, argv, &error)) {
+      std::fprintf(stderr, "%s: %s\n", ctx.c_str(), error.c_str());
+      return 2;
+    }
+    // Honor the flags a one-stanza spec would have honored: a --dry-run
+    // anywhere in the manifest dry-runs the whole batch (a silently
+    // ignored one could cost hours of unintended cluster compute).
+    dry_run |= stanza_args.has("dry-run");
+    if (stanza_args.has("list-benches")) {
+      const std::string core_name = stanza_args.get("core");
+      if (core_name != "InO" && core_name != "OoO") {
+        std::fprintf(stderr, "%s: unknown core '%s' (InO or OoO)\n",
+                     ctx.c_str(), core_name.c_str());
+        return 2;
+      }
+      return list_benches(core_name);
+    }
+    const int rc = resolve_plan(stanza_args, ctx, &plans[i]);
+    if (rc != 0) return rc;
   }
 
-  core::Variant variant;
-  try {
-    variant = parse_variant(args.get("variant"));
-  } catch (const std::invalid_argument& e) {
-    std::fprintf(stderr, "clear run: %s\n", e.what());
-    return 2;
+  // `plans` is final: spec pointers into it stay valid through the batch.
+  std::vector<inject::CampaignSpec> specs(plans.size());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    plans[i].spec.program = &plans[i].prog;
+    plans[i].spec.cfg = plans[i].needs_cfg ? &plans[i].cfg : nullptr;
+    specs[i] = plans[i].spec;
   }
-  arch::ResilienceConfig cfg;
-  cfg.dfc = variant.dfc;
-  cfg.monitor = variant.monitor;
-  cfg.recovery =
-      variant.monitor ? arch::RecoveryKind::kRob : arch::RecoveryKind::kNone;
-  const std::string recovery = args.get("recovery");
-  if (recovery == "none") cfg.recovery = arch::RecoveryKind::kNone;
-  else if (recovery == "flush") cfg.recovery = arch::RecoveryKind::kFlush;
-  else if (recovery == "rob") cfg.recovery = arch::RecoveryKind::kRob;
-  else if (recovery == "ir") cfg.recovery = arch::RecoveryKind::kIr;
-  else if (recovery == "eir") cfg.recovery = arch::RecoveryKind::kEir;
-  else if (!recovery.empty()) {
-    std::fprintf(stderr, "clear run: bad --recovery '%s'\n", recovery.c_str());
-    return 2;
-  }
-  const bool needs_cfg =
-      cfg.dfc || cfg.monitor || cfg.recovery != arch::RecoveryKind::kNone;
-
-  // Numeric flags are strict: a mistyped --injections must fail loudly,
-  // never silently shrink a cluster campaign to its default.
-  std::uint64_t input_seed64 = 0, injections = 0, seed = 1, threads = 0,
-                interval = 0;
-  const auto numeric = [&args](const char* flag, std::uint64_t def,
-                               std::uint64_t* out) {
-    if (args.get_u64(flag, def, out)) return true;
-    std::fprintf(stderr, "clear run: bad numeric value '--%s %s'\n", flag,
-                 args.get(flag).c_str());
-    return false;
-  };
-  if (!numeric("input-seed", 0, &input_seed64) ||
-      !numeric("injections", 0, &injections) || !numeric("seed", 1, &seed) ||
-      !numeric("threads", 0, &threads) ||
-      !numeric("checkpoint-interval", 0, &interval)) {
-    return 2;
-  }
-  const auto input_seed = static_cast<std::uint32_t>(input_seed64);
-  const isa::Program prog =
-      core::build_variant_program(bench, variant, input_seed);
-  const std::uint32_t ff_count =
-      arch::make_core(core_name)->registry().ff_count();
-
-  inject::CampaignSpec spec;
-  spec.core_name = core_name;
-  spec.program = &prog;
-  spec.injections = static_cast<std::size_t>(injections);
-  spec.seed = seed;
-  spec.threads = static_cast<unsigned>(threads);
-  spec.cfg = needs_cfg ? &cfg : nullptr;
-  spec.use_checkpoint = use_checkpoint;
-  spec.checkpoint_interval = interval;
-  spec.shard_index = shard_index;
-  spec.shard_count = shard_count;
-  if (args.has("no-cache")) {
-    spec.key.clear();
-  } else if (args.has("key")) {
-    spec.key = args.get("key");
-  } else {
-    spec.key = "cli/" + core_name + "/" + bench + "/" + variant.key();
-    if (input_seed != 0) spec.key += "/in" + std::to_string(input_seed);
-  }
-
-  const std::uint64_t global =
-      spec.injections != 0 ? spec.injections : ff_count;
-  const std::uint64_t local =
-      global > shard_index
-          ? (global - shard_index + shard_count - 1) / shard_count
-          : 0;
-  std::printf("campaign   %s/%s variant=%s seed=%llu\n", core_name.c_str(),
-              bench.c_str(), variant.key().c_str(),
-              static_cast<unsigned long long>(spec.seed));
-  std::printf("samples    %llu global, %llu owned by shard %u/%u\n",
-              static_cast<unsigned long long>(global),
-              static_cast<unsigned long long>(local), shard_index,
-              shard_count);
-  std::printf("program    %u flip-flops, hash %016llx\n", ff_count,
-              static_cast<unsigned long long>(inject::wire_program_hash(prog)));
-  const std::string cache_dir = inject::campaign_cache_dir();
-  std::printf("cache      %s\n",
-              spec.key.empty() || cache_dir.empty()
-                  ? "(disabled)"
-                  : (cache_dir + " key=" + spec.key).c_str());
-  if (args.has("dry-run")) {
+  std::printf("manifest   %s: %zu campaigns, one run_campaigns batch\n",
+              args.get("spec").c_str(), plans.size());
+  for (const RunPlan& plan : plans) print_plan(plan);
+  if (dry_run) {
     std::printf("dry run: nothing simulated\n");
     return 0;
   }
 
-  const inject::CampaignResult result = inject::run_campaign(spec);
-
-  inject::ShardFile shard;
-  shard.core_name = core_name;
-  shard.key = spec.key;
-  shard.program_hash = inject::wire_program_hash(prog);
-  shard.injections = global;
-  shard.seed = spec.seed;
-  shard.shard_count = shard_count;
-  shard.covered = {shard_index};
-  shard.result = result;
-
-  util::TextTable table({"samples", "vanished", "SDC", "DUE", "recovered",
-                         "SDC frac", "+/-95%"});
-  table.add_row({std::to_string(result.totals.total()),
-                 std::to_string(result.totals.vanished),
-                 std::to_string(result.totals.sdc()),
-                 std::to_string(result.totals.due()),
-                 std::to_string(result.totals.recovered),
-                 util::TextTable::num(result.sdc_fraction(), 4),
-                 util::TextTable::num(result.sdc_margin_of_error(), 4)});
-  table.print(std::cout);
-
-  if (args.has("out")) {
-    inject::write_shard_file(args.get("out"), shard);
-    std::printf("wrote %s (%s)\n", args.get("out").c_str(),
-                shard.complete() ? "complete campaign" : "1 shard");
+  const std::vector<inject::CampaignResult> results =
+      inject::run_campaigns(specs);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    std::printf("\ncampaign   %s/%s variant=%s\n", plans[i].core_name.c_str(),
+                plans[i].bench.c_str(), plans[i].variant.key().c_str());
+    const int rc = finish_campaign(plans[i], results[i]);
+    if (rc != 0) return rc;
   }
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/hash.h"
+
 namespace clear::core {
 
 std::string Combo::name() const {
@@ -136,13 +138,18 @@ std::vector<Combo> enumerate_combos(const std::string& core) {
   return out;
 }
 
-ProfileSet combo_profile(Session& session, const Combo& combo) {
-  const Variant full = combo.variant();
-  if (combo.software_layers() <= 1) {
-    return session.profiles(full);
+std::uint64_t enumeration_fingerprint(const std::string& core) {
+  std::uint64_t h = util::fnv1a64(nullptr, 0);
+  for (const Combo& c : enumerate_combos(core)) {
+    const std::string n = c.name();
+    h = util::fnv1a64(n.data(), n.size(), h);
+    h = util::fnv1a64("\n", 1, h);
   }
-  // Independence composition from single-layer profiles.
-  const ProfileSet& base = session.profiles(Variant::base());
+  return h;
+}
+
+std::vector<Variant> combo_layer_variants(const Combo& combo) {
+  if (combo.software_layers() <= 1) return {combo.variant()};
   std::vector<Variant> layers;
   auto add_layer = [&](auto setter) {
     Variant v;
@@ -157,6 +164,39 @@ ProfileSet combo_profile(Session& session, const Combo& combo) {
   if (combo.cfcss) add_layer([](Variant& v) { v.cfcss = true; });
   if (combo.dfc) add_layer([](Variant& v) { v.dfc = true; });
   if (combo.monitor) add_layer([](Variant& v) { v.monitor = true; });
+  return layers;
+}
+
+double combo_cost_lower_bound(Session& session, const phys::PhysModel& model,
+                              const Combo& combo) {
+  // Execution term: identical to what combo_profile() will report (direct
+  // measurement for <= 1 layer, independence product otherwise), so the
+  // bound is tight on the software axis.
+  double exec = 1.0;
+  for (const Variant& lv : combo_layer_variants(combo)) {
+    exec *= 1.0 + std::max(0.0, session.profiles(lv).exec_overhead);
+  }
+  // Power term: only the fixed hardware blocks; the selective tunable
+  // protection adds a non-negative amount on top.  The SP&R artifact
+  // multiplier averages to 1.0 with a low-percent sigma; 0.9 keeps the
+  // bound sound across its whole band.
+  constexpr double kNoiseFloor = 0.9;
+  phys::Overhead fixed;
+  if (combo.dfc) fixed += model.dfc_overhead();
+  if (combo.monitor) fixed += model.monitor_overhead();
+  fixed += model.recovery_overhead(combo.recovery);
+  const double power_lb = std::max(0.0, fixed.power) * kNoiseFloor;
+  return std::max(0.0, (1.0 + power_lb) * exec - 1.0);
+}
+
+ProfileSet combo_profile(Session& session, const Combo& combo) {
+  const Variant full = combo.variant();
+  if (combo.software_layers() <= 1) {
+    return session.profiles(full);
+  }
+  // Independence composition from single-layer profiles.
+  const ProfileSet& base = session.profiles(Variant::base());
+  const std::vector<Variant> layers = combo_layer_variants(combo);
 
   ProfileSet out;
   out.core = base.core;
@@ -248,16 +288,6 @@ ComboPoint evaluate_combo(Session& session, Selector& selector,
   p.sdc_protected_pct = rep.sdc_protected_frac * 100.0;
   p.imp = rep.imp;
   return p;
-}
-
-std::vector<ComboPoint> explore_design_space(Session& session,
-                                             Selector& selector,
-                                             double target) {
-  std::vector<ComboPoint> points;
-  for (const Combo& c : enumerate_combos(session.core())) {
-    points.push_back(evaluate_combo(session, selector, c, target));
-  }
-  return points;
 }
 
 }  // namespace clear::core

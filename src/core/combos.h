@@ -57,6 +57,35 @@ struct Combo {
 // All valid combinations for a core ("InO": 417, "OoO": 169).
 [[nodiscard]] std::vector<Combo> enumerate_combos(const std::string& core);
 
+// FNV-1a digest over the enumeration's combo names in order.  Pins the
+// combination space: the exploration ledger (src/explore) stores it so a
+// ledger written against a different enumeration is refused instead of
+// silently re-indexed, and the golden test (tests/data/combos_golden.txt)
+// fails loudly when a validity-rule change reshapes the space.
+[[nodiscard]] std::uint64_t enumeration_fingerprint(const std::string& core);
+
+// The profiled program variants combo_profile() consumes for this combo:
+// the full variant when at most one profiled layer is involved, otherwise
+// the per-layer single-technique variants (plus the base profile it
+// composes on).  Exploration prefetches the union of these across a batch
+// of combos as ONE inject::run_campaigns submission, so golden-run
+// recording overlaps faulty runs across combos and combos sharing a
+// variant share its campaigns through the cache pack.
+[[nodiscard]] std::vector<Variant> combo_layer_variants(const Combo& combo);
+
+// Analytic lower bound on evaluate_combo(...).energy for any target:
+// the combo's fixed technique overheads (DFC / monitor / recovery
+// hardware, with a safety margin for the SP&R noise band) times its
+// software layers' measured execution overheads; the selective-hardening
+// contribution is bounded below by zero.  Pure function of the combo and
+// the (memoized) single-layer profiles -- bit-identical across shards --
+// and never triggers campaigns beyond combo_layer_variants().  The
+// exploration engine prunes a combo when this bound already exceeds a
+// Pareto-dominating evaluated point.
+[[nodiscard]] double combo_cost_lower_bound(Session& session,
+                                            const phys::PhysModel& model,
+                                            const Combo& combo);
+
 // Profile for a combo's software/algorithm stack.  Exact (measured) when
 // at most one profiled layer is involved; multi-layer stacks compose
 // per-FF survival ratios from the single-layer profiles under an
@@ -76,15 +105,12 @@ struct ComboPoint {
   Improvement imp;
 };
 
-// Evaluates one combination at one SDC-improvement target.
+// Evaluates one combination at one SDC-improvement target.  Full
+// design-space exploration (Fig. 1d) lives in explore::run_exploration,
+// which drives this per combination with sharding, resume and pruning.
 [[nodiscard]] ComboPoint evaluate_combo(Session& session, Selector& selector,
                                         const Combo& combo, double target,
                                         Metric metric = Metric::kSdc);
-
-// Full design-space exploration (Fig. 1d): every combination, evaluated at
-// `target` (tunable combos) or its fixed improvement point.
-[[nodiscard]] std::vector<ComboPoint> explore_design_space(
-    Session& session, Selector& selector, double target = 50.0);
 
 }  // namespace clear::core
 

@@ -54,96 +54,126 @@ Session::Session(std::string core, std::size_t per_ff_samples,
 }
 
 const ProfileSet& Session::profiles(const Variant& v) {
-  const std::string vkey = v.key();
-  const auto it = cache_.find(vkey);
+  const auto it = cache_.find(v.key());
   if (it != cache_.end()) return *it->second;
+  prefetch({v});
+  return *cache_.at(v.key());
+}
 
-  auto set = std::make_unique<ProfileSet>();
-  set->core = core_;
-  set->variant_key = vkey;
+void Session::prefetch(const std::vector<Variant>& variants) {
+  std::uint32_t ff_count = 0;
   {
     auto proto = arch::make_core(core_);
-    set->ff_count = proto->registry().ff_count();
+    ff_count = proto->registry().ff_count();
   }
-  set->ff_sdc.assign(set->ff_count, 0);
-  set->ff_due.assign(set->ff_count, 0);
-  set->ff_total.assign(set->ff_count, 0);
 
-  arch::ResilienceConfig cfg;
-  cfg.dfc = v.dfc;
-  cfg.monitor = v.monitor;
-  cfg.recovery =
-      v.monitor ? arch::RecoveryKind::kRob : arch::RecoveryKind::kNone;
-  const bool needs_cfg = v.dfc || v.monitor;
-
-  // Build every benchmark's program first, then submit the whole variant
-  // as one batch: the campaign engine overlaps golden-run recording with
-  // faulty runs across benchmarks on the shared worker pool.
+  // Build every benchmark program of every uncached variant first, then
+  // submit the whole list as ONE batch: the campaign engine overlaps
+  // golden-run recording with faulty runs across all (variant, benchmark)
+  // campaigns on the shared worker pool.
   struct Pending {
     std::string bench;
     isa::Program prog;
   };
-  std::vector<Pending> pending;
-  for (const auto& bench : benchmarks_) {
-    if (v.abft != workloads::AbftKind::kNone) {
-      // Only benchmarks amenable to the requested ABFT kind (Sec. 3.2).
-      bool ok = false;
-      for (const auto& info : workloads::benchmark_list()) {
-        if (info.name == bench && info.abft == v.abft) ok = true;
-      }
-      if (!ok) continue;
-    }
-    pending.push_back({bench, build_variant_program(bench, v, 0)});
-  }
-  if (pending.empty()) {
-    throw std::runtime_error("no benchmarks support variant " + vkey +
-                             " on core " + core_);
-  }
+  struct Job {
+    Variant variant;
+    std::string vkey;
+    arch::ResilienceConfig cfg;
+    bool needs_cfg = false;
+    std::vector<Pending> pending;
+  };
+  std::vector<Job> jobs;
+  for (const Variant& v : variants) {
+    const std::string vkey = v.key();
+    if (cache_.count(vkey)) continue;
+    bool queued = false;
+    for (const auto& j : jobs) queued |= (j.vkey == vkey);
+    if (queued) continue;
 
-  std::vector<inject::CampaignSpec> specs(pending.size());
-  for (std::size_t i = 0; i < pending.size(); ++i) {
-    specs[i].core_name = core_;
-    specs[i].program = &pending[i].prog;
-    specs[i].key = core_ + "/" + pending[i].bench + "/" + vkey;
-    specs[i].injections = per_ff_samples_ * set->ff_count;
-    specs[i].seed = seed_;
-    specs[i].cfg = needs_cfg ? &cfg : nullptr;
+    Job job;
+    job.variant = v;
+    job.vkey = vkey;
+    job.cfg.dfc = v.dfc;
+    job.cfg.monitor = v.monitor;
+    job.cfg.recovery =
+        v.monitor ? arch::RecoveryKind::kRob : arch::RecoveryKind::kNone;
+    job.needs_cfg = v.dfc || v.monitor;
+    for (const auto& bench : benchmarks_) {
+      if (v.abft != workloads::AbftKind::kNone) {
+        // Only benchmarks amenable to the requested ABFT kind (Sec. 3.2).
+        bool ok = false;
+        for (const auto& info : workloads::benchmark_list()) {
+          if (info.name == bench && info.abft == v.abft) ok = true;
+        }
+        if (!ok) continue;
+      }
+      job.pending.push_back({bench, build_variant_program(bench, v, 0)});
+    }
+    if (job.pending.empty()) {
+      throw std::runtime_error("no benchmarks support variant " + vkey +
+                               " on core " + core_);
+    }
+    jobs.push_back(std::move(job));
+  }
+  if (jobs.empty()) return;
+
+  // `jobs` is final: spec pointers into it stay valid through the run.
+  std::vector<inject::CampaignSpec> specs;
+  for (const Job& job : jobs) {
+    for (const Pending& p : job.pending) {
+      inject::CampaignSpec spec;
+      spec.core_name = core_;
+      spec.program = &p.prog;
+      spec.key = core_ + "/" + p.bench + "/" + job.vkey;
+      spec.injections = per_ff_samples_ * ff_count;
+      spec.seed = seed_;
+      spec.cfg = job.needs_cfg ? &job.cfg : nullptr;
+      specs.push_back(spec);
+    }
   }
   std::vector<inject::CampaignResult> campaigns = inject::run_campaigns(specs);
 
-  double exec_sum = 0.0;
-  std::size_t exec_n = 0;
-  for (std::size_t i = 0; i < pending.size(); ++i) {
-    BenchProfile bp;
-    bp.benchmark = pending[i].bench;
-    bp.campaign = std::move(campaigns[i]);
-    if (vkey == "base") {
-      bp.base_cycles = bp.campaign.nominal_cycles;
-    } else {
-      const isa::Program base_prog =
-          build_variant_program(bp.benchmark, Variant::base(), 0);
-      auto proto = arch::make_core(core_);
-      bp.base_cycles = proto->run_clean(base_prog).cycles;
-    }
-    exec_sum += static_cast<double>(bp.campaign.nominal_cycles) /
-                static_cast<double>(bp.base_cycles);
-    ++exec_n;
-    for (std::uint32_t f = 0; f < set->ff_count; ++f) {
-      const auto& c = bp.campaign.per_ff[f];
-      set->ff_sdc[f] += c.sdc();
-      set->ff_due[f] += c.due();
-      set->ff_total[f] += c.total();
-    }
-    set->totals.merge(bp.campaign.totals);
-    set->benches.push_back(std::move(bp));
-  }
-  set->exec_overhead = exec_n ? exec_sum / static_cast<double>(exec_n) - 1.0
-                              : 0.0;
-  if (set->exec_overhead < 0) set->exec_overhead = 0.0;
+  std::size_t next = 0;
+  for (const Job& job : jobs) {
+    auto set = std::make_unique<ProfileSet>();
+    set->core = core_;
+    set->variant_key = job.vkey;
+    set->ff_count = ff_count;
+    set->ff_sdc.assign(ff_count, 0);
+    set->ff_due.assign(ff_count, 0);
+    set->ff_total.assign(ff_count, 0);
 
-  auto& slot = cache_[vkey];
-  slot = std::move(set);
-  return *slot;
+    double exec_sum = 0.0;
+    std::size_t exec_n = 0;
+    for (const Pending& p : job.pending) {
+      BenchProfile bp;
+      bp.benchmark = p.bench;
+      bp.campaign = std::move(campaigns[next++]);
+      if (job.vkey == "base") {
+        bp.base_cycles = bp.campaign.nominal_cycles;
+      } else {
+        const isa::Program base_prog =
+            build_variant_program(bp.benchmark, Variant::base(), 0);
+        auto proto = arch::make_core(core_);
+        bp.base_cycles = proto->run_clean(base_prog).cycles;
+      }
+      exec_sum += static_cast<double>(bp.campaign.nominal_cycles) /
+                  static_cast<double>(bp.base_cycles);
+      ++exec_n;
+      for (std::uint32_t f = 0; f < ff_count; ++f) {
+        const auto& c = bp.campaign.per_ff[f];
+        set->ff_sdc[f] += c.sdc();
+        set->ff_due[f] += c.due();
+        set->ff_total[f] += c.total();
+      }
+      set->totals.merge(bp.campaign.totals);
+      set->benches.push_back(std::move(bp));
+    }
+    set->exec_overhead =
+        exec_n ? exec_sum / static_cast<double>(exec_n) - 1.0 : 0.0;
+    if (set->exec_overhead < 0) set->exec_overhead = 0.0;
+    cache_[job.vkey] = std::move(set);
+  }
 }
 
 ProfileSet Session::subset(const ProfileSet& full,

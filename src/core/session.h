@@ -93,6 +93,16 @@ class Session {
   // supports the variant on this core.
   const ProfileSet& profiles(const Variant& v);
 
+  // Batch collection: profiles every not-yet-memoized variant of the list
+  // with ONE inject::run_campaigns submission, so golden-run recording
+  // overlaps faulty runs across ALL (variant, benchmark) campaigns -- not
+  // just within one variant.  Results are bit-identical to calling
+  // profiles() per variant; subsequent profiles() calls hit the memo.
+  // Variants no benchmark supports throw (like profiles()); exploration
+  // filters those out first.  The design-space engine (src/explore)
+  // prefetches each combo batch's layer variants through this.
+  void prefetch(const std::vector<Variant>& variants);
+
   // Profile restricted to a benchmark subset (used by the Sec. 4
   // train/validate study); aggregates are recomputed from the memoized
   // per-benchmark campaigns.

@@ -1,0 +1,293 @@
+#include "explore/explore.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include "arch/core.h"
+#include "core/selection.h"
+#include "core/session.h"
+#include "util/env.h"
+#include "workloads/workloads.h"
+
+namespace clear::explore {
+
+namespace {
+
+// Anchors achieving (near-)full protection must clear this bar to serve
+// as pruning references; a pruned combo can exceed an anchor's protection
+// by at most the hardened-cell residual this tolerates.
+constexpr double kAnchorProtectionPct = 99.5;
+
+bool combo_equals(const core::Combo& a, const core::Combo& b) {
+  return a.dice == b.dice && a.eds == b.eds && a.parity == b.parity &&
+         a.dfc == b.dfc && a.assertions == b.assertions &&
+         a.cfcss == b.cfcss && a.eddi == b.eddi && a.monitor == b.monitor &&
+         a.abft == b.abft && a.recovery == b.recovery;
+}
+
+// True when the suite has a benchmark amenable to the combo's ABFT kind
+// (non-ABFT combos run on any suite).  Suites without one get the combo
+// recorded as kSkipped -- deterministically, since the suite is part of
+// the ledger identity.
+bool suite_supports(const std::vector<std::string>& suite,
+                    const core::Combo& combo) {
+  if (combo.abft == workloads::AbftKind::kNone) return true;
+  for (const auto& info : workloads::benchmark_list()) {
+    if (info.abft != combo.abft) continue;
+    for (const auto& name : suite) {
+      if (name == info.name) return true;
+    }
+  }
+  return false;
+}
+
+LedgerRecord point_record(RecordKind kind, std::uint32_t index,
+                          const core::ComboPoint& p) {
+  LedgerRecord rec;
+  rec.kind = kind;
+  rec.combo_index = index;
+  rec.combo = p.combo;
+  rec.target = p.target;
+  rec.target_met = p.target_met;
+  rec.energy = p.energy;
+  rec.area = p.area;
+  rec.power = p.power;
+  rec.exec = p.exec;
+  rec.sdc_protected_pct = p.sdc_protected_pct;
+  rec.imp_sdc = p.imp.sdc;
+  rec.imp_due = p.imp.due;
+  return rec;
+}
+
+std::size_t resolve_batch(std::size_t batch) {
+  if (batch != 0) return batch;
+  const long env = util::env_long("CLEAR_EXPLORE_BATCH", 64);
+  return env > 0 ? static_cast<std::size_t>(env) : 64;
+}
+
+void validate_spec(const ExploreSpec& spec) {
+  if (spec.core != "InO" && spec.core != "OoO") {
+    throw std::invalid_argument("explore: unknown core '" + spec.core +
+                                "' (InO or OoO)");
+  }
+  if (!(spec.target > 0.0)) {
+    throw std::invalid_argument("explore: target must be > 0");
+  }
+  if (spec.shard_count == 0 || spec.shard_index >= spec.shard_count) {
+    throw std::invalid_argument("explore: bad shard selection");
+  }
+  const auto suite = workloads::benchmarks_for_core(spec.core);
+  for (const auto& b : spec.benchmarks) {
+    if (std::find(suite.begin(), suite.end(), b) == suite.end()) {
+      throw std::invalid_argument("explore: benchmark '" + b +
+                                  "' is not in the " + spec.core + " suite");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> anchor_indices(const std::string& core) {
+  core::Combo dice_only;
+  dice_only.dice = true;
+  core::Combo flagship;
+  flagship.dice = true;
+  flagship.parity = true;
+  flagship.recovery =
+      core == "OoO" ? arch::RecoveryKind::kRob : arch::RecoveryKind::kFlush;
+
+  std::vector<std::uint32_t> out;
+  const auto combos = core::enumerate_combos(core);
+  for (std::uint32_t i = 0; i < combos.size(); ++i) {
+    if (combo_equals(combos[i], dice_only) ||
+        combo_equals(combos[i], flagship)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+Ledger resolve_identity(const ExploreSpec& spec) {
+  validate_spec(spec);
+  // A throwaway Session resolves the benchmark suite and the sample
+  // scale exactly the way the run will (no campaigns are submitted).
+  core::Session session(spec.core, spec.per_ff_samples, spec.seed);
+  if (!spec.benchmarks.empty()) session.set_benchmarks(spec.benchmarks);
+
+  Ledger identity;
+  identity.core = spec.core;
+  identity.target = spec.target;
+  identity.metric = static_cast<std::uint32_t>(spec.metric);
+  identity.seed = spec.seed;
+  identity.per_ff_samples = session.per_ff_samples();
+  identity.benchmarks = session.benchmarks();
+  identity.combo_count =
+      static_cast<std::uint32_t>(core::enumerate_combos(spec.core).size());
+  identity.combo_fingerprint = core::enumeration_fingerprint(spec.core);
+  identity.pruning = spec.prune;
+  identity.shard_count = spec.shard_count;
+  identity.covered = {spec.shard_index};
+  return identity;
+}
+
+Ledger run_exploration(const ExploreSpec& spec, const std::string& ledger_path,
+                       const ProgressFn& progress) {
+  const Ledger identity = resolve_identity(spec);
+  const std::vector<core::Combo> combos = core::enumerate_combos(spec.core);
+
+  LedgerWriter writer;
+  Ledger memory_state;
+  const bool persistent = !ledger_path.empty();
+  if (persistent) writer.open(ledger_path, identity);
+  else memory_state = identity;
+  const auto state = [&]() -> const Ledger& {
+    return persistent ? writer.state() : memory_state;
+  };
+  const auto append = [&](const LedgerRecord& rec) {
+    if (persistent) writer.append(rec);
+    else memory_state.records.push_back(rec);
+  };
+
+  core::Session session(spec.core, spec.per_ff_samples, spec.seed);
+  if (!spec.benchmarks.empty()) session.set_benchmarks(spec.benchmarks);
+  core::Selector selector(session);
+
+  // Anchors: the fixed flagship designs, evaluated at their "max" point.
+  // Every shard computes them (the campaign cache makes repeats cheap)
+  // because the pruning bar derives from them; only shard 0 records them,
+  // exactly once, so merged coverage stays disjoint.
+  double prune_bar = std::numeric_limits<double>::infinity();
+  for (const std::uint32_t ai : anchor_indices(spec.core)) {
+    const core::ComboPoint p =
+        core::evaluate_combo(session, selector, combos[ai], -1.0, spec.metric);
+    if (p.sdc_protected_pct >= kAnchorProtectionPct) {
+      prune_bar = std::min(prune_bar, p.energy);
+    }
+    if (spec.shard_index != 0) continue;
+    bool recorded = false;
+    for (const LedgerRecord& r : state().records) {
+      recorded |= (r.kind == RecordKind::kAnchor && r.combo_index == ai);
+    }
+    if (!recorded) append(point_record(RecordKind::kAnchor, ai, p));
+  }
+
+  // Work list: owned combos with no record yet (resume skips the rest).
+  const std::vector<std::uint32_t> pending = state().missing_indices();
+  Progress prog;
+  prog.pending = pending.size();
+
+  const std::size_t batch = resolve_batch(spec.batch);
+  for (std::size_t start = 0; start < pending.size(); start += batch) {
+    const std::size_t end = std::min(pending.size(), start + batch);
+    // Prefetch the batch's profiling campaigns as ONE pool submission:
+    // golden recording overlaps faulty runs across combos, and combos
+    // sharing a variant share its campaigns via the cache pack.
+    std::vector<core::Variant> vars{core::Variant::base()};
+    for (std::size_t i = start; i < end; ++i) {
+      const core::Combo& c = combos[pending[i]];
+      if (!suite_supports(session.benchmarks(), c)) continue;
+      const auto layers = core::combo_layer_variants(c);
+      vars.insert(vars.end(), layers.begin(), layers.end());
+    }
+    session.prefetch(vars);
+
+    for (std::size_t i = start; i < end; ++i) {
+      const std::uint32_t index = pending[i];
+      const core::Combo& c = combos[index];
+      LedgerRecord rec;
+      if (!suite_supports(session.benchmarks(), c)) {
+        rec.kind = RecordKind::kSkipped;
+        rec.combo_index = index;
+        rec.combo = c.name();
+        rec.target = spec.target;
+        rec.target_met = false;
+        ++prog.skipped;
+      } else {
+        const double lb =
+            spec.prune
+                ? core::combo_cost_lower_bound(session, selector.model(), c)
+                : 0.0;
+        if (spec.prune && lb > prune_bar) {
+          // Dominance-pruned: the cost lower bound already exceeds a
+          // recorded (near-)full-protection point, so this combo cannot
+          // reach the low-cost frontier.
+          rec.kind = RecordKind::kPruned;
+          rec.combo_index = index;
+          rec.combo = c.name();
+          rec.target = spec.target;
+          rec.target_met = false;
+          rec.energy = lb;
+          ++prog.pruned;
+        } else {
+          const core::ComboPoint p = core::evaluate_combo(
+              session, selector, c, spec.target, spec.metric);
+          rec = point_record(RecordKind::kPoint, index, p);
+          ++prog.evaluated;
+        }
+      }
+      append(rec);
+      ++prog.done;
+      if (progress) progress(prog);
+    }
+  }
+  return state();
+}
+
+void write_profile_manifest(const ExploreSpec& spec, const std::string& path) {
+  const Ledger identity = resolve_identity(spec);
+  std::uint32_t ff_count = 0;
+  {
+    const auto proto = arch::make_core(spec.core);
+    ff_count = proto->registry().ff_count();
+  }
+  const std::uint64_t injections = identity.per_ff_samples * ff_count;
+
+  // The prelude variant set: base plus every layer variant any supported
+  // combo composes from (deduplicated by key, deterministic order).
+  std::vector<core::Variant> variants{core::Variant::base()};
+  const auto add = [&variants](const core::Variant& v) {
+    for (const auto& have : variants) {
+      if (have.key() == v.key()) return;
+    }
+    variants.push_back(v);
+  };
+  for (const core::Combo& c : core::enumerate_combos(spec.core)) {
+    if (!suite_supports(identity.benchmarks, c)) continue;
+    for (const core::Variant& v : core::combo_layer_variants(c)) add(v);
+  }
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << "# clear explore profiling manifest\n"
+      << "# core=" << spec.core << " per-ff=" << identity.per_ff_samples
+      << " seed=" << identity.seed << " (" << variants.size()
+      << " variants x " << identity.benchmarks.size() << " benchmarks)\n"
+      << "# run: clear run --spec <this file>\n"
+      << "# (run unsharded: campaigns memoize under their unsharded cache\n"
+      << "#  fingerprint, the one the exploration will look up)\n";
+  bool first = true;
+  for (const core::Variant& v : variants) {
+    for (const std::string& bench : identity.benchmarks) {
+      if (v.abft != workloads::AbftKind::kNone) {
+        bool ok = false;
+        for (const auto& info : workloads::benchmark_list()) {
+          if (info.name == bench && info.abft == v.abft) ok = true;
+        }
+        if (!ok) continue;
+      }
+      if (!first) out << "---\n";
+      first = false;
+      // The cache key matches core::Session's, so `clear explore run`
+      // finds these campaigns in the pack instead of re-simulating.
+      out << "--core " << spec.core << " --bench " << bench << " --variant "
+          << v.key() << " --injections " << injections << " --seed "
+          << identity.seed << " --key " << spec.core << "/" << bench << "/"
+          << v.key() << "\n";
+    }
+  }
+  if (!out.flush()) throw std::runtime_error("cannot write " + path);
+}
+
+}  // namespace clear::explore

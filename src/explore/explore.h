@@ -1,0 +1,118 @@
+// Distributed design-space exploration engine (the paper's headline
+// cross-layer exploration, Fig. 1d / Table 18, scaled out).
+//
+// The engine turns combination-space search into a persistent, resumable,
+// distributable job system on top of the campaign layer:
+//
+//   * enumeration -- core::enumerate_combos gives the valid combination
+//     space (417 InO + 169 OoO) and a fingerprint that pins it;
+//   * sharding -- shard k of K owns the combo indices i with i % K == k,
+//     so K machines explore disjoint slices and `merge_ledger_files`
+//     folds their ledgers back bit-identically to the unsharded run
+//     (every record is a pure function of the experiment identity);
+//   * batching -- each batch of combos prefetches ALL its profiling
+//     campaigns as one inject::run_campaigns submission
+//     (core::Session::prefetch): golden-run recording overlaps faulty
+//     runs across combos, and combos sharing a program variant share its
+//     campaigns through the on-disk cache pack;
+//   * dominance pruning -- fixed per-core anchor combinations (the
+//     paper's flagship LEAP-DICE + parity + recovery designs) are
+//     evaluated first at their "max" point; a combo whose analytic cost
+//     lower bound (core::combo_cost_lower_bound) already exceeds the
+//     cheapest full-protection anchor is recorded as pruned instead of
+//     evaluated.  Anchors are fixed, so the decision is bit-identical
+//     across shards, resumes and thread counts;
+//   * persistence -- every outcome is appended to the `.cxl` exploration
+//     ledger (explore/ledger.h); a killed exploration resumes from the
+//     records on disk without re-running completed combos.
+//
+// `clear explore` (src/cli/cli_explore.cpp) drives the run-on-K-machines
+// -> merge -> frontier/report workflow end to end.
+#ifndef CLEAR_EXPLORE_EXPLORE_H
+#define CLEAR_EXPLORE_EXPLORE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/combos.h"
+#include "explore/ledger.h"
+
+namespace clear::explore {
+
+struct ExploreSpec {
+  std::string core = "InO";  // "InO" or "OoO"; anything else throws
+  // SDC/DUE improvement target tunable combos are evaluated at (> 0).
+  double target = 50.0;
+  core::Metric metric = core::Metric::kSdc;
+  std::uint64_t seed = 1;
+  // Injections per flip-flop per benchmark (0 = CLEAR_INJECTIONS env or
+  // the per-core default, like core::Session).
+  std::size_t per_ff_samples = 0;
+  // Benchmark suite to profile on (empty = the core's full suite).  Part
+  // of the experiment identity: ledgers of different suites never merge.
+  std::vector<std::string> benchmarks;
+  // Shard selection over the combo list: this run owns the combo indices
+  // i with i % shard_count == shard_index.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  // Dominance pruning (on by default).  Pruning never removes a point
+  // cheaper than the cheapest full-protection anchor, so the low-cost
+  // frontier and the cheapest target-meeting combination are unaffected;
+  // disable it to evaluate every combination (the full Fig. 1d cloud).
+  bool prune = true;
+  // Combos per scheduling batch (each batch prefetches its profiling
+  // campaigns as one run_campaigns submission).  0 = CLEAR_EXPLORE_BATCH
+  // env or 64.
+  std::size_t batch = 0;
+};
+
+// Running counters for progress reporting (counts from this run only,
+// not records resumed from the ledger).
+struct Progress {
+  std::size_t pending = 0;    // combos this run owed at the start
+  std::size_t done = 0;       // records appended so far
+  std::size_t evaluated = 0;  // of which: evaluated points
+  std::size_t pruned = 0;     // of which: dominance-pruned
+  std::size_t skipped = 0;    // of which: unsupported on the suite
+};
+using ProgressFn = std::function<void(const Progress&)>;
+
+// Resolves a spec to the ledger identity it would run under (benchmarks
+// resolved against the core's suite, per-FF samples against the env,
+// covered = {shard_index}).  Cheap: no campaigns run.  Throws
+// std::invalid_argument on a bad core/shard/target/benchmark name.
+[[nodiscard]] Ledger resolve_identity(const ExploreSpec& spec);
+
+// Runs (or resumes) one shard of an exploration.  With a non-empty
+// `ledger_path` every outcome is appended there crash-safely and combos
+// already recorded are not re-run; with an empty path the exploration is
+// in-memory only (examples/benches).  Returns the complete ledger state
+// for this shard (resumed + new records).  Deterministic: the record for
+// a combo is bit-identical across runs, hosts, thread counts, shardings
+// and resume points.  Throws std::invalid_argument on a bad spec and
+// std::runtime_error on ledger identity mismatch or I/O failure.
+Ledger run_exploration(const ExploreSpec& spec, const std::string& ledger_path,
+                       const ProgressFn& progress = {});
+
+// Writes the exploration's profiling prelude -- every (program variant x
+// benchmark) campaign the spec's combo space can demand -- as a
+// multi-campaign manifest for `clear run --spec`.  Running the manifest
+// warms the campaign cache pack under the exact fingerprints `clear
+// explore run` will look up.  Run it unsharded: a `--shard k/K` run
+// memoizes under shard-specific fingerprints the exploration's unsharded
+// campaigns never consult.  Throws std::runtime_error when the path is
+// unwritable.
+void write_profile_manifest(const ExploreSpec& spec, const std::string& path);
+
+// The per-core anchor combinations (indices into enumerate_combos):
+// LEAP-DICE alone and LEAP-DICE + parity + flush/RoB recovery -- the
+// paper's flagship designs.  Exposed for tests and reports.
+[[nodiscard]] std::vector<std::uint32_t> anchor_indices(
+    const std::string& core);
+
+}  // namespace clear::explore
+
+#endif  // CLEAR_EXPLORE_EXPLORE_H

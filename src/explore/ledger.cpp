@@ -1,0 +1,453 @@
+#include "explore/ledger.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <stdexcept>
+
+#include "util/bytes.h"
+
+namespace clear::explore {
+
+namespace {
+
+constexpr unsigned char kMagic[4] = {'C', 'X', 'L', '1'};
+
+// Sanity bounds: an identity/record that passes its checksum but declares
+// sizes beyond these is treated as damage rather than allocated for.
+constexpr std::uint64_t kMaxIdentLen = 1ULL << 20;
+constexpr std::uint32_t kMaxStringLen = 1u << 16;
+constexpr std::uint32_t kMaxBenchCount = 1u << 10;
+constexpr std::uint32_t kMaxComboCount = 1u << 20;
+constexpr std::uint32_t kMaxShardCount = 1u << 20;
+constexpr std::uint32_t kMaxRecordLen = 1u << 16;
+// Record frame: rec_len (u32) + rec_checksum (u64).
+constexpr std::size_t kRecordFrame = 12;
+
+using util::put_f64;
+using util::put_str;
+using util::put_u32;
+using util::put_u64;
+
+class Reader : public util::ByteReader {
+ public:
+  using util::ByteReader::ByteReader;
+  bool str(std::string* s) { return util::ByteReader::str(s, kMaxStringLen); }
+};
+
+std::string encode_identity(const Ledger& l) {
+  std::string out;
+  put_str(&out, l.core);
+  put_f64(&out, l.target);
+  put_u32(&out, l.metric);
+  put_u64(&out, l.seed);
+  put_u64(&out, l.per_ff_samples);
+  put_u32(&out, static_cast<std::uint32_t>(l.benchmarks.size()));
+  for (const auto& b : l.benchmarks) put_str(&out, b);
+  put_u32(&out, l.combo_count);
+  put_u64(&out, l.combo_fingerprint);
+  put_u32(&out, l.pruning ? 1u : 0u);
+  put_u32(&out, l.shard_count);
+  put_u32(&out, static_cast<std::uint32_t>(l.covered.size()));
+  for (const std::uint32_t s : l.covered) put_u32(&out, s);
+  return out;
+}
+
+bool decode_identity(const std::string& bytes, Ledger* out) {
+  Reader r(bytes.data(), bytes.size());
+  std::uint32_t bench_count = 0, pruning = 0, covered_count = 0;
+  if (!r.str(&out->core) || !r.f64(&out->target) || !r.u32(&out->metric) ||
+      !r.u64(&out->seed) || !r.u64(&out->per_ff_samples) ||
+      !r.u32(&bench_count) || bench_count == 0 ||
+      bench_count > kMaxBenchCount) {
+    return false;
+  }
+  out->benchmarks.resize(bench_count);
+  for (std::uint32_t i = 0; i < bench_count; ++i) {
+    if (!r.str(&out->benchmarks[i])) return false;
+  }
+  if (!r.u32(&out->combo_count) || out->combo_count == 0 ||
+      out->combo_count > kMaxComboCount || !r.u64(&out->combo_fingerprint) ||
+      !r.u32(&pruning) || pruning > 1 || !r.u32(&out->shard_count) ||
+      out->shard_count == 0 || out->shard_count > kMaxShardCount ||
+      !r.u32(&covered_count) || covered_count == 0 ||
+      covered_count > out->shard_count) {
+    return false;
+  }
+  out->pruning = pruning != 0;
+  out->covered.resize(covered_count);
+  std::uint32_t prev = 0;
+  for (std::uint32_t i = 0; i < covered_count; ++i) {
+    if (!r.u32(&out->covered[i])) return false;
+    // Sorted + strictly increasing + bounded: canonical coverage sets only.
+    if (out->covered[i] >= out->shard_count ||
+        (i > 0 && out->covered[i] <= prev)) {
+      return false;
+    }
+    prev = out->covered[i];
+  }
+  return r.exhausted();
+}
+
+bool decode_record_payload(const std::string& bytes, std::uint32_t combo_count,
+                           LedgerRecord* rec) {
+  Reader r(bytes.data(), bytes.size());
+  std::uint32_t kind = 0, met = 0;
+  if (!r.u32(&kind) || kind > static_cast<std::uint32_t>(RecordKind::kSkipped) ||
+      !r.u32(&rec->combo_index) || rec->combo_index >= combo_count ||
+      !r.str(&rec->combo) || !r.f64(&rec->target) || !r.u32(&met) ||
+      met > 1 || !r.f64(&rec->energy) || !r.f64(&rec->area) ||
+      !r.f64(&rec->power) || !r.f64(&rec->exec) ||
+      !r.f64(&rec->sdc_protected_pct) || !r.f64(&rec->imp_sdc) ||
+      !r.f64(&rec->imp_due)) {
+    return false;
+  }
+  rec->kind = static_cast<RecordKind>(kind);
+  rec->target_met = met != 0;
+  return r.exhausted();
+}
+
+// Deterministic ordering for frontier/report output: cheapest first; at
+// equal energy the better-protected point first, combo index last.
+bool point_order(const LedgerRecord* a, const LedgerRecord* b) {
+  if (a->energy != b->energy) return a->energy < b->energy;
+  if (a->sdc_protected_pct != b->sdc_protected_pct) {
+    return a->sdc_protected_pct > b->sdc_protected_pct;
+  }
+  return a->combo_index < b->combo_index;
+}
+
+}  // namespace
+
+const char* ledger_status_name(LedgerStatus s) noexcept {
+  switch (s) {
+    case LedgerStatus::kOk: return "ok";
+    case LedgerStatus::kBadMagic: return "bad magic (not a .cxl file)";
+    case LedgerStatus::kVersionUnsupported:
+      return "unsupported ledger version";
+    case LedgerStatus::kTruncated: return "truncated";
+    case LedgerStatus::kCorrupt: return "corrupt (checksum mismatch)";
+  }
+  return "?";
+}
+
+const char* record_kind_name(RecordKind k) noexcept {
+  switch (k) {
+    case RecordKind::kPoint: return "point";
+    case RecordKind::kAnchor: return "anchor";
+    case RecordKind::kPruned: return "pruned";
+    case RecordKind::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+bool Ledger::complete() const {
+  return covered.size() == shard_count && missing_indices().empty();
+}
+
+std::vector<std::uint32_t> Ledger::missing_indices() const {
+  std::vector<char> owned(combo_count, 0);
+  for (const std::uint32_t s : covered) {
+    for (std::uint32_t i = s; i < combo_count; i += shard_count) owned[i] = 1;
+  }
+  for (const LedgerRecord& r : records) {
+    if (r.kind == RecordKind::kAnchor) continue;
+    if (r.combo_index < combo_count) owned[r.combo_index] = 0;
+  }
+  std::vector<std::uint32_t> missing;
+  for (std::uint32_t i = 0; i < combo_count; ++i) {
+    if (owned[i]) missing.push_back(i);
+  }
+  return missing;
+}
+
+bool Ledger::same_identity(const Ledger& o) const {
+  return core == o.core && target == o.target && metric == o.metric &&
+         seed == o.seed && per_ff_samples == o.per_ff_samples &&
+         benchmarks == o.benchmarks && combo_count == o.combo_count &&
+         combo_fingerprint == o.combo_fingerprint && pruning == o.pruning &&
+         shard_count == o.shard_count;
+}
+
+std::string encode_record(const LedgerRecord& rec) {
+  std::string payload;
+  put_u32(&payload, static_cast<std::uint32_t>(rec.kind));
+  put_u32(&payload, rec.combo_index);
+  put_str(&payload, rec.combo);
+  put_f64(&payload, rec.target);
+  put_u32(&payload, rec.target_met ? 1u : 0u);
+  put_f64(&payload, rec.energy);
+  put_f64(&payload, rec.area);
+  put_f64(&payload, rec.power);
+  put_f64(&payload, rec.exec);
+  put_f64(&payload, rec.sdc_protected_pct);
+  put_f64(&payload, rec.imp_sdc);
+  put_f64(&payload, rec.imp_due);
+
+  std::string out;
+  out.reserve(kRecordFrame + payload.size());
+  put_u32(&out, static_cast<std::uint32_t>(payload.size()));
+  put_u64(&out, util::fnv1a64(payload.data(), payload.size()));
+  out.append(payload);
+  return out;
+}
+
+std::string encode_ledger(const Ledger& ledger) {
+  const std::string ident = encode_identity(ledger);
+  std::string out;
+  out.append(reinterpret_cast<const char*>(kMagic), 4);
+  put_u32(&out, kLedgerVersion);
+  put_u64(&out, ident.size());
+  put_u64(&out, util::fnv1a64(ident.data(), ident.size()));
+  put_u64(&out, util::fnv1a64(out.data(), 24));
+  out.append(ident);
+  for (const LedgerRecord& rec : ledger.records) out.append(encode_record(rec));
+  return out;
+}
+
+LedgerStatus decode_ledger(const std::string& bytes, Ledger* out,
+                           LedgerLoadInfo* info) {
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  if (bytes.size() < 4) return LedgerStatus::kTruncated;
+  if (std::memcmp(p, kMagic, 4) != 0) return LedgerStatus::kBadMagic;
+  if (bytes.size() < kLedgerHeaderSize) return LedgerStatus::kTruncated;
+  Reader header(p + 4, kLedgerHeaderSize - 4);
+  std::uint32_t version = 0;
+  std::uint64_t ident_len = 0, ident_sum = 0, header_sum = 0;
+  header.u32(&version);
+  header.u64(&ident_len);
+  header.u64(&ident_sum);
+  header.u64(&header_sum);
+  if (header_sum != util::fnv1a64(p, 24)) return LedgerStatus::kCorrupt;
+  // The header checksum vouches for the version field: an unknown version
+  // is a genuinely newer writer, not bit rot.
+  if (version == 0 || version > kLedgerVersion) {
+    return LedgerStatus::kVersionUnsupported;
+  }
+  if (ident_len > kMaxIdentLen) return LedgerStatus::kCorrupt;
+  if (bytes.size() < kLedgerHeaderSize + ident_len) {
+    return LedgerStatus::kTruncated;
+  }
+  const std::string ident = bytes.substr(kLedgerHeaderSize,
+                                         static_cast<std::size_t>(ident_len));
+  if (util::fnv1a64(ident.data(), ident.size()) != ident_sum) {
+    return LedgerStatus::kCorrupt;
+  }
+  Ledger l;
+  if (!decode_identity(ident, &l)) return LedgerStatus::kCorrupt;
+
+  // Record region: the identity is trusted now; records load until the
+  // first damage, after which the remainder is conservatively dropped
+  // (re-synchronizing past a bad frame could serve bytes no checksum
+  // vouches for).
+  std::size_t pos = kLedgerHeaderSize + static_cast<std::size_t>(ident_len);
+  LedgerLoadInfo li;
+  while (pos < bytes.size()) {
+    Reader frame(bytes.data() + pos, bytes.size() - pos);
+    std::uint32_t rec_len = 0;
+    std::uint64_t rec_sum = 0;
+    if (!frame.u32(&rec_len) || rec_len > kMaxRecordLen ||
+        !frame.u64(&rec_sum) || frame.remaining() < rec_len) {
+      break;  // torn append / tail rot
+    }
+    const std::string payload = bytes.substr(pos + kRecordFrame, rec_len);
+    if (util::fnv1a64(payload.data(), payload.size()) != rec_sum) break;
+    LedgerRecord rec;
+    if (!decode_record_payload(payload, l.combo_count, &rec)) break;
+    l.records.push_back(std::move(rec));
+    ++li.records_loaded;
+    pos += kRecordFrame + rec_len;
+  }
+  li.tail_dropped_bytes = bytes.size() - pos;
+
+  *out = std::move(l);
+  if (info) *info = li;
+  return LedgerStatus::kOk;
+}
+
+void write_ledger_file(const std::string& path, const Ledger& ledger) {
+  const std::string bytes = encode_ledger(ledger);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out || !out.write(bytes.data(),
+                           static_cast<std::streamsize>(bytes.size()))) {
+      throw std::runtime_error("cannot write " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("cannot rename into place: " + path);
+  }
+}
+
+LedgerStatus load_ledger_file(const std::string& path, Ledger* out,
+                              LedgerLoadInfo* info) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return LedgerStatus::kTruncated;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return decode_ledger(bytes, out, info);
+}
+
+void LedgerWriter::open(const std::string& path, const Ledger& identity) {
+  if (!std::filesystem::exists(path)) {
+    state_ = identity;
+    state_.records.clear();
+    write_ledger_file(path, state_);
+  } else {
+    Ledger on_disk;
+    LedgerLoadInfo li;
+    const LedgerStatus st = load_ledger_file(path, &on_disk, &li);
+    if (st != LedgerStatus::kOk) {
+      throw std::runtime_error(path + ": " + ledger_status_name(st));
+    }
+    if (!on_disk.same_identity(identity) ||
+        on_disk.covered != identity.covered) {
+      throw std::runtime_error(
+          path + ": ledger belongs to a different exploration "
+                 "(identity mismatch; refusing to append)");
+    }
+    if (li.tail_dropped_bytes > 0) {
+      // Truncate back to the clean prefix so appends land after valid
+      // bytes; the dropped combos simply re-run.
+      write_ledger_file(path, on_disk);
+    }
+    state_ = std::move(on_disk);
+  }
+  out_.open(path, std::ios::binary | std::ios::app);
+  if (!out_) throw std::runtime_error("cannot open " + path + " for append");
+}
+
+void LedgerWriter::append(const LedgerRecord& rec) {
+  const std::string bytes = encode_record(rec);
+  if (!out_.write(bytes.data(), static_cast<std::streamsize>(bytes.size())) ||
+      !out_.flush()) {
+    throw std::runtime_error("ledger append failed");
+  }
+  state_.records.push_back(rec);
+}
+
+Ledger merge_ledger_files(const std::vector<Ledger>& ledgers) {
+  if (ledgers.empty()) {
+    throw std::invalid_argument("merge_ledger_files: no ledgers");
+  }
+  const Ledger& ref = ledgers.front();
+  const auto mismatch = [](const std::string& field) {
+    throw std::invalid_argument(
+        "merge_ledger_files: ledgers disagree on " + field +
+        " (refusing to fold results of different explorations)");
+  };
+  std::vector<char> shard_seen(ref.shard_count, 0);
+  std::set<std::uint32_t> combo_seen;
+  std::set<std::uint32_t> anchor_seen;
+
+  Ledger merged;
+  merged.core = ref.core;
+  merged.target = ref.target;
+  merged.metric = ref.metric;
+  merged.seed = ref.seed;
+  merged.per_ff_samples = ref.per_ff_samples;
+  merged.benchmarks = ref.benchmarks;
+  merged.combo_count = ref.combo_count;
+  merged.combo_fingerprint = ref.combo_fingerprint;
+  merged.pruning = ref.pruning;
+  merged.shard_count = ref.shard_count;
+
+  for (const Ledger& l : ledgers) {
+    if (l.core != ref.core) mismatch("core");
+    if (l.target != ref.target) mismatch("target");
+    if (l.metric != ref.metric) mismatch("metric");
+    if (l.seed != ref.seed) mismatch("seed");
+    if (l.per_ff_samples != ref.per_ff_samples) mismatch("per_ff_samples");
+    if (l.benchmarks != ref.benchmarks) mismatch("benchmarks");
+    if (l.combo_count != ref.combo_count) mismatch("combo_count");
+    if (l.combo_fingerprint != ref.combo_fingerprint) {
+      mismatch("combo_fingerprint");
+    }
+    if (l.pruning != ref.pruning) mismatch("pruning");
+    if (l.shard_count != ref.shard_count) mismatch("shard_count");
+    for (const std::uint32_t idx : l.covered) {
+      if (idx >= ref.shard_count || shard_seen[idx]) {
+        throw std::invalid_argument(
+            "merge_ledger_files: shard index " + std::to_string(idx) +
+            " covered twice (same ledger merged more than once?)");
+      }
+      shard_seen[idx] = 1;
+    }
+    const auto covers = [&l](std::uint32_t shard) {
+      return std::find(l.covered.begin(), l.covered.end(), shard) !=
+             l.covered.end();
+    };
+    for (const LedgerRecord& r : l.records) {
+      if (r.kind == RecordKind::kAnchor) {
+        // Anchors are recorded by shard 0 exactly once.
+        if (!covers(0) || !anchor_seen.insert(r.combo_index).second) {
+          throw std::invalid_argument(
+              "merge_ledger_files: anchor record for combo " +
+              std::to_string(r.combo_index) + " is misplaced or duplicated");
+        }
+      } else {
+        if (!covers(r.combo_index % ref.shard_count) ||
+            !combo_seen.insert(r.combo_index).second) {
+          throw std::invalid_argument(
+              "merge_ledger_files: combo " + std::to_string(r.combo_index) +
+              " recorded by a shard that does not own it, or twice");
+        }
+      }
+      merged.records.push_back(r);
+    }
+  }
+  for (std::uint32_t i = 0; i < ref.shard_count; ++i) {
+    if (shard_seen[i]) merged.covered.push_back(i);
+  }
+  // Canonical order: merged ledgers compare (and render) identically
+  // regardless of which machine finished first.
+  std::stable_sort(merged.records.begin(), merged.records.end(),
+                   [](const LedgerRecord& a, const LedgerRecord& b) {
+                     if (a.combo_index != b.combo_index) {
+                       return a.combo_index < b.combo_index;
+                     }
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+  return merged;
+}
+
+std::vector<const LedgerRecord*> pareto_frontier(const Ledger& ledger) {
+  std::vector<const LedgerRecord*> pts;
+  for (const LedgerRecord& r : ledger.records) {
+    if (r.kind == RecordKind::kPoint || r.kind == RecordKind::kAnchor) {
+      pts.push_back(&r);
+    }
+  }
+  std::sort(pts.begin(), pts.end(), point_order);
+  std::vector<const LedgerRecord*> frontier;
+  double best = -1.0;
+  for (const LedgerRecord* r : pts) {
+    if (r->sdc_protected_pct > best) {
+      frontier.push_back(r);
+      best = r->sdc_protected_pct;
+    }
+  }
+  return frontier;
+}
+
+std::vector<const LedgerRecord*> target_meeting_points(const Ledger& ledger) {
+  std::vector<const LedgerRecord*> pts;
+  for (const LedgerRecord& r : ledger.records) {
+    if (r.kind != RecordKind::kPoint || !r.target_met) continue;
+    // Fixed-cost combos always "meet" their own fixed point; what the
+    // report wants is whether they reach the exploration target.
+    const double imp = ledger.metric == 0   ? r.imp_sdc
+                       : ledger.metric == 1 ? r.imp_due
+                                            : std::min(r.imp_sdc, r.imp_due);
+    if (imp >= ledger.target) pts.push_back(&r);
+  }
+  std::sort(pts.begin(), pts.end(), point_order);
+  return pts;
+}
+
+}  // namespace clear::explore

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/bytes.h"
+
 namespace clear::inject {
 
 namespace {
@@ -19,60 +21,18 @@ constexpr std::uint32_t kMaxStringLen = 1u << 16;
 constexpr std::uint32_t kMaxFfCount = 1u << 24;
 constexpr std::uint32_t kMaxShardCount = 1u << 20;
 
-void put_u32(std::string* out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<char>(static_cast<unsigned char>(v >> (8 * i))));
-  }
-}
-void put_u64(std::string* out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>(static_cast<unsigned char>(v >> (8 * i))));
-  }
-}
-void put_str(std::string* out, const std::string& s) {
-  put_u32(out, static_cast<std::uint32_t>(s.size()));
-  out->append(s);
-}
+using util::put_str;
+using util::put_u32;
+using util::put_u64;
 
-// Bounded little-endian reader over the body bytes: every read checks the
-// remaining length, so a damaged length field can never walk out of the
-// buffer (the checksum already failed closed, but decode stays safe even
-// on crafted bytes).
-class Reader {
+// Bounded little-endian reader (util/bytes.h) with the wire string bound
+// applied: a damaged length field can never walk out of the buffer (the
+// checksum already failed closed, but decode stays safe even on crafted
+// bytes).
+class Reader : public util::ByteReader {
  public:
-  Reader(const unsigned char* p, std::size_t n) : p_(p), n_(n) {}
-
-  bool u32(std::uint32_t* v) {
-    if (pos_ + 4 > n_) return false;
-    *v = 0;
-    for (int i = 0; i < 4; ++i) {
-      *v |= static_cast<std::uint32_t>(p_[pos_ + i]) << (8 * i);
-    }
-    pos_ += 4;
-    return true;
-  }
-  bool u64(std::uint64_t* v) {
-    if (pos_ + 8 > n_) return false;
-    *v = 0;
-    for (int i = 0; i < 8; ++i) {
-      *v |= static_cast<std::uint64_t>(p_[pos_ + i]) << (8 * i);
-    }
-    pos_ += 8;
-    return true;
-  }
-  bool str(std::string* s) {
-    std::uint32_t len = 0;
-    if (!u32(&len) || len > kMaxStringLen || pos_ + len > n_) return false;
-    s->assign(reinterpret_cast<const char*>(p_ + pos_), len);
-    pos_ += len;
-    return true;
-  }
-  [[nodiscard]] bool exhausted() const { return pos_ == n_; }
-
- private:
-  const unsigned char* p_;
-  std::size_t n_;
-  std::size_t pos_ = 0;
+  using util::ByteReader::ByteReader;
+  bool str(std::string* s) { return util::ByteReader::str(s, kMaxStringLen); }
 };
 
 }  // namespace

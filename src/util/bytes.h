@@ -1,0 +1,98 @@
+// Little-endian byte encoding shared by the on-disk binary formats (the
+// CSR1 shard-result wire format and the CXL1 exploration ledger; the CPK1
+// cache pack predates this header and keeps its own local copy).
+//
+// Writers append fixed-width little-endian integers to a std::string;
+// ByteReader is the bounded decoder: every read checks the remaining
+// length, so a damaged length field can never walk outside the supplied
+// buffer (checksums fail closed first, but decoding stays safe even on
+// crafted bytes).  Doubles travel as their IEEE-754 bit patterns --
+// byte-identical across hosts, which the bit-identical merge guarantees
+// rely on.
+#ifndef CLEAR_UTIL_BYTES_H
+#define CLEAR_UTIL_BYTES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace clear::util {
+
+inline void put_u32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>(static_cast<unsigned char>(v >> (8 * i))));
+  }
+}
+
+inline void put_u64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(static_cast<unsigned char>(v >> (8 * i))));
+  }
+}
+
+// Length-prefixed (u32) string.
+inline void put_str(std::string* out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out->append(s);
+}
+
+// IEEE-754 bit pattern, little-endian.
+inline void put_f64(std::string* out, double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  put_u64(out, bits);
+}
+
+class ByteReader {
+ public:
+  ByteReader(const unsigned char* p, std::size_t n) : p_(p), n_(n) {}
+  ByteReader(const char* p, std::size_t n)
+      : p_(reinterpret_cast<const unsigned char*>(p)), n_(n) {}
+
+  bool u32(std::uint32_t* v) {
+    if (pos_ + 4 > n_) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<std::uint32_t>(p_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool u64(std::uint64_t* v) {
+    if (pos_ + 8 > n_) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<std::uint64_t>(p_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  // `max_len` bounds the decoded string so one flipped length byte cannot
+  // demand a giant allocation.
+  bool str(std::string* s, std::uint32_t max_len) {
+    std::uint32_t len = 0;
+    if (!u32(&len) || len > max_len || pos_ + len > n_) return false;
+    s->assign(reinterpret_cast<const char*>(p_ + pos_), len);
+    pos_ += len;
+    return true;
+  }
+  bool f64(double* d) {
+    std::uint64_t bits = 0;
+    if (!u64(&bits)) return false;
+    std::memcpy(d, &bits, sizeof(*d));
+    return true;
+  }
+  [[nodiscard]] bool exhausted() const { return pos_ == n_; }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return n_ - pos_; }
+
+ private:
+  const unsigned char* p_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace clear::util
+
+#endif  // CLEAR_UTIL_BYTES_H

@@ -11,6 +11,8 @@
 //                               path (default 1: checkpoint/fork engine)
 //   CLEAR_CHECKPOINT_INTERVAL - cycles between golden snapshots (0 = auto,
 //                               ~1/96 of the nominal run)
+//   CLEAR_EXPLORE_BATCH       - combos per design-space-exploration
+//                               scheduling batch (default 64)
 #ifndef CLEAR_UTIL_ENV_H
 #define CLEAR_UTIL_ENV_H
 

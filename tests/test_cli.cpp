@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cli/cli.h"
+#include "core/variants.h"
 #include "inject/campaign.h"
 #include "inject/wire.h"
 #include "isa/assembler.h"
@@ -268,6 +269,124 @@ TEST(CliE2E, SpecFileDrivesRunAndCommandLineWins) {
 
   EXPECT_EQ(sh(kBin + " run --spec cli_e2e/nonexistent.spec 2>/dev/null"),
             1);
+}
+
+TEST(CliE2E, MultiCampaignManifestMatchesSingleRunsBitExactly) {
+  // A manifest: several campaigns in one spec file, '---'-separated,
+  // batched through ONE run_campaigns submission in one process.
+  {
+    std::ofstream spec("cli_e2e/manifest.spec");
+    spec << "# two-campaign manifest\n"
+         << "--bench mcf --injections 120 --seed 11 --no-cache"
+         << " --out cli_e2e/m0.csr\n"
+         << "---\n"
+         << "--bench gcc --variant cfcss --injections 90 --seed 12"
+         << " --no-cache --out cli_e2e/m1.csr\n";
+  }
+  ASSERT_EQ(sh(kBin + " run --spec cli_e2e/manifest.spec --dry-run"), 0);
+  ASSERT_EQ(sh(kBin + " run --spec cli_e2e/manifest.spec"), 0);
+
+  // Each manifest campaign is bit-identical to the standalone campaign.
+  const auto check = [](const std::string& path, const std::string& bench,
+                        const std::string& variant, std::size_t injections,
+                        std::uint64_t seed) {
+    inject::ShardFile s;
+    ASSERT_EQ(inject::load_shard_file(path, &s), inject::WireStatus::kOk);
+    const auto prog = core::build_variant_program(
+        bench, cli::parse_variant(variant), 0);
+    inject::CampaignSpec cs;
+    cs.core_name = "InO";
+    cs.program = &prog;
+    cs.injections = injections;
+    cs.seed = seed;
+    const auto whole = inject::run_campaign(cs);
+    ASSERT_EQ(s.result.per_ff.size(), whole.per_ff.size()) << path;
+    EXPECT_EQ(s.result.nominal_cycles, whole.nominal_cycles) << path;
+    for (std::size_t f = 0; f < whole.per_ff.size(); ++f) {
+      EXPECT_EQ(s.result.per_ff[f].omm, whole.per_ff[f].omm) << path << f;
+      EXPECT_EQ(s.result.per_ff[f].vanished, whole.per_ff[f].vanished)
+          << path << f;
+      EXPECT_EQ(s.result.per_ff[f].ed, whole.per_ff[f].ed) << path << f;
+    }
+  };
+  check("cli_e2e/m0.csr", "mcf", "base", 120, 11);
+  check("cli_e2e/m1.csr", "gcc", "cfcss", 90, 12);
+
+  // --out on the command line would collide across the manifest's
+  // campaigns; nested --spec would recurse.  Both are usage errors.
+  EXPECT_EQ(sh(kBin + " run --spec cli_e2e/manifest.spec --out x.csr "
+                      "2>/dev/null"),
+            2);
+  {
+    std::ofstream spec("cli_e2e/nested.spec");
+    spec << "--bench mcf\n---\n--spec cli_e2e/manifest.spec\n";
+  }
+  EXPECT_EQ(sh(kBin + " run --spec cli_e2e/nested.spec 2>/dev/null"), 2);
+  // ...including in a single-stanza file, where the command-line re-parse
+  // would otherwise silently discard it.
+  {
+    std::ofstream spec("cli_e2e/nested1.spec");
+    spec << "--bench mcf --spec cli_e2e/manifest.spec\n";
+  }
+  EXPECT_EQ(sh(kBin + " run --spec cli_e2e/nested1.spec --dry-run "
+                      "2>/dev/null"),
+            2);
+  // A bad stanza names the campaign in the error and fails loudly.
+  {
+    std::ofstream spec("cli_e2e/badstanza.spec");
+    spec << "--bench mcf --injections 60\n---\n--bench mcf --seed seven\n";
+  }
+  EXPECT_EQ(sh(kBin + " run --spec cli_e2e/badstanza.spec 2>/dev/null"), 2);
+  // --dry-run inside any stanza dry-runs the whole manifest, exactly as
+  // it would in a one-stanza spec (nothing simulated, nothing written).
+  {
+    std::ofstream spec("cli_e2e/drymanifest.spec");
+    spec << "--bench mcf --out cli_e2e/dry0.csr --dry-run\n---\n"
+         << "--bench gcc --out cli_e2e/dry1.csr\n";
+  }
+  EXPECT_EQ(sh(kBin + " run --spec cli_e2e/drymanifest.spec"), 0);
+  EXPECT_FALSE(std::filesystem::exists("cli_e2e/dry0.csr"));
+  EXPECT_FALSE(std::filesystem::exists("cli_e2e/dry1.csr"));
+}
+
+TEST(CliE2E, ExploreEmitManifestRoundTripsThroughClearRun) {
+  // The explore engine emits its profiling prelude as a manifest; running
+  // it warms the campaign cache pack under the exact keys `clear explore
+  // run` will look up.
+  ASSERT_EQ(sh(kBin + " explore run --core InO --benches mcf,inner_product "
+                      "--per-ff 1 --seed 5 --emit-manifest "
+                      "cli_e2e/prof.spec"),
+            0);
+  std::ifstream in("cli_e2e/prof.spec");
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t stanzas = 1, keyed = 0;
+  while (std::getline(in, line)) {
+    if (line == "---") ++stanzas;
+    if (line.find("--key InO/") != std::string::npos) ++keyed;
+  }
+  EXPECT_GT(stanzas, 4u);        // base + software layers, x2 benchmarks
+  EXPECT_EQ(keyed, stanzas);     // every campaign cache-keyed
+  EXPECT_EQ(sh(kBin + " run --spec cli_e2e/prof.spec --dry-run"), 0);
+  EXPECT_EQ(sh(kBin + " run --spec cli_e2e/prof.spec"), 0);
+}
+
+TEST(CliE2E, RecoveryIsPartOfTheDerivedCacheKey) {
+  // Two runs differing only in --recovery must not share cached results:
+  // DFC detections end as DUEs without recovery but are repaired under
+  // EIR, so a poisoned cache hit would report identical outcomes.
+  const std::string base_cmd =
+      kBin + " run --bench mcf --variant dfc --injections 600 --seed 3 ";
+  ASSERT_EQ(sh(base_cmd + "--recovery none --out cli_e2e/rec_none.csr"), 0);
+  ASSERT_EQ(sh(base_cmd + "--recovery eir --out cli_e2e/rec_eir.csr"), 0);
+  inject::ShardFile none, eir;
+  ASSERT_EQ(inject::load_shard_file("cli_e2e/rec_none.csr", &none),
+            inject::WireStatus::kOk);
+  ASSERT_EQ(inject::load_shard_file("cli_e2e/rec_eir.csr", &eir),
+            inject::WireStatus::kOk);
+  EXPECT_NE(none.key, eir.key);
+  EXPECT_EQ(none.result.totals.recovered, 0u);
+  EXPECT_GT(eir.result.totals.recovered, 0u);
 }
 
 TEST(CliE2E, MergeRefusesMismatchedSeeds) {

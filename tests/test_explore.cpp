@@ -1,0 +1,671 @@
+// Exploration subsystem tests: the combos golden pin, the .cxl ledger
+// format (round trip + corruption fuzz mirroring test_wire.cpp), shard
+// merge determinism (K in {2,3} vs unsharded, bit-identical), kill-and-
+// resume, cost-lower-bound soundness, pruning honesty, and the
+// multi-process `clear explore run` x3 -> `clear explore merge` e2e
+// acceptance test (CLEAR_CLI_BIN, injected by CMake).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/combos.h"
+#include "core/selection.h"
+#include "explore/explore.h"
+#include "explore/ledger.h"
+
+namespace {
+
+using namespace clear;
+using explore::Ledger;
+using explore::LedgerRecord;
+using explore::LedgerStatus;
+using explore::RecordKind;
+
+class ExploreEnv : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    // Unique per test binary: parallel ctest must not share a mutable
+    // cache dir; the spawned `clear` children inherit this.
+    ::setenv("CLEAR_CACHE_DIR", ".clear_cache_test_explore", 1);
+    std::filesystem::remove_all("explore_e2e");
+    std::filesystem::create_directories("explore_e2e");
+  }
+};
+const ::testing::Environment* const kEnv =
+    ::testing::AddGlobalTestEnvironment(new ExploreEnv);
+
+int sh(const std::string& cmd) {
+  const int rc = std::system((cmd + " > /dev/null").c_str());
+  if (rc == -1) return -1;
+  if (WIFEXITED(rc)) return WEXITSTATUS(rc);
+  return -1;
+}
+
+const std::string kBin = CLEAR_CLI_BIN;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+// The shared reduced-scale experiment: 4 benchmarks (including one ABFT
+// correction + one ABFT detection kernel, so no combo is skipped), one
+// sample per flip-flop.
+explore::ExploreSpec test_spec() {
+  explore::ExploreSpec spec;
+  spec.core = "InO";
+  spec.target = 50.0;
+  spec.seed = 5;
+  spec.per_ff_samples = 1;
+  spec.benchmarks = {"mcf", "gcc", "inner_product", "fft1d"};
+  return spec;
+}
+
+// Bit-exact record comparison via the on-disk encoding (doubles compare
+// as their IEEE-754 bit patterns).
+std::vector<std::string> sorted_record_bytes(const Ledger& l) {
+  std::vector<LedgerRecord> recs = l.records;
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const LedgerRecord& a, const LedgerRecord& b) {
+                     if (a.combo_index != b.combo_index) {
+                       return a.combo_index < b.combo_index;
+                     }
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+  std::vector<std::string> out;
+  out.reserve(recs.size());
+  for (const auto& r : recs) out.push_back(explore::encode_record(r));
+  return out;
+}
+
+// A small synthetic ledger for format tests (no campaigns involved).
+Ledger synth_ledger() {
+  Ledger l;
+  l.core = "InO";
+  l.target = 50.0;
+  l.metric = 0;
+  l.seed = 7;
+  l.per_ff_samples = 1;
+  l.benchmarks = {"mcf", "gcc"};
+  l.combo_count = 417;
+  l.combo_fingerprint = core::enumeration_fingerprint("InO");
+  l.pruning = true;
+  l.shard_count = 3;
+  l.covered = {1};
+  const RecordKind kinds[] = {RecordKind::kPoint, RecordKind::kPruned,
+                              RecordKind::kSkipped, RecordKind::kPoint};
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    LedgerRecord r;
+    r.kind = kinds[i % 4];
+    r.combo_index = 1 + 3 * i;  // owned by shard 1 of 3
+    r.combo = "combo#" + std::to_string(r.combo_index);
+    r.target = 50.0;
+    r.target_met = (i % 2) == 0;
+    r.energy = 0.1 + 0.01 * i;  // inexact in binary: catches re-rounding
+    r.area = 0.2 + 0.001 * i;
+    r.power = 0.3 / (i + 1);
+    r.exec = 0.7 * i;
+    r.sdc_protected_pct = 99.0 + 0.1 * i;
+    r.imp_sdc = 51.3 + i;
+    r.imp_due = 0.4 + i;
+    l.records.push_back(r);
+  }
+  return l;
+}
+
+// ---- combos golden pin -----------------------------------------------------
+
+TEST(CombosGolden, EnumerationMatchesGoldenFile) {
+  std::ifstream in(std::string(CLEAR_TEST_DATA_DIR) + "/combos_golden.txt");
+  ASSERT_TRUE(in.good()) << "missing tests/data/combos_golden.txt";
+
+  std::string line;
+  std::string core;
+  std::size_t expected_count = 0;
+  std::uint64_t expected_fp = 0;
+  std::vector<std::string> names;
+  const auto check_section = [&]() {
+    if (core.empty()) return;
+    const auto combos = core::enumerate_combos(core);
+    ASSERT_EQ(combos.size(), expected_count) << core;
+    ASSERT_EQ(names.size(), combos.size()) << core;
+    for (std::size_t i = 0; i < combos.size(); ++i) {
+      EXPECT_EQ(combos[i].name(), names[i])
+          << core << " combo #" << i
+          << ": the exploration space changed -- ledgers and shard "
+             "assignments written by older binaries no longer line up; "
+             "regenerate the golden file only for an intentional change";
+    }
+    EXPECT_EQ(core::enumeration_fingerprint(core), expected_fp) << core;
+    names.clear();
+  };
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      check_section();
+      char core_buf[16] = {0};
+      unsigned long long count = 0, fp = 0;
+      ASSERT_EQ(std::sscanf(line.c_str(), "[%15s %llu fingerprint=%llx]",
+                            core_buf, &count, &fp),
+                3)
+          << line;
+      core = core_buf;
+      expected_count = count;
+      expected_fp = fp;
+    } else {
+      names.push_back(line);
+    }
+  }
+  check_section();
+  // The golden file itself pins the paper's Table 18 counts.
+  EXPECT_EQ(core::enumerate_combos("InO").size(), 417u);
+  EXPECT_EQ(core::enumerate_combos("OoO").size(), 169u);
+}
+
+// ---- ledger format ---------------------------------------------------------
+
+TEST(LedgerFormat, RoundTrip) {
+  const Ledger l = synth_ledger();
+  const std::string bytes = explore::encode_ledger(l);
+  Ledger back;
+  explore::LedgerLoadInfo info;
+  ASSERT_EQ(explore::decode_ledger(bytes, &back, &info), LedgerStatus::kOk);
+  EXPECT_EQ(info.records_loaded, l.records.size());
+  EXPECT_EQ(info.tail_dropped_bytes, 0u);
+  EXPECT_TRUE(back.same_identity(l));
+  EXPECT_EQ(back.covered, l.covered);
+  ASSERT_EQ(back.records.size(), l.records.size());
+  for (std::size_t i = 0; i < l.records.size(); ++i) {
+    EXPECT_EQ(explore::encode_record(back.records[i]),
+              explore::encode_record(l.records[i]))
+        << i;
+  }
+  // Encoding is deterministic (byte-identical re-encode).
+  EXPECT_EQ(explore::encode_ledger(back), bytes);
+}
+
+TEST(LedgerFormat, TruncationAtEveryRecordBoundaryLoadsThePrefix) {
+  const Ledger l = synth_ledger();
+  const std::string bytes = explore::encode_ledger(l);
+  std::size_t header_end = bytes.size();
+  for (const auto& r : l.records) header_end -= explore::encode_record(r).size();
+
+  std::size_t boundary = header_end;
+  for (std::size_t n = 0; n <= l.records.size(); ++n) {
+    Ledger back;
+    explore::LedgerLoadInfo info;
+    ASSERT_EQ(explore::decode_ledger(bytes.substr(0, boundary), &back, &info),
+              LedgerStatus::kOk)
+        << n;
+    ASSERT_EQ(back.records.size(), n);
+    EXPECT_EQ(info.tail_dropped_bytes, 0u) << n;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(explore::encode_record(back.records[i]),
+                explore::encode_record(l.records[i]));
+    }
+    if (n < l.records.size()) {
+      boundary += explore::encode_record(l.records[n]).size();
+    }
+  }
+}
+
+TEST(LedgerFormat, TruncationAtEveryByteNeverServesWrongData) {
+  const Ledger l = synth_ledger();
+  const std::string bytes = explore::encode_ledger(l);
+  std::size_t header_end = bytes.size();
+  for (const auto& r : l.records) header_end -= explore::encode_record(r).size();
+
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    Ledger back;
+    explore::LedgerLoadInfo info;
+    const LedgerStatus st =
+        explore::decode_ledger(bytes.substr(0, cut), &back, &info);
+    if (cut < header_end) {
+      EXPECT_NE(st, LedgerStatus::kOk) << cut;
+      continue;
+    }
+    // Inside the record region: always loads, records always an exact
+    // prefix, damage always accounted for.
+    ASSERT_EQ(st, LedgerStatus::kOk) << cut;
+    ASSERT_LE(back.records.size(), l.records.size());
+    std::size_t clean = header_end;
+    for (std::size_t i = 0; i < back.records.size(); ++i) {
+      EXPECT_EQ(explore::encode_record(back.records[i]),
+                explore::encode_record(l.records[i]));
+      clean += explore::encode_record(l.records[i]).size();
+    }
+    EXPECT_EQ(info.tail_dropped_bytes, cut - clean) << cut;
+  }
+}
+
+TEST(LedgerFormat, BitFlipAtEveryByteIsDetected) {
+  const Ledger l = synth_ledger();
+  const std::string bytes = explore::encode_ledger(l);
+  std::size_t header_end = bytes.size();
+  for (const auto& r : l.records) header_end -= explore::encode_record(r).size();
+
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x20);
+    Ledger back;
+    explore::LedgerLoadInfo info;
+    const LedgerStatus st = explore::decode_ledger(mutated, &back, &info);
+    if (st != LedgerStatus::kOk) continue;  // refused outright: fine
+    // Loaded: identity must be intact and every record an exact prefix
+    // of the original -- a flip may cost records, never change one.
+    EXPECT_TRUE(back.same_identity(l)) << i;
+    EXPECT_EQ(back.covered, l.covered) << i;
+    ASSERT_LE(back.records.size(), l.records.size()) << i;
+    for (std::size_t r = 0; r < back.records.size(); ++r) {
+      EXPECT_EQ(explore::encode_record(back.records[r]),
+                explore::encode_record(l.records[r]))
+          << "flip at " << i;
+    }
+    if (i >= header_end) {
+      EXPECT_LT(back.records.size(), l.records.size()) << i;
+      EXPECT_GT(info.tail_dropped_bytes, 0u) << i;
+    }
+  }
+}
+
+TEST(LedgerFormat, FutureVersionRefusedNotMisparsed) {
+  std::string bytes = explore::encode_ledger(synth_ledger());
+  bytes[4] = static_cast<char>(explore::kLedgerVersion + 1);
+  const std::uint64_t sum = explore::fnv1a64(bytes.data(), 24);
+  for (int i = 0; i < 8; ++i) {
+    bytes[24 + i] =
+        static_cast<char>(static_cast<unsigned char>(sum >> (8 * i)));
+  }
+  Ledger back;
+  EXPECT_EQ(explore::decode_ledger(bytes, &back),
+            LedgerStatus::kVersionUnsupported);
+}
+
+TEST(LedgerFormat, RandomGarbageNeverLoads) {
+  std::mt19937_64 rng(20260729);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage(1 + static_cast<std::size_t>(rng() % 512), '\0');
+    for (auto& c : garbage) c = static_cast<char>(rng());
+    Ledger back;
+    EXPECT_NE(explore::decode_ledger(garbage, &back), LedgerStatus::kOk);
+  }
+}
+
+TEST(LedgerWriter, CreateAppendReloadAndIdentityGuard) {
+  const std::string path = "explore_e2e/writer.cxl";
+  std::filesystem::remove(path);
+  Ledger identity = synth_ledger();
+  const std::vector<LedgerRecord> recs = identity.records;
+  identity.records.clear();
+
+  explore::LedgerWriter w;
+  w.open(path, identity);
+  for (const auto& r : recs) w.append(r);
+  EXPECT_EQ(w.state().records.size(), recs.size());
+
+  Ledger back;
+  ASSERT_EQ(explore::load_ledger_file(path, &back), LedgerStatus::kOk);
+  EXPECT_EQ(sorted_record_bytes(back), sorted_record_bytes(w.state()));
+
+  // Re-open with the same identity resumes; a different identity refuses.
+  explore::LedgerWriter again;
+  again.open(path, identity);
+  EXPECT_EQ(again.state().records.size(), recs.size());
+  Ledger other = identity;
+  other.seed ^= 1;
+  explore::LedgerWriter refuse;
+  EXPECT_THROW(refuse.open(path, other), std::runtime_error);
+}
+
+TEST(LedgerMerge, RefusesMismatchOverlapAndMisownedRecords) {
+  const Ledger a = synth_ledger();  // covers shard 1 of 3
+  Ledger b = a;
+  b.covered = {2};
+  for (auto& r : b.records) {
+    r.combo_index += 1;  // shard 2's combos
+    r.kind = RecordKind::kPoint;
+  }
+  // Disjoint coverage merges.
+  const Ledger ab = explore::merge_ledger_files({a, b});
+  EXPECT_EQ(ab.covered, (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(ab.records.size(), a.records.size() + b.records.size());
+  EXPECT_FALSE(ab.complete());  // shard 0 (and most combos) still missing
+
+  // Same ledger twice: coverage overlap.
+  EXPECT_THROW((void)explore::merge_ledger_files({a, a}),
+               std::invalid_argument);
+  // Identity mismatch.
+  Ledger c = b;
+  c.target = 51.0;
+  EXPECT_THROW((void)explore::merge_ledger_files({a, c}),
+               std::invalid_argument);
+  // A record owned by a shard the ledger does not cover.
+  Ledger d = b;
+  d.records.front().combo_index = 3;  // shard 0's combo in shard 2's ledger
+  EXPECT_THROW((void)explore::merge_ledger_files({a, d}),
+               std::invalid_argument);
+}
+
+// ---- exploration determinism ----------------------------------------------
+
+TEST(Explore, AnchorsExistOnBothCores) {
+  for (const char* core : {"InO", "OoO"}) {
+    const auto anchors = explore::anchor_indices(core);
+    ASSERT_EQ(anchors.size(), 2u) << core;
+    const auto combos = core::enumerate_combos(core);
+    for (const auto ai : anchors) {
+      ASSERT_LT(ai, combos.size());
+      EXPECT_TRUE(combos[ai].dice);
+    }
+  }
+}
+
+TEST(Explore, ShardMergeBitIdenticalToUnshardedK2K3) {
+  explore::ExploreSpec spec = test_spec();
+  const Ledger whole = explore::run_exploration(spec, "");
+  EXPECT_TRUE(whole.complete());
+  const auto whole_bytes = sorted_record_bytes(whole);
+  const auto whole_frontier = explore::pareto_frontier(whole);
+  ASSERT_FALSE(whole_frontier.empty());
+
+  for (const std::uint32_t K : {2u, 3u}) {
+    std::vector<Ledger> shards;
+    for (std::uint32_t k = 0; k < K; ++k) {
+      explore::ExploreSpec s = test_spec();
+      s.shard_index = k;
+      s.shard_count = K;
+      shards.push_back(explore::run_exploration(s, ""));
+    }
+    const Ledger merged = explore::merge_ledger_files(shards);
+    EXPECT_TRUE(merged.complete()) << K;
+    // Identity fields differ only in shard_count -- the records must be
+    // bit-identical to the unsharded exploration.
+    EXPECT_EQ(sorted_record_bytes(merged), whole_bytes) << "K=" << K;
+    const auto frontier = explore::pareto_frontier(merged);
+    ASSERT_EQ(frontier.size(), whole_frontier.size()) << K;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      EXPECT_EQ(explore::encode_record(*frontier[i]),
+                explore::encode_record(*whole_frontier[i]))
+          << "K=" << K << " frontier point " << i;
+    }
+  }
+}
+
+TEST(Explore, NoPruneShardMergeBitIdentical) {
+  explore::ExploreSpec spec = test_spec();
+  spec.prune = false;
+  const Ledger whole = explore::run_exploration(spec, "");
+  std::size_t points = 0;
+  for (const auto& r : whole.records) {
+    points += (r.kind == RecordKind::kPoint);
+  }
+  EXPECT_EQ(points, 417u);  // every combination evaluated
+
+  std::vector<Ledger> shards;
+  for (std::uint32_t k = 0; k < 2; ++k) {
+    explore::ExploreSpec s = spec;
+    s.shard_index = k;
+    s.shard_count = 2;
+    shards.push_back(explore::run_exploration(s, ""));
+  }
+  EXPECT_EQ(sorted_record_bytes(explore::merge_ledger_files(shards)),
+            sorted_record_bytes(whole));
+}
+
+TEST(Explore, SuiteWithoutAbftBenchesSkipsDeterministically) {
+  explore::ExploreSpec spec = test_spec();
+  spec.benchmarks = {"mcf", "gcc"};
+  const Ledger whole = explore::run_exploration(spec, "");
+  EXPECT_TRUE(whole.complete());
+  std::size_t skipped = 0;
+  for (const auto& r : whole.records) {
+    skipped += (r.kind == RecordKind::kSkipped);
+  }
+  // All 273 ABFT combinations (2 standalone + 144 correction-composed +
+  // 127 detection-composed) are unsupported on an ABFT-free suite.
+  EXPECT_EQ(skipped, 273u);
+
+  explore::ExploreSpec s0 = spec, s1 = spec;
+  s0.shard_index = 0;
+  s0.shard_count = 2;
+  s1.shard_index = 1;
+  s1.shard_count = 2;
+  const Ledger merged = explore::merge_ledger_files(
+      {explore::run_exploration(s0, ""), explore::run_exploration(s1, "")});
+  EXPECT_EQ(sorted_record_bytes(merged), sorted_record_bytes(whole));
+}
+
+// ---- kill-and-resume -------------------------------------------------------
+
+TEST(Explore, ResumeFromRecordBoundaryIsByteIdentical) {
+  const std::string full_path = "explore_e2e/resume_full.cxl";
+  const std::string cut_path = "explore_e2e/resume_cut.cxl";
+  std::filesystem::remove(full_path);
+  std::filesystem::remove(cut_path);
+
+  explore::ExploreSpec spec = test_spec();
+  (void)explore::run_exploration(spec, full_path);
+  const std::string full_bytes = read_file(full_path);
+
+  Ledger full;
+  ASSERT_EQ(explore::load_ledger_file(full_path, &full), LedgerStatus::kOk);
+  ASSERT_GT(full.records.size(), 20u);
+  // "Kill" after 20 records: truncate at that record boundary.
+  std::size_t cut = full_bytes.size();
+  for (const auto& r : full.records) cut -= explore::encode_record(r).size();
+  for (std::size_t i = 0; i < 20; ++i) {
+    cut += explore::encode_record(full.records[i]).size();
+  }
+  write_file(cut_path, full_bytes.substr(0, cut));
+
+  const Ledger resumed = explore::run_exploration(spec, cut_path);
+  EXPECT_TRUE(resumed.complete());
+  // The resumed file is byte-for-byte the uninterrupted one: same header,
+  // same records, same order.
+  EXPECT_EQ(read_file(cut_path), full_bytes);
+}
+
+TEST(Explore, ResumeFromTornTailRecoversAndCompletes) {
+  const std::string full_path = "explore_e2e/resume_full.cxl";  // from above
+  const std::string torn_path = "explore_e2e/resume_torn.cxl";
+  explore::ExploreSpec spec = test_spec();
+  if (!std::filesystem::exists(full_path)) {
+    (void)explore::run_exploration(spec, full_path);
+  }
+  const std::string full_bytes = read_file(full_path);
+
+  Ledger full;
+  ASSERT_EQ(explore::load_ledger_file(full_path, &full), LedgerStatus::kOk);
+  std::size_t boundary = full_bytes.size();
+  for (const auto& r : full.records) {
+    boundary -= explore::encode_record(r).size();
+  }
+  for (std::size_t i = 0; i < 11; ++i) {
+    boundary += explore::encode_record(full.records[i]).size();
+  }
+  // Torn mid-record append: 11 clean records + 7 bytes of a 12th.
+  write_file(torn_path, full_bytes.substr(0, boundary + 7));
+
+  const Ledger resumed = explore::run_exploration(spec, torn_path);
+  EXPECT_TRUE(resumed.complete());
+  EXPECT_EQ(read_file(torn_path), full_bytes);
+}
+
+// ---- pruning ---------------------------------------------------------------
+
+TEST(Explore, CostLowerBoundIsSound) {
+  explore::ExploreSpec spec = test_spec();
+  core::Session session(spec.core, spec.per_ff_samples, spec.seed);
+  session.set_benchmarks(spec.benchmarks);
+  core::Selector selector(session);
+  const auto combos = core::enumerate_combos(spec.core);
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < combos.size(); i += 7) {
+    const double lb =
+        core::combo_cost_lower_bound(session, selector.model(), combos[i]);
+    const core::ComboPoint p =
+        core::evaluate_combo(session, selector, combos[i], spec.target);
+    EXPECT_LE(lb, p.energy + 1e-9) << combos[i].name();
+    // The bound is also valid at the max point (any target).
+    const core::ComboPoint pmax =
+        core::evaluate_combo(session, selector, combos[i], -1.0);
+    EXPECT_LE(lb, pmax.energy + 1e-9) << combos[i].name();
+    ++checked;
+  }
+  EXPECT_GE(checked, 50u);
+}
+
+TEST(Explore, PruningKeepsTheCheapFrontierAndCheapestMeetingPoint) {
+  explore::ExploreSpec pruned_spec = test_spec();
+  explore::ExploreSpec full_spec = test_spec();
+  full_spec.prune = false;
+  const Ledger pruned = explore::run_exploration(pruned_spec, "");
+  const Ledger full = explore::run_exploration(full_spec, "");
+
+  // The cheapest target-meeting combination is pruning-invariant.
+  const auto meet_p = explore::target_meeting_points(pruned);
+  const auto meet_f = explore::target_meeting_points(full);
+  ASSERT_FALSE(meet_p.empty());
+  ASSERT_FALSE(meet_f.empty());
+  EXPECT_EQ(explore::encode_record(*meet_p.front()),
+            explore::encode_record(*meet_f.front()));
+
+  // Below the pruning bar (the cheapest full-protection anchor) the
+  // frontier is pruning-invariant: every pruned combo's bound exceeded
+  // the bar, so every cheaper point was evaluated in both runs.
+  double bar = std::numeric_limits<double>::infinity();
+  for (const auto& r : pruned.records) {
+    if (r.kind == RecordKind::kAnchor && r.sdc_protected_pct >= 99.5) {
+      bar = std::min(bar, r.energy);
+    }
+  }
+  ASSERT_TRUE(std::isfinite(bar));
+  const auto fr_p = explore::pareto_frontier(pruned);
+  const auto fr_f = explore::pareto_frontier(full);
+  std::vector<std::string> below_p, below_f;
+  for (const auto* r : fr_p) {
+    if (r->energy <= bar) below_p.push_back(explore::encode_record(*r));
+  }
+  for (const auto* r : fr_f) {
+    if (r->energy <= bar) below_f.push_back(explore::encode_record(*r));
+  }
+  EXPECT_EQ(below_p, below_f);
+}
+
+// ---- the acceptance test: multi-process shard -> merge ---------------------
+
+TEST(ExploreCliE2E, ShardedProcessesMergeBitIdenticalToUnsharded) {
+  const std::uint32_t kShards = 3;
+  const std::string flags =
+      " --core InO --target 50 --benches mcf,gcc,inner_product,fft1d"
+      " --per-ff 1 --seed 5 --quiet";
+
+  // K real `clear explore run` processes, one per combo-space shard.
+  std::string merge_cmd = kBin + " explore merge --out explore_e2e/merged.cxl";
+  for (std::uint32_t k = 0; k < kShards; ++k) {
+    const std::string out =
+        "explore_e2e/shard_" + std::to_string(k) + ".cxl";
+    const std::string cmd = kBin + " explore run" + flags + " --shard " +
+                            std::to_string(k) + "/" + std::to_string(kShards) +
+                            " --ledger " + out;
+    ASSERT_EQ(sh(cmd), 0) << cmd;
+    merge_cmd += " " + out;
+  }
+  ASSERT_EQ(sh(merge_cmd), 0) << merge_cmd;
+
+  // Reference: the unsharded exploration, in-process.
+  const Ledger whole = explore::run_exploration(test_spec(), "");
+
+  Ledger merged;
+  ASSERT_EQ(explore::load_ledger_file("explore_e2e/merged.cxl", &merged),
+            LedgerStatus::kOk);
+  EXPECT_TRUE(merged.complete());
+  EXPECT_EQ(merged.shard_count, kShards);
+  EXPECT_EQ(merged.covered, (std::vector<std::uint32_t>{0, 1, 2}));
+
+  // Bit-identity of every record, and of the frontier.
+  EXPECT_EQ(sorted_record_bytes(merged), sorted_record_bytes(whole));
+  const auto fm = explore::pareto_frontier(merged);
+  const auto fw = explore::pareto_frontier(whole);
+  ASSERT_EQ(fm.size(), fw.size());
+  for (std::size_t i = 0; i < fm.size(); ++i) {
+    EXPECT_EQ(explore::encode_record(*fm[i]), explore::encode_record(*fw[i]));
+  }
+
+  // A killed-and-relaunched shard resumes as a no-op (nothing re-runs,
+  // the ledger is unchanged).
+  const std::string before = read_file("explore_e2e/shard_1.cxl");
+  ASSERT_EQ(sh(kBin + " explore run" + flags +
+               " --shard 1/3 --ledger explore_e2e/shard_1.cxl"),
+            0);
+  EXPECT_EQ(read_file("explore_e2e/shard_1.cxl"), before);
+
+  // The merged ledger renders in every format.
+  EXPECT_EQ(sh(kBin + " explore frontier explore_e2e/merged.cxl"), 0);
+  EXPECT_EQ(sh(kBin + " explore frontier --format csv explore_e2e/merged.cxl"),
+            0);
+  EXPECT_EQ(sh(kBin + " explore frontier --format json explore_e2e/merged.cxl"),
+            0);
+  EXPECT_EQ(sh(kBin + " explore report --all explore_e2e/merged.cxl"), 0);
+  EXPECT_EQ(sh(kBin + " explore report --format json explore_e2e/merged.cxl"),
+            0);
+}
+
+TEST(ExploreCliE2E, UsageAndMismatchErrors) {
+  EXPECT_EQ(sh(kBin + " explore 2>/dev/null"), 2);
+  EXPECT_EQ(sh(kBin + " explore frobnicate 2>/dev/null"), 2);
+  EXPECT_EQ(sh(kBin + " explore run --core Bogus --dry-run 2>/dev/null"), 2);
+  EXPECT_EQ(sh(kBin + " explore run --target -3 --dry-run 2>/dev/null"), 2);
+  EXPECT_EQ(sh(kBin + " explore run --metric fancy --dry-run 2>/dev/null"), 2);
+  EXPECT_EQ(sh(kBin + " explore run --shard 3/3 --dry-run 2>/dev/null"), 2);
+  EXPECT_EQ(sh(kBin + " explore run --benches nope --dry-run 2>/dev/null"), 2);
+  EXPECT_EQ(sh(kBin + " explore run 2>/dev/null"), 2);  // missing --ledger
+  EXPECT_EQ(sh(kBin + " explore merge explore_e2e/merged.cxl 2>/dev/null"),
+            2);  // missing --out
+  EXPECT_EQ(sh(kBin + " explore frontier explore_e2e/nonexistent.cxl "
+                      "2>/dev/null"),
+            1);
+  EXPECT_EQ(sh(kBin + " explore help"), 0);
+  EXPECT_EQ(sh(kBin + " explore run --dry-run"), 0);
+
+  // Merging a shard with itself: coverage overlap, hard error.
+  EXPECT_EQ(sh(kBin + " explore merge --out explore_e2e/x.cxl "
+                      "explore_e2e/shard_0.cxl explore_e2e/shard_0.cxl "
+                      "2>/dev/null"),
+            1);
+  // Partial merge needs opt-in.
+  EXPECT_EQ(sh(kBin + " explore merge --out explore_e2e/part.cxl "
+                      "explore_e2e/shard_0.cxl 2>/dev/null"),
+            1);
+  EXPECT_EQ(sh(kBin + " explore merge --allow-partial --out "
+                      "explore_e2e/part.cxl explore_e2e/shard_0.cxl"),
+            0);
+  // A corrupt ledger is refused by merge.
+  {
+    std::string bytes = read_file("explore_e2e/shard_0.cxl");
+    bytes[40] = static_cast<char>(bytes[40] ^ 0x7f);  // inside the identity
+    write_file("explore_e2e/corrupt.cxl", bytes);
+  }
+  EXPECT_EQ(sh(kBin + " explore merge --out explore_e2e/x.cxl "
+                      "explore_e2e/corrupt.cxl 2>/dev/null"),
+            1);
+}
+
+}  // namespace
