@@ -6,8 +6,6 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "explore/ledger.h"
-#include "inject/wire.h"
 #include "util/env.h"
 
 namespace clear::cli {
@@ -29,6 +27,10 @@ constexpr const char* kTopHelp =
     "  cache    campaign cache pack maintenance (stats/compact/evict)\n"
     "  explore  distributed design-space exploration over the 586\n"
     "           combinations (run/merge/frontier/report on .cxl ledgers)\n"
+    "  serve    shard-worker daemon: manifests in over a local socket,\n"
+    "           progress events and .csr payloads streamed back\n"
+    "  submit   send a manifest to a serve daemon, collect its .csr files\n"
+    "  version  binary + wire/ledger/pack format versions (--json)\n"
     "\n"
     "run 'clear <command> --help' for per-command flags.\n";
 
@@ -117,15 +119,14 @@ int run(int argc, char** argv) {
     if (cmd == "report") return cmd_report(sub_argc, sub_argv);
     if (cmd == "cache") return cmd_cache(sub_argc, sub_argv);
     if (cmd == "explore") return cmd_explore(sub_argc, sub_argv);
+    if (cmd == "serve") return cmd_serve(sub_argc, sub_argv);
+    if (cmd == "submit") return cmd_submit(sub_argc, sub_argv);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
       std::fputs(kTopHelp, stdout);
       return 0;
     }
     if (cmd == "--version" || cmd == "version") {
-      std::printf("clear (wire format v%u, ledger format v%u, cache pack "
-                  "CPK1)\n",
-                  inject::kWireVersion, explore::kLedgerVersion);
-      return 0;
+      return cmd_version(sub_argc, sub_argv);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "clear %s: %s\n", cmd.c_str(), e.what());

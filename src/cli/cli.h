@@ -18,6 +18,10 @@
 //   clear explore  distributed design-space exploration: run/resume one
 //                  combo-space shard into a .cxl ledger, merge shard
 //                  ledgers, render the Pareto frontier (explore/explore.h)
+//   clear serve    shard-worker daemon: accept campaign manifests over a
+//                  local socket, stream progress, return .csr payloads
+//   clear submit   driver client for a serve daemon
+//   clear version  binary + wire/ledger/pack format versions (--json)
 //
 // Exit codes: 0 success, 1 operational failure (I/O, corrupt or
 // mismatched inputs, failed simulation), 2 usage error.
@@ -30,6 +34,10 @@
 #include "core/variants.h"
 
 namespace clear::cli {
+
+// Binary version (independent of the on-disk format versions: those only
+// move when bytes change shape, this moves every release).
+constexpr const char* kClearVersion = "0.5.0";
 
 // Entry point for tools/clear_main.cpp: dispatches argv[1] to the
 // subcommands below, handles `--help`/`--version`/unknown commands.
@@ -44,6 +52,12 @@ int cmd_cache(int argc, const char* const* argv);
 // `clear explore <run|merge|frontier|report>`: argv[0] is the explore
 // subcommand word.
 int cmd_explore(int argc, const char* const* argv);
+// `clear serve` / `clear submit`: the shard-worker daemon and its driver
+// client (engine/protocol.h speaks the framing in docs/FORMATS.md).
+int cmd_serve(int argc, const char* const* argv);
+int cmd_submit(int argc, const char* const* argv);
+// `clear version [--json]`.
+int cmd_version(int argc, const char* const* argv);
 
 // Parses a variant key of '+'-joined technique tokens into the technique
 // set it denotes: "base", "abftc", "abftd", "eddi" (no store-readback),

@@ -1,19 +1,18 @@
 // `clear run`: simulate one shard of an injection campaign and write the
 // result as a .csr wire file for `clear merge` / `clear report`.
+//
+// Flag resolution, the manifest grammar and the .csr identity stamp live
+// in cli/runplan.{h,cpp}, shared with the `clear serve` daemon so a
+// remote worker's bytes match a local run's exactly.
 #include <cstdio>
-#include <fstream>
 #include <iostream>
-#include <sstream>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "arch/core.h"
 #include "cli/cli.h"
-#include "core/variants.h"
+#include "cli/runplan.h"
 #include "inject/campaign.h"
 #include "inject/wire.h"
-#include "util/args.h"
 #include "util/table.h"
 #include "workloads/workloads.h"
 
@@ -31,214 +30,6 @@ int list_benches(const std::string& core) {
                                                                   : "-"});
   }
   table.print(std::cout);
-  return 0;
-}
-
-// Reads a campaign spec file into per-campaign flag-token stanzas: the
-// same `--flag value` grammar as the command line, whitespace-separated
-// across any number of lines, `#` to end-of-line is a comment.  A line
-// whose first token is `---` starts the next campaign stanza, turning the
-// file into a multi-campaign manifest (`clear explore run --emit-manifest`
-// writes these); all stanzas of a manifest run as ONE run_campaigns batch.
-// Cluster schedulers template one spec file per job and pass `--shard k/K`
-// on the command line.
-bool read_spec_stanzas(const std::string& path,
-                       std::vector<std::vector<std::string>>* stanzas) {
-  std::ifstream in(path);
-  if (!in) return false;
-  stanzas->emplace_back();
-  std::string line;
-  while (std::getline(in, line)) {
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    std::istringstream words(line);
-    std::string word;
-    bool first_word = true;
-    while (words >> word) {
-      if (first_word && word == "---") {
-        if (!stanzas->back().empty()) stanzas->emplace_back();
-        break;  // rest of a separator line is ignored
-      }
-      first_word = false;
-      stanzas->back().push_back(word);
-    }
-  }
-  if (stanzas->size() > 1 && stanzas->back().empty()) stanzas->pop_back();
-  return true;
-}
-
-util::ArgParser make_run_parser() {
-  util::ArgParser args(
-      "clear run --bench <name> [options]",
-      "Simulates one shard of a flip-flop soft-error injection campaign\n"
-      "and prints its outcome profile.  With --shard k/K this process\n"
-      "owns exactly the global sample indices i with i % K == k, so K\n"
-      "processes on K machines reproduce the unsharded campaign\n"
-      "bit-exactly once their .csr files are folded by 'clear merge'.");
-  args.add_option("core", "InO|OoO", "processor model", "InO");
-  args.add_option("bench", "name", "benchmark to run (see --list-benches)");
-  args.add_option("variant", "key",
-                  "program variant: '+'-joined tokens among abftc, abftd, "
-                  "eddi, eddi_rb, assert, cfcss, dfc, monitor",
-                  "base");
-  args.add_option("input-seed", "N", "benchmark input data set", "0");
-  args.add_option("injections", "N",
-                  "global campaign sample count, all shards together "
-                  "(0 = one per flip-flop)",
-                  "0");
-  args.add_option("seed", "N", "campaign RNG seed", "1");
-  args.add_option("shard", "k/K", "own samples i with i mod K == k", "0/1");
-  args.add_option("threads", "N",
-                  "worker threads (0 = CLEAR_THREADS or hardware)", "0");
-  args.add_option("checkpoint", "auto|on|off",
-                  "checkpoint/fork engine (auto = CLEAR_CHECKPOINT env)",
-                  "auto");
-  args.add_option("checkpoint-interval", "cycles",
-                  "golden snapshot spacing (0 = CLEAR_CHECKPOINT_INTERVAL "
-                  "or ~1/96 of the run)",
-                  "0");
-  args.add_option("recovery", "none|flush|rob|ir|eir",
-                  "hardware recovery technique", "");
-  args.add_option("key", "text",
-                  "cache key (default derived from core/bench/variant)");
-  args.add_flag("no-cache", "skip the campaign cache for this run");
-  args.add_option("out", "file.csr", "write the shard result here");
-  args.add_option("spec", "file",
-                  "read flags from a campaign spec file (same --flag value "
-                  "grammar, '#' comments, '---' lines separate the campaigns "
-                  "of a multi-campaign manifest); command-line flags win");
-  args.add_flag("dry-run", "resolve and print the plan, simulate nothing");
-  args.add_flag("list-benches", "list benchmarks for --core and exit");
-  return args;
-}
-
-// Everything one campaign needs, with stable storage for the pointers a
-// CampaignSpec holds (the manifest path batches many of these through one
-// run_campaigns call).
-struct RunPlan {
-  std::string core_name;
-  std::string bench;
-  core::Variant variant;
-  std::uint32_t input_seed = 0;
-  std::uint32_t shard_index = 0;
-  std::uint32_t shard_count = 1;
-  std::uint32_t ff_count = 0;
-  std::uint64_t global = 0;  // global sample count (all shards)
-  arch::ResilienceConfig cfg;
-  bool needs_cfg = false;
-  isa::Program prog;
-  std::string out;  // empty: print only (cache-warming manifests)
-  inject::CampaignSpec spec;  // program/cfg pointers patched by the caller
-};
-
-// Resolves parsed flags into one campaign plan.  Returns 0, or the exit
-// code to fail with; `ctx` prefixes error messages ("clear run" or
-// "clear run: in spec 'x' campaign #2").
-int resolve_plan(const util::ArgParser& args, const std::string& ctx,
-                 RunPlan* plan) {
-  plan->core_name = args.get("core");
-  if (plan->core_name != "InO" && plan->core_name != "OoO") {
-    std::fprintf(stderr, "%s: unknown core '%s' (InO or OoO)\n", ctx.c_str(),
-                 plan->core_name.c_str());
-    return 2;
-  }
-  plan->bench = args.get("bench");
-  if (plan->bench.empty()) {
-    std::fprintf(stderr, "%s: --bench is required\n%s", ctx.c_str(),
-                 args.help().c_str());
-    return 2;
-  }
-  if (!parse_shard(args.get("shard"), &plan->shard_index,
-                   &plan->shard_count)) {
-    std::fprintf(stderr, "%s: bad --shard '%s' (want k/K with k < K)\n",
-                 ctx.c_str(), args.get("shard").c_str());
-    return 2;
-  }
-  const std::string ckpt = args.get("checkpoint");
-  int use_checkpoint = -1;
-  if (ckpt == "on" || ckpt == "1") use_checkpoint = 1;
-  else if (ckpt == "off" || ckpt == "0") use_checkpoint = 0;
-  else if (ckpt != "auto") {
-    std::fprintf(stderr, "%s: bad --checkpoint '%s'\n", ctx.c_str(),
-                 ckpt.c_str());
-    return 2;
-  }
-
-  try {
-    plan->variant = parse_variant(args.get("variant"));
-  } catch (const std::invalid_argument& e) {
-    std::fprintf(stderr, "%s: %s\n", ctx.c_str(), e.what());
-    return 2;
-  }
-  plan->cfg.dfc = plan->variant.dfc;
-  plan->cfg.monitor = plan->variant.monitor;
-  plan->cfg.recovery = plan->variant.monitor ? arch::RecoveryKind::kRob
-                                             : arch::RecoveryKind::kNone;
-  const std::string recovery = args.get("recovery");
-  if (recovery == "none") plan->cfg.recovery = arch::RecoveryKind::kNone;
-  else if (recovery == "flush") plan->cfg.recovery = arch::RecoveryKind::kFlush;
-  else if (recovery == "rob") plan->cfg.recovery = arch::RecoveryKind::kRob;
-  else if (recovery == "ir") plan->cfg.recovery = arch::RecoveryKind::kIr;
-  else if (recovery == "eir") plan->cfg.recovery = arch::RecoveryKind::kEir;
-  else if (!recovery.empty()) {
-    std::fprintf(stderr, "%s: bad --recovery '%s'\n", ctx.c_str(),
-                 recovery.c_str());
-    return 2;
-  }
-  plan->needs_cfg = plan->cfg.dfc || plan->cfg.monitor ||
-                    plan->cfg.recovery != arch::RecoveryKind::kNone;
-
-  // Numeric flags are strict: a mistyped --injections must fail loudly,
-  // never silently shrink a cluster campaign to its default.
-  std::uint64_t input_seed64 = 0, injections = 0, seed = 1, threads = 0,
-                interval = 0;
-  const auto numeric = [&args, &ctx](const char* flag, std::uint64_t def,
-                                     std::uint64_t* out) {
-    if (args.get_u64(flag, def, out)) return true;
-    std::fprintf(stderr, "%s: bad numeric value '--%s %s'\n", ctx.c_str(),
-                 flag, args.get(flag).c_str());
-    return false;
-  };
-  if (!numeric("input-seed", 0, &input_seed64) ||
-      !numeric("injections", 0, &injections) || !numeric("seed", 1, &seed) ||
-      !numeric("threads", 0, &threads) ||
-      !numeric("checkpoint-interval", 0, &interval)) {
-    return 2;
-  }
-  plan->input_seed = static_cast<std::uint32_t>(input_seed64);
-  plan->prog =
-      core::build_variant_program(plan->bench, plan->variant, plan->input_seed);
-  plan->ff_count = arch::make_core(plan->core_name)->registry().ff_count();
-
-  plan->spec.core_name = plan->core_name;
-  plan->spec.injections = static_cast<std::size_t>(injections);
-  plan->spec.seed = seed;
-  plan->spec.threads = static_cast<unsigned>(threads);
-  plan->spec.use_checkpoint = use_checkpoint;
-  plan->spec.checkpoint_interval = interval;
-  plan->spec.shard_index = plan->shard_index;
-  plan->spec.shard_count = plan->shard_count;
-  if (args.has("no-cache")) {
-    plan->spec.key.clear();
-  } else if (args.has("key")) {
-    plan->spec.key = args.get("key");
-  } else {
-    plan->spec.key = "cli/" + plan->core_name + "/" + plan->bench + "/" +
-                     plan->variant.key();
-    if (plan->input_seed != 0) {
-      plan->spec.key += "/in" + std::to_string(plan->input_seed);
-    }
-    // Recovery changes the outcome distribution but is not part of the
-    // variant key: encode it, or two runs differing only in --recovery
-    // would silently share cached results.
-    if (plan->cfg.recovery != arch::RecoveryKind::kNone) {
-      plan->spec.key +=
-          std::string("/rec_") + arch::recovery_name(plan->cfg.recovery);
-    }
-  }
-  plan->global =
-      plan->spec.injections != 0 ? plan->spec.injections : plan->ff_count;
-  plan->out = args.get("out");
   return 0;
 }
 
@@ -280,20 +71,24 @@ int finish_campaign(const RunPlan& plan, const inject::CampaignResult& result) {
   table.print(std::cout);
 
   if (!plan.out.empty()) {
-    inject::ShardFile shard;
-    shard.core_name = plan.core_name;
-    shard.key = plan.spec.key;
-    shard.program_hash = inject::wire_program_hash(plan.prog);
-    shard.injections = plan.global;
-    shard.seed = plan.spec.seed;
-    shard.shard_count = plan.shard_count;
-    shard.covered = {plan.shard_index};
-    shard.result = result;
+    const inject::ShardFile shard = plan_shard_file(plan, result);
     inject::write_shard_file(plan.out, shard);
     std::printf("wrote %s (%s)\n", plan.out.c_str(),
                 shard.complete() ? "complete campaign" : "1 shard");
   }
   return 0;
+}
+
+// resolve_plan + usage-error reporting (help text on a missing --bench,
+// the mistake a bare `clear run` makes).
+int resolve_or_complain(const util::ArgParser& args, const std::string& ctx,
+                        RunPlan* plan) {
+  std::string error;
+  bool show_usage = false;
+  if (resolve_plan(args, ctx, plan, &error, &show_usage)) return 0;
+  std::fprintf(stderr, "%s\n", error.c_str());
+  if (show_usage) std::fputs(args.help().c_str(), stderr);
+  return 2;
 }
 
 }  // namespace
@@ -361,10 +156,9 @@ int cmd_run(int argc, const char* const* argv) {
   // ---- single campaign (no spec, or a one-stanza spec file) ----------------
   if (stanzas.size() <= 1) {
     RunPlan plan;
-    const int rc = resolve_plan(args, "clear run", &plan);
+    const int rc = resolve_or_complain(args, "clear run", &plan);
     if (rc != 0) return rc;
-    plan.spec.program = &plan.prog;
-    plan.spec.cfg = plan.needs_cfg ? &plan.cfg : nullptr;
+    plan.patch_spec_pointers();
     print_plan(plan);
     if (args.has("dry-run")) {
       std::printf("dry run: nothing simulated\n");
@@ -417,15 +211,14 @@ int cmd_run(int argc, const char* const* argv) {
       }
       return list_benches(core_name);
     }
-    const int rc = resolve_plan(stanza_args, ctx, &plans[i]);
+    const int rc = resolve_or_complain(stanza_args, ctx, &plans[i]);
     if (rc != 0) return rc;
   }
 
   // `plans` is final: spec pointers into it stay valid through the batch.
   std::vector<inject::CampaignSpec> specs(plans.size());
   for (std::size_t i = 0; i < plans.size(); ++i) {
-    plans[i].spec.program = &plans[i].prog;
-    plans[i].spec.cfg = plans[i].needs_cfg ? &plans[i].cfg : nullptr;
+    plans[i].patch_spec_pointers();
     specs[i] = plans[i].spec;
   }
   std::printf("manifest   %s: %zu campaigns, one run_campaigns batch\n",

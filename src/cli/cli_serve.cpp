@@ -1,0 +1,613 @@
+// `clear serve` / `clear submit`: the shard-worker daemon and its driver
+// client.
+//
+//   clear serve   accept job requests (multi-campaign manifests in the
+//                 `clear run --spec` grammar) over a local socket, run
+//                 them on the process-wide execution engine, stream
+//                 progress events, and return each campaign's result as
+//                 `.csr` wire bytes -- the run -> scp -> merge workflow
+//                 as a live worker a driver keeps saturated.
+//   clear submit  connect to a daemon, ship one manifest, stream its
+//                 progress, and write the returned .csr files -- ready
+//                 for `clear merge` exactly as if `clear run` had
+//                 written them locally (byte-identical, enforced by the
+//                 loopback e2e test).
+//
+// Protocol: engine/protocol.h; framing bytes in docs/FORMATS.md; flags
+// in docs/CONFIG.md.
+#include <csignal>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+#include "cli/runplan.h"
+#include "engine/engine.h"
+#include "engine/protocol.h"
+#include "explore/ledger.h"
+#include "inject/wire.h"
+#include "util/args.h"
+#include "util/env.h"
+#include "util/fs.h"
+#include "util/socket.h"
+
+namespace clear::cli {
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+serve::Hello server_hello() {
+  serve::Hello h;
+  h.proto_version = serve::kProtoVersion;
+  h.wire_version = inject::kWireVersion;
+  h.ledger_version = explore::kLedgerVersion;
+  return h;
+}
+
+// The daemon bounds every send: a client that stops draining its socket
+// for this long is treated as gone (its jobs are cancelled) instead of
+// wedging the worker in an uninterruptible ::send().  The client side
+// sends unbounded -- its frames are small and the daemon always reads.
+constexpr int kServerSendTimeoutMs = 30'000;
+
+bool send_frame(util::Socket* sock, serve::FrameType type,
+                const std::string& payload, int timeout_ms = -1) {
+  const std::string bytes = serve::encode_frame(type, payload);
+  return sock->send_all(bytes.data(), bytes.size(), timeout_ms);
+}
+
+// ---- server ----------------------------------------------------------------
+
+// One submitted job: the resolved plans (stable storage the engine job's
+// spec pointers alias) plus its handle.  Destruction cancels and joins
+// an unfinished job before the plans go away.  A request refused before
+// submission (bad manifest, engine backpressure) still occupies a queue
+// slot so its kDone is delivered in request order -- a pipelining driver
+// matches done frames to jobs by position.
+struct ServedJob {
+  std::vector<RunPlan> plans;
+  engine::Job job;
+  bool refused = false;
+  serve::Done refusal;
+
+  ~ServedJob() {
+    if (job.valid()) {
+      job.cancel();
+      job.wait();
+    }
+  }
+};
+
+bool progress_equal(const engine::JobProgress& a,
+                    const engine::JobProgress& b) {
+  return a.state == b.state && a.goldens_done == b.goldens_done &&
+         a.goldens_total == b.goldens_total &&
+         a.samples_done == b.samples_done &&
+         a.samples_total == b.samples_total;
+}
+
+// Services one connection.  Returns true when the client requested a
+// daemon shutdown.
+bool handle_connection(util::Socket conn, bool quiet, int progress_ms) {
+  if (!send_frame(&conn, serve::FrameType::kHello,
+                  serve::encode_hello(server_hello()),
+                  kServerSendTimeoutMs)) {
+    return false;
+  }
+
+  std::string buf;
+  std::deque<std::unique_ptr<ServedJob>> queue;
+  bool peer_gone = false;
+  bool shutdown = false;
+  engine::JobProgress last_sent;
+  bool sent_any = false;
+  auto last_sent_at = std::chrono::steady_clock::now();
+
+  const auto cancel_all = [&queue] {
+    for (auto& j : queue) j->job.cancel();
+  };
+
+  for (;;) {
+    if (g_stop != 0) {
+      cancel_all();
+      peer_gone = true;  // stop talking, drain cancelled jobs, exit
+    }
+    // ---- service the front job --------------------------------------------
+    if (!queue.empty() && queue.front()->refused) {
+      if (!peer_gone &&
+          !send_frame(&conn, serve::FrameType::kDone,
+                      serve::encode_done(queue.front()->refusal),
+                      kServerSendTimeoutMs)) {
+        peer_gone = true;
+        cancel_all();
+      }
+      queue.pop_front();
+      continue;
+    }
+    if (!queue.empty()) {
+      ServedJob& front = *queue.front();
+      const engine::JobProgress p = front.job.progress();
+      const auto now = std::chrono::steady_clock::now();
+      if (!peer_gone && (!sent_any || !progress_equal(p, last_sent)) &&
+          now - last_sent_at >= std::chrono::milliseconds(progress_ms)) {
+        if (!send_frame(&conn, serve::FrameType::kProgress,
+                        serve::encode_progress(p), kServerSendTimeoutMs)) {
+          peer_gone = true;
+          cancel_all();
+        }
+        last_sent = p;
+        sent_any = true;
+        last_sent_at = now;
+      }
+      if (front.job.poll()) {
+        const engine::JobState state = front.job.state();
+        if (!peer_gone) {
+          // Final snapshot, then the payload frames.
+          send_frame(&conn, serve::FrameType::kProgress,
+                     serve::encode_progress(front.job.progress()),
+                     kServerSendTimeoutMs);
+          serve::Done done;
+          if (state == engine::JobState::kDone) {
+            const auto& results = front.job.results();
+            for (std::size_t i = 0; i < results.size(); ++i) {
+              const inject::ShardFile shard =
+                  plan_shard_file(front.plans[i], results[i]);
+              send_frame(
+                  &conn, serve::FrameType::kResult,
+                  serve::encode_result(static_cast<std::uint32_t>(i),
+                                       inject::encode_shard(shard)),
+                  kServerSendTimeoutMs);
+            }
+            done.outcome = serve::JobOutcome::kOk;
+          } else if (state == engine::JobState::kCancelled) {
+            done.outcome = serve::JobOutcome::kCancelled;
+            done.message = "job cancelled";
+          } else {
+            done.outcome = serve::JobOutcome::kFailed;
+            try {
+              front.job.results();  // rethrows the executor's error
+            } catch (const std::exception& e) {
+              done.message = e.what();
+            } catch (...) {
+              done.message = "unknown execution error";
+            }
+          }
+          if (!send_frame(&conn, serve::FrameType::kDone,
+                          serve::encode_done(done), kServerSendTimeoutMs)) {
+            peer_gone = true;
+            cancel_all();
+          }
+          if (!quiet) {
+            std::printf("serve      job finished: %s (%zu campaigns)\n",
+                        serve::job_outcome_name(done.outcome),
+                        front.plans.size());
+            std::fflush(stdout);
+          }
+        }
+        queue.pop_front();
+        sent_any = false;
+        continue;  // next job may already be terminal
+      }
+    }
+
+    // ---- exit conditions ----------------------------------------------------
+    if (queue.empty()) {
+      if (peer_gone) break;
+      if (shutdown && buf.empty()) break;
+    }
+
+    // ---- pump the socket ----------------------------------------------------
+    if (peer_gone) {
+      // Nothing to read; wait for the cancelled jobs to retire.
+      if (!queue.empty()) queue.front()->job.wait_for(
+          std::chrono::milliseconds(50));
+      continue;
+    }
+    if (!conn.readable(20)) continue;
+    char chunk[4096];
+    const long n = conn.recv_some(chunk, sizeof(chunk));
+    if (n <= 0) {
+      // Driver vanished: nobody will consume these results -- stop the
+      // work instead of burning the worker on a dead connection.
+      peer_gone = true;
+      cancel_all();
+      continue;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+
+    for (;;) {
+      serve::Frame frame;
+      const serve::FrameStatus st = serve::decode_frame(&buf, &frame);
+      if (st == serve::FrameStatus::kNeedMore) break;
+      if (st == serve::FrameStatus::kBad) {
+        std::fprintf(stderr, "clear serve: protocol error, dropping "
+                             "connection\n");
+        peer_gone = true;
+        cancel_all();
+        break;
+      }
+      switch (frame.type) {
+        case serve::FrameType::kJob: {
+          serve::JobRequest req;
+          auto served = std::make_unique<ServedJob>();
+          std::string error;
+          bool ok = serve::decode_job(frame.payload, &req);
+          if (ok) {
+            try {
+              ok = resolve_manifest_text(req.manifest, "clear serve",
+                                         &served->plans, &error);
+            } catch (const std::exception& e) {
+              ok = false;
+              error = std::string("clear serve: ") + e.what();
+            }
+          } else {
+            error = "clear serve: malformed job frame";
+          }
+          if (ok) {
+            std::vector<inject::CampaignSpec> specs;
+            specs.reserve(served->plans.size());
+            for (const RunPlan& plan : served->plans) {
+              specs.push_back(plan.spec);
+            }
+            try {
+              served->job = engine::Engine::instance().submit(
+                  std::move(specs), req.priority);
+            } catch (const std::exception& e) {
+              // Engine backpressure (CLEAR_ENGINE_QUEUE_MAX): refuse
+              // THIS request; the daemon and its other jobs live on.
+              ok = false;
+              error = std::string("clear serve: ") + e.what();
+            }
+          }
+          if (!ok) {
+            served->refused = true;
+            served->refusal.outcome = serve::JobOutcome::kBadRequest;
+            served->refusal.message = error;
+            queue.push_back(std::move(served));
+            break;
+          }
+          if (!quiet) {
+            std::printf("serve      job #%llu accepted: %zu campaigns "
+                        "(%s lane)\n",
+                        static_cast<unsigned long long>(served->job.id()),
+                        served->plans.size(),
+                        req.priority == engine::JobPriority::kBulk
+                            ? "bulk"
+                            : "interactive");
+            std::fflush(stdout);
+          }
+          queue.push_back(std::move(served));
+          break;
+        }
+        case serve::FrameType::kCancel:
+          if (!queue.empty()) queue.front()->job.cancel();
+          break;
+        case serve::FrameType::kShutdown:
+          shutdown = true;
+          break;
+        default:
+          // Server-direction frames from a confused client: ignore.
+          break;
+      }
+      if (peer_gone) break;
+    }
+  }
+  return shutdown;
+}
+
+// ---- client helpers --------------------------------------------------------
+
+// Reads frames until one arrives; false on EOF/protocol error.
+bool recv_frame(util::Socket* sock, std::string* buf, serve::Frame* out,
+                std::string* error) {
+  for (;;) {
+    const serve::FrameStatus st = serve::decode_frame(buf, out);
+    if (st == serve::FrameStatus::kOk) return true;
+    if (st == serve::FrameStatus::kBad) {
+      *error = "protocol error (bad frame)";
+      return false;
+    }
+    char chunk[4096];
+    const long n = sock->recv_some(chunk, sizeof(chunk));
+    if (n <= 0) {
+      *error = "connection closed by server";
+      return false;
+    }
+    buf->append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+int cmd_serve(int argc, const char* const* argv) {
+  util::ArgParser args(
+      "clear serve (--socket <path> | --port <N>) [options]",
+      "Runs a shard-worker daemon: accepts multi-campaign manifests (the\n"
+      "'clear run --spec' grammar) over a local stream socket, executes\n"
+      "them on the process-wide job engine, streams progress events and\n"
+      "returns each campaign's .csr wire bytes.  'clear submit' is the\n"
+      "matching driver client; any program speaking the framing in\n"
+      "docs/FORMATS.md can keep the worker saturated.");
+  args.add_option("socket", "path", "listen on a UNIX stream socket");
+  args.add_option("port", "N", "listen on 127.0.0.1:N instead");
+  args.add_flag("once", "serve exactly one connection, then exit");
+  args.add_option("progress-ms", "N",
+                  "min milliseconds between progress frames", "100");
+  args.add_flag("quiet", "suppress per-job log lines");
+
+  std::string error;
+  if (!args.parse(argc, argv, &error)) {
+    std::fprintf(stderr, "clear serve: %s\n%s", error.c_str(),
+                 args.help().c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.help().c_str(), stdout);
+    return 0;
+  }
+  const bool have_socket = args.has("socket");
+  const bool have_port = args.has("port");
+  if (have_socket == have_port) {
+    std::fprintf(stderr,
+                 "clear serve: exactly one of --socket or --port required\n%s",
+                 args.help().c_str());
+    return 2;
+  }
+  std::uint64_t port = 0, progress_ms = 100;
+  if (!args.get_u64("port", 0, &port) || port > 65535 ||
+      !args.get_u64("progress-ms", 100, &progress_ms)) {
+    std::fprintf(stderr, "clear serve: bad numeric flag value\n");
+    return 2;
+  }
+  const bool quiet = args.has("quiet");
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  util::Socket listener;
+  try {
+    listener = have_socket
+                   ? util::Socket::listen_unix(args.get("socket"))
+                   : util::Socket::listen_tcp_loopback(
+                         static_cast<std::uint16_t>(port));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "clear serve: %s\n", e.what());
+    return 1;
+  }
+  if (!quiet) {
+    if (have_socket) {
+      std::printf("serve      listening on %s\n", args.get("socket").c_str());
+    } else {
+      std::printf("serve      listening on 127.0.0.1:%llu\n",
+                  static_cast<unsigned long long>(port));
+    }
+    std::fflush(stdout);
+  }
+
+  bool shutdown = false;
+  while (!shutdown && g_stop == 0) {
+    util::Socket conn = listener.accept(200);
+    if (!conn.valid()) continue;  // timeout or transient accept error
+    shutdown = handle_connection(std::move(conn), quiet,
+                                 static_cast<int>(progress_ms));
+    if (args.has("once")) break;
+  }
+  listener.close();
+  if (have_socket) std::remove(args.get("socket").c_str());
+  if (!quiet) std::printf("serve      exiting\n");
+  return 0;
+}
+
+int cmd_submit(int argc, const char* const* argv) {
+  util::ArgParser args(
+      "clear submit (--socket <path> | --port <N>) --spec <file> [options]",
+      "Submits a campaign manifest (the 'clear run --spec' grammar) to a\n"
+      "'clear serve' worker, streams its progress, and writes the\n"
+      "returned shard results as .csr files -- byte-identical to what\n"
+      "'clear run --out' would have written locally.");
+  args.add_option("socket", "path", "connect to a UNIX stream socket");
+  args.add_option("port", "N", "connect to 127.0.0.1:N instead");
+  args.add_option("spec", "file", "manifest to submit (required)");
+  args.add_option("out-dir", "dir",
+                  "write campaign<i>.csr results here", ".");
+  args.add_option("priority", "interactive|bulk", "engine scheduling lane",
+                  "interactive");
+  args.add_option("connect-retry-ms", "N",
+                  "retry a refused connection this long (daemon startup)",
+                  "5000");
+  args.add_option("cancel-after", "N",
+                  "send a cancel after N progress frames (0 = never)", "0");
+  args.add_flag("shutdown", "ask the daemon to exit after this connection");
+  args.add_flag("quiet", "suppress progress lines");
+
+  std::string error;
+  if (!args.parse(argc, argv, &error)) {
+    std::fprintf(stderr, "clear submit: %s\n%s", error.c_str(),
+                 args.help().c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.help().c_str(), stdout);
+    return 0;
+  }
+  const bool have_socket = args.has("socket");
+  const bool have_port = args.has("port");
+  if (have_socket == have_port) {
+    std::fprintf(stderr,
+                 "clear submit: exactly one of --socket or --port "
+                 "required\n%s",
+                 args.help().c_str());
+    return 2;
+  }
+  if (!args.has("spec")) {
+    std::fprintf(stderr, "clear submit: --spec is required\n%s",
+                 args.help().c_str());
+    return 2;
+  }
+  const std::string priority_text = args.get("priority");
+  engine::JobPriority priority = engine::JobPriority::kInteractive;
+  if (priority_text == "bulk") priority = engine::JobPriority::kBulk;
+  else if (priority_text != "interactive") {
+    std::fprintf(stderr, "clear submit: bad --priority '%s'\n",
+                 priority_text.c_str());
+    return 2;
+  }
+  std::uint64_t port = 0, retry_ms = 5000, cancel_after = 0;
+  if (!args.get_u64("port", 0, &port) || port > 65535 ||
+      !args.get_u64("connect-retry-ms", 5000, &retry_ms) ||
+      !args.get_u64("cancel-after", 0, &cancel_after)) {
+    std::fprintf(stderr, "clear submit: bad numeric flag value\n");
+    return 2;
+  }
+  const bool quiet = args.has("quiet");
+
+  std::ifstream spec_in(args.get("spec"), std::ios::binary);
+  if (!spec_in) {
+    std::fprintf(stderr, "clear submit: cannot read spec file '%s'\n",
+                 args.get("spec").c_str());
+    return 1;
+  }
+  std::ostringstream manifest;
+  manifest << spec_in.rdbuf();
+
+  util::Socket sock;
+  try {
+    sock = have_socket
+               ? util::Socket::connect_unix(args.get("socket"),
+                                            static_cast<int>(retry_ms))
+               : util::Socket::connect_tcp_loopback(
+                     static_cast<std::uint16_t>(port),
+                     static_cast<int>(retry_ms));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "clear submit: %s\n", e.what());
+    return 1;
+  }
+
+  std::string buf;
+  serve::Frame frame;
+  if (!recv_frame(&sock, &buf, &frame, &error) ||
+      frame.type != serve::FrameType::kHello) {
+    std::fprintf(stderr, "clear submit: no hello from server (%s)\n",
+                 error.c_str());
+    return 1;
+  }
+  serve::Hello hello;
+  if (!serve::decode_hello(frame.payload, &hello) ||
+      hello.proto_version != serve::kProtoVersion) {
+    std::fprintf(stderr,
+                 "clear submit: unsupported server protocol (want v%u)\n",
+                 serve::kProtoVersion);
+    return 1;
+  }
+  if (hello.wire_version != inject::kWireVersion) {
+    std::fprintf(stderr,
+                 "clear submit: server speaks .csr v%u, this binary v%u -- "
+                 "results would not merge; upgrade one side\n",
+                 hello.wire_version, inject::kWireVersion);
+    return 1;
+  }
+
+  serve::JobRequest req;
+  req.priority = priority;
+  req.manifest = manifest.str();
+  if (!send_frame(&sock, serve::FrameType::kJob, serve::encode_job(req))) {
+    std::fprintf(stderr, "clear submit: send failed\n");
+    return 1;
+  }
+  if (args.has("shutdown")) {
+    send_frame(&sock, serve::FrameType::kShutdown, "");
+  }
+
+  std::vector<std::pair<std::uint32_t, std::string>> results;
+  serve::Done done;
+  std::uint64_t progress_frames = 0;
+  bool cancel_sent = false;
+  for (;;) {
+    if (!recv_frame(&sock, &buf, &frame, &error)) {
+      std::fprintf(stderr, "clear submit: %s\n", error.c_str());
+      return 1;
+    }
+    if (frame.type == serve::FrameType::kProgress) {
+      engine::JobProgress p;
+      if (serve::decode_progress(frame.payload, &p) && !quiet) {
+        std::printf("progress   %s: goldens %llu/%llu, samples %llu/%llu\n",
+                    engine::job_state_name(p.state),
+                    static_cast<unsigned long long>(p.goldens_done),
+                    static_cast<unsigned long long>(p.goldens_total),
+                    static_cast<unsigned long long>(p.samples_done),
+                    static_cast<unsigned long long>(p.samples_total));
+        std::fflush(stdout);
+      }
+      ++progress_frames;
+      if (cancel_after != 0 && !cancel_sent &&
+          progress_frames >= cancel_after) {
+        send_frame(&sock, serve::FrameType::kCancel, "");
+        cancel_sent = true;
+      }
+    } else if (frame.type == serve::FrameType::kResult) {
+      std::uint32_t index = 0;
+      std::string csr;
+      if (!serve::decode_result(frame.payload, &index, &csr)) {
+        std::fprintf(stderr, "clear submit: malformed result frame\n");
+        return 1;
+      }
+      results.emplace_back(index, std::move(csr));
+    } else if (frame.type == serve::FrameType::kDone) {
+      if (!serve::decode_done(frame.payload, &done)) {
+        std::fprintf(stderr, "clear submit: malformed done frame\n");
+        return 1;
+      }
+      break;
+    }  // other frame types: ignore
+  }
+
+  if (done.outcome == serve::JobOutcome::kCancelled && cancel_sent) {
+    std::printf("job cancelled on request (%llu progress frames seen)\n",
+                static_cast<unsigned long long>(progress_frames));
+    return 0;
+  }
+  if (done.outcome != serve::JobOutcome::kOk) {
+    std::fprintf(stderr, "clear submit: job %s: %s\n",
+                 serve::job_outcome_name(done.outcome), done.message.c_str());
+    return 1;
+  }
+
+  const std::string out_dir = args.get("out-dir");
+  if (!util::ensure_dir(out_dir)) {
+    std::fprintf(stderr, "clear submit: cannot create out dir '%s'\n",
+                 out_dir.c_str());
+    return 1;
+  }
+  for (const auto& [index, csr] : results) {
+    // Validate before writing: a checksum-clean decode proves the bytes
+    // survived the stream intact.
+    inject::ShardFile shard;
+    if (inject::decode_shard(csr, &shard) != inject::WireStatus::kOk) {
+      std::fprintf(stderr, "clear submit: result #%u failed .csr decode\n",
+                   index);
+      return 1;
+    }
+    const std::string path =
+        out_dir + "/campaign" + std::to_string(index) + ".csr";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(csr.data(), static_cast<std::streamsize>(csr.size()));
+    if (!out.flush()) {
+      std::fprintf(stderr, "clear submit: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    if (!quiet) {
+      std::printf("wrote %s (%llu samples, key=%s)\n", path.c_str(),
+                  static_cast<unsigned long long>(shard.result.totals.total()),
+                  shard.key.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace clear::cli

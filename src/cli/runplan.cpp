@@ -1,0 +1,249 @@
+#include "cli/runplan.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.h"
+#include "workloads/workloads.h"
+
+namespace clear::cli {
+
+util::ArgParser make_run_parser() {
+  util::ArgParser args(
+      "clear run --bench <name> [options]",
+      "Simulates one shard of a flip-flop soft-error injection campaign\n"
+      "and prints its outcome profile.  With --shard k/K this process\n"
+      "owns exactly the global sample indices i with i % K == k, so K\n"
+      "processes on K machines reproduce the unsharded campaign\n"
+      "bit-exactly once their .csr files are folded by 'clear merge'.");
+  args.add_option("core", "InO|OoO", "processor model", "InO");
+  args.add_option("bench", "name", "benchmark to run (see --list-benches)");
+  args.add_option("variant", "key",
+                  "program variant: '+'-joined tokens among abftc, abftd, "
+                  "eddi, eddi_rb, assert, cfcss, dfc, monitor",
+                  "base");
+  args.add_option("input-seed", "N", "benchmark input data set", "0");
+  args.add_option("injections", "N",
+                  "global campaign sample count, all shards together "
+                  "(0 = one per flip-flop)",
+                  "0");
+  args.add_option("seed", "N", "campaign RNG seed", "1");
+  args.add_option("shard", "k/K", "own samples i with i mod K == k", "0/1");
+  args.add_option("threads", "N",
+                  "worker threads (0 = CLEAR_THREADS or hardware)", "0");
+  args.add_option("checkpoint", "auto|on|off",
+                  "checkpoint/fork engine (auto = CLEAR_CHECKPOINT env)",
+                  "auto");
+  args.add_option("checkpoint-interval", "cycles",
+                  "golden snapshot spacing (0 = CLEAR_CHECKPOINT_INTERVAL "
+                  "or ~1/96 of the run)",
+                  "0");
+  args.add_option("recovery", "none|flush|rob|ir|eir",
+                  "hardware recovery technique", "");
+  args.add_option("key", "text",
+                  "cache key (default derived from core/bench/variant)");
+  args.add_flag("no-cache", "skip the campaign cache for this run");
+  args.add_option("out", "file.csr", "write the shard result here");
+  args.add_option("spec", "file",
+                  "read flags from a campaign spec file (same --flag value "
+                  "grammar, '#' comments, '---' lines separate the campaigns "
+                  "of a multi-campaign manifest); command-line flags win");
+  args.add_flag("dry-run", "resolve and print the plan, simulate nothing");
+  args.add_flag("list-benches", "list benchmarks for --core and exit");
+  return args;
+}
+
+void split_spec_stanzas(std::istream& in,
+                        std::vector<std::vector<std::string>>* stanzas) {
+  stanzas->emplace_back();
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream words(line);
+    std::string word;
+    bool first_word = true;
+    while (words >> word) {
+      if (first_word && word == "---") {
+        if (!stanzas->back().empty()) stanzas->emplace_back();
+        break;  // rest of a separator line is ignored
+      }
+      first_word = false;
+      stanzas->back().push_back(word);
+    }
+  }
+  if (stanzas->size() > 1 && stanzas->back().empty()) stanzas->pop_back();
+}
+
+bool read_spec_stanzas(const std::string& path,
+                       std::vector<std::vector<std::string>>* stanzas) {
+  std::ifstream in(path);
+  if (!in) return false;
+  split_spec_stanzas(in, stanzas);
+  return true;
+}
+
+bool resolve_plan(const util::ArgParser& args, const std::string& ctx,
+                  RunPlan* plan, std::string* error, bool* show_usage) {
+  const auto fail = [&](const std::string& msg) {
+    *error = ctx + ": " + msg;
+    return false;
+  };
+  plan->core_name = args.get("core");
+  if (plan->core_name != "InO" && plan->core_name != "OoO") {
+    return fail("unknown core '" + plan->core_name + "' (InO or OoO)");
+  }
+  plan->bench = args.get("bench");
+  if (plan->bench.empty()) {
+    if (show_usage != nullptr) *show_usage = true;
+    return fail("--bench is required");
+  }
+  if (!parse_shard(args.get("shard"), &plan->shard_index,
+                   &plan->shard_count)) {
+    return fail("bad --shard '" + args.get("shard") +
+                "' (want k/K with k < K)");
+  }
+  const std::string ckpt = args.get("checkpoint");
+  int use_checkpoint = -1;
+  if (ckpt == "on" || ckpt == "1") use_checkpoint = 1;
+  else if (ckpt == "off" || ckpt == "0") use_checkpoint = 0;
+  else if (ckpt != "auto") {
+    return fail("bad --checkpoint '" + ckpt + "'");
+  }
+
+  try {
+    plan->variant = parse_variant(args.get("variant"));
+  } catch (const std::invalid_argument& e) {
+    return fail(e.what());
+  }
+  plan->cfg.dfc = plan->variant.dfc;
+  plan->cfg.monitor = plan->variant.monitor;
+  plan->cfg.recovery = plan->variant.monitor ? arch::RecoveryKind::kRob
+                                             : arch::RecoveryKind::kNone;
+  const std::string recovery = args.get("recovery");
+  if (recovery == "none") plan->cfg.recovery = arch::RecoveryKind::kNone;
+  else if (recovery == "flush") plan->cfg.recovery = arch::RecoveryKind::kFlush;
+  else if (recovery == "rob") plan->cfg.recovery = arch::RecoveryKind::kRob;
+  else if (recovery == "ir") plan->cfg.recovery = arch::RecoveryKind::kIr;
+  else if (recovery == "eir") plan->cfg.recovery = arch::RecoveryKind::kEir;
+  else if (!recovery.empty()) {
+    return fail("bad --recovery '" + recovery + "'");
+  }
+  plan->needs_cfg = plan->cfg.dfc || plan->cfg.monitor ||
+                    plan->cfg.recovery != arch::RecoveryKind::kNone;
+
+  // Numeric flags are strict: a mistyped --injections must fail loudly,
+  // never silently shrink a cluster campaign to its default.
+  std::uint64_t input_seed64 = 0, injections = 0, seed = 1, threads = 0,
+                interval = 0;
+  const auto numeric = [&](const char* flag, std::uint64_t def,
+                           std::uint64_t* out) {
+    if (args.get_u64(flag, def, out)) return true;
+    *error = ctx + ": bad numeric value '--" + std::string(flag) + " " +
+             args.get(flag) + "'";
+    return false;
+  };
+  if (!numeric("input-seed", 0, &input_seed64) ||
+      !numeric("injections", 0, &injections) || !numeric("seed", 1, &seed) ||
+      !numeric("threads", 0, &threads) ||
+      !numeric("checkpoint-interval", 0, &interval)) {
+    return false;
+  }
+  plan->input_seed = static_cast<std::uint32_t>(input_seed64);
+  // An unknown benchmark name throws out of here (operational failure,
+  // exit 1 at the CLI; bad-request over serve) -- exactly the pre-split
+  // behaviour of `clear run`.
+  plan->prog = core::build_variant_program(plan->bench, plan->variant,
+                                           plan->input_seed);
+  plan->ff_count = arch::make_core(plan->core_name)->registry().ff_count();
+
+  plan->spec.core_name = plan->core_name;
+  plan->spec.injections = static_cast<std::size_t>(injections);
+  plan->spec.seed = seed;
+  plan->spec.threads = static_cast<unsigned>(threads);
+  plan->spec.use_checkpoint = use_checkpoint;
+  plan->spec.checkpoint_interval = interval;
+  plan->spec.shard_index = plan->shard_index;
+  plan->spec.shard_count = plan->shard_count;
+  if (args.has("no-cache")) {
+    plan->spec.key.clear();
+  } else if (args.has("key")) {
+    plan->spec.key = args.get("key");
+  } else {
+    plan->spec.key = "cli/" + plan->core_name + "/" + plan->bench + "/" +
+                     plan->variant.key();
+    if (plan->input_seed != 0) {
+      plan->spec.key += "/in" + std::to_string(plan->input_seed);
+    }
+    // Recovery changes the outcome distribution but is not part of the
+    // variant key: encode it, or two runs differing only in --recovery
+    // would silently share cached results.
+    if (plan->cfg.recovery != arch::RecoveryKind::kNone) {
+      plan->spec.key +=
+          std::string("/rec_") + arch::recovery_name(plan->cfg.recovery);
+    }
+  }
+  plan->global =
+      plan->spec.injections != 0 ? plan->spec.injections : plan->ff_count;
+  plan->out = args.get("out");
+  return true;
+}
+
+inject::ShardFile plan_shard_file(const RunPlan& plan,
+                                  const inject::CampaignResult& result) {
+  inject::ShardFile shard;
+  shard.core_name = plan.core_name;
+  shard.key = plan.spec.key;
+  shard.program_hash = inject::wire_program_hash(plan.prog);
+  shard.injections = plan.global;
+  shard.seed = plan.spec.seed;
+  shard.shard_count = plan.shard_count;
+  shard.covered = {plan.shard_index};
+  shard.result = result;
+  return shard;
+}
+
+bool resolve_manifest_text(const std::string& text, const std::string& ctx,
+                           std::vector<RunPlan>* plans, std::string* error) {
+  std::istringstream in(text);
+  std::vector<std::vector<std::string>> stanzas;
+  split_spec_stanzas(in, &stanzas);
+  if (stanzas.size() == 1 && stanzas[0].empty()) {
+    *error = ctx + ": empty manifest";
+    return false;
+  }
+  plans->assign(stanzas.size(), RunPlan());
+  for (std::size_t i = 0; i < stanzas.size(); ++i) {
+    const std::string sctx = ctx + ": campaign #" + std::to_string(i + 1);
+    std::vector<const char*> argv;
+    argv.reserve(stanzas[i].size());
+    for (const auto& t : stanzas[i]) {
+      // Flags that direct a local CLI have no meaning on a worker; refuse
+      // them so a driver templating manifests finds out immediately.
+      if (t == "--spec" || t.rfind("--spec=", 0) == 0) {
+        *error = sctx + ": nested --spec is not allowed";
+        return false;
+      }
+      if (t == "--dry-run" || t == "--list-benches" || t == "--out" ||
+          t.rfind("--out=", 0) == 0) {
+        *error = sctx + ": " + t.substr(0, t.find('=')) +
+                 " has no meaning on a serve worker";
+        return false;
+      }
+      argv.push_back(t.c_str());
+    }
+    util::ArgParser args = make_run_parser();
+    std::string parse_error;
+    if (!args.parse(static_cast<int>(argv.size()), argv.data(),
+                    &parse_error)) {
+      *error = sctx + ": " + parse_error;
+      return false;
+    }
+    if (!resolve_plan(args, sctx, &(*plans)[i], error)) return false;
+  }
+  // `plans` is final: patch the spec pointers into their stable homes.
+  for (auto& plan : *plans) plan.patch_spec_pointers();
+  return true;
+}
+
+}  // namespace clear::cli

@@ -53,6 +53,87 @@ Session::Session(std::string core, std::size_t per_ff_samples,
   }
 }
 
+// One asynchronous batch: the per-variant jobs with their compiled
+// benchmark programs (the engine job holds raw pointers into `pending`,
+// so this storage must outlive the job -- the ticket guarantees it).
+struct PrefetchTicket::Batch {
+  struct Pending {
+    std::string bench;
+    isa::Program prog;
+  };
+  struct VariantJob {
+    Variant variant;
+    std::string vkey;
+    arch::ResilienceConfig cfg;
+    bool needs_cfg = false;
+    std::vector<Pending> pending;
+  };
+  std::vector<VariantJob> jobs;
+  std::vector<inject::CampaignSpec> specs;
+  std::uint32_t ff_count = 0;
+  engine::Job engine_job;
+
+  ~Batch() {
+    // Dropped uncommitted (or commit threw): the engine job may still be
+    // simulating with pointers into `jobs` -- stop it and wait before the
+    // storage goes away.
+    if (engine_job.valid()) {
+      engine_job.cancel();
+      engine_job.wait();
+    }
+  }
+};
+
+PrefetchTicket::PrefetchTicket(PrefetchTicket&& other) noexcept
+    : batch_(std::move(other.batch_)), session_(other.session_) {
+  other.session_ = nullptr;
+}
+
+PrefetchTicket& PrefetchTicket::operator=(PrefetchTicket&& other) noexcept {
+  if (this != &other) {
+    if (batch_ && session_ != nullptr) --session_->pending_prefetches_;
+    // Releasing a still-pending batch cancels + joins its engine job
+    // (Batch destructor) before the replacement lands.
+    batch_ = std::move(other.batch_);
+    session_ = other.session_;
+    other.session_ = nullptr;
+  }
+  return *this;
+}
+
+PrefetchTicket::~PrefetchTicket() {
+  if (batch_ && session_ != nullptr) --session_->pending_prefetches_;
+}
+
+bool PrefetchTicket::pending() const noexcept { return batch_ != nullptr; }
+
+engine::Job PrefetchTicket::job() const {
+  return batch_ ? batch_->engine_job : engine::Job();
+}
+
+void PrefetchTicket::commit() {
+  if (!batch_) return;
+  // Consume the ticket first: whatever happens below, this batch is no
+  // longer outstanding (a failed commit is not retryable -- resubmit).
+  std::shared_ptr<Batch> batch = std::move(batch_);
+  Session* session = session_;
+  --session->pending_prefetches_;
+  std::vector<inject::CampaignResult> campaigns =
+      batch->engine_job.take_results();
+  session->install(*batch, std::move(campaigns));
+}
+
+void Session::set_benchmarks(std::vector<std::string> names) {
+  if (!cache_.empty() || pending_prefetches_ != 0) {
+    throw std::logic_error(
+        "Session::set_benchmarks: profiles were already collected (or a "
+        "prefetch is in flight) for the current suite; the ProfileSet "
+        "references profiles() handed out would dangle.  Use a fresh "
+        "Session for a different benchmark suite.");
+  }
+  benchmarks_ = std::move(names);
+}
+
 const ProfileSet& Session::profiles(const Variant& v) {
   const auto it = cache_.find(v.key());
   if (it != cache_.end()) return *it->second;
@@ -61,36 +142,31 @@ const ProfileSet& Session::profiles(const Variant& v) {
 }
 
 void Session::prefetch(const std::vector<Variant>& variants) {
-  std::uint32_t ff_count = 0;
+  // The blocking path is the async path committed immediately, on the
+  // interactive lane so it overtakes any queued bulk backfill.
+  prefetch_async(variants, engine::JobPriority::kInteractive).commit();
+}
+
+PrefetchTicket Session::prefetch_async(const std::vector<Variant>& variants,
+                                       engine::JobPriority priority) {
+  auto batch = std::make_shared<PrefetchTicket::Batch>();
   {
     auto proto = arch::make_core(core_);
-    ff_count = proto->registry().ff_count();
+    batch->ff_count = proto->registry().ff_count();
   }
 
   // Build every benchmark program of every uncached variant first, then
-  // submit the whole list as ONE batch: the campaign engine overlaps
-  // golden-run recording with faulty runs across all (variant, benchmark)
-  // campaigns on the shared worker pool.
-  struct Pending {
-    std::string bench;
-    isa::Program prog;
-  };
-  struct Job {
-    Variant variant;
-    std::string vkey;
-    arch::ResilienceConfig cfg;
-    bool needs_cfg = false;
-    std::vector<Pending> pending;
-  };
-  std::vector<Job> jobs;
+  // submit the whole list as ONE engine job: the campaign executor
+  // overlaps golden-run recording with faulty runs across all (variant,
+  // benchmark) campaigns on the shared worker pool.
   for (const Variant& v : variants) {
     const std::string vkey = v.key();
     if (cache_.count(vkey)) continue;
     bool queued = false;
-    for (const auto& j : jobs) queued |= (j.vkey == vkey);
+    for (const auto& j : batch->jobs) queued |= (j.vkey == vkey);
     if (queued) continue;
 
-    Job job;
+    PrefetchTicket::Batch::VariantJob job;
     job.variant = v;
     job.vkey = vkey;
     job.cfg.dfc = v.dfc;
@@ -113,28 +189,44 @@ void Session::prefetch(const std::vector<Variant>& variants) {
       throw std::runtime_error("no benchmarks support variant " + vkey +
                                " on core " + core_);
     }
-    jobs.push_back(std::move(job));
+    batch->jobs.push_back(std::move(job));
   }
-  if (jobs.empty()) return;
+  if (batch->jobs.empty()) return PrefetchTicket();  // all memoized
 
-  // `jobs` is final: spec pointers into it stay valid through the run.
-  std::vector<inject::CampaignSpec> specs;
-  for (const Job& job : jobs) {
-    for (const Pending& p : job.pending) {
+  // `batch->jobs` is final: spec pointers into it stay valid until the
+  // Batch is released, which the ticket delays past job completion.
+  for (const auto& job : batch->jobs) {
+    for (const auto& p : job.pending) {
       inject::CampaignSpec spec;
       spec.core_name = core_;
       spec.program = &p.prog;
       spec.key = core_ + "/" + p.bench + "/" + job.vkey;
-      spec.injections = per_ff_samples_ * ff_count;
+      spec.injections = per_ff_samples_ * batch->ff_count;
       spec.seed = seed_;
       spec.cfg = job.needs_cfg ? &job.cfg : nullptr;
-      specs.push_back(spec);
+      batch->specs.push_back(spec);
     }
   }
-  std::vector<inject::CampaignResult> campaigns = inject::run_campaigns(specs);
+  batch->engine_job = engine::Engine::instance().submit(batch->specs, priority);
 
+  PrefetchTicket ticket;
+  ticket.batch_ = std::move(batch);
+  ticket.session_ = this;
+  ++pending_prefetches_;
+  return ticket;
+}
+
+void Session::install(const PrefetchTicket::Batch& batch,
+                      std::vector<inject::CampaignResult> campaigns) {
+  const std::uint32_t ff_count = batch.ff_count;
   std::size_t next = 0;
-  for (const Job& job : jobs) {
+  for (const auto& job : batch.jobs) {
+    if (cache_.count(job.vkey)) {
+      // Another (overlapping) batch installed this variant first; the
+      // recomputed campaigns are identical, so keep the first install.
+      next += job.pending.size();
+      continue;
+    }
     auto set = std::make_unique<ProfileSet>();
     set->core = core_;
     set->variant_key = job.vkey;
@@ -145,7 +237,7 @@ void Session::prefetch(const std::vector<Variant>& variants) {
 
     double exec_sum = 0.0;
     std::size_t exec_n = 0;
-    for (const Pending& p : job.pending) {
+    for (const auto& p : job.pending) {
       BenchProfile bp;
       bp.benchmark = p.bench;
       bp.campaign = std::move(campaigns[next++]);
@@ -178,6 +270,14 @@ void Session::prefetch(const std::vector<Variant>& variants) {
 
 ProfileSet Session::subset(const ProfileSet& full,
                            const std::vector<std::string>& names) const {
+  for (const auto& n : names) {
+    bool known = false;
+    for (const auto& bp : full.benches) known |= (n == bp.benchmark);
+    if (!known) {
+      throw std::invalid_argument("Session::subset: benchmark '" + n +
+                                  "' is not profiled in this ProfileSet");
+    }
+  }
   ProfileSet out;
   out.core = full.core;
   out.variant_key = full.variant_key + "#subset";
@@ -185,7 +285,8 @@ ProfileSet Session::subset(const ProfileSet& full,
   out.ff_sdc.assign(out.ff_count, 0);
   out.ff_due.assign(out.ff_count, 0);
   out.ff_total.assign(out.ff_count, 0);
-  out.exec_overhead = full.exec_overhead;
+  double exec_sum = 0.0;
+  std::size_t exec_n = 0;
   for (const auto& bp : full.benches) {
     bool keep = false;
     for (const auto& n : names) keep |= (n == bp.benchmark);
@@ -197,8 +298,16 @@ ProfileSet Session::subset(const ProfileSet& full,
       out.ff_total[f] += c.total();
     }
     out.totals.merge(bp.campaign.totals);
+    // Recompute the execution overhead over the kept benchmarks (the
+    // same mean-of-ratios a fresh Session on `names` would produce).
+    exec_sum += static_cast<double>(bp.campaign.nominal_cycles) /
+                static_cast<double>(bp.base_cycles);
+    ++exec_n;
     out.benches.push_back(bp);
   }
+  out.exec_overhead =
+      exec_n ? exec_sum / static_cast<double>(exec_n) - 1.0 : 0.0;
+  if (out.exec_overhead < 0) out.exec_overhead = 0.0;
   return out;
 }
 

@@ -7,12 +7,14 @@
 // of the evaluation.  Collection is the expensive step (thousands of
 // microarchitectural simulations); results are memoized in memory and in
 // the on-disk campaign cache pack shared by all bench binaries.  The
-// underlying campaigns are submitted per variant as one batch
-// (inject::run_campaigns) to the process-wide persistent worker pool
-// (util::ThreadPool): golden-run recordings of later benchmarks overlap
-// the faulty runs of earlier ones, every worker reuses its core-model
-// instances across all of a session's campaigns, and the checkpoint/fork
-// engine accelerates each faulty run.
+// underlying campaigns are submitted per variant batch as one job to the
+// process-wide execution engine (engine/engine.h): golden-run recordings
+// of later benchmarks overlap the faulty runs of earlier ones, every
+// worker reuses its core-model instances across all of a session's
+// campaigns, and the checkpoint/fork engine accelerates each faulty run.
+// prefetch_async() exposes the submission as a non-blocking ticket so a
+// caller (the design-space engine) can simulate the next batch while it
+// evaluates the current one.
 #ifndef CLEAR_CORE_SESSION_H
 #define CLEAR_CORE_SESSION_H
 
@@ -24,9 +26,51 @@
 
 #include "core/reliability.h"
 #include "core/variants.h"
+#include "engine/engine.h"
 #include "inject/campaign.h"
 
 namespace clear::core {
+
+class Session;
+
+// Handle to an in-flight batch prefetch (Session::prefetch_async): the
+// campaigns run on the job engine's bulk lane while the caller keeps
+// working; commit() blocks until they finish and installs the profiles
+// into the session's memo.  The design-space engine double-buffers these
+// to overlap batch N's evaluation with batch N+1's simulation.
+//
+// Lifetime: the ticket owns the batch's programs (the engine job holds
+// raw pointers into them), so dropping an uncommitted ticket cancels the
+// job and joins it before releasing the storage.  The Session must
+// outlive every ticket it issued; commit-or-drop all tickets before
+// destroying it.
+class PrefetchTicket {
+ public:
+  PrefetchTicket() = default;  // empty: nothing pending, commit() no-op
+  PrefetchTicket(PrefetchTicket&&) noexcept;
+  PrefetchTicket& operator=(PrefetchTicket&&) noexcept;
+  PrefetchTicket(const PrefetchTicket&) = delete;
+  PrefetchTicket& operator=(const PrefetchTicket&) = delete;
+  ~PrefetchTicket();  // cancels + joins an uncommitted batch
+
+  // True while an uncommitted batch is outstanding.
+  [[nodiscard]] bool pending() const noexcept;
+  // The engine job handle (invalid for an empty ticket): progress and
+  // cancellation.  Do not take_results() through it; commit() does.
+  [[nodiscard]] engine::Job job() const;
+  // Waits for the batch and installs the profiles into the issuing
+  // session's memo (idempotent; empty tickets return immediately).  Must
+  // be called on the session's thread (Session is not thread-safe).
+  // Rethrows the batch's error; throws engine::JobCancelled when the job
+  // was cancelled through the handle above.
+  void commit();
+
+ private:
+  friend class Session;
+  struct Batch;
+  std::shared_ptr<Batch> batch_;
+  Session* session_ = nullptr;
+};
 
 struct BenchProfile {
   std::string benchmark;            // canonical name (workloads.h)
@@ -74,12 +118,16 @@ class Session {
   [[nodiscard]] const std::vector<std::string>& benchmarks() const noexcept {
     return benchmarks_;
   }
-  // Restricts the benchmark suite (reduced-scale runs and tests).  Must be
-  // called before the first profiles() call.
-  void set_benchmarks(std::vector<std::string> names) {
-    benchmarks_ = std::move(names);
-    cache_.clear();
-  }
+  // Restricts the benchmark suite (reduced-scale runs and tests).
+  //
+  // Lifetime contract: every ProfileSet& returned by profiles() aliases
+  // the session's memo and stays valid until the Session is destroyed --
+  // set_benchmarks() is therefore only legal BEFORE the first profiles
+  // were collected (and while no prefetch_async ticket is outstanding).
+  // Re-suiting a session that already handed out profile references
+  // would dangle them, so it throws std::logic_error instead of silently
+  // clearing the memo; use a fresh Session for a different suite.
+  void set_benchmarks(std::vector<std::string> names);
   [[nodiscard]] std::size_t per_ff_samples() const noexcept {
     return per_ff_samples_;
   }
@@ -88,9 +136,10 @@ class Session {
   // Collects (or returns memoized) profiles for a variant.  For ABFT
   // variants only the ABFT-capable benchmarks are profiled; benchmarks
   // whose program the variant cannot transform are skipped.  The
-  // returned reference stays valid until set_benchmarks() or the
-  // Session's destruction.  Throws std::runtime_error when no benchmark
-  // supports the variant on this core.
+  // returned reference stays valid until the Session's destruction
+  // (set_benchmarks() refuses to invalidate it).  Throws
+  // std::runtime_error when no benchmark supports the variant on this
+  // core.
   const ProfileSet& profiles(const Variant& v);
 
   // Batch collection: profiles every not-yet-memoized variant of the list
@@ -103,18 +152,41 @@ class Session {
   // prefetches each combo batch's layer variants through this.
   void prefetch(const std::vector<Variant>& variants);
 
+  // Non-blocking batch collection: submits the not-yet-memoized
+  // variants' campaigns to the job engine (engine/engine.h) on the given
+  // lane and returns immediately.  The ticket's commit() waits and
+  // installs the profiles exactly as prefetch() would have -- results
+  // are bit-identical to the blocking path, with the same cache
+  // semantics.  prefetch() is prefetch_async(...).commit() on the
+  // interactive lane; pipelined callers use the bulk lane so an
+  // interactive submission elsewhere can overtake the backfill.
+  [[nodiscard]] PrefetchTicket prefetch_async(
+      const std::vector<Variant>& variants,
+      engine::JobPriority priority = engine::JobPriority::kBulk);
+
   // Profile restricted to a benchmark subset (used by the Sec. 4
-  // train/validate study); aggregates are recomputed from the memoized
-  // per-benchmark campaigns.
+  // train/validate study); aggregates -- totals, the per-FF vectors AND
+  // the error-free execution overhead -- are recomputed from the
+  // memoized per-benchmark campaigns, exactly equal to a fresh Session
+  // profiled on `names` alone.  Throws std::invalid_argument when a name
+  // has no profiled benchmark in `full`.
   [[nodiscard]] ProfileSet subset(const ProfileSet& full,
                                   const std::vector<std::string>& names) const;
 
  private:
+  friend class PrefetchTicket;
+
+  // Folds a finished batch's campaign results into the memo (first
+  // install of a variant wins; recomputed duplicates are identical).
+  void install(const PrefetchTicket::Batch& batch,
+               std::vector<inject::CampaignResult> campaigns);
+
   std::string core_;
   std::vector<std::string> benchmarks_;
   std::size_t per_ff_samples_;
   std::uint64_t seed_;
   std::map<std::string, std::unique_ptr<ProfileSet>> cache_;
+  std::size_t pending_prefetches_ = 0;  // uncommitted tickets outstanding
 };
 
 }  // namespace clear::core

@@ -1,0 +1,328 @@
+#include "engine/engine.h"
+
+#include <atomic>
+#include <iterator>
+#include <utility>
+
+#include "inject/exec.h"
+#include "util/env.h"
+#include "util/threadpool.h"
+
+namespace clear::engine {
+
+namespace detail {
+
+// All handle operations go through this shared block; the dispatcher and
+// any number of handle copies synchronize on `m`/`cv`.  Progress
+// counters are bare atomics so the executor's workers can bump them
+// without taking the job mutex.
+struct JobImpl {
+  std::uint64_t id = 0;
+  JobPriority priority = JobPriority::kInteractive;
+  std::vector<inject::CampaignSpec> specs;
+
+  mutable std::mutex m;
+  mutable std::condition_variable cv;
+  JobState state = JobState::kQueued;
+  std::vector<inject::CampaignResult> results;
+  std::exception_ptr error;
+  std::uint64_t finish_seq = 0;  // stamped at the terminal transition
+  bool taken = false;            // take_results() called
+
+  std::atomic<bool> cancel{false};
+  std::atomic<std::uint64_t> goldens_done{0};
+  std::atomic<std::uint64_t> goldens_total{0};
+  std::atomic<std::uint64_t> samples_done{0};
+  std::atomic<std::uint64_t> samples_total{0};
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::JobImpl;
+
+// Terminal-transition stamp and lifetime counters.  File-level atomics
+// (not Engine members) so Job::cancel() -- which has no engine pointer --
+// can retire a queued job without reaching into the singleton.
+std::atomic<std::uint64_t> g_finish_seq{0};
+std::atomic<std::uint64_t> g_done{0};
+std::atomic<std::uint64_t> g_cancelled{0};
+std::atomic<std::uint64_t> g_failed{0};
+std::atomic<std::uint64_t> g_submitted{0};
+std::atomic<std::uint64_t> g_busy_ns{0};
+
+bool is_terminal(JobState s) noexcept {
+  return s == JobState::kDone || s == JobState::kCancelled ||
+         s == JobState::kFailed;
+}
+
+// Retires a job under its own lock.  Caller must NOT hold job->m.  With
+// `only_queued`, the transition happens only from kQueued -- the path
+// cancel() uses, so it can never yank a job the dispatcher concurrently
+// moved to kRunning (the running executor owns that job's retirement).
+// Returns whether this call performed the transition.
+bool retire(const std::shared_ptr<JobImpl>& job, JobState final,
+            bool only_queued = false) {
+  {
+    std::lock_guard<std::mutex> g(job->m);
+    if (is_terminal(job->state)) return false;
+    if (only_queued && job->state != JobState::kQueued) return false;
+    job->state = final;
+    job->finish_seq = g_finish_seq.fetch_add(1) + 1;
+  }
+  switch (final) {
+    case JobState::kDone: g_done.fetch_add(1); break;
+    case JobState::kCancelled: g_cancelled.fetch_add(1); break;
+    case JobState::kFailed: g_failed.fetch_add(1); break;
+    default: break;
+  }
+  job->cv.notify_all();
+  return true;
+}
+
+}  // namespace
+
+const char* job_state_name(JobState s) noexcept {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+// ---- Job handle ------------------------------------------------------------
+
+std::uint64_t Job::id() const noexcept { return impl_ ? impl_->id : 0; }
+
+JobState Job::state() const {
+  if (!impl_) return JobState::kFailed;
+  std::lock_guard<std::mutex> g(impl_->m);
+  return impl_->state;
+}
+
+JobProgress Job::progress() const {
+  JobProgress p;
+  if (!impl_) {
+    p.state = JobState::kFailed;
+    return p;
+  }
+  {
+    std::lock_guard<std::mutex> g(impl_->m);
+    p.state = impl_->state;
+  }
+  p.goldens_done = impl_->goldens_done.load(std::memory_order_relaxed);
+  p.goldens_total = impl_->goldens_total.load(std::memory_order_relaxed);
+  p.samples_done = impl_->samples_done.load(std::memory_order_relaxed);
+  p.samples_total = impl_->samples_total.load(std::memory_order_relaxed);
+  return p;
+}
+
+bool Job::poll() const { return is_terminal(state()); }
+
+bool Job::wait_for(std::chrono::milliseconds timeout) const {
+  if (!impl_) return true;
+  std::unique_lock<std::mutex> g(impl_->m);
+  return impl_->cv.wait_for(g, timeout,
+                            [&] { return is_terminal(impl_->state); });
+}
+
+void Job::wait() const {
+  if (!impl_) return;
+  std::unique_lock<std::mutex> g(impl_->m);
+  impl_->cv.wait(g, [&] { return is_terminal(impl_->state); });
+}
+
+const std::vector<inject::CampaignResult>& Job::results() const {
+  if (!impl_) throw std::logic_error("results() on an invalid Job handle");
+  wait();
+  std::lock_guard<std::mutex> g(impl_->m);
+  if (impl_->state == JobState::kCancelled) throw JobCancelled();
+  if (impl_->state == JobState::kFailed) {
+    std::rethrow_exception(impl_->error);
+  }
+  return impl_->results;
+}
+
+std::vector<inject::CampaignResult> Job::take_results() {
+  if (!impl_) throw std::logic_error("take_results() on an invalid Job");
+  wait();
+  std::lock_guard<std::mutex> g(impl_->m);
+  if (impl_->state == JobState::kCancelled) throw JobCancelled();
+  if (impl_->state == JobState::kFailed) {
+    std::rethrow_exception(impl_->error);
+  }
+  if (impl_->taken) {
+    throw std::logic_error("take_results() called twice on one job");
+  }
+  impl_->taken = true;
+  return std::move(impl_->results);
+}
+
+void Job::cancel() const {
+  if (!impl_) return;
+  impl_->cancel.store(true, std::memory_order_relaxed);
+  // A queued job never reaches the executor: retire it here so waiters
+  // unblock immediately (the dispatcher skips retired queue entries).  A
+  // running job keeps its kRunning state and stops at the next
+  // checkpoint boundary, where the executor retires it.
+  retire(impl_, JobState::kCancelled, /*only_queued=*/true);
+}
+
+std::uint64_t Job::finish_sequence() const {
+  if (!impl_) return 0;
+  std::lock_guard<std::mutex> g(impl_->m);
+  return impl_->finish_seq;
+}
+
+// ---- Engine ----------------------------------------------------------------
+
+Engine& Engine::instance() {
+  static Engine engine;
+  return engine;
+}
+
+Engine::Engine() {
+  // Touch the worker pool first so static destruction tears the engine
+  // down before the pool its jobs execute on.
+  (void)util::ThreadPool::instance();
+}
+
+Engine::~Engine() {
+  std::vector<std::shared_ptr<JobImpl>> orphans;
+  {
+    std::lock_guard<std::mutex> g(m_);
+    stop_ = true;
+    orphans.assign(queue_.begin(), queue_.end());
+    queue_.clear();
+  }
+  cv_.notify_all();
+  // Nothing will ever run the queued jobs: retire them as cancelled so
+  // any thread still waiting at process exit unblocks.
+  for (auto& job : orphans) {
+    job->cancel.store(true, std::memory_order_relaxed);
+    retire(job, JobState::kCancelled);
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+Job Engine::submit(std::vector<inject::CampaignSpec> specs,
+                   JobPriority priority) {
+  auto impl = std::make_shared<JobImpl>();
+  impl->priority = priority;
+  impl->specs = std::move(specs);
+
+  const bool inline_exec = util::env_long("CLEAR_ENGINE_ASYNC", 1) == 0;
+  bool on_dispatcher = false;
+  {
+    std::lock_guard<std::mutex> g(m_);
+    impl->id = next_id_++;
+    on_dispatcher =
+        started_ && dispatcher_.get_id() == std::this_thread::get_id();
+    if (!inline_exec && !on_dispatcher) {
+      const long queue_max = util::env_long("CLEAR_ENGINE_QUEUE_MAX", 0);
+      if (queue_max > 0 &&
+          queue_.size() >= static_cast<std::size_t>(queue_max)) {
+        throw std::runtime_error(
+            "engine queue full (" + std::to_string(queue_.size()) +
+            " jobs; raise CLEAR_ENGINE_QUEUE_MAX)");
+      }
+      queue_.push_back(impl);
+      if (!started_) {
+        dispatcher_ = std::thread([this] { dispatch_loop(); });
+        started_ = true;
+      }
+    }
+  }
+  // Counted only once the submission was accepted: a queue-full refusal
+  // above never became a job, and stats() arithmetic (submitted minus
+  // terminal states = in flight) must not see phantoms.
+  g_submitted.fetch_add(1);
+  if (inline_exec || on_dispatcher) {
+    // Inline lane: CLEAR_ENGINE_ASYNC=0 debugging, or a submission from
+    // the dispatcher thread itself (which must never wait on a queue
+    // only it drains).
+    run_job(impl);
+  } else {
+    cv_.notify_all();
+  }
+  return Job(impl);
+}
+
+std::size_t Engine::queued() const {
+  std::lock_guard<std::mutex> g(m_);
+  return queue_.size();
+}
+
+Engine::Stats Engine::stats() const {
+  Stats s;
+  s.submitted = g_submitted.load();
+  s.done = g_done.load();
+  s.cancelled = g_cancelled.load();
+  s.failed = g_failed.load();
+  s.busy_ns = g_busy_ns.load();
+  return s;
+}
+
+void Engine::dispatch_loop() {
+  for (;;) {
+    std::shared_ptr<JobImpl> job;
+    {
+      std::unique_lock<std::mutex> g(m_);
+      cv_.wait(g, [&] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      // Pop the best job: lowest priority value, then submission order.
+      auto best = queue_.begin();
+      for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+        if ((*it)->priority < (*best)->priority ||
+            ((*it)->priority == (*best)->priority &&
+             (*it)->id < (*best)->id)) {
+          best = it;
+        }
+      }
+      job = *best;
+      queue_.erase(best);
+    }
+    run_job(job);
+  }
+}
+
+void Engine::run_job(const std::shared_ptr<detail::JobImpl>& job) {
+  {
+    std::lock_guard<std::mutex> g(job->m);
+    if (job->state != JobState::kQueued) return;  // cancelled while queued
+    job->state = JobState::kRunning;
+  }
+  job->cv.notify_all();
+
+  inject::detail::BatchHooks hooks;
+  hooks.cancel = &job->cancel;
+  hooks.goldens_done = &job->goldens_done;
+  hooks.goldens_total = &job->goldens_total;
+  hooks.samples_done = &job->samples_done;
+  hooks.samples_total = &job->samples_total;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  JobState final = JobState::kDone;
+  try {
+    auto results = inject::detail::execute_campaigns(job->specs, hooks);
+    std::lock_guard<std::mutex> g(job->m);
+    job->results = std::move(results);
+  } catch (const inject::detail::CampaignCancelled&) {
+    final = JobState::kCancelled;
+  } catch (...) {
+    std::lock_guard<std::mutex> g(job->m);
+    job->error = std::current_exception();
+    final = JobState::kFailed;
+  }
+  g_busy_ns.fetch_add(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
+  retire(job, final);
+}
+
+}  // namespace clear::engine

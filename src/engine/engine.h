@@ -1,0 +1,207 @@
+// Asynchronous campaign job engine: the process-wide execution layer of
+// the simulator.
+//
+// The paper ran its 9M-injection studies on a BEE3 FPGA cluster plus the
+// Stampede supercomputer; the software reproduction runs the same fleets
+// on worker pools, sharded across processes and machines.  Everything
+// above the simulation (the CLI, `core::Session`, the exploration
+// engine, the `clear serve` daemon) submits work HERE and holds a typed
+// future instead of blocking inside the campaign layer:
+//
+//   engine::Job job = engine::Engine::instance().submit(specs, priority);
+//   ... overlap other work, stream job.progress(), maybe job.cancel() ...
+//   std::vector<inject::CampaignResult> r = job.take_results();
+//
+// Semantics:
+//   * one dispatcher thread executes jobs strictly one batch at a time
+//     (campaign batches already saturate the worker pool; running two at
+//     once would only interleave their pool jobs), in (priority,
+//     submission-order) order -- interactive CLI jobs overtake queued
+//     bulk exploration prefetches, never the batch already running;
+//   * results are bit-identical to the synchronous path: the engine runs
+//     the exact executor `run_campaign(s)` always ran
+//     (inject/exec.h), with the same campaign-cache semantics;
+//   * cancellation is cooperative: cancel() flips a flag the simulation
+//     polls at checkpoint boundaries; a cancelled batch never writes a
+//     cache entry, so the pack is never left with partial results;
+//   * progress is monotonic: golden recordings done/total, then faulty
+//     samples done/total (campaigns served from the cache count in
+//     neither -- a fully cached job completes with 0/0 totals).
+//
+// Lifetime contract: a CampaignSpec holds raw pointers to its program
+// and resilience config; for an asynchronous submission those must stay
+// valid until the job reaches a terminal state (poll() true), not merely
+// until submit() returns.
+//
+// Env knobs (docs/CONFIG.md):
+//   CLEAR_ENGINE_ASYNC=0      execute submissions inline on the calling
+//                             thread (no dispatcher thread; debugging aid)
+//   CLEAR_ENGINE_QUEUE_MAX=N  refuse submissions while N jobs are queued
+//                             (0 = unlimited; backpressure for daemons)
+#ifndef CLEAR_ENGINE_ENGINE_H
+#define CLEAR_ENGINE_ENGINE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "inject/campaign.h"
+
+namespace clear::engine {
+
+// Job lifecycle: kQueued -> kRunning -> one of the terminal states.
+// cancel() before the dispatcher picks a job up moves it kQueued ->
+// kCancelled without running anything.
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,       // results available
+  kCancelled = 3,  // cancel() observed; no results, nothing cached
+  kFailed = 4,     // executor threw; wait()/results() rethrow it
+};
+
+[[nodiscard]] const char* job_state_name(JobState s) noexcept;
+
+// Scheduling lanes.  Lower value = higher priority; within a lane, jobs
+// run in submission order.
+enum class JobPriority : std::uint8_t {
+  kInteractive = 0,  // CLI runs, Session::prefetch, profiles()
+  kBulk = 1,         // pipelined exploration prefetch, daemon bulk lane
+};
+
+// Monotonic snapshot of a job's execution state.  Totals are 0 until the
+// batch finished planning (its campaign-cache probe); a job whose whole
+// batch was served from the cache completes with totals 0.
+struct JobProgress {
+  JobState state = JobState::kQueued;
+  std::uint64_t goldens_done = 0;   // golden-recording phase
+  std::uint64_t goldens_total = 0;  // campaigns not served from cache
+  std::uint64_t samples_done = 0;   // faulty-run phase
+  std::uint64_t samples_total = 0;  // samples owned by this batch
+
+  // Phase summary: golden recording runs first (recordings of different
+  // campaigns overlap faulty runs, so the phases blur at the seam).
+  [[nodiscard]] bool in_faulty_phase() const noexcept {
+    return state == JobState::kRunning && goldens_total > 0 &&
+           goldens_done == goldens_total;
+  }
+};
+
+// Thrown by results()/take_results() on a job that ended kCancelled.
+class JobCancelled : public std::runtime_error {
+ public:
+  JobCancelled() : std::runtime_error("job cancelled") {}
+};
+
+namespace detail {
+struct JobImpl;
+}
+
+// Shared handle to one submitted batch.  Copyable (all copies address the
+// same job); cheap.  A default-constructed handle is invalid.
+class Job {
+ public:
+  Job() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
+  // Engine-wide monotonic id (1, 2, ...); 0 for an invalid handle.
+  [[nodiscard]] std::uint64_t id() const noexcept;
+
+  [[nodiscard]] JobState state() const;
+  [[nodiscard]] JobProgress progress() const;
+  // True once the job reached a terminal state.
+  [[nodiscard]] bool poll() const;
+  // Blocks up to `timeout`; true when the job is terminal on return.
+  bool wait_for(std::chrono::milliseconds timeout) const;
+  // Blocks until terminal.  Never throws: inspect state() afterwards.
+  void wait() const;
+
+  // Blocks until terminal, then: kDone -> the results (one per submitted
+  // spec, in order); kCancelled -> throws JobCancelled; kFailed ->
+  // rethrows the executor's exception.  results() leaves the results in
+  // the handle (the reference stays valid while any handle lives);
+  // take_results() moves them out (at most one caller).
+  const std::vector<inject::CampaignResult>& results() const;
+  std::vector<inject::CampaignResult> take_results();
+
+  // Requests cooperative cancellation.  Idempotent; safe from any thread
+  // and in any state (terminal states ignore it).  A queued job is
+  // cancelled immediately; a running one stops at the next checkpoint
+  // boundary and never writes cache entries.  Order with wait(): cancel
+  // first, then wait for the terminal state.
+  void cancel() const;
+
+  // Dispatcher completion stamp (1, 2, ... in order of termination; 0
+  // while not terminal).  Lets tests and the daemon observe scheduling
+  // order without racing on state transitions.
+  [[nodiscard]] std::uint64_t finish_sequence() const;
+
+ private:
+  friend class Engine;
+  explicit Job(std::shared_ptr<detail::JobImpl> impl)
+      : impl_(std::move(impl)) {}
+  std::shared_ptr<detail::JobImpl> impl_;
+};
+
+// The process-wide engine.  Thread-safe: any thread may submit, poll,
+// wait and cancel concurrently.
+class Engine {
+ public:
+  static Engine& instance();
+
+  // Enqueues a batch and returns its handle immediately (the dispatcher
+  // thread starts lazily on first use).  Throws std::runtime_error on
+  // an over-long queue (CLEAR_ENGINE_QUEUE_MAX) -- the batch itself is
+  // validated by the executor when it runs, surfacing through
+  // wait()/results() like any executor error.  Submissions from the
+  // dispatcher thread itself execute inline (a job must never deadlock
+  // waiting for the thread it runs on).
+  Job submit(std::vector<inject::CampaignSpec> specs,
+             JobPriority priority = JobPriority::kInteractive);
+
+  // Jobs waiting in the queue (excludes the one running).
+  [[nodiscard]] std::size_t queued() const;
+
+  // Cumulative counters since process start (telemetry for benches, the
+  // serve daemon and tests).  busy_ns is dispatcher time spent inside the
+  // executor -- wall-clock minus busy time approximates worker idleness
+  // for a single-tenant engine.
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t done = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t busy_ns = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+ private:
+  Engine();
+  void dispatch_loop();
+  void run_job(const std::shared_ptr<detail::JobImpl>& job);
+  void finish(const std::shared_ptr<detail::JobImpl>& job, JobState final);
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;  // dispatcher wakeup
+  std::deque<std::shared_ptr<detail::JobImpl>> queue_;
+  std::thread dispatcher_;
+  bool started_ = false;
+  bool stop_ = false;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t finish_seq_ = 0;
+  Stats stats_;
+};
+
+}  // namespace clear::engine
+
+#endif  // CLEAR_ENGINE_ENGINE_H

@@ -1,0 +1,169 @@
+#include "engine/protocol.h"
+
+#include "util/bytes.h"
+#include "util/hash.h"
+
+namespace clear::serve {
+
+namespace {
+
+bool known_type(std::uint32_t t) {
+  return t >= static_cast<std::uint32_t>(FrameType::kHello) &&
+         t <= static_cast<std::uint32_t>(FrameType::kDone);
+}
+
+}  // namespace
+
+const char* frame_type_name(FrameType t) noexcept {
+  switch (t) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kJob: return "job";
+    case FrameType::kCancel: return "cancel";
+    case FrameType::kShutdown: return "shutdown";
+    case FrameType::kProgress: return "progress";
+    case FrameType::kResult: return "result";
+    case FrameType::kDone: return "done";
+  }
+  return "?";
+}
+
+const char* job_outcome_name(JobOutcome o) noexcept {
+  switch (o) {
+    case JobOutcome::kOk: return "ok";
+    case JobOutcome::kFailed: return "failed";
+    case JobOutcome::kCancelled: return "cancelled";
+    case JobOutcome::kBadRequest: return "bad-request";
+  }
+  return "?";
+}
+
+std::string encode_frame(FrameType type, const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  util::put_u32(&out, static_cast<std::uint32_t>(type));
+  util::put_u32(&out, static_cast<std::uint32_t>(payload.size()));
+  util::put_u64(&out, util::fnv1a64(payload.data(), payload.size()));
+  out.append(payload);
+  return out;
+}
+
+FrameStatus decode_frame(std::string* buffer, Frame* out) {
+  if (buffer->size() < kFrameHeaderSize) return FrameStatus::kNeedMore;
+  util::ByteReader r(buffer->data(), buffer->size());
+  std::uint32_t type = 0, len = 0;
+  std::uint64_t checksum = 0;
+  if (!r.u32(&type) || !r.u32(&len) || !r.u64(&checksum)) {
+    return FrameStatus::kNeedMore;  // unreachable given the size check
+  }
+  if (!known_type(type) || len > kMaxFrameLen) return FrameStatus::kBad;
+  if (buffer->size() < kFrameHeaderSize + len) return FrameStatus::kNeedMore;
+  const char* payload = buffer->data() + kFrameHeaderSize;
+  if (util::fnv1a64(payload, len) != checksum) return FrameStatus::kBad;
+  out->type = static_cast<FrameType>(type);
+  out->payload.assign(payload, len);
+  buffer->erase(0, kFrameHeaderSize + len);
+  return FrameStatus::kOk;
+}
+
+// ---- typed payloads --------------------------------------------------------
+
+std::string encode_hello(const Hello& h) {
+  std::string out;
+  util::put_u32(&out, kHelloMagic);
+  util::put_u32(&out, h.proto_version);
+  util::put_u32(&out, h.wire_version);
+  util::put_u32(&out, h.ledger_version);
+  return out;
+}
+
+bool decode_hello(const std::string& payload, Hello* out) {
+  util::ByteReader r(payload.data(), payload.size());
+  std::uint32_t magic = 0;
+  Hello h;
+  if (!r.u32(&magic) || magic != kHelloMagic || !r.u32(&h.proto_version) ||
+      !r.u32(&h.wire_version) || !r.u32(&h.ledger_version) ||
+      !r.exhausted()) {
+    return false;
+  }
+  *out = h;
+  return true;
+}
+
+std::string encode_job(const JobRequest& j) {
+  std::string out;
+  out.push_back(static_cast<char>(j.priority));
+  out.append(j.manifest);
+  return out;
+}
+
+bool decode_job(const std::string& payload, JobRequest* out) {
+  if (payload.empty()) return false;
+  const auto prio = static_cast<std::uint8_t>(payload[0]);
+  if (prio > static_cast<std::uint8_t>(engine::JobPriority::kBulk)) {
+    return false;
+  }
+  out->priority = static_cast<engine::JobPriority>(prio);
+  out->manifest = payload.substr(1);
+  return true;
+}
+
+std::string encode_progress(const engine::JobProgress& p) {
+  std::string out;
+  out.push_back(static_cast<char>(p.state));
+  util::put_u64(&out, p.goldens_done);
+  util::put_u64(&out, p.goldens_total);
+  util::put_u64(&out, p.samples_done);
+  util::put_u64(&out, p.samples_total);
+  return out;
+}
+
+bool decode_progress(const std::string& payload, engine::JobProgress* out) {
+  if (payload.size() != 1 + 4 * 8) return false;
+  const auto state = static_cast<std::uint8_t>(payload[0]);
+  if (state > static_cast<std::uint8_t>(engine::JobState::kFailed)) {
+    return false;
+  }
+  engine::JobProgress p;
+  p.state = static_cast<engine::JobState>(state);
+  util::ByteReader r(payload.data() + 1, payload.size() - 1);
+  if (!r.u64(&p.goldens_done) || !r.u64(&p.goldens_total) ||
+      !r.u64(&p.samples_done) || !r.u64(&p.samples_total)) {
+    return false;
+  }
+  *out = p;
+  return true;
+}
+
+std::string encode_result(std::uint32_t index, const std::string& csr_bytes) {
+  std::string out;
+  util::put_u32(&out, index);
+  out.append(csr_bytes);
+  return out;
+}
+
+bool decode_result(const std::string& payload, std::uint32_t* index,
+                   std::string* csr_bytes) {
+  if (payload.size() < 4) return false;
+  util::ByteReader r(payload.data(), payload.size());
+  if (!r.u32(index)) return false;
+  csr_bytes->assign(payload, 4, payload.size() - 4);
+  return true;
+}
+
+std::string encode_done(const Done& d) {
+  std::string out;
+  out.push_back(static_cast<char>(d.outcome));
+  out.append(d.message);
+  return out;
+}
+
+bool decode_done(const std::string& payload, Done* out) {
+  if (payload.empty()) return false;
+  const auto o = static_cast<std::uint8_t>(payload[0]);
+  if (o > static_cast<std::uint8_t>(JobOutcome::kBadRequest)) return false;
+  out->outcome = static_cast<JobOutcome>(o);
+  out->message = payload.substr(1);
+  return true;
+}
+
+}  // namespace clear::serve

@@ -1,0 +1,145 @@
+// `clear serve` wire protocol (version 1): the frame layer a shard-worker
+// daemon and its driver speak over a local stream socket.
+//
+// The daemon turns the run -> scp -> merge workflow into a live worker: a
+// driver connects, ships job requests (multi-campaign manifests in the
+// `clear run --spec` grammar), watches progress events stream back, and
+// receives each campaign's result as `.csr` wire bytes (inject/wire.h) it
+// can hand straight to `clear merge`.  docs/FORMATS.md specifies the
+// byte-level framing; docs/ARCHITECTURE.md the data flow.
+//
+// Design rules (shared with the on-disk formats):
+//   * little-endian fixed-width integers,
+//   * every payload covered by an FNV-1a checksum in its frame header --
+//     a torn or corrupted stream is detected, never misparsed,
+//   * versioned hello: the server opens every connection with a kHello
+//     frame carrying the protocol + embedded format versions; a client
+//     refuses versions it does not know instead of guessing,
+//   * bounded decode: ByteReader-based parsers never read outside the
+//     received payload, and frame lengths are capped (kMaxFrameLen) so a
+//     hostile length field cannot demand an absurd allocation.
+//
+// Frame layout (all integers little-endian):
+//
+//   type      u32   FrameType
+//   len       u32   payload byte length (<= kMaxFrameLen)
+//   checksum  u64   FNV-1a over the payload bytes
+//   payload   len bytes (layout owned by `type`)
+//
+// Conversation:
+//
+//   server -> client   kHello                        (once, on accept)
+//   client -> server   kJob(priority, manifest)      (any number, pipelined)
+//   server -> client     kProgress*                  (for the front job)
+//   server -> client     kResult(index, csr bytes)*  (one per campaign)
+//   server -> client     kDone(status, message)      (job finished)
+//   client -> server   kCancel                       (cancels the front job)
+//   client -> server   kShutdown                     (server stops accepting
+//                                                     after this connection)
+#ifndef CLEAR_ENGINE_PROTOCOL_H
+#define CLEAR_ENGINE_PROTOCOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "engine/engine.h"
+
+namespace clear::serve {
+
+// Current (and newest understood) serve protocol version.
+constexpr std::uint32_t kProtoVersion = 1;
+
+// "CSV1" little-endian, carried in the hello payload: identifies a clear
+// serve stream (CSR/CXL/CPK are files; CSV is the socket).
+constexpr std::uint32_t kHelloMagic = 0x31565343u;
+
+// Fixed frame header size (type + len + checksum).
+constexpr std::size_t kFrameHeaderSize = 16;
+
+// Frames carry manifests and whole .csr payloads; 256 MiB bounds the
+// largest plausible campaign result with a wide margin.
+constexpr std::uint32_t kMaxFrameLen = 256u << 20;
+
+enum class FrameType : std::uint32_t {
+  kHello = 1,     // server -> client, once per connection
+  kJob = 2,       // client -> server: u8 priority, then manifest text
+  kCancel = 3,    // client -> server: cancel the front job (empty payload)
+  kShutdown = 4,  // client -> server: stop accepting (empty payload)
+  kProgress = 5,  // server -> client: JobProgress snapshot
+  kResult = 6,    // server -> client: u32 campaign index, then .csr bytes
+  kDone = 7,      // server -> client: u8 JobOutcome, then message text
+};
+
+[[nodiscard]] const char* frame_type_name(FrameType t) noexcept;
+
+// kDone statuses.
+enum class JobOutcome : std::uint8_t {
+  kOk = 0,          // all kResult frames delivered
+  kFailed = 1,      // executor error; message carries what()
+  kCancelled = 2,   // kCancel (or connection loss) stopped the job
+  kBadRequest = 3,  // manifest did not resolve; nothing simulated
+};
+
+[[nodiscard]] const char* job_outcome_name(JobOutcome o) noexcept;
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::string payload;
+};
+
+// Incremental frame decode over a receive buffer.
+enum class FrameStatus : std::uint8_t {
+  kOk,        // one frame consumed from the front of the buffer
+  kNeedMore,  // buffer holds a prefix of a valid frame; read more bytes
+  kBad,       // unknown type, over-long length or checksum mismatch --
+              // the stream is unrecoverable, close the connection
+};
+
+// Serializes one frame (header + payload).
+[[nodiscard]] std::string encode_frame(FrameType type,
+                                       const std::string& payload);
+
+// Consumes one frame from the front of `buffer` on kOk; otherwise the
+// buffer is untouched.  Never reads outside it.
+[[nodiscard]] FrameStatus decode_frame(std::string* buffer, Frame* out);
+
+// ---- typed payloads --------------------------------------------------------
+
+struct Hello {
+  std::uint32_t proto_version = kProtoVersion;
+  std::uint32_t wire_version = 0;    // inject::kWireVersion of the server
+  std::uint32_t ledger_version = 0;  // explore::kLedgerVersion
+};
+
+[[nodiscard]] std::string encode_hello(const Hello& h);
+[[nodiscard]] bool decode_hello(const std::string& payload, Hello* out);
+
+struct JobRequest {
+  engine::JobPriority priority = engine::JobPriority::kInteractive;
+  std::string manifest;  // `clear run --spec` grammar, '---' stanzas
+};
+
+[[nodiscard]] std::string encode_job(const JobRequest& j);
+[[nodiscard]] bool decode_job(const std::string& payload, JobRequest* out);
+
+[[nodiscard]] std::string encode_progress(const engine::JobProgress& p);
+[[nodiscard]] bool decode_progress(const std::string& payload,
+                                   engine::JobProgress* out);
+
+[[nodiscard]] std::string encode_result(std::uint32_t index,
+                                        const std::string& csr_bytes);
+[[nodiscard]] bool decode_result(const std::string& payload,
+                                 std::uint32_t* index, std::string* csr_bytes);
+
+struct Done {
+  JobOutcome outcome = JobOutcome::kOk;
+  std::string message;
+};
+
+[[nodiscard]] std::string encode_done(const Done& d);
+[[nodiscard]] bool decode_done(const std::string& payload, Done* out);
+
+}  // namespace clear::serve
+
+#endif  // CLEAR_ENGINE_PROTOCOL_H

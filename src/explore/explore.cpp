@@ -67,6 +67,11 @@ std::size_t resolve_batch(std::size_t batch) {
   return env > 0 ? static_cast<std::size_t>(env) : 64;
 }
 
+bool resolve_pipeline(int pipeline) {
+  if (pipeline >= 0) return pipeline != 0;
+  return util::env_long("CLEAR_EXPLORE_PIPELINE", 1) != 0;
+}
+
 void validate_spec(const ExploreSpec& spec) {
   if (spec.core != "InO" && spec.core != "OoO") {
     throw std::invalid_argument("explore: unknown core '" + spec.core +
@@ -179,11 +184,10 @@ Ledger run_exploration(const ExploreSpec& spec, const std::string& ledger_path,
   prog.pending = pending.size();
 
   const std::size_t batch = resolve_batch(spec.batch);
-  for (std::size_t start = 0; start < pending.size(); start += batch) {
-    const std::size_t end = std::min(pending.size(), start + batch);
-    // Prefetch the batch's profiling campaigns as ONE pool submission:
-    // golden recording overlaps faulty runs across combos, and combos
-    // sharing a variant share its campaigns via the cache pack.
+  const bool pipeline = resolve_pipeline(spec.pipeline);
+
+  // The layer variants one batch of combos profiles on.
+  const auto batch_variants = [&](std::size_t start, std::size_t end) {
     std::vector<core::Variant> vars{core::Variant::base()};
     for (std::size_t i = start; i < end; ++i) {
       const core::Combo& c = combos[pending[i]];
@@ -191,7 +195,36 @@ Ledger run_exploration(const ExploreSpec& spec, const std::string& ledger_path,
       const auto layers = core::combo_layer_variants(c);
       vars.insert(vars.end(), layers.begin(), layers.end());
     }
-    session.prefetch(vars);
+    return vars;
+  };
+
+  // Pipelining: batch N+1's profiling campaigns simulate on the engine's
+  // bulk lane while this thread evaluates batch N's combos -- the
+  // double-buffer ticket commits (and the next one is submitted) at each
+  // batch seam.  Records are bit-identical with pipelining off: the
+  // campaigns are deterministic and the memo install order per batch is
+  // unchanged.
+  core::PrefetchTicket next_batch;
+  if (pipeline && !pending.empty()) {
+    next_batch = session.prefetch_async(
+        batch_variants(0, std::min(pending.size(), batch)));
+  }
+  for (std::size_t start = 0; start < pending.size(); start += batch) {
+    const std::size_t end = std::min(pending.size(), start + batch);
+    // Make this batch's profiles resident: commit the in-flight prefetch
+    // (pipelined) or collect them blocking.  Either way the batch's
+    // campaigns ran as ONE engine submission: golden recording overlaps
+    // faulty runs across combos, and combos sharing a variant share its
+    // campaigns via the cache pack.
+    if (pipeline) {
+      next_batch.commit();
+      if (end < pending.size()) {
+        next_batch = session.prefetch_async(
+            batch_variants(end, std::min(pending.size(), end + batch)));
+      }
+    } else {
+      session.prefetch(batch_variants(start, end));
+    }
 
     for (std::size_t i = start; i < end; ++i) {
       const std::uint32_t index = pending[i];

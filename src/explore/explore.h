@@ -67,6 +67,12 @@ struct ExploreSpec {
   // campaigns as one run_campaigns submission).  0 = CLEAR_EXPLORE_BATCH
   // env or 64.
   std::size_t batch = 0;
+  // Batch pipelining: profile batch N+1 on the engine's bulk lane while
+  // batch N's combos are evaluated on the calling thread
+  // (core::Session::prefetch_async double-buffering).  Pure scheduling:
+  // ledger records and bytes are bit-identical either way.
+  //   -1 = CLEAR_EXPLORE_PIPELINE env (default on), 0 = off, 1 = on.
+  int pipeline = -1;
 };
 
 // Running counters for progress reporting (counts from this run only,

@@ -51,6 +51,13 @@
 
 namespace clear::inject {
 
+// Pack record format version.  The version lives in the record magic
+// ("CPK1"): a format change mints a new magic ("CPK2"), old readers
+// quarantine the unknown records instead of misparsing them.  Owned
+// here, next to the layout; `clear version` reports it alongside the
+// CSR/CXL versions so operators can diagnose skew in one place.
+constexpr std::uint32_t kCachePackVersion = 1;
+
 struct CachePackStats {
   std::size_t records = 0;      // live (verified) records
   std::size_t quarantined = 0;  // corrupt records/regions dropped at open

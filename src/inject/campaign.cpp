@@ -12,7 +12,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "engine/engine.h"
 #include "inject/cachepack.h"
+#include "inject/exec.h"
 #include "util/env.h"
 #include "util/fs.h"
 #include "util/rng.h"
@@ -22,6 +24,14 @@
 namespace clear::inject {
 
 namespace {
+
+// Cooperative cancellation: polled at checkpoint boundaries and sample
+// starts (see exec.h for the contract).
+inline void check_cancel(const std::atomic<bool>* cancel) {
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    throw detail::CampaignCancelled();
+  }
+}
 
 // v4: checkpoint/fork execution engine (results are bit-identical to v3,
 // but the bump invalidates caches written by builds without the hardened
@@ -173,13 +183,15 @@ std::uint64_t pick_interval(const CampaignSpec& spec,
 // re-converges to the golden trajectory at a checkpoint boundary.
 Outcome run_forked(arch::Core* core, const GoldenTrajectory& traj,
                    const arch::InjectionPlan& plan, std::uint64_t inj_cycle,
-                   std::uint64_t watchdog, const arch::CoreRunResult& golden) {
+                   std::uint64_t watchdog, const arch::CoreRunResult& golden,
+                   const std::atomic<bool>* cancel) {
   const std::uint64_t interval = traj.interval;
   const std::size_t ci =
       std::min<std::size_t>(static_cast<std::size_t>(inj_cycle / interval),
                             traj.checkpoints.size() - 1);
   core->restore(traj.checkpoints[ci], &plan);
   for (;;) {
+    check_cancel(cancel);
     const std::uint64_t boundary = (core->cycle() / interval + 1) * interval;
     if (!core->step_to(boundary, watchdog)) {
       return classify(core->current_result(), golden);
@@ -228,7 +240,7 @@ struct CampaignJob {
 // doubles as the recording pass for the fork snapshots and convergence
 // hashes.  Runs on a pool worker so recordings of different campaigns
 // overlap each other and the faulty runs of already-recorded campaigns.
-void record_golden(CampaignJob& job) {
+void record_golden(CampaignJob& job, const std::atomic<bool>* cancel) {
   const CampaignSpec& spec = *job.spec;
   arch::Core* gcore = worker_core(spec.core_name);
   if (job.use_checkpoint) {
@@ -246,6 +258,7 @@ void record_golden(CampaignJob& job) {
     job.traj.checkpoints.emplace_back();
     gcore->snapshot(&job.traj.checkpoints.back());
     while (gcore->step_to(gcore->cycle() + job.traj.interval, kGoldenBudget)) {
+      check_cancel(cancel);
       job.traj.checkpoints.emplace_back();
       gcore->snapshot(&job.traj.checkpoints.back());
     }
@@ -261,7 +274,8 @@ void record_golden(CampaignJob& job) {
 // One faulty sample.  `g` is the global sample index: the RNG, target
 // flip-flop and injection cycle derive from it alone, which is what makes
 // results independent of threads, batching and shard partitioning.
-void run_faulty_sample(CampaignJob& job, std::size_t g, unsigned slot) {
+void run_faulty_sample(CampaignJob& job, std::size_t g, unsigned slot,
+                       const std::atomic<bool>* cancel) {
   const CampaignSpec& spec = *job.spec;
   auto& mine = job.partials[slot];
   // Stratified-by-FF sampling with an index-derived RNG: results are
@@ -280,8 +294,8 @@ void run_faulty_sample(CampaignJob& job, std::size_t g, unsigned slot) {
   const auto plan = arch::InjectionPlan::single(cycle, ff);
   if (job.use_checkpoint) {
     arch::Core* core = bound_worker_core(spec, job.token);
-    mine[ff].add(
-        run_forked(core, job.traj, plan, cycle, job.watchdog, job.golden));
+    mine[ff].add(run_forked(core, job.traj, plan, cycle, job.watchdog,
+                            job.golden, cancel));
   } else {
     arch::Core* core = worker_core(spec.core_name);
     mine[ff].add(classify(
@@ -363,10 +377,13 @@ CampaignResult merge_campaign_results(
   return out;
 }
 
-std::vector<CampaignResult> run_campaigns(
-    const std::vector<CampaignSpec>& specs) {
+namespace detail {
+
+std::vector<CampaignResult> execute_campaigns(
+    const std::vector<CampaignSpec>& specs, const BatchHooks& hooks) {
   std::vector<CampaignResult> results(specs.size());
   if (specs.empty()) return results;
+  const std::atomic<bool>* cancel = hooks.cancel;
 
   const std::string cache_dir = campaign_cache_dir();
   std::vector<CampaignJob> jobs;
@@ -406,7 +423,14 @@ std::vector<CampaignResult> run_campaigns(
     }
     jobs.push_back(std::move(job));
   }
-  if (jobs.empty()) return results;
+  if (jobs.empty()) {
+    // Whole batch served from the cache pack: publish empty totals so
+    // progress reads as complete, not as still-planning.
+    if (hooks.goldens_total) hooks.goldens_total->store(0);
+    if (hooks.samples_total) hooks.samples_total->store(0);
+    return results;
+  }
+  check_cancel(cancel);
 
   unsigned threads = 0;
   std::size_t total_local = 0;
@@ -427,6 +451,10 @@ std::vector<CampaignResult> run_campaigns(
     job.partials.assign(threads + 1,
                         std::vector<OutcomeCounts>(job.ff_count));
   }
+  // Planning is done: publish the work totals the progress counters count
+  // toward (cache-served campaigns are excluded from both phases).
+  if (hooks.goldens_total) hooks.goldens_total->store(jobs.size());
+  if (hooks.samples_total) hooks.samples_total->store(total_local);
 
   // Index space of the single pool job: the first J indices record the
   // golden trajectories, the rest are the campaigns' faulty samples in
@@ -460,7 +488,8 @@ std::vector<CampaignResult> run_campaigns(
             worker_id == util::ThreadPool::kCallerSlot ? threads : worker_id;
         if (i < njobs) {
           try {
-            record_golden(jobs[i]);
+            check_cancel(cancel);
+            record_golden(jobs[i], cancel);
           } catch (...) {
             {
               std::lock_guard<std::mutex> g(batch_m);
@@ -475,6 +504,9 @@ std::vector<CampaignResult> run_campaigns(
             golden_ok[i] = 1;
           }
           batch_cv.notify_all();
+          if (hooks.goldens_done) {
+            hooks.goldens_done->fetch_add(1, std::memory_order_relaxed);
+          }
           return;
         }
         const std::size_t fi = i - njobs;
@@ -490,15 +522,22 @@ std::vector<CampaignResult> run_campaigns(
           batch_cv.wait(g, [&] { return ready[j] != 0; });
           if (!golden_ok[j]) return;  // aborting: the recording threw
         }
+        check_cancel(cancel);
         const std::size_t local = fi - faulty_prefix[j];
         const std::size_t global =
             local * job.spec->shard_count + job.spec->shard_index;
-        run_faulty_sample(job, global, slot);
+        run_faulty_sample(job, global, slot, cancel);
+        if (hooks.samples_done) {
+          hooks.samples_done->fetch_add(1, std::memory_order_relaxed);
+        }
         if (samples_left[j].fetch_sub(1, std::memory_order_acq_rel) == 1) {
           std::vector<arch::CoreCheckpoint>().swap(job.traj.checkpoints);
         }
       });
 
+  // A cancel that raced the last sample still aborts here, before any
+  // cache write: a cancelled batch never persists anything.
+  check_cancel(cancel);
   for (auto& job : jobs) {
     CampaignResult& result = results[job.spec_index];
     result.ff_count = job.ff_count;
@@ -518,6 +557,18 @@ std::vector<CampaignResult> run_campaigns(
     }
   }
   return results;
+}
+
+}  // namespace detail
+
+std::vector<CampaignResult> run_campaigns(
+    const std::vector<CampaignSpec>& specs) {
+  // Thin client of the job engine: submit on the interactive lane and
+  // block.  Bit-identical to executing directly (the engine runs the same
+  // executor), but queued behind nothing a bulk prefetch started later.
+  engine::Job job = engine::Engine::instance().submit(
+      specs, engine::JobPriority::kInteractive);
+  return job.take_results();
 }
 
 CampaignResult run_campaign(const CampaignSpec& spec) {

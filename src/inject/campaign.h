@@ -35,6 +35,13 @@
 // golden-run recordings of later campaigns overlap the faulty runs of
 // earlier ones instead of serializing on the caller thread.
 //
+// Execution layering: since the engine redesign, run_campaign(s) are thin
+// submit-and-wait clients of the process-wide asynchronous job engine
+// (engine/engine.h) -- same results, same cache semantics; the engine
+// adds priority lanes, typed progress and cooperative cancellation for
+// callers that want them (Session::prefetch_async, `clear serve`).  The
+// blocking simulation core itself lives behind inject/exec.h.
+//
 // Caching: results are memoized in a single append-only pack file per
 // cache directory (inject/cachepack.h) instead of one file per campaign;
 // legacy `.camp` caches are migrated automatically on first open.
@@ -132,16 +139,18 @@ struct CampaignResult {
 // Runs (or loads from cache) a campaign.  Deterministic: bit-identical
 // for a given (program, cfg, injections, seed, shard) across runs,
 // hosts, thread counts and engine settings.  Thread-safe (may be called
-// from several threads; campaigns then share the process-wide worker
-// pool).  Throws std::invalid_argument on a bad spec, std::runtime_error
-// when the golden run does not halt.
+// from several threads; campaigns then queue on the process-wide job
+// engine).  Throws std::invalid_argument on a bad spec,
+// std::runtime_error when the golden run does not halt.
 [[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec);
 
-// Runs a batch of campaigns as one pool job.  Results are bit-identical
-// to running each spec through run_campaign() in order, but golden-run
-// recording and faulty runs of different campaigns overlap on the shared
-// worker pool.  The spec-referenced programs/configs must outlive the
-// call.
+// Runs a batch of campaigns as one engine job (interactive lane),
+// blocking until it completes.  Results are bit-identical to running
+// each spec through run_campaign() in order, but golden-run recording
+// and faulty runs of different campaigns overlap on the shared worker
+// pool.  The spec-referenced programs/configs must outlive the call.
+// For a non-blocking handle with progress and cancellation, submit the
+// same specs through engine::Engine (engine/engine.h) directly.
 [[nodiscard]] std::vector<CampaignResult> run_campaigns(
     const std::vector<CampaignSpec>& specs);
 

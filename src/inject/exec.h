@@ -1,0 +1,74 @@
+// Internal campaign-batch executor: the blocking simulation core behind
+// the asynchronous job engine (engine/engine.h).
+//
+// The public execution API is the engine -- `run_campaign(s)` are thin
+// submit-and-wait wrappers over it -- but the simulation itself (golden
+// recording, checkpoint/fork faulty runs, cache probe/fill) stays in
+// inject/campaign.cpp where the per-worker core instances live.  This
+// header is the seam between the two layers: the engine calls
+// execute_campaigns() on its dispatcher thread and wires the hooks to the
+// job handle it returned to the caller.
+//
+// Hooks contract:
+//   * cancel is polled cooperatively at every checkpoint boundary of
+//     every simulated run (golden snapshots and forked faulty runs) and
+//     before every sample; when it flips, workers stop at the next check
+//     and the executor throws CampaignCancelled.  A cancelled batch
+//     writes NOTHING to the campaign cache pack -- entries are appended
+//     only after the whole batch finished, so cancellation can never
+//     leave a partial result under a valid fingerprint.
+//   * the progress counters are monotonic and written with relaxed
+//     atomics; totals are published once planning (the cache probe)
+//     finished, so `*_total == 0` means "still planning" unless the
+//     whole batch was served from the cache.
+//
+// This header is internal to the library (the engine and tests); the
+// stable surface is inject/campaign.h + engine/engine.h.
+#ifndef CLEAR_INJECT_EXEC_H
+#define CLEAR_INJECT_EXEC_H
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "inject/campaign.h"
+
+namespace clear::inject::detail {
+
+// Thrown by execute_campaigns() when BatchHooks::cancel was observed set.
+// Derives from std::runtime_error so a stray escape still surfaces as a
+// normal error; the engine catches it by type and marks the job
+// kCancelled instead of kFailed.
+class CampaignCancelled : public std::runtime_error {
+ public:
+  CampaignCancelled() : std::runtime_error("campaign batch cancelled") {}
+};
+
+// Observation/control channels between one engine job and the executor.
+// All pointers are optional (null = feature unused) and must outlive the
+// execute_campaigns() call.
+struct BatchHooks {
+  // Cooperative cancellation flag, polled at checkpoint boundaries.
+  const std::atomic<bool>* cancel = nullptr;
+  // Golden-recording phase: one unit per campaign not served from cache.
+  std::atomic<std::uint64_t>* goldens_done = nullptr;
+  std::atomic<std::uint64_t>* goldens_total = nullptr;
+  // Faulty-run phase: one unit per simulated sample (cache hits excluded).
+  std::atomic<std::uint64_t>* samples_done = nullptr;
+  std::atomic<std::uint64_t>* samples_total = nullptr;
+};
+
+// Runs a batch of campaigns to completion on the process-wide worker
+// pool, blocking the calling thread.  Identical semantics to the
+// pre-engine run_campaigns(): bit-identical results for a given spec
+// across runs, hosts, thread counts and engine settings, and the same
+// cache probe/fill behaviour.  Throws CampaignCancelled when cancelled
+// via the hooks, std::invalid_argument on a bad spec, and
+// std::runtime_error when a golden run does not halt.
+[[nodiscard]] std::vector<CampaignResult> execute_campaigns(
+    const std::vector<CampaignSpec>& specs, const BatchHooks& hooks);
+
+}  // namespace clear::inject::detail
+
+#endif  // CLEAR_INJECT_EXEC_H

@@ -13,6 +13,13 @@
 //                               ~1/96 of the nominal run)
 //   CLEAR_EXPLORE_BATCH       - combos per design-space-exploration
 //                               scheduling batch (default 64)
+//   CLEAR_EXPLORE_PIPELINE    - 0 disables exploration batch pipelining
+//                               (profile batch N+1 while evaluating batch
+//                               N; default 1, bit-identical either way)
+//   CLEAR_ENGINE_ASYNC        - 0 executes engine submissions inline on
+//                               the calling thread (debugging aid)
+//   CLEAR_ENGINE_QUEUE_MAX    - refuse engine submissions while this many
+//                               jobs are queued (0 = unlimited)
 #ifndef CLEAR_UTIL_ENV_H
 #define CLEAR_UTIL_ENV_H
 

@@ -339,6 +339,49 @@ TEST(ComboEvaluation, ComposedProfileForMultiLayerCombos) {
                                     .exec_overhead);
 }
 
+// Session::subset must be indistinguishable from profiling the subset
+// suite directly: every aggregate -- totals, per-FF vectors AND the
+// recomputed execution overhead -- exactly equals a fresh Session
+// restricted to the same benchmark names (the campaigns are identical
+// because injections/seed derive from the same per-FF scale).
+TEST(SessionSubset, EqualsFreshSessionOnSameNames) {
+  Variant cfcss;  // a variant with a real exec overhead to recompute
+  cfcss.cfcss = true;
+  const std::vector<std::string> names{"mcf", "gcc"};
+  for (const Variant& v : {Variant::base(), cfcss}) {
+    const ProfileSet& full = test_session().profiles(v);
+    const ProfileSet sub = test_session().subset(full, names);
+
+    Session fresh("InO", /*per_ff_samples=*/1, /*seed=*/5);
+    fresh.set_benchmarks(names);
+    const ProfileSet& direct = fresh.profiles(v);
+
+    ASSERT_EQ(sub.ff_count, direct.ff_count);
+    EXPECT_EQ(sub.ff_sdc, direct.ff_sdc);
+    EXPECT_EQ(sub.ff_due, direct.ff_due);
+    EXPECT_EQ(sub.ff_total, direct.ff_total);
+    EXPECT_EQ(sub.totals.vanished, direct.totals.vanished);
+    EXPECT_EQ(sub.totals.omm, direct.totals.omm);
+    EXPECT_EQ(sub.totals.ut, direct.totals.ut);
+    EXPECT_EQ(sub.totals.hang, direct.totals.hang);
+    EXPECT_EQ(sub.totals.ed, direct.totals.ed);
+    EXPECT_EQ(sub.totals.recovered, direct.totals.recovered);
+    EXPECT_DOUBLE_EQ(sub.exec_overhead, direct.exec_overhead);
+    ASSERT_EQ(sub.benches.size(), names.size());
+  }
+}
+
+TEST(SessionSubset, UnknownNamesThrow) {
+  const ProfileSet& full = test_session().profiles(Variant::base());
+  EXPECT_THROW((void)test_session().subset(full, {"no_such_bench"}),
+               std::invalid_argument);
+  // One bad name among good ones still throws (nothing is silently
+  // dropped), and the suite-order subset is unaffected afterwards.
+  EXPECT_THROW((void)test_session().subset(full, {"mcf", "typo"}),
+               std::invalid_argument);
+  EXPECT_EQ(test_session().subset(full, {"mcf"}).benches.size(), 1u);
+}
+
 TEST(BenchDep, SplitsAreDisjointAndCoverSpec) {
   const auto splits = make_splits(test_session(), 10, 2, 3);
   ASSERT_EQ(splits.size(), 10u);
