@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "arch/arena.h"
 #include "arch/ff.h"
 #include "arch/rollback.h"
 #include "arch/types.h"
@@ -34,33 +35,53 @@
 
 namespace clear::arch {
 
+// Per-component byte accounting of a checkpoint (logical sizes: shared COW
+// segments and shared ring entries are counted as if owned, so the numbers
+// track what a deep copy would have cost).
+struct CheckpointSizes {
+  std::size_t ff = 0;       // flip-flop registry pool
+  std::size_t scalars = 0;  // forward scalar fields (DFC sig, drain, ...)
+  std::size_t regs = 0;     // architectural register file
+  std::size_t mem = 0;      // data memory image
+  std::size_t sram = 0;     // SRAM arrays (gshare PHT, L1D tags/valid)
+  std::size_t output = 0;   // OUT stream (arena region + spill)
+  std::size_t aux = 0;      // bookkeeping (cycle, outcome latches, ...)
+  std::size_t ring = 0;     // IR/EIR replay window
+  std::size_t shadow = 0;   // monitor shadow Machine delta
+  std::size_t dets = 0;     // latched pending detections
+  [[nodiscard]] std::size_t total() const noexcept {
+    return ff + scalars + regs + mem + sram + output + aux + ring + shadow +
+           dets;
+  }
+};
+
 // Complete serialized execution state of a core at a cycle boundary.
 // restore() into a core that has begun the same (program, config) resumes
-// execution bit-exactly.  Snapshots are immutable once taken and may be
-// shared read-only across campaign worker threads.
+// execution bit-exactly; any other core refuses (layout fingerprint).
+// Snapshots are immutable once taken and may be shared read-only across
+// campaign worker threads: the arena segments, the ring entries and the
+// shadow delta all alias freely between checkpoints.
 struct CoreCheckpoint {
-  // Common state (all cores).
-  std::vector<std::uint64_t> ff;       // flip-flop registry pool
-  std::vector<std::uint32_t> mem;      // data memory image
-  std::vector<std::uint32_t> regs;     // architectural register file
-  std::vector<std::uint32_t> output;   // OUT stream emitted so far
+  // The two flat state spans (FF pool + arena buffer) as refcounted COW
+  // segments; consecutive snapshots of one run share unchanged segments.
+  ArenaSnapshot state;
+  // Fingerprint of (arena layout, core model, program, config); restore()
+  // throws std::logic_error when it does not match the live core's.
+  std::uint64_t layout_fp = 0;
+  // Mirror of the arena's bookkeeping cycle slot, for callers that index
+  // checkpoints by cycle without restoring them.
   std::uint64_t cycle = 0;
-  std::uint64_t committed = 0;
-  isa::RunStatus status = isa::RunStatus::kRunning;
-  isa::Trap trap = isa::Trap::kNone;
-  std::int32_t exit_code = 0;
-  std::int32_t det_id = 0;
-  DetectionSource detected_by = DetectionSource::kNone;
-  std::uint32_t recoveries = 0;
-  std::uint32_t dfc_sig = 0;
+  std::vector<std::uint32_t> output_spill;  // OUT beyond the arena region
   std::vector<PendingDetection> dets;  // latched, not-yet-acted detections
-  RollbackRing ring;                   // IR/EIR replay window
-  // Core-specific state.
-  std::vector<std::uint64_t> extra;    // scalar fields (core-defined layout)
-  std::vector<std::uint8_t> sram8;     // byte arrays (e.g., gshare PHT)
-  std::vector<std::uint32_t> sram32;   // word arrays (e.g., L1D tags)
-  // Monitor-core checker state (OoO only; null when no monitor is active).
-  std::shared_ptr<const isa::Machine> shadow;
+  RollbackRing ring;                   // IR/EIR replay window (shared entries)
+  // Monitor-core checker state (OoO only), delta-encoded against the
+  // checkpointed data memory image inside `state`.
+  isa::MachineDelta shadow;
+  CheckpointSizes sizes;  // filled by snapshot()
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return sizes.total();
+  }
 };
 
 class Core {
@@ -98,7 +119,9 @@ class Core {
   virtual void snapshot(CoreCheckpoint* out) const = 0;
   // Restores a snapshot taken by the same core model after a begin() with
   // the same program/config, then re-arms `plan` (flips scheduled before
-  // the snapshot cycle are dropped; they can no longer occur).
+  // the snapshot cycle are dropped; they can no longer occur).  Throws
+  // std::logic_error when the checkpoint's layout fingerprint does not
+  // match the live core's (different model, program or config).
   virtual void restore(const CoreCheckpoint& cp, const InjectionPlan* plan) = 0;
   // Hash of all state that can influence the remainder of the run (the
   // flip-flop pool, memory, registers, output, detector accumulators and
@@ -116,6 +139,19 @@ class Core {
   // the run is live, every planned flip has been applied and no detection
   // is pending.
   [[nodiscard]] virtual bool quiescent() const noexcept = 0;
+
+  // Direct mutable view of the serialized state image: the FF pool span,
+  // the arena span, and the forward-region boundary within the arena.
+  // Exposed so state-corruption fuzz tests can flip arbitrary state bytes
+  // (beyond single-FF flips) and assert the convergence compare sees them.
+  struct StateView {
+    std::uint64_t* ff = nullptr;
+    std::size_t ff_words = 0;
+    std::uint64_t* arena = nullptr;
+    std::size_t fwd_words = 0;    // forward region: [0, fwd_words)
+    std::size_t arena_words = 0;  // whole buffer incl. bookkeeping
+  };
+  [[nodiscard]] virtual StateView state_view() noexcept = 0;
 
   // Runs `prog` to completion (or to max_cycles -> watchdog/Hang).
   CoreRunResult run(const isa::Program& prog, const ResilienceConfig* cfg,

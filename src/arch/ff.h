@@ -97,6 +97,10 @@ class FFRegistry {
   [[nodiscard]] const std::vector<std::uint64_t>& pool() const noexcept {
     return pool_;
   }
+  // Mutable base pointer for the arena snapshot machinery: the pool is the
+  // first flat span of a core's serialized state image.  Stable for the
+  // registry's lifetime (the buffer never reallocates after construction).
+  [[nodiscard]] std::uint64_t* pool_data() noexcept { return pool_.data(); }
   void restore(const std::vector<std::uint64_t>& snap) noexcept {
     // Element-wise copy: Reg handles hold raw pointers into the pool, so
     // the pool's buffer must never reallocate after registration.

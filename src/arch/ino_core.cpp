@@ -25,9 +25,11 @@
 //   * DFC: commit-stream signature accumulation checked at sigchk
 //     boundaries against the compiler-embedded static signature table
 #include <algorithm>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "arch/arena.h"
 #include "arch/core.h"
 #include "arch/rollback.h"
 #include "util/rng.h"
@@ -149,6 +151,10 @@ class InOCore final : public Core {
     return status_ == isa::RunStatus::kRunning &&
            next_flip_ >= flips_.size() && dets_.empty();
   }
+  [[nodiscard]] StateView state_view() noexcept override {
+    return {reg_.pool_data(), arena_.ff_words(), arena_.raw_buf(),
+            arena_.fwd_words(), arena_.total_words()};
+  }
 
  private:
   void build();
@@ -195,12 +201,46 @@ class InOCore final : public Core {
   Reg w_s_ef_, w_s_ec_, w_s_et_, w_s_dwt_, w_s_y_, w_cwp_;
   Reg arch_npc_;  // committed next-PC: the flush-recovery refetch anchor
 
-  // non-FF state
+  // ---- non-FF state: flat arena layout ----
+  // Forward scalar slots (influence the remainder of the run).
+  enum FwdSlot : std::size_t { kFwdDfcSig, kFwdFlushDrain, kFwdWords };
+  // Bookkeeping slots (excluded from state_matches/state_hash; redirect_*
+  // is dead at cycle boundaries -- do_cycle() clears it before any read).
+  enum AuxSlot : std::size_t {
+    kAuxCycle, kAuxCommitted, kAuxStatus, kAuxTrap, kAuxExit, kAuxDetId,
+    kAuxDetBy, kAuxRecoveries, kAuxRedirect, kAuxRedirectPc,
+    kAuxLastFlipCycle, kAuxLastFlipFf, kAuxWords
+  };
+  static constexpr std::size_t kOutCapacity = 2048;  // OUT words in-arena
+
+  void layout(const isa::Program& prog, const ResilienceConfig* cfg);
+  void flush_aux() const;
+  void load_aux();
+
+  [[nodiscard]] std::uint32_t dfc_sig() const noexcept {
+    return static_cast<std::uint32_t>(fwd_[kFwdDfcSig]);
+  }
+  void set_dfc_sig(std::uint32_t v) noexcept { fwd_[kFwdDfcSig] = v; }
+  [[nodiscard]] std::int64_t flush_drain() const noexcept {
+    return static_cast<std::int64_t>(fwd_[kFwdFlushDrain]);
+  }
+  void set_flush_drain(std::int64_t v) noexcept {
+    fwd_[kFwdFlushDrain] = static_cast<std::uint64_t>(v);
+  }
+
   const isa::Program* prog_ = nullptr;
   const ResilienceConfig* cfg_ = nullptr;
-  std::vector<std::uint32_t> mem_;
-  std::vector<std::uint32_t> regs_;
-  std::vector<std::uint32_t> output_;
+  StateArena arena_;
+  int sec_fwd_ = 0, sec_regs_ = 0, sec_mem_ = 0, sec_out_ = 0, sec_aux_ = 0;
+  std::uint64_t* fwd_ = nullptr;
+  std::uint32_t* regs_ = nullptr;
+  std::uint32_t* mem_ = nullptr;
+  std::size_t mem_words_ = 0;
+  std::uint64_t* aux_ = nullptr;
+  OutputBuf out_;
+  std::vector<std::uint32_t> out_spill_;
+  // Last snapshot of/into this core: the COW sharing reference.
+  mutable ArenaSnapshot last_snap_;
   std::uint64_t cycle_ = 0;
   std::uint64_t committed_ = 0;
   isa::RunStatus status_ = isa::RunStatus::kRunning;
@@ -209,8 +249,6 @@ class InOCore final : public Core {
   std::int32_t det_id_ = 0;
   DetectionSource detected_by_ = DetectionSource::kNone;
   std::uint32_t recoveries_ = 0;
-  std::uint32_t dfc_sig_ = 0;
-  int flush_drain_ = 0;
   bool redirect_ = false;
   std::uint32_t redirect_pc_ = 0;
 
@@ -301,8 +339,60 @@ void InOCore::build() {
   w_s_y_ = reg_.add("w.s.y", 32, fl_back);
   w_cwp_ = reg_.add("w.cwp", 3, fl_back);
   arch_npc_ = reg_.add("w.s.npc", 32, fl_back);
+}
 
-  regs_.assign(isa::kNumRegs, 0);
+// Lays the non-FF state out in the flat arena (fwd scalars | regs | mem |
+// OUT | bookkeeping) and binds the typed pointers.  finish_layout()
+// zero-fills the buffer, which is the reset of everything arena-resident.
+void InOCore::layout(const isa::Program& prog, const ResilienceConfig* cfg) {
+  arena_.begin_layout(reg_.pool_data(), reg_.pool().size());
+  sec_fwd_ = arena_.add_u64(kFwdWords);
+  sec_regs_ = arena_.add_u32(isa::kNumRegs);
+  sec_mem_ = arena_.add_u32(prog.mem_bytes / 4);
+  sec_out_ = arena_.add_u32(1 + kOutCapacity);
+  arena_.mark_aux();
+  sec_aux_ = arena_.add_u64(kAuxWords);
+  arena_.finish_layout(layout_identity(name(), prog, cfg));
+  fwd_ = arena_.u64(sec_fwd_);
+  regs_ = arena_.u32(sec_regs_);
+  mem_ = arena_.u32(sec_mem_);
+  mem_words_ = prog.mem_bytes / 4;
+  out_.bind(arena_.u32(sec_out_), kOutCapacity, &out_spill_);
+  aux_ = arena_.u64(sec_aux_);
+  out_spill_.clear();
+  last_snap_.clear();
+}
+
+void InOCore::flush_aux() const {
+  aux_[kAuxCycle] = cycle_;
+  aux_[kAuxCommitted] = committed_;
+  aux_[kAuxStatus] = static_cast<std::uint64_t>(status_);
+  aux_[kAuxTrap] = static_cast<std::uint64_t>(trap_code_);
+  aux_[kAuxExit] = static_cast<std::uint32_t>(exit_code_);
+  aux_[kAuxDetId] = static_cast<std::uint32_t>(det_id_);
+  aux_[kAuxDetBy] = static_cast<std::uint64_t>(detected_by_);
+  aux_[kAuxRecoveries] = recoveries_;
+  aux_[kAuxRedirect] = redirect_ ? 1 : 0;
+  aux_[kAuxRedirectPc] = redirect_pc_;
+  aux_[kAuxLastFlipCycle] = last_flip_cycle_;
+  aux_[kAuxLastFlipFf] = last_flip_ff_;
+}
+
+void InOCore::load_aux() {
+  cycle_ = aux_[kAuxCycle];
+  committed_ = aux_[kAuxCommitted];
+  status_ = static_cast<isa::RunStatus>(aux_[kAuxStatus]);
+  trap_code_ = static_cast<Trap>(aux_[kAuxTrap]);
+  exit_code_ = static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(aux_[kAuxExit]));
+  det_id_ = static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(aux_[kAuxDetId]));
+  detected_by_ = static_cast<DetectionSource>(aux_[kAuxDetBy]);
+  recoveries_ = static_cast<std::uint32_t>(aux_[kAuxRecoveries]);
+  redirect_ = aux_[kAuxRedirect] != 0;
+  redirect_pc_ = static_cast<std::uint32_t>(aux_[kAuxRedirectPc]);
+  last_flip_cycle_ = aux_[kAuxLastFlipCycle];
+  last_flip_ff_ = static_cast<std::uint32_t>(aux_[kAuxLastFlipFf]);
 }
 
 void InOCore::reset(const isa::Program& prog, const ResilienceConfig* cfg,
@@ -310,11 +400,9 @@ void InOCore::reset(const isa::Program& prog, const ResilienceConfig* cfg,
   prog_ = &prog;
   cfg_ = cfg;
   reg_.clear_state();
-  mem_.assign(prog.mem_bytes / 4, 0);
+  layout(prog, cfg);  // zero-fills mem/regs/OUT/scalars
   const std::uint32_t base = prog.data_base / 4;
   for (std::size_t i = 0; i < prog.data.size(); ++i) mem_[base + i] = prog.data[i];
-  std::fill(regs_.begin(), regs_.end(), 0);
-  output_.clear();
   cycle_ = 0;
   committed_ = 0;
   status_ = isa::RunStatus::kRunning;
@@ -323,9 +411,9 @@ void InOCore::reset(const isa::Program& prog, const ResilienceConfig* cfg,
   det_id_ = 0;
   detected_by_ = DetectionSource::kNone;
   recoveries_ = 0;
-  dfc_sig_ = 0;
-  flush_drain_ = 0;
   redirect_ = false;
+  last_flip_cycle_ = 0;
+  last_flip_ff_ = 0;
   flips_ = armed_flips(plan, 0);
   next_flip_ = 0;
   dets_.clear();
@@ -415,7 +503,7 @@ void InOCore::attempt_recovery(DetectionSource src, std::uint32_t ff,
       e_.bubble();
       e_mul_busy_ = 0;
       e_div_busy_ = 0;
-      flush_drain_ = kFlushDrain;
+      set_flush_drain(kFlushDrain);
       ++recoveries_;
       return;
     }
@@ -435,11 +523,11 @@ void InOCore::attempt_recovery(DetectionSource src, std::uint32_t ff,
         fail_detected();
         return;
       }
-      regs_ = rs.regs;
+      std::copy(rs.regs.begin(), rs.regs.end(), regs_);
       committed_ = rs.committed;
-      output_.resize(rs.out_len);
-      dfc_sig_ = static_cast<std::uint32_t>(rs.extra);
-      flush_drain_ = 0;
+      out_.resize(rs.out_len);
+      set_dfc_sig(static_cast<std::uint32_t>(rs.extra));
+      set_flush_drain(0);
       dets_.clear();
       cycle_ += kIrPenalty;
       ++recoveries_;
@@ -493,11 +581,11 @@ void InOCore::do_wb() {
   // path taken into it.
   if (dfc && op != Op::kSigchk && op != Op::kHalt && op != Op::kDet &&
       !isa::is_branch(op) && !isa::is_jump(op)) {
-    dfc_sig_ = rotl5(dfc_sig_) ^ w_.inst.u32();
+    set_dfc_sig(rotl5(dfc_sig()) ^ w_.inst.u32());
   }
   switch (op) {
     case Op::kOut:
-      output_.push_back(w_result_.u32());
+      out_.push(w_result_.u32());
       break;
     case Op::kHalt:
       status_ = isa::RunStatus::kHalted;
@@ -516,8 +604,8 @@ void InOCore::do_wb() {
         const auto id = static_cast<std::uint16_t>(w_.imm.u32() & 0xffff);
         const auto it = prog_->dfc_signatures.find(id);
         const bool match = it != prog_->dfc_signatures.end() &&
-                           it->second == dfc_sig_;
-        dfc_sig_ = 0;
+                           it->second == dfc_sig();
+        set_dfc_sig(0);
         if (!match) {
           dets_.push_back(
               {cycle_ + 1, last_flip_cycle_, DetectionSource::kDfc,
@@ -567,8 +655,7 @@ void InOCore::stage_m_to_x() {
   if (memop) {
     m_memcnt_ = 0;
     const std::uint32_t addr = m_addr_.u32();
-    const std::uint32_t bytes =
-        static_cast<std::uint32_t>(mem_.size()) * 4;
+    const std::uint32_t bytes = static_cast<std::uint32_t>(mem_words_) * 4;
     if (isa::is_load(op)) {
       if (op == Op::kLw && (addr & 3u) != 0) {
         trap = static_cast<std::uint64_t>(Trap::kMisalignedLoad);
@@ -776,7 +863,7 @@ void InOCore::stage_d_to_a() {
 }
 
 void InOCore::fetch() {
-  if (d_valid_ != 0 || redirect_ || flush_drain_ > 0) return;
+  if (d_valid_ != 0 || redirect_ || flush_drain() > 0) return;
   const std::uint32_t pc = f_pc_.u32();
   d_valid_ = 1;
   d_pc_ = pc;
@@ -813,9 +900,9 @@ void InOCore::do_cycle() {
     a_.bubble();
     f_pc_ = redirect_pc_;
   }
-  if (flush_drain_ > 0) {
-    --flush_drain_;
-    if (flush_drain_ == 0) {
+  if (flush_drain() > 0) {
+    set_flush_drain(flush_drain() - 1);
+    if (flush_drain() == 0) {
       // Drain finished: refetch from the committed next-PC.
       f_pc_ = static_cast<std::uint64_t>(arch_npc_);
       d_valid_ = 0;
@@ -824,7 +911,8 @@ void InOCore::do_cycle() {
     }
   }
   if (ring_.enabled()) {
-    ring_.push(cycle_, reg_, regs_, committed_, output_.size(), dfc_sig_);
+    ring_.push(cycle_, reg_, regs_, isa::kNumRegs, committed_, out_.size(),
+               dfc_sig());
   }
   ++cycle_;
 }
@@ -838,60 +926,49 @@ CoreRunResult InOCore::current_result() const {
   r.det_id = det_id_;
   r.cycles = cycle_;
   r.instrs = committed_;
-  r.output = output_;
+  r.output = out_.to_vector();
   r.detected_by = detected_by_;
   r.recoveries = recoveries_;
   return r;
 }
 
 void InOCore::snapshot(CoreCheckpoint* out) const {
-  out->ff = reg_.snapshot();
-  out->mem = mem_;
-  out->regs = regs_;
-  out->output = output_;
+  flush_aux();
+  // COW capture against the last snapshot taken from / restored into this
+  // core: unchanged 2 KiB segments are shared, not copied.
+  arena_.snapshot_to(&out->state, last_snap_.empty() ? nullptr : &last_snap_);
+  last_snap_ = out->state;
+  out->layout_fp = arena_.fingerprint();
   out->cycle = cycle_;
-  out->committed = committed_;
-  out->status = status_;
-  out->trap = trap_code_;
-  out->exit_code = exit_code_;
-  out->det_id = det_id_;
-  out->detected_by = detected_by_;
-  out->recoveries = recoveries_;
-  out->dfc_sig = dfc_sig_;
+  out->output_spill = out_spill_;
   out->dets = dets_;
   out->ring =
       ring_.pruned(earliest_rollback_target(cycle_, dets_, last_flip_cycle_));
-  out->extra = {static_cast<std::uint64_t>(flush_drain_),
-                redirect_ ? 1u : 0u,
-                redirect_pc_,
-                last_flip_cycle_,
-                last_flip_ff_};
-  out->sram8.clear();
-  out->sram32.clear();
-  out->shadow.reset();
+  out->shadow = isa::MachineDelta{};
+  CheckpointSizes& sz = out->sizes;
+  sz = CheckpointSizes{};
+  sz.ff = arena_.ff_words() * 8;
+  sz.scalars = arena_.section_bytes(sec_fwd_);
+  sz.regs = arena_.section_bytes(sec_regs_);
+  sz.mem = arena_.section_bytes(sec_mem_);
+  sz.output = arena_.section_bytes(sec_out_) + out_spill_.size() * 4;
+  sz.aux = arena_.section_bytes(sec_aux_);
+  sz.ring = out->ring.size_bytes();
+  sz.dets = out->dets.size() * sizeof(PendingDetection);
 }
 
 void InOCore::restore(const CoreCheckpoint& cp, const InjectionPlan* plan) {
-  reg_.restore(cp.ff);
-  mem_ = cp.mem;
-  regs_ = cp.regs;
-  output_ = cp.output;
-  cycle_ = cp.cycle;
-  committed_ = cp.committed;
-  status_ = cp.status;
-  trap_code_ = cp.trap;
-  exit_code_ = cp.exit_code;
-  det_id_ = cp.det_id;
-  detected_by_ = cp.detected_by;
-  recoveries_ = cp.recoveries;
-  dfc_sig_ = cp.dfc_sig;
+  if (cp.layout_fp != arena_.fingerprint()) {
+    throw std::logic_error(
+        "InOCore::restore: checkpoint layout fingerprint mismatch (snapshot "
+        "taken under a different core model, program or config)");
+  }
+  arena_.restore_from(cp.state);  // copies only dirtied segments
+  last_snap_ = cp.state;
+  load_aux();
+  out_spill_ = cp.output_spill;
   dets_ = cp.dets;
   ring_ = cp.ring;
-  flush_drain_ = static_cast<int>(cp.extra[0]);
-  redirect_ = cp.extra[1] != 0;
-  redirect_pc_ = static_cast<std::uint32_t>(cp.extra[2]);
-  last_flip_cycle_ = cp.extra[3];
-  last_flip_ff_ = static_cast<std::uint32_t>(cp.extra[4]);
   flips_ = armed_flips(plan, cycle_);
   next_flip_ = 0;
 }
@@ -900,23 +977,16 @@ std::uint64_t InOCore::state_hash() const {
   // Forward-relevant state only: cycle/instruction counters, recovery
   // tallies, the replay ring and injection bookkeeping are deliberately
   // excluded (they cannot influence the remainder of a quiescent run).
-  std::uint64_t h = 0x1A0C0DEULL;
-  for (const std::uint64_t w : reg_.pool()) h = util::hash_combine(h, w);
-  for (const std::uint32_t w : mem_) h = util::hash_combine(h, w);
-  for (const std::uint32_t w : regs_) h = util::hash_combine(h, w);
-  h = util::hash_combine(h, output_.size());
-  for (const std::uint32_t w : output_) h = util::hash_combine(h, w);
-  h = util::hash_combine(h, dfc_sig_);
-  h = util::hash_combine(h, static_cast<std::uint64_t>(flush_drain_));
+  std::uint64_t h = arena_.hash_fwd(0x1A0C0DEULL);
+  h = util::hash_combine(h, out_spill_.size());
+  for (const std::uint32_t w : out_spill_) h = util::hash_combine(h, w);
   return h;
 }
 
 bool InOCore::state_matches(const CoreCheckpoint& cp) const {
-  // Same coverage as state_hash(); cheapest-to-diverge fields first.
-  return reg_.pool() == cp.ff && regs_ == cp.regs &&
-         dfc_sig_ == cp.dfc_sig &&
-         static_cast<std::uint64_t>(flush_drain_) == cp.extra[0] &&
-         output_ == cp.output && mem_ == cp.mem;
+  // Word-exact compare of the forward region (FF pool, fwd scalars, regs,
+  // mem, OUT), rejecting at the first divergent segment.
+  return arena_.matches_fwd(cp.state) && out_spill_ == cp.output_spill;
 }
 
 }  // namespace

@@ -30,9 +30,11 @@
 #include <algorithm>
 #include <array>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "arch/arena.h"
 #include "arch/core.h"
 #include "arch/rollback.h"
 #include "isa/iss.h"
@@ -55,6 +57,7 @@ constexpr int kFbSize = 8;
 constexpr int kBtbSize = 16;
 constexpr int kRasSize = 8;
 constexpr int kMqSize = 4;
+constexpr int kL1dSets = 64;
 constexpr int kMulCycles = 3;
 constexpr int kDivCycles = 10;
 constexpr int kHitCycles = 1;    // extra cycles for an L1D hit
@@ -142,6 +145,10 @@ class OoOCore final : public Core {
     return status_ == isa::RunStatus::kRunning &&
            next_flip_ >= flips_.size() && dets_.empty();
   }
+  [[nodiscard]] StateView state_view() noexcept override {
+    return {reg_.pool_data(), arena_.ff_words(), arena_.raw_buf(),
+            arena_.fwd_words(), arena_.total_words()};
+  }
 
  private:
   void bind_shadow_hook();
@@ -169,7 +176,7 @@ class OoOCore final : public Core {
   }
   void mem_write(std::uint32_t addr, std::uint32_t data, bool byte);
   [[nodiscard]] std::uint32_t mem_bytes() const noexcept {
-    return static_cast<std::uint32_t>(mem_.size()) * 4;
+    return static_cast<std::uint32_t>(mem_words_) * 4;
   }
 
   FFRegistry reg_;
@@ -217,15 +224,45 @@ class OoOCore final : public Core {
   Reg commit_pc_;  // next PC to commit: the RoB-recovery refetch anchor
   std::array<Reg, 2> perf_;  // performance counters (never consumed)
 
-  // non-FF state
+  // ---- non-FF state: flat arena layout ----
+  // Forward scalar slots (influence the remainder of the run).
+  enum FwdSlot : std::size_t { kFwdDfcSig, kFwdWords };
+  // Bookkeeping slots (excluded from state_matches/state_hash; the
+  // shadow-store latch is dead at cycle boundaries -- the monitor clears it
+  // before any read within a commit).
+  enum AuxSlot : std::size_t {
+    kAuxCycle, kAuxCommitted, kAuxStatus, kAuxTrap, kAuxExit, kAuxDetId,
+    kAuxDetBy, kAuxRecoveries, kAuxLastFlipCycle, kAuxLastFlipFf,
+    kAuxShadowStoreAddr, kAuxShadowStoreWord, kAuxShadowStored, kAuxWords
+  };
+  static constexpr std::size_t kOutCapacity = 2048;  // OUT words in-arena
+
+  void layout(const isa::Program& prog, const ResilienceConfig* cfg);
+  void flush_aux() const;
+  void load_aux();
+
+  [[nodiscard]] std::uint32_t dfc_sig() const noexcept {
+    return static_cast<std::uint32_t>(fwd_[kFwdDfcSig]);
+  }
+  void set_dfc_sig(std::uint32_t v) noexcept { fwd_[kFwdDfcSig] = v; }
+
   const isa::Program* prog_ = nullptr;
   const ResilienceConfig* cfg_ = nullptr;
-  std::vector<std::uint32_t> mem_;
-  std::vector<std::uint32_t> regs_;
-  std::vector<std::uint32_t> output_;
-  std::vector<std::uint8_t> pht_;        // gshare counters (SRAM: not FFs)
-  std::vector<std::uint32_t> l1d_tag_;   // L1D tags (SRAM, timing only)
-  std::vector<std::uint8_t> l1d_valid_;
+  StateArena arena_;
+  int sec_fwd_ = 0, sec_regs_ = 0, sec_mem_ = 0, sec_sram8_ = 0,
+      sec_sram32_ = 0, sec_out_ = 0, sec_aux_ = 0;
+  std::uint64_t* fwd_ = nullptr;
+  std::uint32_t* regs_ = nullptr;
+  std::uint32_t* mem_ = nullptr;
+  std::size_t mem_words_ = 0;
+  std::uint8_t* pht_ = nullptr;        // gshare counters (SRAM: not FFs)
+  std::uint8_t* l1d_valid_ = nullptr;
+  std::uint32_t* l1d_tag_ = nullptr;   // L1D tags (SRAM, timing only)
+  std::uint64_t* aux_ = nullptr;
+  OutputBuf out_;
+  std::vector<std::uint32_t> out_spill_;
+  // Last snapshot of/into this core: the COW sharing reference.
+  mutable ArenaSnapshot last_snap_;
   std::uint64_t cycle_ = 0;
   std::uint64_t committed_ = 0;
   isa::RunStatus status_ = isa::RunStatus::kRunning;
@@ -234,7 +271,6 @@ class OoOCore final : public Core {
   std::int32_t det_id_ = 0;
   DetectionSource detected_by_ = DetectionSource::kNone;
   std::uint32_t recoveries_ = 0;
-  std::uint32_t dfc_sig_ = 0;
   std::unique_ptr<isa::Machine> shadow_;  // monitor core golden model
   std::uint32_t shadow_store_addr_ = 0;
   std::uint32_t shadow_store_word_ = 0;
@@ -373,11 +409,67 @@ void OoOCore::build() {
     perf_[i] = reg_.add("perf.counter" + std::to_string(i), 32,
                         FFFlags{true, false, false});
   }
+}
 
-  regs_.assign(isa::kNumRegs, 0);
-  pht_.assign(1u << kPhtBits, 1);
-  l1d_tag_.assign(64, 0);
-  l1d_valid_.assign(64, 0);
+// Lays the non-FF state out in the flat arena (fwd scalars | regs | mem |
+// SRAM | OUT | bookkeeping) and binds the typed pointers.  finish_layout()
+// zero-fills the buffer, which is the reset of everything arena-resident.
+void OoOCore::layout(const isa::Program& prog, const ResilienceConfig* cfg) {
+  arena_.begin_layout(reg_.pool_data(), reg_.pool().size());
+  sec_fwd_ = arena_.add_u64(kFwdWords);
+  sec_regs_ = arena_.add_u32(isa::kNumRegs);
+  sec_mem_ = arena_.add_u32(prog.mem_bytes / 4);
+  sec_sram8_ = arena_.add_u8((1u << kPhtBits) + kL1dSets);  // PHT ++ l1d_valid
+  sec_sram32_ = arena_.add_u32(kL1dSets);                   // l1d_tag
+  sec_out_ = arena_.add_u32(1 + kOutCapacity);
+  arena_.mark_aux();
+  sec_aux_ = arena_.add_u64(kAuxWords);
+  arena_.finish_layout(layout_identity(name(), prog, cfg));
+  fwd_ = arena_.u64(sec_fwd_);
+  regs_ = arena_.u32(sec_regs_);
+  mem_ = arena_.u32(sec_mem_);
+  mem_words_ = prog.mem_bytes / 4;
+  pht_ = arena_.u8(sec_sram8_);
+  l1d_valid_ = pht_ + (1u << kPhtBits);
+  l1d_tag_ = arena_.u32(sec_sram32_);
+  out_.bind(arena_.u32(sec_out_), kOutCapacity, &out_spill_);
+  aux_ = arena_.u64(sec_aux_);
+  out_spill_.clear();
+  last_snap_.clear();
+}
+
+void OoOCore::flush_aux() const {
+  aux_[kAuxCycle] = cycle_;
+  aux_[kAuxCommitted] = committed_;
+  aux_[kAuxStatus] = static_cast<std::uint64_t>(status_);
+  aux_[kAuxTrap] = static_cast<std::uint64_t>(trap_code_);
+  aux_[kAuxExit] = static_cast<std::uint32_t>(exit_code_);
+  aux_[kAuxDetId] = static_cast<std::uint32_t>(det_id_);
+  aux_[kAuxDetBy] = static_cast<std::uint64_t>(detected_by_);
+  aux_[kAuxRecoveries] = recoveries_;
+  aux_[kAuxLastFlipCycle] = last_flip_cycle_;
+  aux_[kAuxLastFlipFf] = last_flip_ff_;
+  aux_[kAuxShadowStoreAddr] = shadow_store_addr_;
+  aux_[kAuxShadowStoreWord] = shadow_store_word_;
+  aux_[kAuxShadowStored] = shadow_stored_ ? 1 : 0;
+}
+
+void OoOCore::load_aux() {
+  cycle_ = aux_[kAuxCycle];
+  committed_ = aux_[kAuxCommitted];
+  status_ = static_cast<isa::RunStatus>(aux_[kAuxStatus]);
+  trap_code_ = static_cast<Trap>(aux_[kAuxTrap]);
+  exit_code_ = static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(aux_[kAuxExit]));
+  det_id_ = static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(aux_[kAuxDetId]));
+  detected_by_ = static_cast<DetectionSource>(aux_[kAuxDetBy]);
+  recoveries_ = static_cast<std::uint32_t>(aux_[kAuxRecoveries]);
+  last_flip_cycle_ = aux_[kAuxLastFlipCycle];
+  last_flip_ff_ = static_cast<std::uint32_t>(aux_[kAuxLastFlipFf]);
+  shadow_store_addr_ = static_cast<std::uint32_t>(aux_[kAuxShadowStoreAddr]);
+  shadow_store_word_ = static_cast<std::uint32_t>(aux_[kAuxShadowStoreWord]);
+  shadow_stored_ = aux_[kAuxShadowStored] != 0;
 }
 
 void OoOCore::reset(const isa::Program& prog, const ResilienceConfig* cfg,
@@ -385,14 +477,10 @@ void OoOCore::reset(const isa::Program& prog, const ResilienceConfig* cfg,
   prog_ = &prog;
   cfg_ = cfg;
   reg_.clear_state();
-  mem_.assign(prog.mem_bytes / 4, 0);
+  layout(prog, cfg);  // zero-fills mem/regs/SRAM/OUT/scalars
   const std::uint32_t base = prog.data_base / 4;
   for (std::size_t i = 0; i < prog.data.size(); ++i) mem_[base + i] = prog.data[i];
-  std::fill(regs_.begin(), regs_.end(), 0);
-  std::fill(pht_.begin(), pht_.end(), 1);
-  std::fill(l1d_tag_.begin(), l1d_tag_.end(), 0);
-  std::fill(l1d_valid_.begin(), l1d_valid_.end(), 0);
-  output_.clear();
+  std::fill(pht_, pht_ + (1u << kPhtBits), std::uint8_t{1});
   cycle_ = 0;
   committed_ = 0;
   status_ = isa::RunStatus::kRunning;
@@ -401,7 +489,11 @@ void OoOCore::reset(const isa::Program& prog, const ResilienceConfig* cfg,
   det_id_ = 0;
   detected_by_ = DetectionSource::kNone;
   recoveries_ = 0;
-  dfc_sig_ = 0;
+  last_flip_cycle_ = 0;
+  last_flip_ff_ = 0;
+  shadow_store_addr_ = 0;
+  shadow_store_word_ = 0;
+  shadow_stored_ = false;
   flips_.clear();
   next_flip_ = 0;
   dets_.clear();
@@ -514,10 +606,10 @@ void OoOCore::attempt_recovery(DetectionSource src, std::uint32_t ff,
         fail_detected();
         return;
       }
-      regs_ = rs.regs;
+      std::copy(rs.regs.begin(), rs.regs.end(), regs_);
       committed_ = rs.committed;
-      output_.resize(rs.out_len);
-      dfc_sig_ = static_cast<std::uint32_t>(rs.extra);
+      out_.resize(rs.out_len);
+      set_dfc_sig(static_cast<std::uint32_t>(rs.extra));
       dets_.clear();
       cycle_ += kIrPenalty;
       ++recoveries_;
@@ -678,7 +770,7 @@ bool OoOCore::monitor_validate_and_apply(int robid) {
     }
   }
   if (shadow_->output().size() == out_before + 1) {
-    output_.push_back(shadow_->output().back());
+    out_.push(shadow_->output().back());
   }
   if (shadow_->status() == isa::RunStatus::kHalted) {
     status_ = isa::RunStatus::kHalted;
@@ -738,7 +830,7 @@ void OoOCore::do_commit() {
     // InO core's writeback stage for rationale).
     if (dfc && op != Op::kSigchk && op != Op::kHalt && op != Op::kDet &&
         !isa::is_branch(op) && !isa::is_jump(op)) {
-      dfc_sig_ = rotl5(dfc_sig_) ^ rob_inst_[h].u32();
+      set_dfc_sig(rotl5(dfc_sig()) ^ rob_inst_[h].u32());
     }
     bool squash_after = false;
     std::uint32_t redirect = 0;
@@ -756,7 +848,7 @@ void OoOCore::do_commit() {
         ++committed_;
         return;
       case Op::kOut:
-        output_.push_back(rob_result_[h].u32());
+        out_.push(rob_result_[h].u32());
         break;
       case Op::kSigchk:
         if (dfc) {
@@ -764,8 +856,8 @@ void OoOCore::do_commit() {
               static_cast<std::uint16_t>(rob_result_[h].u32() & 0xffff);
           const auto it = prog_->dfc_signatures.find(id);
           const bool match =
-              it != prog_->dfc_signatures.end() && it->second == dfc_sig_;
-          dfc_sig_ = 0;
+              it != prog_->dfc_signatures.end() && it->second == dfc_sig();
+          set_dfc_sig(0);
           if (!match) {
             dets_.push_back({cycle_ + 1, last_flip_cycle_,
                              DetectionSource::kDfc, last_flip_ff_});
@@ -1351,7 +1443,8 @@ void OoOCore::do_cycle() {
 
   perf_[1] = static_cast<std::uint64_t>(perf_[1]) + 1;
   if (ring_.enabled()) {
-    ring_.push(cycle_, reg_, regs_, committed_, output_.size(), dfc_sig_);
+    ring_.push(cycle_, reg_, regs_, isa::kNumRegs, committed_, out_.size(),
+               dfc_sig());
   }
   ++cycle_;
 }
@@ -1365,79 +1458,68 @@ CoreRunResult OoOCore::current_result() const {
   r.det_id = det_id_;
   r.cycles = cycle_;
   r.instrs = committed_;
-  r.output = output_;
+  r.output = out_.to_vector();
   r.detected_by = detected_by_;
   r.recoveries = recoveries_;
   return r;
 }
 
 void OoOCore::snapshot(CoreCheckpoint* out) const {
-  out->ff = reg_.snapshot();
-  out->mem = mem_;
-  out->regs = regs_;
-  out->output = output_;
+  flush_aux();
+  // COW capture against the last snapshot taken from / restored into this
+  // core: unchanged 2 KiB segments are shared, not copied.
+  arena_.snapshot_to(&out->state, last_snap_.empty() ? nullptr : &last_snap_);
+  last_snap_ = out->state;
+  out->layout_fp = arena_.fingerprint();
   out->cycle = cycle_;
-  out->committed = committed_;
-  out->status = status_;
-  out->trap = trap_code_;
-  out->exit_code = exit_code_;
-  out->det_id = det_id_;
-  out->detected_by = detected_by_;
-  out->recoveries = recoveries_;
-  out->dfc_sig = dfc_sig_;
+  out->output_spill = out_spill_;
   out->dets = dets_;
   out->ring =
       ring_.pruned(earliest_rollback_target(cycle_, dets_, last_flip_cycle_));
-  out->extra = {last_flip_cycle_,
-                last_flip_ff_,
-                shadow_store_addr_,
-                shadow_store_word_,
-                shadow_stored_ ? 1u : 0u};
-  // SRAM structures (timing-relevant, not in the FF registry).
-  out->sram8.assign(pht_.begin(), pht_.end());
-  out->sram8.insert(out->sram8.end(), l1d_valid_.begin(), l1d_valid_.end());
-  out->sram32 = l1d_tag_;
   if (shadow_) {
-    // The checkpoint's checker copy carries no hooks: hooks capture the
-    // owning core and are re-bound on restore().
-    auto m = std::make_unique<isa::Machine>(*shadow_);
-    m->pre_exec_hook = nullptr;
-    m->post_write_hook = nullptr;
-    m->post_store_hook = nullptr;
-    out->shadow = std::shared_ptr<const isa::Machine>(std::move(m));
+    // The monitor checker is delta-encoded against the checkpointed data
+    // memory image (== mem_ at this instant): its memory is the main
+    // core's image except where the checker ran ahead of the store buffer.
+    shadow_->capture_delta(mem_, mem_words_, &out->shadow);
   } else {
-    out->shadow.reset();
+    out->shadow = isa::MachineDelta{};
   }
+  CheckpointSizes& sz = out->sizes;
+  sz = CheckpointSizes{};
+  sz.ff = arena_.ff_words() * 8;
+  sz.scalars = arena_.section_bytes(sec_fwd_);
+  sz.regs = arena_.section_bytes(sec_regs_);
+  sz.mem = arena_.section_bytes(sec_mem_);
+  sz.sram =
+      arena_.section_bytes(sec_sram8_) + arena_.section_bytes(sec_sram32_);
+  sz.output = arena_.section_bytes(sec_out_) + out_spill_.size() * 4;
+  sz.aux = arena_.section_bytes(sec_aux_);
+  sz.ring = out->ring.size_bytes();
+  sz.shadow = out->shadow.size_bytes();
+  sz.dets = out->dets.size() * sizeof(PendingDetection);
 }
 
 void OoOCore::restore(const CoreCheckpoint& cp, const InjectionPlan* plan) {
-  reg_.restore(cp.ff);
-  mem_ = cp.mem;
-  regs_ = cp.regs;
-  output_ = cp.output;
-  cycle_ = cp.cycle;
-  committed_ = cp.committed;
-  status_ = cp.status;
-  trap_code_ = cp.trap;
-  exit_code_ = cp.exit_code;
-  det_id_ = cp.det_id;
-  detected_by_ = cp.detected_by;
-  recoveries_ = cp.recoveries;
-  dfc_sig_ = cp.dfc_sig;
+  if (cp.layout_fp != arena_.fingerprint()) {
+    throw std::logic_error(
+        "OoOCore::restore: checkpoint layout fingerprint mismatch (snapshot "
+        "taken under a different core model, program or config)");
+  }
+  arena_.restore_from(cp.state);  // copies only dirtied segments
+  last_snap_ = cp.state;
+  load_aux();
+  out_spill_ = cp.output_spill;
   dets_ = cp.dets;
   ring_ = cp.ring;
-  last_flip_cycle_ = cp.extra[0];
-  last_flip_ff_ = static_cast<std::uint32_t>(cp.extra[1]);
-  shadow_store_addr_ = static_cast<std::uint32_t>(cp.extra[2]);
-  shadow_store_word_ = static_cast<std::uint32_t>(cp.extra[3]);
-  shadow_stored_ = cp.extra[4] != 0;
-  pht_.assign(cp.sram8.begin(), cp.sram8.begin() + static_cast<std::ptrdiff_t>(pht_.size()));
-  l1d_valid_.assign(cp.sram8.begin() + static_cast<std::ptrdiff_t>(pht_.size()),
-                    cp.sram8.end());
-  l1d_tag_ = cp.sram32;
-  if (cp.shadow) {
-    shadow_ = std::make_unique<isa::Machine>(*cp.shadow);
-    bind_shadow_hook();
+  if (cp.shadow.present) {
+    if (!shadow_) {
+      // The live checker is reused when present (hooks stay bound); a core
+      // that lost its checker re-creates one before applying the delta.
+      shadow_ = std::make_unique<isa::Machine>(*prog_);
+      bind_shadow_hook();
+    }
+    // Apply after the arena restore: mem_ is the delta's reference image.
+    shadow_->restore_delta(cp.shadow, mem_, mem_words_);
   } else {
     shadow_.reset();
   }
@@ -1448,19 +1530,12 @@ void OoOCore::restore(const CoreCheckpoint& cp, const InjectionPlan* plan) {
 std::uint64_t OoOCore::state_hash() const {
   // Forward-relevant state only (see InOCore::state_hash): counters,
   // recovery tallies, the replay ring and injection bookkeeping are
-  // excluded.  Timing-relevant SRAM (PHT, L1D tags) and the monitor
-  // checker's architectural state are included -- they steer the future
-  // cycle-by-cycle trajectory.
-  std::uint64_t h = 0x000C0DEULL;
-  for (const std::uint64_t w : reg_.pool()) h = util::hash_combine(h, w);
-  for (const std::uint32_t w : mem_) h = util::hash_combine(h, w);
-  for (const std::uint32_t w : regs_) h = util::hash_combine(h, w);
-  h = util::hash_combine(h, output_.size());
-  for (const std::uint32_t w : output_) h = util::hash_combine(h, w);
-  h = util::hash_combine(h, dfc_sig_);
-  for (const std::uint8_t b : pht_) h = util::hash_combine(h, b);
-  for (const std::uint8_t b : l1d_valid_) h = util::hash_combine(h, b);
-  for (const std::uint32_t w : l1d_tag_) h = util::hash_combine(h, w);
+  // excluded.  Timing-relevant SRAM (PHT, L1D tags) lives in the arena's
+  // forward region; the monitor checker's architectural state is hashed on
+  // top -- it steers the future cycle-by-cycle trajectory.
+  std::uint64_t h = arena_.hash_fwd(0x000C0DEULL);
+  h = util::hash_combine(h, out_spill_.size());
+  for (const std::uint32_t w : out_spill_) h = util::hash_combine(h, w);
   if (shadow_) {
     h = util::hash_combine(h, shadow_->pc());
     h = util::hash_combine(h, static_cast<std::uint64_t>(shadow_->status()));
@@ -1479,31 +1554,15 @@ std::uint64_t OoOCore::state_hash() const {
 }
 
 bool OoOCore::state_matches(const CoreCheckpoint& cp) const {
-  // Same coverage as state_hash(); cheapest-to-diverge fields first.
-  if (!(reg_.pool() == cp.ff && regs_ == cp.regs &&
-        dfc_sig_ == cp.dfc_sig && output_ == cp.output)) {
+  // Word-exact compare of the forward region (FF pool, DFC sig, regs, mem,
+  // SRAM, OUT), rejecting at the first divergent segment.  The checker is
+  // verified via its delta against the live mem_ -- valid because
+  // matches_fwd() has already established mem_ == checkpointed memory.
+  if (!arena_.matches_fwd(cp.state) || out_spill_ != cp.output_spill) {
     return false;
   }
-  // SRAM: cp.sram8 = PHT ++ l1d_valid.
-  if (!std::equal(pht_.begin(), pht_.end(), cp.sram8.begin()) ||
-      !std::equal(l1d_valid_.begin(), l1d_valid_.end(),
-                  cp.sram8.begin() + static_cast<std::ptrdiff_t>(pht_.size())) ||
-      l1d_tag_ != cp.sram32) {
-    return false;
-  }
-  if (static_cast<bool>(shadow_) != static_cast<bool>(cp.shadow)) return false;
-  if (shadow_) {
-    if (shadow_->pc() != cp.shadow->pc() ||
-        shadow_->status() != cp.shadow->status() ||
-        shadow_->output() != cp.shadow->output()) {
-      return false;
-    }
-    for (int r = 0; r < isa::kNumRegs; ++r) {
-      if (shadow_->reg(r) != cp.shadow->reg(r)) return false;
-    }
-    if (shadow_->memory() != cp.shadow->memory()) return false;
-  }
-  return mem_ == cp.mem;
+  if (static_cast<bool>(shadow_) != cp.shadow.present) return false;
+  return !shadow_ || shadow_->matches_delta(cp.shadow, mem_, mem_words_);
 }
 
 }  // namespace

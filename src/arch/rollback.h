@@ -8,11 +8,18 @@
 // output length).  Restoring to the checkpoint preceding the upset erases
 // the error exactly as replay does, at the recovery-latency cost charged by
 // the caller.
+//
+// Entries are immutable once pushed and held by shared_ptr, so copying a
+// ring into a CoreCheckpoint (or pruning one for serialization) shares the
+// entries instead of deep-copying them -- with IR armed the ring is by far
+// the largest part of a snapshot, and the checkpoint/fork engine copies
+// rings on every snapshot() and restore().
 #ifndef CLEAR_ARCH_ROLLBACK_H
 #define CLEAR_ARCH_ROLLBACK_H
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -43,19 +50,21 @@ class RollbackRing {
     if (enabled()) pending_writes_.emplace_back(addr, old_value);
   }
 
-  // Captures state at the end of `cycle`.
+  // Captures state at the end of `cycle`.  `regs` points at the
+  // architectural register file (arena-resident in the cores).
   void push(std::uint64_t cycle, const FFRegistry& reg,
-            const std::vector<std::uint32_t>& regs, std::uint64_t committed,
-            std::size_t out_len, std::uint64_t extra) {
+            const std::uint32_t* regs, std::size_t nregs,
+            std::uint64_t committed, std::size_t out_len,
+            std::uint64_t extra) {
     if (!enabled()) return;
-    Entry e;
-    e.cycle = cycle;
-    e.ff = reg.snapshot();
-    e.regs = regs;
-    e.committed = committed;
-    e.out_len = out_len;
-    e.extra = extra;
-    e.writes = std::move(pending_writes_);
+    auto e = std::make_shared<Entry>();
+    e->cycle = cycle;
+    e->ff = reg.snapshot();
+    e->regs.assign(regs, regs + nregs);
+    e->committed = committed;
+    e->out_len = out_len;
+    e->extra = extra;
+    e->writes = std::move(pending_writes_);
     pending_writes_.clear();
     ring_.push_back(std::move(e));
     if (ring_.size() > depth_) ring_.pop_front();
@@ -68,7 +77,7 @@ class RollbackRing {
   template <typename UndoFn>
   bool restore(std::uint64_t target_cycle, FFRegistry& reg, Restored* out,
                UndoFn&& undo) {
-    if (!enabled() || ring_.empty() || ring_.front().cycle > target_cycle) {
+    if (!enabled() || ring_.empty() || ring_.front()->cycle > target_cycle) {
       return false;
     }
     // Undo writes pending in the current (unpushed) cycle first.
@@ -78,15 +87,15 @@ class RollbackRing {
     }
     pending_writes_.clear();
     // Pop entries newer than the target, undoing their writes.
-    while (!ring_.empty() && ring_.back().cycle > target_cycle) {
-      const Entry& e = ring_.back();
+    while (!ring_.empty() && ring_.back()->cycle > target_cycle) {
+      const Entry& e = *ring_.back();
       for (auto it = e.writes.rbegin(); it != e.writes.rend(); ++it) {
         undo(it->first, it->second);
       }
       ring_.pop_back();
     }
     if (ring_.empty()) return false;
-    const Entry& t = ring_.back();
+    const Entry& t = *ring_.back();
     reg.restore(t.ff);
     out->regs = t.regs;
     out->committed = t.committed;
@@ -97,16 +106,27 @@ class RollbackRing {
 
   // Serialization copy truncated to entries at or after `min_cycle`.
   // Entries older than every reachable restore target are dead weight in a
-  // checkpoint (restoring to them is impossible), and the ring is by far
-  // the largest part of a snapshot when IR/EIR recovery is armed.
+  // checkpoint (restoring to them is impossible).  The surviving entries
+  // are shared, not copied.
   [[nodiscard]] RollbackRing pruned(std::uint64_t min_cycle) const {
     RollbackRing out;
     out.depth_ = depth_;
     out.pending_writes_ = pending_writes_;
-    for (const Entry& e : ring_) {
-      if (e.cycle >= min_cycle) out.ring_.push_back(e);
+    for (const auto& e : ring_) {
+      if (e->cycle >= min_cycle) out.ring_.push_back(e);
     }
     return out;
+  }
+
+  // Bytes this ring pins (entry payloads counted once per reference; use
+  // for checkpoint size accounting, where sharing is the point).
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    std::size_t n = pending_writes_.size() * 8;
+    for (const auto& e : ring_) {
+      n += sizeof(Entry) + e->ff.size() * 8 + e->regs.size() * 4 +
+           e->writes.size() * 8;
+    }
+    return n;
   }
 
  private:
@@ -121,7 +141,7 @@ class RollbackRing {
   };
 
   std::size_t depth_ = 0;
-  std::deque<Entry> ring_;
+  std::deque<std::shared_ptr<const Entry>> ring_;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> pending_writes_;
 };
 

@@ -165,19 +165,6 @@ struct GoldenTrajectory {
   std::vector<arch::CoreCheckpoint> checkpoints;  // at cycles 0, I, 2I, ...
 };
 
-std::uint64_t pick_interval(const CampaignSpec& spec,
-                            std::uint64_t nominal_cycles) {
-  std::uint64_t interval = spec.checkpoint_interval;
-  if (interval == 0) {
-    interval = static_cast<std::uint64_t>(
-        std::max(0L, util::env_long("CLEAR_CHECKPOINT_INTERVAL", 0)));
-  }
-  if (interval == 0) {
-    interval = std::max<std::uint64_t>(64, nominal_cycles / 96);
-  }
-  return interval;
-}
-
 // Runs one faulty execution forked from the nearest golden checkpoint and
 // classifies it.  Early-terminates as soon as the faulty state provably
 // re-converges to the golden trajectory at a checkpoint boundary.
@@ -236,6 +223,82 @@ struct CampaignJob {
   std::vector<std::vector<OutcomeCounts>> partials;
 };
 
+// ---- adaptive snapshot placement -------------------------------------------
+//
+// Approximate cost of taking one golden snapshot, in simulated-cycle
+// equivalents.  With the COW arena a snapshot is a few bounded memcpys plus
+// per-segment compares; this constant only steers the snapshot-count /
+// replay-prefix trade-off, it does not affect results.
+constexpr std::uint64_t kSnapEquivCycles = 3000;
+
+// Snapshot interval for one campaign.  Priority:
+//   1. spec.checkpoint_interval / CLEAR_CHECKPOINT_INTERVAL: fixed-interval
+//      escape hatch, used verbatim.
+//   2. CLEAR_CHECKPOINT_DENSITY <= 0: the legacy ~1/96-of-run auto rule.
+//   3. Otherwise adaptive: every faulty sample's injection cycle derives
+//      from its global index alone (see run_faulty_sample), so the shard's
+//      fork-origin distribution is known *before* any faulty run starts.
+//      Pick the interval minimizing snapshot cost + golden-prefix replay
+//      cost over that distribution, then scale the snapshot count by the
+//      density knob.  The choice only moves work around -- per-sample
+//      injections and outcomes are interval-independent, so results stay
+//      bit-identical at any density.
+std::uint64_t pick_interval(const CampaignJob& job,
+                            std::uint64_t nominal_cycles) {
+  const CampaignSpec& spec = *job.spec;
+  std::uint64_t interval = spec.checkpoint_interval;
+  if (interval == 0) {
+    interval = static_cast<std::uint64_t>(
+        std::max(0L, util::env_long("CLEAR_CHECKPOINT_INTERVAL", 0)));
+  }
+  if (interval != 0) return interval;
+  const std::uint64_t legacy = std::max<std::uint64_t>(64, nominal_cycles / 96);
+  const double density = util::env_double("CLEAR_CHECKPOINT_DENSITY", 1.0);
+  if (!(density > 0.0)) return legacy;
+  // Replay the per-sample RNG draws (identical order to run_faulty_sample)
+  // to collect the non-suppressed injection cycles this shard will fork at.
+  std::vector<std::uint64_t> cycles;
+  cycles.reserve(job.local_count);
+  for (std::size_t l = 0; l < job.local_count; ++l) {
+    const std::size_t g = l * spec.shard_count + spec.shard_index;
+    util::Rng rng(util::hash_combine(spec.seed, g));
+    const auto ff = static_cast<std::uint32_t>(g % job.ff_count);
+    const std::uint64_t cycle = 1 + rng.below(nominal_cycles - 1);
+    const arch::FFProt p =
+        spec.cfg != nullptr ? spec.cfg->prot_of(ff) : arch::FFProt::kNone;
+    if (rng.bernoulli(ser_ratio(p))) cycles.push_back(cycle);
+  }
+  if (cycles.empty()) return legacy;  // all strikes suppressed: no forks
+  // A sample at cycle c re-simulates c % I golden cycles after forking;
+  // the golden pass takes ~nominal/I snapshots.  Scan geometric candidate
+  // counts (the cost curve is smooth, halving resolution is plenty).
+  const auto cost_of = [&](std::uint64_t iv) {
+    std::uint64_t c = (nominal_cycles / iv + 1) * kSnapEquivCycles;
+    for (const std::uint64_t cyc : cycles) c += cyc % iv;
+    return c;
+  };
+  std::uint64_t best_interval = legacy;
+  std::uint64_t best_cost = cost_of(legacy);
+  for (std::uint64_t count = 1; count <= 4096; count *= 2) {
+    const std::uint64_t iv = std::max<std::uint64_t>(16, nominal_cycles / count);
+    const std::uint64_t c = cost_of(iv);
+    if (c < best_cost) {
+      best_cost = c;
+      best_interval = iv;
+    }
+    if (iv <= 16) break;
+  }
+  if (density != 1.0) {
+    const double scaled =
+        static_cast<double>(nominal_cycles) /
+        static_cast<double>(best_interval) * density;
+    best_interval = std::max<std::uint64_t>(
+        16, static_cast<std::uint64_t>(static_cast<double>(nominal_cycles) /
+                                       std::max(1.0, scaled)));
+  }
+  return best_interval;
+}
+
 // Records the golden (error-free) reference run; with checkpointing it
 // doubles as the recording pass for the fork snapshots and convergence
 // hashes.  Runs on a pool worker so recordings of different campaigns
@@ -253,7 +316,7 @@ void record_golden(CampaignJob& job, const std::atomic<bool>* cancel) {
     if (job.golden.status != isa::RunStatus::kHalted) {
       throw std::runtime_error("golden run did not halt for key " + spec.key);
     }
-    job.traj.interval = pick_interval(spec, job.golden.cycles);
+    job.traj.interval = pick_interval(job, job.golden.cycles);
     gcore->begin(*spec.program, spec.cfg, nullptr);
     job.traj.checkpoints.emplace_back();
     gcore->snapshot(&job.traj.checkpoints.back());

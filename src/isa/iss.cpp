@@ -1,5 +1,8 @@
 #include "isa/iss.h"
 
+#include <algorithm>
+#include <cstring>
+
 namespace clear::isa {
 
 const char* run_status_name(RunStatus s) noexcept {
@@ -161,6 +164,116 @@ bool Machine::step() {
   }
   pc_ = next_pc;
   return true;
+}
+
+void Machine::capture_delta(const std::uint32_t* ref, std::size_t ref_words,
+                            MachineDelta* out) const {
+  out->present = true;
+  out->pc = pc_;
+  out->status = status_;
+  out->trap = trap_;
+  out->exit_code = exit_code_;
+  out->det_id = det_id_;
+  out->steps = steps_;
+  for (int i = 0; i < kNumRegs; ++i) out->regs[i] = regs_[i];
+  out->output = output_;
+  out->mem_delta.clear();
+  // Block-wise memcmp first: the shadow trails the main core by at most the
+  // in-flight window, so almost every block is byte-identical to the
+  // reference and the scan runs at memcmp speed.  Word-level probing only
+  // happens inside blocks that actually differ.
+  constexpr std::size_t kBlk = 512;
+  const std::size_t common = mem_.size() < ref_words ? mem_.size() : ref_words;
+  for (std::size_t b = 0; b < common; b += kBlk) {
+    const std::size_t len = common - b < kBlk ? common - b : kBlk;
+    if (std::memcmp(mem_.data() + b, ref + b, len * 4) == 0) continue;
+    for (std::size_t i = b; i < b + len; ++i) {
+      if (mem_[i] != ref[i]) {
+        out->mem_delta.push_back(static_cast<std::uint64_t>(i) << 32 |
+                                 mem_[i]);
+      }
+    }
+  }
+  for (std::size_t i = common; i < mem_.size(); ++i) {
+    if (mem_[i] != 0) {
+      out->mem_delta.push_back(static_cast<std::uint64_t>(i) << 32 | mem_[i]);
+    }
+  }
+}
+
+void Machine::restore_delta(const MachineDelta& d, const std::uint32_t* ref,
+                            std::size_t ref_words) {
+  pc_ = d.pc;
+  status_ = d.status;
+  trap_ = d.trap;
+  exit_code_ = d.exit_code;
+  det_id_ = d.det_id;
+  steps_ = d.steps;
+  for (int i = 0; i < kNumRegs; ++i) regs_[i] = d.regs[i];
+  output_ = d.output;
+  // mem_ := ref patched with the delta.  A fork restores from the same
+  // checkpoint over and over with a mostly-converged shadow, so copy only
+  // the blocks that actually differ (same trick as ArenaSnapshot).
+  constexpr std::size_t kBlk = 512;
+  const std::size_t n = mem_.size() < ref_words ? mem_.size() : ref_words;
+  for (std::size_t b = 0; b < n; b += kBlk) {
+    const std::size_t len = n - b < kBlk ? n - b : kBlk;
+    if (std::memcmp(mem_.data() + b, ref + b, len * 4) != 0) {
+      std::memcpy(mem_.data() + b, ref + b, len * 4);
+    }
+  }
+  std::fill(mem_.begin() + static_cast<std::ptrdiff_t>(n), mem_.end(), 0u);
+  for (std::uint64_t e : d.mem_delta) {
+    const std::size_t idx = static_cast<std::size_t>(e >> 32);
+    if (idx < mem_.size()) mem_[idx] = static_cast<std::uint32_t>(e);
+  }
+}
+
+bool Machine::matches_delta(const MachineDelta& d, const std::uint32_t* ref,
+                            std::size_t ref_words) const {
+  if (pc_ != d.pc || status_ != d.status) return false;
+  for (int i = 0; i < kNumRegs; ++i) {
+    if (regs_[i] != d.regs[i]) return false;
+  }
+  if (output_ != d.output) return false;
+  // Single-pass merge over (reference image, sorted delta): mem_[i] must
+  // equal the delta's value where one exists, the reference elsewhere.
+  // Delta-free stretches are compared block-wise at memcmp speed.
+  constexpr std::size_t kBlk = 512;
+  const std::size_t common = mem_.size() < ref_words ? mem_.size() : ref_words;
+  std::size_t di = 0;
+  std::size_t i = 0;
+  while (i < common) {
+    const std::size_t next_delta =
+        di < d.mem_delta.size()
+            ? static_cast<std::size_t>(d.mem_delta[di] >> 32)
+            : common;
+    if (next_delta > i) {
+      // No patched words until next_delta: memcmp the gap in blocks.
+      const std::size_t gap_end = next_delta < common ? next_delta : common;
+      while (i < gap_end) {
+        const std::size_t len =
+            gap_end - i < kBlk ? gap_end - i : kBlk;
+        if (std::memcmp(mem_.data() + i, ref + i, len * 4) != 0) return false;
+        i += len;
+      }
+      continue;
+    }
+    if (next_delta < i) return false;  // delta index behind cursor: malformed
+    if (mem_[i] != static_cast<std::uint32_t>(d.mem_delta[di])) return false;
+    ++di;
+    ++i;
+  }
+  for (; i < mem_.size(); ++i) {
+    std::uint32_t expect = 0;
+    if (di < d.mem_delta.size() &&
+        static_cast<std::size_t>(d.mem_delta[di] >> 32) == i) {
+      expect = static_cast<std::uint32_t>(d.mem_delta[di]);
+      ++di;
+    }
+    if (mem_[i] != expect) return false;
+  }
+  return di == d.mem_delta.size();
 }
 
 RunResult run_program(const Program& prog, std::uint64_t max_steps) {

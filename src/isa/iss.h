@@ -35,6 +35,34 @@ struct RunResult {
   std::vector<std::uint32_t> output;
 };
 
+// Machine state delta-encoded against a reference memory image.  The
+// monitor-core checker's shadow Machine trails the main core by at most the
+// in-flight window, so its memory differs from the main core's image in a
+// handful of words; a checkpoint stores only those words plus the scalar
+// state instead of a full deep Machine copy (which used to dominate
+// checkpoint bytes on the OoO core).  The reference image must be captured
+// and re-supplied atomically with the delta -- the cores use their own
+// checkpointed data memory, restored first.
+struct MachineDelta {
+  bool present = false;  // false: no shadow machine existed at the snapshot
+  std::uint32_t pc = 0;
+  RunStatus status = RunStatus::kRunning;
+  Trap trap = Trap::kNone;
+  std::int32_t exit_code = 0;
+  std::int32_t det_id = 0;
+  std::uint64_t steps = 0;
+  std::uint32_t regs[kNumRegs] = {};
+  std::vector<std::uint32_t> output;
+  // Words where shadow memory differs from the reference:
+  // (word_index << 32) | value.
+  std::vector<std::uint64_t> mem_delta;
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    if (!present) return 0;
+    return sizeof(*this) + output.size() * 4 + mem_delta.size() * 8;
+  }
+};
+
 // Architectural machine state with single-instruction stepping.
 class Machine {
  public:
@@ -75,6 +103,20 @@ class Machine {
   }
 
   const Program& program() const noexcept { return *prog_; }
+
+  // ---- delta checkpointing against a reference memory image ----
+  // `ref`/`ref_words` is the image the delta is relative to (the main
+  // core's checkpointed data memory).  Hooks are untouched by all three.
+  void capture_delta(const std::uint32_t* ref, std::size_t ref_words,
+                     MachineDelta* out) const;
+  void restore_delta(const MachineDelta& d, const std::uint32_t* ref,
+                     std::size_t ref_words);
+  // Equality of the forward-relevant state only (pc, status, registers,
+  // output, memory) -- mirrors what the cores' state_matches() compared
+  // when checkpoints held full Machine copies.
+  [[nodiscard]] bool matches_delta(const MachineDelta& d,
+                                   const std::uint32_t* ref,
+                                   std::size_t ref_words) const;
 
   // Called before each instruction executes (after fetch+decode).  Used by
   // injection drivers and assertion trainers.  Must not dangle: hooks are
