@@ -30,6 +30,8 @@ constexpr const char* kTopHelp =
     "  serve    shard-worker daemon: manifests in over a local socket,\n"
     "           progress events and .csr payloads streamed back\n"
     "  submit   send a manifest to a serve daemon, collect its .csr files\n"
+    "  fleet    orchestrate many serve workers: work-stealing shard\n"
+    "           dispatch, dead-worker redispatch, live result merge\n"
     "  version  binary + wire/ledger/pack format versions (--json)\n"
     "\n"
     "run 'clear <command> --help' for per-command flags.\n";
@@ -121,6 +123,7 @@ int run(int argc, char** argv) {
     if (cmd == "explore") return cmd_explore(sub_argc, sub_argv);
     if (cmd == "serve") return cmd_serve(sub_argc, sub_argv);
     if (cmd == "submit") return cmd_submit(sub_argc, sub_argv);
+    if (cmd == "fleet") return cmd_fleet(sub_argc, sub_argv);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
       std::fputs(kTopHelp, stdout);
       return 0;

@@ -56,6 +56,10 @@ int cmd_explore(int argc, const char* const* argv);
 // client (engine/protocol.h speaks the framing in docs/FORMATS.md).
 int cmd_serve(int argc, const char* const* argv);
 int cmd_submit(int argc, const char* const* argv);
+// `clear fleet <run|explore>`: multi-worker orchestration over serve
+// daemons (fleet/fleet.h): work-stealing shard dispatch, dead-worker
+// redispatch, live re-merge of arriving results.
+int cmd_fleet(int argc, const char* const* argv);
 // `clear version [--json]`.
 int cmd_version(int argc, const char* const* argv);
 

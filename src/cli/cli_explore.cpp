@@ -10,6 +10,7 @@
 // jobs each run `clear explore run --shard k/K`, ship their .cxl home,
 // the frontend folds them with `clear explore merge` -- bit-identical to
 // the unsharded exploration -- and renders them with `frontier`/`report`.
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +18,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cli/cli.h"
@@ -550,6 +552,82 @@ int explore_report(int argc, const char* const* argv) {
   return 0;
 }
 
+int explore_watch(int argc, const char* const* argv) {
+  util::ArgParser args(
+      "clear explore watch --ledger <file> [options]",
+      "Follows a ledger a fleet (or K sharded 'clear explore run' jobs)\n"
+      "is merging into: polls the file, prints a line whenever coverage\n"
+      "or the record count advances, and exits 0 once the exploration is\n"
+      "complete.  The writer rewrites atomically (tmp + rename), so every\n"
+      "poll sees a consistent ledger.");
+  args.add_option("ledger", "file", "merged ledger to follow (required)");
+  args.add_option("interval-ms", "N", "poll interval", "500");
+  args.add_option("timeout-ms", "N",
+                  "give up after N ms without completion (0 = never)", "0");
+  args.add_flag("once", "print one snapshot and exit (0 even if incomplete)");
+
+  std::string error;
+  if (!args.parse(argc, argv, &error)) {
+    std::fprintf(stderr, "clear explore watch: %s\n%s", error.c_str(),
+                 args.help().c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.help().c_str(), stdout);
+    return 0;
+  }
+  if (!args.has("ledger")) {
+    std::fprintf(stderr, "clear explore watch: --ledger is required\n%s",
+                 args.help().c_str());
+    return 2;
+  }
+  std::uint64_t interval_ms = 500, timeout_ms = 0;
+  if (!args.get_u64("interval-ms", 500, &interval_ms) || interval_ms == 0 ||
+      !args.get_u64("timeout-ms", 0, &timeout_ms)) {
+    std::fprintf(stderr, "clear explore watch: bad numeric flag value\n");
+    return 2;
+  }
+  const std::string path = args.get("ledger");
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+
+  std::size_t last_records = static_cast<std::size_t>(-1);
+  std::size_t last_covered = static_cast<std::size_t>(-1);
+  for (;;) {
+    explore::Ledger l;
+    const explore::LedgerStatus st = explore::load_ledger_file(path, &l);
+    if (st == explore::LedgerStatus::kOk) {
+      if (l.records.size() != last_records ||
+          l.covered.size() != last_covered) {
+        last_records = l.records.size();
+        last_covered = l.covered.size();
+        std::printf("watch      %s: shards %zu/%u, records %zu, missing "
+                    "%zu%s\n",
+                    path.c_str(), l.covered.size(), l.shard_count,
+                    l.records.size(), l.missing_indices().size(),
+                    l.complete() ? " -- complete" : "");
+        std::fflush(stdout);
+      }
+      if (l.complete()) return 0;
+    } else if (last_records == static_cast<std::size_t>(-1)) {
+      // Not written yet (fleet still waiting on its first shard): report
+      // once, keep polling.
+      std::printf("watch      %s: waiting (%s)\n", path.c_str(),
+                  explore::ledger_status_name(st));
+      std::fflush(stdout);
+      last_records = static_cast<std::size_t>(-2);
+    }
+    if (args.has("once")) return 0;
+    if (timeout_ms != 0 && std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr,
+                   "clear explore watch: timed out after %llu ms\n",
+                   static_cast<unsigned long long>(timeout_ms));
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
 constexpr const char* kExploreHelp =
     "usage: clear explore <command> [options]\n"
     "\n"
@@ -563,6 +641,7 @@ constexpr const char* kExploreHelp =
     "  merge     fold shard ledgers into one .cxl (refuses mismatches)\n"
     "  frontier  Pareto frontier + cheapest target-meeting combinations\n"
     "  report    ledger identity, coverage and record statistics\n"
+    "  watch     follow a merging ledger until the exploration completes\n"
     "\n"
     "run 'clear explore <command> --help' for per-command flags.\n";
 
@@ -578,6 +657,7 @@ int cmd_explore(int argc, const char* const* argv) {
   if (sub == "merge") return explore_merge(argc - 1, argv + 1);
   if (sub == "frontier") return explore_frontier(argc - 1, argv + 1);
   if (sub == "report") return explore_report(argc - 1, argv + 1);
+  if (sub == "watch") return explore_watch(argc - 1, argv + 1);
   if (sub == "--help" || sub == "-h" || sub == "help") {
     std::fputs(kExploreHelp, stdout);
     return 0;

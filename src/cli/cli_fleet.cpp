@@ -1,0 +1,405 @@
+// `clear fleet`: the multi-worker campaign/exploration orchestrator.
+//
+//   clear fleet run      shard a multi-campaign manifest across `clear
+//                        serve` workers and live-merge the returned .csr
+//                        payloads into watchable output files.
+//   clear fleet explore  shard an exploration's combination space across
+//                        workers and live-merge the returned .cxl shard
+//                        ledgers into one ledger file -- `clear explore
+//                        watch` (or frontier/report) reads it while the
+//                        fleet is still running.
+//
+// Worker endpoints are positional operands: a UNIX socket path,
+// `tcp:PORT` for 127.0.0.1 TCP, and either form with `@N` appended to
+// address the N children of `clear serve --workers N` (path.0..path.N-1 /
+// PORT..PORT+N-1).  Scheduling (work-stealing dispatch, ack deadlines,
+// dead-worker redispatch) lives in fleet/fleet.h; every redispatch is
+// bit-identical to a single-worker run because shard results derive from
+// the global sample/combo index alone.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+#include "cli/runplan.h"
+#include "explore/explore.h"
+#include "explore/ledger.h"
+#include "fleet/fleet.h"
+#include "inject/wire.h"
+#include "util/args.h"
+#include "util/fs.h"
+
+namespace clear::cli {
+
+namespace {
+
+void add_driver_flags(util::ArgParser* args) {
+  args->add_option("shards", "K", "shard count (default: worker count)", "0");
+  args->add_option("priority", "interactive|bulk", "worker scheduling lane",
+                   "bulk");
+  args->add_option("connect-retry-ms", "N",
+                   "per-worker connect retry budget", "5000");
+  args->add_option("hello-timeout-ms", "N",
+                   "give up on a silent worker's hello after N ms", "10000");
+  args->add_option("dead-after-ms", "N",
+                   "declare a worker dead after N ms without a frame",
+                   "5000");
+  args->add_option("ack-timeout-ms", "N",
+                   "steal an unacknowledged shard after N ms", "3000");
+  args->add_option("max-attempts", "N",
+                   "give up after a shard fails N times", "3");
+  args->add_flag("shutdown", "ask workers to exit when the fleet completes");
+  args->add_flag("quiet", "suppress scheduling log lines");
+}
+
+bool parse_driver_flags(const util::ArgParser& args, const char* ctx,
+                        fleet::FleetOptions* opts, std::uint64_t* shards) {
+  std::uint64_t connect_ms = 0, hello_ms = 0, dead_ms = 0, ack_ms = 0,
+                attempts = 0;
+  if (!args.get_u64("shards", 0, shards) || *shards > 65536 ||
+      !args.get_u64("connect-retry-ms", 5000, &connect_ms) ||
+      !args.get_u64("hello-timeout-ms", 10000, &hello_ms) || hello_ms == 0 ||
+      !args.get_u64("dead-after-ms", 5000, &dead_ms) || dead_ms == 0 ||
+      !args.get_u64("ack-timeout-ms", 3000, &ack_ms) || ack_ms == 0 ||
+      !args.get_u64("max-attempts", 3, &attempts) || attempts == 0) {
+    std::fprintf(stderr, "%s: bad numeric flag value\n", ctx);
+    return false;
+  }
+  const std::string priority = args.get("priority");
+  if (priority == "bulk") {
+    opts->priority = engine::JobPriority::kBulk;
+  } else if (priority == "interactive") {
+    opts->priority = engine::JobPriority::kInteractive;
+  } else {
+    std::fprintf(stderr, "%s: bad --priority '%s'\n", ctx, priority.c_str());
+    return false;
+  }
+  opts->connect_retry_ms = static_cast<int>(connect_ms);
+  opts->hello_timeout_ms = static_cast<int>(hello_ms);
+  opts->dead_after_ms = static_cast<int>(dead_ms);
+  opts->ack_timeout_ms = static_cast<int>(ack_ms);
+  opts->max_attempts = static_cast<int>(attempts);
+  opts->shutdown_workers = args.has("shutdown");
+  return true;
+}
+
+fleet::EventFn make_event_logger(bool quiet) {
+  if (quiet) return {};
+  return [](const fleet::FleetEvent& e) {
+    using Kind = fleet::FleetEvent::Kind;
+    switch (e.kind) {
+      case Kind::kWorkerUp:
+        std::printf("fleet      worker #%zu up: %s\n", e.worker,
+                    e.worker_name.c_str());
+        break;
+      case Kind::kWorkerDead:
+        std::printf("fleet      worker #%zu (%s) DEAD -- redispatching\n",
+                    e.worker, e.worker_name.c_str());
+        break;
+      case Kind::kAssign:
+        std::printf("fleet      shard #%llu -> worker #%zu (%s)\n",
+                    static_cast<unsigned long long>(e.shard_id), e.worker,
+                    e.worker_name.c_str());
+        break;
+      case Kind::kShardDone:
+        std::printf("fleet      shard #%llu done (worker #%zu)\n",
+                    static_cast<unsigned long long>(e.shard_id), e.worker);
+        break;
+      case Kind::kRequeue:
+        std::printf("fleet      shard #%llu requeued (from worker #%zu)\n",
+                    static_cast<unsigned long long>(e.shard_id), e.worker);
+        break;
+      case Kind::kAck:
+      case Kind::kProgress:
+        break;  // per-frame noise
+    }
+    std::fflush(stdout);
+  };
+}
+
+void print_registry(const fleet::FleetReport& report) {
+  std::printf("\nworker registry:\n");
+  std::printf("  %-4s %-20s %-24s %-9s %-6s %s\n", "#", "endpoint", "name",
+              "capacity", "state", "shards");
+  for (const fleet::WorkerStatus& w : report.workers) {
+    std::printf("  %-4zu %-20s %-24s %-9u %-6s %zu\n", w.index,
+                w.endpoint.c_str(), w.name.c_str(), w.capacity,
+                fleet::worker_state_name(w.state), w.shards_done);
+  }
+  std::printf("  redispatched shards: %zu, workers lost: %zu\n",
+              report.redispatched, report.workers_lost);
+  std::fflush(stdout);
+}
+
+int fleet_run(int argc, const char* const* argv) {
+  util::ArgParser args(
+      "clear fleet run --spec <file> [options] <worker>...",
+      "Shards a multi-campaign manifest (the 'clear run --spec' grammar)\n"
+      "across 'clear serve' workers -- every campaign stanza gains\n"
+      "--shard k/K -- and live-merges the returned .csr payloads into\n"
+      "out-dir/campaign<i>.csr, rewritten atomically as shards arrive.\n"
+      "The merged files are bit-identical to an unsharded local run,\n"
+      "whichever workers executed (or re-executed) each shard.");
+  args.add_option("spec", "file", "manifest to shard (required)");
+  args.add_option("out-dir", "dir", "write merged campaign<i>.csr here",
+                  ".");
+  add_driver_flags(&args);
+  args.allow_positionals("worker",
+                         "endpoints: socket path | tcp:PORT (append @N for "
+                         "--workers children)");
+
+  std::string error;
+  if (!args.parse(argc, argv, &error)) {
+    std::fprintf(stderr, "clear fleet run: %s\n%s", error.c_str(),
+                 args.help().c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.help().c_str(), stdout);
+    return 0;
+  }
+  if (!args.has("spec")) {
+    std::fprintf(stderr, "clear fleet run: --spec is required\n%s",
+                 args.help().c_str());
+    return 2;
+  }
+  fleet::FleetOptions opts;
+  std::uint64_t shard_count = 0;
+  if (!parse_driver_flags(args, "clear fleet run", &opts, &shard_count)) {
+    return 2;
+  }
+  std::vector<fleet::Endpoint> workers;
+  if (!fleet::expand_endpoints(args.positionals(), &workers, &error)) {
+    std::fprintf(stderr, "clear fleet run: %s\n", error.c_str());
+    return 2;
+  }
+  if (shard_count == 0) shard_count = workers.size();
+
+  std::ifstream spec_in(args.get("spec"), std::ios::binary);
+  if (!spec_in) {
+    std::fprintf(stderr, "clear fleet run: cannot read spec file '%s'\n",
+                 args.get("spec").c_str());
+    return 1;
+  }
+  std::ostringstream manifest;
+  manifest << spec_in.rdbuf();
+
+  std::vector<fleet::ShardWork> shards;
+  if (!fleet::build_campaign_shards(manifest.str(),
+                                    static_cast<std::uint32_t>(shard_count),
+                                    &shards, &error)) {
+    std::fprintf(stderr, "clear fleet run: %s\n", error.c_str());
+    return 2;
+  }
+  // Fail fast on a manifest no worker could resolve: the drive-side
+  // resolution is the same code every worker runs (runplan.h).
+  {
+    std::vector<RunPlan> probe;
+    if (!resolve_manifest_text(shards[0].text, "clear fleet run", &probe,
+                               &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+  }
+  const std::string out_dir = args.get("out-dir");
+  if (!util::ensure_dir(out_dir)) {
+    std::fprintf(stderr, "clear fleet run: cannot create out dir '%s'\n",
+                 out_dir.c_str());
+    return 1;
+  }
+
+  // Live re-merge: per campaign stanza, fold every arriving shard's .csr
+  // into out_dir/campaign<i>.csr (atomic rewrite) -- watchable while the
+  // fleet runs, complete when it returns.
+  std::map<std::uint32_t, std::vector<inject::ShardFile>> arrived;
+  const bool quiet = args.has("quiet");
+  const auto on_shard = [&](const fleet::ShardResult& res) {
+    for (std::size_t i = 0; i < res.payloads.size(); ++i) {
+      inject::ShardFile shard;
+      if (inject::decode_shard(res.payloads[i], &shard) !=
+          inject::WireStatus::kOk) {
+        throw std::runtime_error(
+            "fleet: shard " + std::to_string(res.shard_id) + " campaign #" +
+            std::to_string(i) + " failed .csr decode");
+      }
+      auto& parts = arrived[static_cast<std::uint32_t>(i)];
+      parts.push_back(std::move(shard));
+      const inject::ShardFile merged = inject::merge_shard_files(parts);
+      inject::write_shard_file(
+          out_dir + "/campaign" + std::to_string(i) + ".csr", merged);
+    }
+  };
+
+  try {
+    const fleet::FleetReport report = fleet::run_fleet(
+        workers, shards, opts, make_event_logger(quiet), on_shard);
+    if (!quiet) print_registry(report);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "clear fleet run: %s\n", e.what());
+    return 1;
+  }
+  if (!quiet) {
+    std::printf("fleet      %zu campaign file(s) merged into %s\n",
+                arrived.size(), out_dir.c_str());
+  }
+  return 0;
+}
+
+int fleet_explore(int argc, const char* const* argv) {
+  util::ArgParser args(
+      "clear fleet explore --ledger <file> [options] <worker>...",
+      "Shards an exploration's combination space across 'clear serve'\n"
+      "workers (combo i belongs to shard i % K) and live-merges the\n"
+      "returned .cxl shard ledgers into --ledger, rewritten atomically\n"
+      "as shards arrive -- 'clear explore watch' follows it live, and\n"
+      "frontier/report read it any time.  Bit-identical to 'clear\n"
+      "explore run' on one machine.");
+  args.add_option("ledger", "file", "merged output ledger (required)");
+  args.add_option("core", "C", "core model: InO or OoO", "InO");
+  args.add_option("target", "X", "SDC/DUE improvement target", "50");
+  args.add_option("metric", "M", "optimization metric: sdc|due|joint",
+                  "sdc");
+  args.add_option("seed", "N", "campaign seed", "1");
+  args.add_option("per-ff", "N",
+                  "injections per FF per benchmark (0 = default scale)",
+                  "0");
+  args.add_option("benches", "CSV", "benchmark subset (default: full suite)",
+                  "");
+  args.add_option("batch", "N", "combos per scheduling batch (0 = default)",
+                  "0");
+  args.add_flag("no-prune", "evaluate every combination (no dominance "
+                "pruning)");
+  add_driver_flags(&args);
+  args.allow_positionals("worker",
+                         "endpoints: socket path | tcp:PORT (append @N for "
+                         "--workers children)");
+
+  std::string error;
+  if (!args.parse(argc, argv, &error)) {
+    std::fprintf(stderr, "clear fleet explore: %s\n%s", error.c_str(),
+                 args.help().c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.help().c_str(), stdout);
+    return 0;
+  }
+  if (!args.has("ledger")) {
+    std::fprintf(stderr, "clear fleet explore: --ledger is required\n%s",
+                 args.help().c_str());
+    return 2;
+  }
+  fleet::FleetOptions opts;
+  std::uint64_t shard_count = 0;
+  if (!parse_driver_flags(args, "clear fleet explore", &opts, &shard_count)) {
+    return 2;
+  }
+  std::vector<fleet::Endpoint> workers;
+  if (!fleet::expand_endpoints(args.positionals(), &workers, &error)) {
+    std::fprintf(stderr, "clear fleet explore: %s\n", error.c_str());
+    return 2;
+  }
+  if (shard_count == 0) shard_count = workers.size();
+
+  // Assemble the spec through the same stanza grammar the workers parse:
+  // one grammar, one validation path.
+  std::string stanza = "--core " + args.get("core") + " --target " +
+                       args.get("target") + " --metric " +
+                       args.get("metric") + " --seed " + args.get("seed");
+  if (args.get("per-ff") != "0") stanza += " --per-ff " + args.get("per-ff");
+  if (!args.get("benches").empty()) {
+    stanza += " --benches " + args.get("benches");
+  }
+  if (args.get("batch") != "0") stanza += " --batch " + args.get("batch");
+  if (args.has("no-prune")) stanza += " --no-prune";
+
+  explore::ExploreSpec spec;
+  if (!fleet::parse_explore_stanza(stanza, &spec, &error)) {
+    std::fprintf(stderr, "clear fleet explore: %s\n", error.c_str());
+    return 2;
+  }
+  try {
+    (void)explore::resolve_identity(spec);  // fail fast on bad names
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "clear fleet explore: %s\n", e.what());
+    return 2;
+  }
+  const std::vector<fleet::ShardWork> shards = fleet::build_explore_shards(
+      spec, static_cast<std::uint32_t>(shard_count));
+
+  const std::string ledger_path = args.get("ledger");
+  std::vector<explore::Ledger> arrived;
+  const bool quiet = args.has("quiet");
+  const auto on_shard = [&](const fleet::ShardResult& res) {
+    if (res.payloads.size() != 1) {
+      throw std::runtime_error("fleet: explore shard " +
+                               std::to_string(res.shard_id) +
+                               " returned no ledger payload");
+    }
+    explore::Ledger ledger;
+    if (explore::decode_ledger(res.payloads[0], &ledger) !=
+        explore::LedgerStatus::kOk) {
+      throw std::runtime_error("fleet: explore shard " +
+                               std::to_string(res.shard_id) +
+                               " failed .cxl decode");
+    }
+    arrived.push_back(std::move(ledger));
+    const explore::Ledger merged = explore::merge_ledger_files(arrived);
+    explore::write_ledger_file(ledger_path, merged);
+  };
+
+  try {
+    const fleet::FleetReport report = fleet::run_fleet(
+        workers, shards, opts, make_event_logger(quiet), on_shard);
+    if (!quiet) print_registry(report);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "clear fleet explore: %s\n", e.what());
+    return 1;
+  }
+  if (!quiet) {
+    std::printf("fleet      merged ledger written to %s\n",
+                ledger_path.c_str());
+  }
+  return 0;
+}
+
+constexpr const char* kFleetHelp =
+    "usage: clear fleet <command> [options] <worker>...\n"
+    "\n"
+    "Multi-worker orchestration over 'clear serve' daemons: a worker\n"
+    "registry fed by hello/heartbeat frames, work-stealing shard\n"
+    "dispatch, dead-worker redispatch, and live re-merge of arriving\n"
+    "results (docs/ARCHITECTURE.md shows the data flow).\n"
+    "\n"
+    "commands:\n"
+    "  run       shard a campaign manifest, live-merge .csr results\n"
+    "  explore   shard a combination-space exploration, live-merge the\n"
+    "            .cxl ledger ('clear explore watch' follows it)\n"
+    "\n"
+    "worker endpoints are positional: a UNIX socket path, tcp:PORT, or\n"
+    "either with @N appended for the children of 'clear serve --workers\n"
+    "N'.  run 'clear fleet <command> --help' for per-command flags.\n";
+
+}  // namespace
+
+int cmd_fleet(int argc, const char* const* argv) {
+  if (argc < 1) {
+    std::fputs(kFleetHelp, stderr);
+    return 2;
+  }
+  const std::string sub = argv[0];
+  if (sub == "run") return fleet_run(argc - 1, argv + 1);
+  if (sub == "explore") return fleet_explore(argc - 1, argv + 1);
+  if (sub == "--help" || sub == "-h" || sub == "help") {
+    std::fputs(kFleetHelp, stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "clear fleet: unknown command '%s'\n\n", sub.c_str());
+  std::fputs(kFleetHelp, stderr);
+  return 2;
+}
+
+}  // namespace clear::cli

@@ -9,7 +9,7 @@ namespace {
 
 bool known_type(std::uint32_t t) {
   return t >= static_cast<std::uint32_t>(FrameType::kHello) &&
-         t <= static_cast<std::uint32_t>(FrameType::kDone);
+         t <= static_cast<std::uint32_t>(FrameType::kSteal);
 }
 
 }  // namespace
@@ -23,6 +23,10 @@ const char* frame_type_name(FrameType t) noexcept {
     case FrameType::kProgress: return "progress";
     case FrameType::kResult: return "result";
     case FrameType::kDone: return "done";
+    case FrameType::kHeartbeat: return "heartbeat";
+    case FrameType::kShardAssign: return "shard-assign";
+    case FrameType::kShardAck: return "shard-ack";
+    case FrameType::kSteal: return "steal";
   }
   return "?";
 }
@@ -73,6 +77,8 @@ std::string encode_hello(const Hello& h) {
   util::put_u32(&out, h.proto_version);
   util::put_u32(&out, h.wire_version);
   util::put_u32(&out, h.ledger_version);
+  util::put_u32(&out, h.capacity);
+  out.append(h.name);
   return out;
 }
 
@@ -82,11 +88,90 @@ bool decode_hello(const std::string& payload, Hello* out) {
   Hello h;
   if (!r.u32(&magic) || magic != kHelloMagic || !r.u32(&h.proto_version) ||
       !r.u32(&h.wire_version) || !r.u32(&h.ledger_version) ||
-      !r.exhausted()) {
+      !r.u32(&h.capacity)) {
     return false;
   }
+  // The name is the remainder of the payload (v2 fixed fields are 20
+  // bytes; anything after them is the worker's identity string).
+  constexpr std::size_t kFixed = 5 * 4;
+  h.name = payload.substr(kFixed);
   *out = h;
   return true;
+}
+
+// ---- fleet frames (v2) -----------------------------------------------------
+
+std::string encode_shard_assign(const ShardAssign& a) {
+  std::string out;
+  util::put_u64(&out, a.shard_id);
+  out.push_back(static_cast<char>(a.kind));
+  out.push_back(static_cast<char>(a.priority));
+  out.append(a.text);
+  return out;
+}
+
+bool decode_shard_assign(const std::string& payload, ShardAssign* out) {
+  if (payload.size() < 8 + 2) return false;
+  util::ByteReader r(payload.data(), payload.size());
+  ShardAssign a;
+  if (!r.u64(&a.shard_id)) return false;
+  const auto kind = static_cast<std::uint8_t>(payload[8]);
+  const auto prio = static_cast<std::uint8_t>(payload[9]);
+  if (kind > static_cast<std::uint8_t>(ShardKind::kExplore) ||
+      prio > static_cast<std::uint8_t>(engine::JobPriority::kBulk)) {
+    return false;
+  }
+  a.kind = static_cast<ShardKind>(kind);
+  a.priority = static_cast<engine::JobPriority>(prio);
+  a.text = payload.substr(10);
+  if (a.text.empty()) return false;  // an empty spec cannot be work
+  *out = a;
+  return true;
+}
+
+std::string encode_shard_ack(const ShardAck& a) {
+  std::string out;
+  util::put_u64(&out, a.shard_id);
+  out.push_back(static_cast<char>(a.status));
+  return out;
+}
+
+bool decode_shard_ack(const std::string& payload, ShardAck* out) {
+  if (payload.size() != 8 + 1) return false;
+  util::ByteReader r(payload.data(), payload.size());
+  ShardAck a;
+  if (!r.u64(&a.shard_id)) return false;
+  const auto status = static_cast<std::uint8_t>(payload[8]);
+  if (status > static_cast<std::uint8_t>(ShardAckStatus::kUnknown)) {
+    return false;
+  }
+  a.status = static_cast<ShardAckStatus>(status);
+  *out = a;
+  return true;
+}
+
+std::string encode_steal(std::uint64_t shard_id) {
+  std::string out;
+  util::put_u64(&out, shard_id);
+  return out;
+}
+
+bool decode_steal(const std::string& payload, std::uint64_t* shard_id) {
+  if (payload.size() != 8) return false;
+  util::ByteReader r(payload.data(), payload.size());
+  return r.u64(shard_id);
+}
+
+std::string encode_heartbeat(std::uint32_t inflight) {
+  std::string out;
+  util::put_u32(&out, inflight);
+  return out;
+}
+
+bool decode_heartbeat(const std::string& payload, std::uint32_t* inflight) {
+  if (payload.size() != 4) return false;
+  util::ByteReader r(payload.data(), payload.size());
+  return r.u32(inflight);
 }
 
 std::string encode_job(const JobRequest& j) {

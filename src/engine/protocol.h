@@ -1,5 +1,6 @@
-// `clear serve` wire protocol (version 1): the frame layer a shard-worker
-// daemon and its driver speak over a local stream socket.
+// `clear serve` wire protocol (version 2): the frame layer a shard-worker
+// daemon and its drivers (`clear submit`, the `clear fleet` orchestrator)
+// speak over a local stream socket.
 //
 // The daemon turns the run -> scp -> merge workflow into a live worker: a
 // driver connects, ships job requests (multi-campaign manifests in the
@@ -28,12 +29,23 @@
 //
 // Conversation:
 //
-//   server -> client   kHello                        (once, on accept)
+//   server -> client   kHello                        (once, on accept; carries
+//                                                     worker identity/capacity)
+//   server -> client   kHeartbeat                    (periodic liveness beacon;
+//                                                     a fleet driver declares a
+//                                                     silent worker dead)
 //   client -> server   kJob(priority, manifest)      (any number, pipelined)
-//   server -> client     kProgress*                  (for the front job)
-//   server -> client     kResult(index, csr bytes)*  (one per campaign)
-//   server -> client     kDone(status, message)      (job finished)
-//   client -> server   kCancel                       (cancels the front job)
+//   client -> server   kShardAssign(id, kind, ...)   (fleet shard dispatch; the
+//                                                     server answers kShardAck)
+//   server -> client     kShardAck(id, status)       (shard accepted/revoked)
+//   server -> client     kProgress*                  (for the front work item)
+//   server -> client     kResult(index, payload)*    (.csr per campaign, or one
+//                                                     .cxl for explore shards)
+//   server -> client     kDone(status, message)      (work item finished)
+//   client -> server   kCancel                       (cancels the front item)
+//   client -> server   kSteal(id)                    (revoke an undone shard so
+//                                                     the driver can re-dispatch
+//                                                     it; answered kShardAck)
 //   client -> server   kShutdown                     (server stops accepting
 //                                                     after this connection)
 #ifndef CLEAR_ENGINE_PROTOCOL_H
@@ -47,8 +59,11 @@
 
 namespace clear::serve {
 
-// Current (and newest understood) serve protocol version.
-constexpr std::uint32_t kProtoVersion = 1;
+// Current (and newest understood) serve protocol version.  v2 added the
+// fleet frames (heartbeat, shard-assign, shard-ack, steal) and the worker
+// identity/capacity fields in the hello; v1 peers are refused at the
+// hello, never misparsed.
+constexpr std::uint32_t kProtoVersion = 2;
 
 // "CSV1" little-endian, carried in the hello payload: identifies a clear
 // serve stream (CSR/CXL/CPK are files; CSV is the socket).
@@ -62,13 +77,18 @@ constexpr std::size_t kFrameHeaderSize = 16;
 constexpr std::uint32_t kMaxFrameLen = 256u << 20;
 
 enum class FrameType : std::uint32_t {
-  kHello = 1,     // server -> client, once per connection
-  kJob = 2,       // client -> server: u8 priority, then manifest text
-  kCancel = 3,    // client -> server: cancel the front job (empty payload)
-  kShutdown = 4,  // client -> server: stop accepting (empty payload)
-  kProgress = 5,  // server -> client: JobProgress snapshot
-  kResult = 6,    // server -> client: u32 campaign index, then .csr bytes
-  kDone = 7,      // server -> client: u8 JobOutcome, then message text
+  kHello = 1,        // server -> client, once per connection
+  kJob = 2,          // client -> server: u8 priority, then manifest text
+  kCancel = 3,       // client -> server: cancel the front job (empty payload)
+  kShutdown = 4,     // client -> server: stop accepting (empty payload)
+  kProgress = 5,     // server -> client: JobProgress snapshot
+  kResult = 6,       // server -> client: u32 campaign index, then .csr bytes
+  kDone = 7,         // server -> client: u8 JobOutcome, then message text
+  kHeartbeat = 8,    // server -> client: u32 in-flight work items (periodic)
+  kShardAssign = 9,  // client -> server: u64 shard id, u8 kind, u8 priority,
+                     // then the shard's spec text
+  kShardAck = 10,    // server -> client: u64 shard id, u8 ShardAckStatus
+  kSteal = 11,       // client -> server: u64 shard id to revoke
 };
 
 [[nodiscard]] const char* frame_type_name(FrameType t) noexcept;
@@ -110,10 +130,64 @@ struct Hello {
   std::uint32_t proto_version = kProtoVersion;
   std::uint32_t wire_version = 0;    // inject::kWireVersion of the server
   std::uint32_t ledger_version = 0;  // explore::kLedgerVersion
+  // Worker registration (v2): how much parallel work this worker can
+  // absorb (its campaign thread-pool width) and a human-readable identity
+  // ("host:pid" by default, `clear serve --name` to override) the fleet
+  // registry keys its reporting on.
+  std::uint32_t capacity = 0;
+  std::string name;
 };
 
 [[nodiscard]] std::string encode_hello(const Hello& h);
 [[nodiscard]] bool decode_hello(const std::string& payload, Hello* out);
+
+// ---- fleet frames (v2) -----------------------------------------------------
+
+// What a shard-assign asks the worker to execute.
+enum class ShardKind : std::uint8_t {
+  kCampaign = 0,  // spec text = `clear run --spec` manifest (one or more
+                  // stanzas); results stream back as one .csr per stanza
+  kExplore = 1,   // spec text = one `clear explore run` flag stanza
+                  // (--shard k/K selects the combo slice); the result is
+                  // a single .cxl ledger payload
+};
+
+struct ShardAssign {
+  std::uint64_t shard_id = 0;  // driver-chosen, echoed in the ack
+  ShardKind kind = ShardKind::kCampaign;
+  engine::JobPriority priority = engine::JobPriority::kBulk;
+  std::string text;  // manifest / explore stanza (grammar owned by `kind`)
+};
+
+[[nodiscard]] std::string encode_shard_assign(const ShardAssign& a);
+[[nodiscard]] bool decode_shard_assign(const std::string& payload,
+                                       ShardAssign* out);
+
+// kShardAck statuses.
+enum class ShardAckStatus : std::uint8_t {
+  kAccepted = 0,  // shard queued; kProgress/kResult/kDone will follow
+  kRevoked = 1,   // kSteal honoured: the shard was cancelled/unqueued and
+                  // will produce no kDone -- safe to re-dispatch
+  kUnknown = 2,   // kSteal named a shard this worker does not hold
+};
+
+struct ShardAck {
+  std::uint64_t shard_id = 0;
+  ShardAckStatus status = ShardAckStatus::kAccepted;
+};
+
+[[nodiscard]] std::string encode_shard_ack(const ShardAck& a);
+[[nodiscard]] bool decode_shard_ack(const std::string& payload, ShardAck* out);
+
+// kSteal payload: just the shard id.
+[[nodiscard]] std::string encode_steal(std::uint64_t shard_id);
+[[nodiscard]] bool decode_steal(const std::string& payload,
+                                std::uint64_t* shard_id);
+
+// kHeartbeat payload: work items currently held (queued + running).
+[[nodiscard]] std::string encode_heartbeat(std::uint32_t inflight);
+[[nodiscard]] bool decode_heartbeat(const std::string& payload,
+                                    std::uint32_t* inflight);
 
 struct JobRequest {
   engine::JobPriority priority = engine::JobPriority::kInteractive;

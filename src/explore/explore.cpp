@@ -204,6 +204,17 @@ Ledger run_exploration(const ExploreSpec& spec, const std::string& ledger_path,
   // batch seam.  Records are bit-identical with pipelining off: the
   // campaigns are deterministic and the memo install order per batch is
   // unchanged.
+  // Cancellation seam: dropping out here (or between combos below) is
+  // always clean -- records already appended are complete, and the
+  // in-flight prefetch ticket cancels its engine job on destruction.
+  const auto check_cancel = [&spec] {
+    if (spec.cancel != nullptr &&
+        spec.cancel->load(std::memory_order_relaxed)) {
+      throw ExploreCancelled();
+    }
+  };
+  check_cancel();
+
   core::PrefetchTicket next_batch;
   if (pipeline && !pending.empty()) {
     next_batch = session.prefetch_async(
@@ -211,6 +222,7 @@ Ledger run_exploration(const ExploreSpec& spec, const std::string& ledger_path,
   }
   for (std::size_t start = 0; start < pending.size(); start += batch) {
     const std::size_t end = std::min(pending.size(), start + batch);
+    check_cancel();
     // Make this batch's profiles resident: commit the in-flight prefetch
     // (pipelined) or collect them blocking.  Either way the batch's
     // campaigns ran as ONE engine submission: golden recording overlaps
@@ -227,6 +239,7 @@ Ledger run_exploration(const ExploreSpec& spec, const std::string& ledger_path,
     }
 
     for (std::size_t i = start; i < end; ++i) {
+      check_cancel();
       const std::uint32_t index = pending[i];
       const core::Combo& c = combos[index];
       LedgerRecord rec;

@@ -31,9 +31,11 @@
 #ifndef CLEAR_EXPLORE_EXPLORE_H
 #define CLEAR_EXPLORE_EXPLORE_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -73,6 +75,19 @@ struct ExploreSpec {
   // ledger records and bytes are bit-identical either way.
   //   -1 = CLEAR_EXPLORE_PIPELINE env (default on), 0 = off, 1 = on.
   int pipeline = -1;
+  // Cooperative cancellation (optional).  When non-null, run_exploration
+  // polls the flag at every combo seam and throws ExploreCancelled once
+  // it reads true.  A persistent ledger keeps every record appended so
+  // far (each is complete and exact -- a resumed run skips them); nothing
+  // partial is ever written.  The `clear serve` worker uses this to stop
+  // an explore shard whose driver vanished.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+// Thrown by run_exploration when ExploreSpec::cancel flipped true.
+class ExploreCancelled : public std::runtime_error {
+ public:
+  ExploreCancelled() : std::runtime_error("exploration cancelled") {}
 };
 
 // Running counters for progress reporting (counts from this run only,

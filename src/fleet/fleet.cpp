@@ -1,0 +1,818 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "cli/cli.h"
+#include "cli/runplan.h"
+#include "explore/ledger.h"
+#include "inject/wire.h"
+#include "util/socket.h"
+
+namespace clear::fleet {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// One bounded send keeps the driver loop responsive: a worker that
+// stopped draining its socket is as good as dead, and the dead-worker
+// path handles it.
+constexpr int kSendTimeoutMs = 30'000;
+
+int ms_since(Clock::time_point then, Clock::time_point now) {
+  return static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - then)
+          .count());
+}
+
+std::string format_double(double v) {
+  // Shortest representation that round-trips: %.15g when it re-parses
+  // exactly, %.17g (always exact for IEEE doubles) otherwise.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  if (std::strtod(buf, nullptr) != v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+const char* metric_token(core::Metric m) {
+  switch (m) {
+    case core::Metric::kSdc: return "sdc";
+    case core::Metric::kDue: return "due";
+    case core::Metric::kJoint: return "joint";
+  }
+  return "sdc";
+}
+
+bool parse_metric_token(const std::string& text, core::Metric* out) {
+  if (text == "sdc") *out = core::Metric::kSdc;
+  else if (text == "due") *out = core::Metric::kDue;
+  else if (text == "joint") *out = core::Metric::kJoint;
+  else return false;
+  return true;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : text) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+// Flags a fleet refuses inside a campaign stanza: sharding belongs to the
+// driver, and output/nesting/introspection flags direct a local CLI.
+bool forbidden_campaign_token(const std::string& tok, std::string* which) {
+  static constexpr const char* kForbidden[] = {
+      "--shard", "--out", "--spec", "--dry-run", "--list-benches"};
+  for (const char* f : kForbidden) {
+    if (tok == f || (tok.rfind(f, 0) == 0 && tok.size() > std::strlen(f) &&
+                     tok[std::strlen(f)] == '=')) {
+      *which = f;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---- endpoints -------------------------------------------------------------
+
+std::string Endpoint::display() const {
+  if (!socket_path.empty()) return socket_path;
+  return "tcp:" + std::to_string(port);
+}
+
+bool parse_endpoint(const std::string& text, Endpoint* out,
+                    std::string* error) {
+  Endpoint e;
+  if (text.rfind("tcp:", 0) == 0) {
+    const std::string digits = text.substr(4);
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(digits.c_str(), &end, 10);
+    if (digits.empty() || end == nullptr || *end != '\0' || v == 0 ||
+        v > 65535) {
+      if (error != nullptr) *error = "bad TCP endpoint '" + text + "'";
+      return false;
+    }
+    e.port = static_cast<std::uint16_t>(v);
+  } else if (!text.empty()) {
+    e.socket_path = text;
+  } else {
+    if (error != nullptr) *error = "empty worker endpoint";
+    return false;
+  }
+  *out = e;
+  return true;
+}
+
+bool expand_endpoints(const std::vector<std::string>& operands,
+                      std::vector<Endpoint>* out, std::string* error) {
+  out->clear();
+  for (const std::string& op : operands) {
+    std::string base = op;
+    unsigned long fan = 0;  // 0 = no @N suffix
+    const std::size_t at = op.rfind('@');
+    if (at != std::string::npos && at + 1 < op.size()) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(op.c_str() + at + 1, &end, 10);
+      if (end != nullptr && *end == '\0' && v >= 1 && v <= 4096) {
+        base = op.substr(0, at);
+        fan = v;
+      }
+    }
+    Endpoint e;
+    if (!parse_endpoint(base, &e, error)) return false;
+    if (fan == 0) {
+      out->push_back(e);
+      continue;
+    }
+    for (unsigned long i = 0; i < fan; ++i) {
+      Endpoint child = e;
+      if (!child.socket_path.empty()) {
+        // Matches the `clear serve --workers N` child socket names.
+        child.socket_path = e.socket_path + "." + std::to_string(i);
+      } else {
+        const unsigned long port = e.port + i;
+        if (port > 65535) {
+          if (error != nullptr) {
+            *error = "endpoint '" + op + "' runs past port 65535";
+          }
+          return false;
+        }
+        child.port = static_cast<std::uint16_t>(port);
+      }
+      out->push_back(child);
+    }
+  }
+  if (out->empty()) {
+    if (error != nullptr) *error = "no worker endpoints";
+    return false;
+  }
+  return true;
+}
+
+// ---- shard builders --------------------------------------------------------
+
+bool build_campaign_shards(const std::string& manifest,
+                           std::uint32_t shard_count,
+                           std::vector<ShardWork>* out, std::string* error) {
+  out->clear();
+  if (shard_count == 0) {
+    if (error != nullptr) *error = "shard count must be >= 1";
+    return false;
+  }
+  std::istringstream in(manifest);
+  std::vector<std::vector<std::string>> stanzas;
+  cli::split_spec_stanzas(in, &stanzas);
+  // split_spec_stanzas yields one empty stanza for empty input; an empty
+  // stanza anywhere would dispatch a bare `--shard k/K` manifest every
+  // worker refuses, so fail at the driver instead.
+  for (const auto& stanza : stanzas) {
+    if (stanza.empty()) {
+      if (error != nullptr) *error = "manifest holds no campaign stanzas";
+      return false;
+    }
+  }
+  for (std::size_t s = 0; s < stanzas.size(); ++s) {
+    for (const std::string& tok : stanzas[s]) {
+      std::string which;
+      if (forbidden_campaign_token(tok, &which)) {
+        if (error != nullptr) {
+          *error = "campaign #" + std::to_string(s + 1) + " carries " + which +
+                   ": sharding and output belong to the fleet driver";
+        }
+        return false;
+      }
+    }
+  }
+  out->reserve(shard_count);
+  for (std::uint32_t k = 0; k < shard_count; ++k) {
+    ShardWork w;
+    w.id = k;
+    w.kind = serve::ShardKind::kCampaign;
+    std::string text;
+    for (std::size_t s = 0; s < stanzas.size(); ++s) {
+      if (s != 0) text += "\n---\n";
+      for (const std::string& tok : stanzas[s]) {
+        if (!text.empty() && text.back() != '\n') text += ' ';
+        text += tok;
+      }
+      text += " --shard " + std::to_string(k) + "/" +
+              std::to_string(shard_count);
+    }
+    text += '\n';
+    w.text = std::move(text);
+    out->push_back(std::move(w));
+  }
+  return true;
+}
+
+std::vector<ShardWork> build_explore_shards(const explore::ExploreSpec& spec,
+                                            std::uint32_t shard_count) {
+  if (shard_count == 0) {
+    throw std::invalid_argument("fleet: shard count must be >= 1");
+  }
+  std::string base = "--core " + spec.core +
+                     " --target " + format_double(spec.target) +
+                     " --metric " + metric_token(spec.metric) +
+                     " --seed " + std::to_string(spec.seed);
+  if (spec.per_ff_samples != 0) {
+    base += " --per-ff " + std::to_string(spec.per_ff_samples);
+  }
+  if (!spec.benchmarks.empty()) {
+    base += " --benches ";
+    for (std::size_t i = 0; i < spec.benchmarks.size(); ++i) {
+      if (i != 0) base += ',';
+      base += spec.benchmarks[i];
+    }
+  }
+  if (spec.batch != 0) base += " --batch " + std::to_string(spec.batch);
+  if (!spec.prune) base += " --no-prune";
+  std::vector<ShardWork> out;
+  out.reserve(shard_count);
+  for (std::uint32_t k = 0; k < shard_count; ++k) {
+    ShardWork w;
+    w.id = k;
+    w.kind = serve::ShardKind::kExplore;
+    w.text = base + " --shard " + std::to_string(k) + "/" +
+             std::to_string(shard_count) + "\n";
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+// ---- explore stanza execution (worker side) --------------------------------
+
+bool parse_explore_stanza(const std::string& text,
+                          explore::ExploreSpec* spec, std::string* error) {
+  std::istringstream in(text);
+  std::vector<std::vector<std::string>> stanzas;
+  cli::split_spec_stanzas(in, &stanzas);
+  if (stanzas.size() != 1) {
+    if (error != nullptr) {
+      *error = "explore shard wants exactly one stanza, got " +
+               std::to_string(stanzas.size());
+    }
+    return false;
+  }
+  util::ArgParser args("explore shard stanza",
+                       "fleet-dispatched explore combo-space slice");
+  args.add_option("core", "C", "core model", "InO");
+  args.add_option("target", "X", "improvement target", "50");
+  args.add_option("metric", "M", "sdc|due|joint", "sdc");
+  args.add_option("seed", "N", "campaign seed", "1");
+  args.add_option("per-ff", "N", "injections per FF per benchmark", "0");
+  args.add_option("benches", "CSV", "benchmark subset", "");
+  args.add_option("shard", "k/K", "combo-space shard", "0/1");
+  args.add_option("batch", "N", "combos per batch", "0");
+  args.add_flag("no-prune", "evaluate every combination");
+  std::vector<const char*> argv;
+  argv.reserve(stanzas[0].size());
+  for (const std::string& tok : stanzas[0]) argv.push_back(tok.c_str());
+  std::string perror;
+  if (!args.parse(static_cast<int>(argv.size()), argv.data(), &perror)) {
+    if (error != nullptr) *error = "explore shard stanza: " + perror;
+    return false;
+  }
+  explore::ExploreSpec s;
+  s.core = args.get("core");
+  {
+    const std::string t = args.get("target");
+    char* end = nullptr;
+    s.target = std::strtod(t.c_str(), &end);
+    if (t.empty() || end == nullptr || *end != '\0') {
+      if (error != nullptr) *error = "bad --target '" + t + "'";
+      return false;
+    }
+  }
+  if (!parse_metric_token(args.get("metric"), &s.metric)) {
+    if (error != nullptr) *error = "bad --metric '" + args.get("metric") + "'";
+    return false;
+  }
+  std::uint64_t u = 0;
+  if (!args.get_u64("seed", 1, &u)) {
+    if (error != nullptr) *error = "bad --seed '" + args.get("seed") + "'";
+    return false;
+  }
+  s.seed = u;
+  if (!args.get_u64("per-ff", 0, &u)) {
+    if (error != nullptr) *error = "bad --per-ff '" + args.get("per-ff") + "'";
+    return false;
+  }
+  s.per_ff_samples = static_cast<std::size_t>(u);
+  s.benchmarks = split_csv(args.get("benches"));
+  if (!cli::parse_shard(args.get("shard"), &s.shard_index, &s.shard_count)) {
+    if (error != nullptr) {
+      *error = "bad --shard '" + args.get("shard") + "' (want k/K with k < K)";
+    }
+    return false;
+  }
+  if (!args.get_u64("batch", 0, &u)) {
+    if (error != nullptr) *error = "bad --batch '" + args.get("batch") + "'";
+    return false;
+  }
+  s.batch = static_cast<std::size_t>(u);
+  s.prune = !args.has("no-prune");
+  *spec = s;
+  return true;
+}
+
+std::string run_explore_stanza(const std::string& text,
+                               const std::atomic<bool>* cancel,
+                               const explore::ProgressFn& progress) {
+  explore::ExploreSpec spec;
+  std::string error;
+  if (!parse_explore_stanza(text, &spec, &error)) {
+    throw std::invalid_argument(error);
+  }
+  spec.cancel = cancel;
+  // In-memory ledger: the shard's bytes travel back over the socket; the
+  // driver owns persistence (and the merge).
+  const explore::Ledger ledger = explore::run_exploration(spec, "", progress);
+  return explore::encode_ledger(ledger);
+}
+
+// ---- the driver ------------------------------------------------------------
+
+const char* worker_state_name(WorkerState s) noexcept {
+  switch (s) {
+    case WorkerState::kConnecting: return "connecting";
+    case WorkerState::kIdle: return "idle";
+    case WorkerState::kBusy: return "busy";
+    case WorkerState::kDead: return "dead";
+  }
+  return "?";
+}
+
+namespace {
+
+struct WorkerConn {
+  util::Socket sock;
+  std::string rx;  // framed receive buffer
+  WorkerStatus status;
+  bool has_shard = false;   // a shard is dispatched (possibly unacked)
+  std::size_t shard_pos = 0;  // index into the shards vector
+  bool acked = false;
+  bool stealing = false;  // kSteal sent; shard already requeued
+  Clock::time_point last_seen;
+  Clock::time_point assigned_at;
+  // kResult payloads for the current shard, keyed by result index.
+  std::map<std::uint32_t, std::string> payloads;
+};
+
+class Driver {
+ public:
+  Driver(const std::vector<Endpoint>& endpoints,
+         const std::vector<ShardWork>& shards, const FleetOptions& opts,
+         const EventFn& event, const ShardDoneFn& on_shard)
+      : endpoints_(endpoints), shards_(shards), opts_(opts), event_(event),
+        on_shard_(on_shard), workers_(endpoints.size()),
+        completed_(shards.size(), false), attempts_(shards.size(), 0) {}
+
+  FleetReport run();
+
+ private:
+  void emit(FleetEvent::Kind kind, std::size_t w, std::uint64_t shard_id,
+            const engine::JobProgress* progress = nullptr) {
+    if (!event_) return;
+    FleetEvent e;
+    e.kind = kind;
+    e.worker = w;
+    e.worker_name = workers_[w].status.name;
+    e.shard_id = shard_id;
+    if (progress != nullptr) e.progress = *progress;
+    event_(e);
+  }
+
+  void register_workers();
+  void declare_dead(std::size_t w, const char* why);
+  void requeue(std::size_t w);
+  void assign_idle();
+  void check_deadlines(Clock::time_point now);
+  void pump(std::size_t w);
+  void handle_frame(std::size_t w, const serve::Frame& frame);
+  void complete_shard(std::size_t w);
+  [[nodiscard]] std::size_t live_count() const;
+
+  const std::vector<Endpoint>& endpoints_;
+  const std::vector<ShardWork>& shards_;
+  const FleetOptions& opts_;
+  const EventFn& event_;
+  const ShardDoneFn& on_shard_;
+
+  std::vector<WorkerConn> workers_;
+  std::deque<std::size_t> queue_;  // shard positions awaiting dispatch
+  std::vector<bool> completed_;
+  std::vector<int> attempts_;
+  std::size_t completed_count_ = 0;
+  std::map<std::uint64_t, ShardResult> results_;  // shard id -> result
+  std::size_t redispatched_ = 0;
+  std::size_t workers_lost_ = 0;
+};
+
+void Driver::register_workers() {
+  for (std::size_t w = 0; w < endpoints_.size(); ++w) {
+    WorkerConn& wc = workers_[w];
+    wc.status.index = w;
+    wc.status.endpoint = endpoints_[w].display();
+    wc.status.state = WorkerState::kDead;  // until the hello lands
+    try {
+      wc.sock = endpoints_[w].socket_path.empty()
+                    ? util::Socket::connect_tcp_loopback(
+                          endpoints_[w].port, opts_.connect_retry_ms)
+                    : util::Socket::connect_unix(endpoints_[w].socket_path,
+                                                 opts_.connect_retry_ms);
+    } catch (const std::runtime_error&) {
+      continue;  // unreachable endpoint: proceed with the rest
+    }
+    // Hello deadline: a server that accepts but never speaks must not
+    // hang the whole fleet.
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(opts_.hello_timeout_ms);
+    bool registered = false;
+    while (!registered) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) break;
+      if (!wc.sock.readable(static_cast<int>(
+              std::min<long long>(left.count(), 100)))) {
+        continue;
+      }
+      char buf[4096];
+      const long n = wc.sock.recv_some(buf, sizeof(buf));
+      if (n <= 0) break;
+      wc.rx.append(buf, static_cast<std::size_t>(n));
+      serve::Frame frame;
+      const serve::FrameStatus st = serve::decode_frame(&wc.rx, &frame);
+      if (st == serve::FrameStatus::kNeedMore) continue;
+      if (st != serve::FrameStatus::kOk ||
+          frame.type != serve::FrameType::kHello) {
+        break;
+      }
+      serve::Hello hello;
+      if (!serve::decode_hello(frame.payload, &hello) ||
+          hello.proto_version != serve::kProtoVersion ||
+          hello.wire_version != inject::kWireVersion ||
+          hello.ledger_version != explore::kLedgerVersion) {
+        break;  // version skew: this worker cannot serve this fleet
+      }
+      wc.status.name = hello.name.empty()
+                           ? wc.status.endpoint
+                           : hello.name;
+      wc.status.capacity = hello.capacity;
+      wc.status.state = WorkerState::kIdle;
+      wc.last_seen = Clock::now();
+      registered = true;
+    }
+    if (registered) {
+      emit(FleetEvent::Kind::kWorkerUp, w, 0);
+    } else {
+      wc.sock.close();
+    }
+  }
+}
+
+std::size_t Driver::live_count() const {
+  std::size_t n = 0;
+  for (const WorkerConn& wc : workers_) {
+    if (wc.status.state != WorkerState::kDead) ++n;
+  }
+  return n;
+}
+
+void Driver::declare_dead(std::size_t w, const char* why) {
+  WorkerConn& wc = workers_[w];
+  if (wc.status.state == WorkerState::kDead) return;
+  (void)why;
+  wc.status.state = WorkerState::kDead;
+  wc.sock.close();
+  ++workers_lost_;
+  if (wc.has_shard) requeue(w);
+  emit(FleetEvent::Kind::kWorkerDead, w, 0);
+}
+
+// Returns worker w's in-flight shard to the queue (unless it already got
+// there via a steal, or someone else completed it meanwhile).
+void Driver::requeue(std::size_t w) {
+  WorkerConn& wc = workers_[w];
+  if (!wc.has_shard) return;
+  const std::size_t pos = wc.shard_pos;
+  wc.has_shard = false;
+  wc.acked = false;
+  wc.payloads.clear();
+  if (wc.status.state != WorkerState::kDead) {
+    wc.status.state = WorkerState::kIdle;
+  }
+  if (wc.stealing) {
+    wc.stealing = false;
+    return;  // the steal already requeued it
+  }
+  if (completed_[pos]) return;
+  // Front of the queue: a redispatched shard is the oldest outstanding
+  // work, so the next idle worker takes it first.
+  queue_.push_front(pos);
+  ++redispatched_;
+  emit(FleetEvent::Kind::kRequeue, w, shards_[pos].id);
+}
+
+void Driver::assign_idle() {
+  for (std::size_t w = 0; w < workers_.size() && !queue_.empty(); ++w) {
+    WorkerConn& wc = workers_[w];
+    if (wc.status.state != WorkerState::kIdle || wc.has_shard) continue;
+    // Pull the next uncompleted shard (completed entries are stale
+    // requeue copies -- their first execution won).
+    std::size_t pos = 0;
+    bool found = false;
+    while (!queue_.empty()) {
+      pos = queue_.front();
+      queue_.pop_front();
+      if (!completed_[pos]) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;
+    serve::ShardAssign assign;
+    assign.shard_id = shards_[pos].id;
+    assign.kind = shards_[pos].kind;
+    assign.priority = opts_.priority;
+    assign.text = shards_[pos].text;
+    const std::string bytes = serve::encode_frame(
+        serve::FrameType::kShardAssign, serve::encode_shard_assign(assign));
+    if (!wc.sock.send_all(bytes.data(), bytes.size(), kSendTimeoutMs)) {
+      queue_.push_front(pos);
+      declare_dead(w, "send failed");
+      continue;
+    }
+    wc.has_shard = true;
+    wc.shard_pos = pos;
+    wc.acked = false;
+    wc.stealing = false;
+    wc.payloads.clear();
+    wc.assigned_at = Clock::now();
+    wc.status.state = WorkerState::kBusy;
+    emit(FleetEvent::Kind::kAssign, w, shards_[pos].id);
+  }
+}
+
+void Driver::check_deadlines(Clock::time_point now) {
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    WorkerConn& wc = workers_[w];
+    if (wc.status.state == WorkerState::kDead) continue;
+    if (ms_since(wc.last_seen, now) > opts_.dead_after_ms) {
+      declare_dead(w, "heartbeat deadline");
+      continue;
+    }
+    if (wc.has_shard && !wc.acked && !wc.stealing &&
+        ms_since(wc.assigned_at, now) > opts_.ack_timeout_ms) {
+      // Unacked for too long: revoke and hand the shard to someone else.
+      // The worker stays registered (frames still count against the dead
+      // deadline) but gets no new work until the steal resolves.
+      const std::size_t pos = wc.shard_pos;
+      const std::string bytes = serve::encode_frame(
+          serve::FrameType::kSteal, serve::encode_steal(shards_[pos].id));
+      if (!wc.sock.send_all(bytes.data(), bytes.size(), kSendTimeoutMs)) {
+        declare_dead(w, "send failed");
+        continue;
+      }
+      wc.stealing = true;
+      if (!completed_[pos]) {
+        queue_.push_front(pos);
+        ++redispatched_;
+        emit(FleetEvent::Kind::kRequeue, w, shards_[pos].id);
+      }
+    }
+  }
+}
+
+void Driver::complete_shard(std::size_t w) {
+  WorkerConn& wc = workers_[w];
+  const std::size_t pos = wc.shard_pos;
+  if (!completed_[pos]) {
+    completed_[pos] = true;
+    ++completed_count_;
+    ShardResult res;
+    res.shard_id = shards_[pos].id;
+    res.kind = shards_[pos].kind;
+    res.worker = w;
+    res.payloads.reserve(wc.payloads.size());
+    for (auto& [index, bytes] : wc.payloads) {
+      (void)index;
+      res.payloads.push_back(std::move(bytes));
+    }
+    emit(FleetEvent::Kind::kShardDone, w, res.shard_id);
+    if (on_shard_) on_shard_(res);
+    results_.emplace(res.shard_id, std::move(res));
+    ++wc.status.shards_done;
+  }
+  // Duplicate completion (the shard was stolen and re-dispatched, then
+  // the original worker finished anyway): drop the payloads -- they are
+  // bit-identical to the recorded ones by construction.
+  wc.has_shard = false;
+  wc.acked = false;
+  wc.stealing = false;
+  wc.payloads.clear();
+  wc.status.state = WorkerState::kIdle;
+}
+
+void Driver::handle_frame(std::size_t w, const serve::Frame& frame) {
+  WorkerConn& wc = workers_[w];
+  switch (frame.type) {
+    case serve::FrameType::kHeartbeat:
+      break;  // last_seen already refreshed by the caller
+    case serve::FrameType::kShardAck: {
+      serve::ShardAck ack;
+      if (!serve::decode_shard_ack(frame.payload, &ack)) {
+        declare_dead(w, "bad ack");
+        return;
+      }
+      if (!wc.has_shard || ack.shard_id != shards_[wc.shard_pos].id) return;
+      switch (ack.status) {
+        case serve::ShardAckStatus::kAccepted:
+          wc.acked = true;
+          emit(FleetEvent::Kind::kAck, w, ack.shard_id);
+          break;
+        case serve::ShardAckStatus::kRevoked:
+          // Steal honoured: the worker dropped the shard (no kDone will
+          // come) and is ready for new work.  The shard is already back
+          // in the queue.
+          wc.has_shard = false;
+          wc.acked = false;
+          wc.stealing = false;
+          wc.payloads.clear();
+          wc.status.state = WorkerState::kIdle;
+          break;
+        case serve::ShardAckStatus::kUnknown:
+          // The worker finished the shard before the steal arrived; its
+          // kDone is ahead of this ack in the stream and already ran
+          // complete_shard.  Nothing to do beyond clearing the limbo.
+          wc.stealing = false;
+          break;
+      }
+      break;
+    }
+    case serve::FrameType::kProgress: {
+      engine::JobProgress p;
+      if (serve::decode_progress(frame.payload, &p) && wc.has_shard) {
+        emit(FleetEvent::Kind::kProgress, w, shards_[wc.shard_pos].id, &p);
+      }
+      break;
+    }
+    case serve::FrameType::kResult: {
+      std::uint32_t index = 0;
+      std::string bytes;
+      if (!serve::decode_result(frame.payload, &index, &bytes)) {
+        declare_dead(w, "bad result");
+        return;
+      }
+      if (wc.has_shard) wc.payloads[index] = std::move(bytes);
+      break;
+    }
+    case serve::FrameType::kDone: {
+      serve::Done done;
+      if (!serve::decode_done(frame.payload, &done) || !wc.has_shard) {
+        declare_dead(w, "bad done");
+        return;
+      }
+      const std::size_t pos = wc.shard_pos;
+      switch (done.outcome) {
+        case serve::JobOutcome::kOk:
+          complete_shard(w);
+          break;
+        case serve::JobOutcome::kBadRequest:
+          // Deterministic refusal: every worker resolves the same stanza
+          // the same way, so retrying elsewhere cannot help.
+          throw std::runtime_error(
+              "fleet: worker " + wc.status.name + " refused shard " +
+              std::to_string(shards_[pos].id) + ": " + done.message);
+        case serve::JobOutcome::kFailed:
+          if (++attempts_[pos] >= opts_.max_attempts && !completed_[pos]) {
+            throw std::runtime_error(
+                "fleet: shard " + std::to_string(shards_[pos].id) +
+                " failed " + std::to_string(attempts_[pos]) +
+                " times, last on " + wc.status.name + ": " + done.message);
+          }
+          requeue(w);
+          break;
+        case serve::JobOutcome::kCancelled:
+          // The worker is shutting down; its dead deadline will follow.
+          requeue(w);
+          break;
+      }
+      break;
+    }
+    default:
+      // A frame the driver never asked for (kHello twice, a client-side
+      // type): protocol breach, fail closed.
+      declare_dead(w, "unexpected frame");
+      break;
+  }
+}
+
+void Driver::pump(std::size_t w) {
+  WorkerConn& wc = workers_[w];
+  char buf[65536];
+  const long n = wc.sock.recv_some(buf, sizeof(buf));
+  if (n <= 0) {
+    declare_dead(w, n == 0 ? "connection closed" : "receive error");
+    return;
+  }
+  wc.rx.append(buf, static_cast<std::size_t>(n));
+  wc.last_seen = Clock::now();
+  for (;;) {
+    serve::Frame frame;
+    const serve::FrameStatus st = serve::decode_frame(&wc.rx, &frame);
+    if (st == serve::FrameStatus::kNeedMore) break;
+    if (st == serve::FrameStatus::kBad) {
+      declare_dead(w, "bad frame");
+      return;
+    }
+    handle_frame(w, frame);
+    if (wc.status.state == WorkerState::kDead) return;
+  }
+}
+
+FleetReport Driver::run() {
+  for (std::size_t pos = 0; pos < shards_.size(); ++pos) {
+    queue_.push_back(pos);
+  }
+  register_workers();
+  if (live_count() == 0 && !shards_.empty()) {
+    throw std::runtime_error("fleet: no workers registered");
+  }
+  while (completed_count_ < shards_.size()) {
+    assign_idle();
+    if (live_count() == 0) {
+      throw std::runtime_error(
+          "fleet: all workers died with " +
+          std::to_string(shards_.size() - completed_count_) +
+          " shard(s) outstanding");
+    }
+    std::vector<const util::Socket*> socks(workers_.size(), nullptr);
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (workers_[w].status.state != WorkerState::kDead) {
+        socks[w] = &workers_[w].sock;
+      }
+    }
+    const int ready = util::Socket::wait_any(socks.data(), socks.size(), 50);
+    if (ready >= 0) pump(static_cast<std::size_t>(ready));
+    check_deadlines(Clock::now());
+  }
+  if (opts_.shutdown_workers) {
+    const std::string bytes =
+        serve::encode_frame(serve::FrameType::kShutdown, "");
+    for (WorkerConn& wc : workers_) {
+      if (wc.status.state == WorkerState::kDead) continue;
+      (void)wc.sock.send_all(bytes.data(), bytes.size(), kSendTimeoutMs);
+    }
+  }
+  FleetReport report;
+  report.results.reserve(results_.size());
+  for (auto& [id, res] : results_) {
+    (void)id;
+    report.results.push_back(std::move(res));
+  }
+  report.workers.reserve(workers_.size());
+  for (const WorkerConn& wc : workers_) report.workers.push_back(wc.status);
+  report.redispatched = redispatched_;
+  report.workers_lost = workers_lost_;
+  return report;
+}
+
+}  // namespace
+
+FleetReport run_fleet(const std::vector<Endpoint>& workers,
+                      const std::vector<ShardWork>& shards,
+                      const FleetOptions& opts, const EventFn& event,
+                      const ShardDoneFn& on_shard) {
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    for (std::size_t j = i + 1; j < shards.size(); ++j) {
+      if (shards[i].id == shards[j].id) {
+        throw std::runtime_error("fleet: duplicate shard id " +
+                                 std::to_string(shards[i].id));
+      }
+    }
+  }
+  Driver driver(workers, shards, opts, event, on_shard);
+  return driver.run();
+}
+
+}  // namespace clear::fleet

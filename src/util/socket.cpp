@@ -12,6 +12,7 @@
 #include <sys/un.h>
 #include <thread>
 #include <unistd.h>
+#include <vector>
 
 namespace clear::util {
 
@@ -38,6 +39,10 @@ Socket connect_with_retry(const sockaddr* addr, socklen_t len, int family,
                           int retry_ms, const std::string& what) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(retry_ms);
+  // Exponential backoff: hammer a just-starting daemon gently (10 ms) and
+  // a still-absent one sparsely (capped at 320 ms), always respecting the
+  // caller's hard deadline.
+  int backoff_ms = 10;
   for (;;) {
     const int fd = try_connect(addr, len, family);
     if (fd >= 0) return Socket(fd);
@@ -48,7 +53,12 @@ Socket connect_with_retry(const sockaddr* addr, socklen_t len, int family,
     if (!retryable || std::chrono::steady_clock::now() >= deadline) {
       fail(what);
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    const int wait = static_cast<int>(std::min<long long>(
+        std::max<long long>(left.count(), 1), backoff_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+    backoff_ms = std::min(backoff_ms * 2, 320);
   }
 }
 
@@ -149,6 +159,29 @@ Socket Socket::accept(int timeout_ms) {
   if (timeout_ms >= 0 && !readable(timeout_ms)) return Socket();
   const int fd = ::accept(fd_, nullptr, nullptr);
   return fd >= 0 ? Socket(fd) : Socket();
+}
+
+int Socket::wait_any(const Socket* const* socks, std::size_t count,
+                     int timeout_ms) {
+  std::vector<pollfd> fds(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    fds[i].fd = socks[i] != nullptr && socks[i]->valid() ? socks[i]->fd() : -1;
+    fds[i].events = POLLIN;
+  }
+  for (;;) {
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(count), timeout_ms);
+    if (rc == 0) return -1;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;  // only invalid fds became "ready" (POLLNVAL): nothing to read
+  }
 }
 
 bool Socket::readable(int timeout_ms) {

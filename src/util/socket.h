@@ -49,6 +49,13 @@ class Socket {
   // True when data (or EOF) is ready within timeout_ms (0 = poll).
   [[nodiscard]] bool readable(int timeout_ms);
 
+  // Waits up to timeout_ms for data (or EOF) on any of `count` sockets;
+  // returns the index of the first ready one, or -1 on timeout.  Null or
+  // invalid entries are skipped -- the fleet driver polls its whole
+  // worker registry, dead connections included, with one call.
+  static int wait_any(const Socket* const* socks, std::size_t count,
+                      int timeout_ms);
+
   // Writes the whole buffer; false on any error.  With timeout_ms >= 0
   // the call fails once that much time passes without the peer draining
   // its socket buffer -- a server must bound its sends, or one stalled
