@@ -88,7 +88,10 @@ void emit_identity_json(std::ostringstream* out, const explore::Ledger& l) {
   *out << "{\"core\": \"" << json_escape(l.core) << "\", \"target\": "
        << l.target << ", \"metric\": \"" << metric_name(l.metric)
        << "\", \"seed\": " << l.seed << ", \"per_ff_samples\": "
-       << l.per_ff_samples << ", \"combo_count\": " << l.combo_count
+       << l.per_ff_samples << ", \"confidence\": " << l.confidence
+       << ", \"confidence_method\": \""
+       << (l.confidence_method == 1 ? "clopper-pearson" : "wilson")
+       << "\", \"combo_count\": " << l.combo_count
        << ", \"pruning\": " << (l.pruning ? "true" : "false")
        << ", \"shard_count\": " << l.shard_count << ", \"covered\": [";
   for (std::size_t i = 0; i < l.covered.size(); ++i) {
@@ -140,6 +143,15 @@ int explore_run(int argc, const char* const* argv) {
                   "0");
   args.add_option("benches", "a,b,c",
                   "benchmark suite to profile on (default: full core suite)");
+  args.add_option("confidence", "W",
+                  "confidence-driven adaptive profiling: stop sampling a "
+                  "flip-flop once the 95% interval half-width on its SDC "
+                  "and DUE rates is <= W; --per-ff becomes a budget "
+                  "ceiling (0 = off)",
+                  "0");
+  args.add_option("confidence-method", "wilson|cp",
+                  "interval method for --confidence (cp = Clopper-Pearson)",
+                  "wilson");
   args.add_option("shard", "k/K", "own combo indices i with i mod K == k",
                   "0/1");
   args.add_option("batch", "N",
@@ -198,6 +210,27 @@ int explore_run(int argc, const char* const* argv) {
   spec.batch = static_cast<std::size_t>(batch);
   if (args.has("benches")) spec.benchmarks = split_csv(args.get("benches"));
   spec.prune = !args.has("no-prune");
+  const std::string conf_text = args.get("confidence");
+  end = nullptr;
+  spec.confidence = std::strtod(conf_text.c_str(), &end);
+  if (end == conf_text.c_str() || *end != '\0' || !(spec.confidence >= 0) ||
+      spec.confidence > 0.5) {
+    std::fprintf(stderr,
+                 "clear explore run: bad --confidence '%s' (want a half-"
+                 "width in (0, 0.5], or 0 = off)\n",
+                 conf_text.c_str());
+    return 2;
+  }
+  const std::string conf_method = args.get("confidence-method");
+  if (conf_method == "cp") {
+    spec.confidence_method = util::IntervalMethod::kClopperPearson;
+  } else if (conf_method != "wilson") {
+    std::fprintf(stderr,
+                 "clear explore run: bad --confidence-method '%s' (wilson "
+                 "or cp)\n",
+                 conf_method.c_str());
+    return 2;
+  }
 
   explore::Ledger identity;
   try {
@@ -222,6 +255,13 @@ int explore_run(int argc, const char* const* argv) {
               "pruning %s\n",
               identity.benchmarks.size(), spec.shard_index, spec.shard_count,
               owned, identity.pruning ? "on" : "off");
+  if (identity.confidence > 0.0) {
+    std::printf("confidence +/-%g (%s), per-FF budget ceiling %" PRIu64 "\n",
+                identity.confidence,
+                identity.confidence_method == 1 ? "clopper-pearson"
+                                                : "wilson",
+                identity.per_ff_samples);
+  }
 
   if (args.has("emit-manifest")) {
     explore::write_profile_manifest(spec, args.get("emit-manifest"));

@@ -12,6 +12,7 @@
 #include "cli/cli.h"
 #include "inject/wire.h"
 #include "util/args.h"
+#include "util/stats.h"
 
 namespace clear::cli {
 
@@ -87,6 +88,26 @@ int cmd_merge(int argc, const char* const* argv) {
               static_cast<unsigned long long>(merged.result.totals.sdc()),
               static_cast<unsigned long long>(merged.result.totals.due()),
               merged.complete() ? " (complete campaign)" : " (partial)");
+  if (merged.result.adaptive()) {
+    // Achieved intervals over the MERGED counters -- tighter than any
+    // single shard's, and for a complete merge exactly the unsharded
+    // campaign's intervals.
+    const util::Interval sdc = merged.result.sdc_interval();
+    const util::Interval due = merged.result.due_interval();
+    std::printf("confidence +/-%g (%s): executed %llu of %llu budget; "
+                "achieved SDC [%.6g, %.6g] +/-%.4g, DUE [%.6g, %.6g] "
+                "+/-%.4g\n",
+                merged.result.confidence_target,
+                merged.result.confidence_method ==
+                        util::IntervalMethod::kClopperPearson
+                    ? "clopper-pearson"
+                    : "wilson",
+                static_cast<unsigned long long>(
+                    merged.result.samples_executed()),
+                static_cast<unsigned long long>(merged.injections), sdc.lo,
+                sdc.hi, util::interval_half_width(sdc), due.lo, due.hi,
+                util::interval_half_width(due));
+  }
   return 0;
 }
 

@@ -12,6 +12,7 @@
 #include "cli/cli.h"
 #include "inject/wire.h"
 #include "util/args.h"
+#include "util/stats.h"
 #include "util/table.h"
 
 namespace clear::cli {
@@ -54,6 +55,21 @@ void emit_json(const std::vector<std::pair<std::string, inject::ShardFile>>&
         << ", \"sdc_fraction\": " << s.result.sdc_fraction()
         << ", \"due_fraction\": " << s.result.due_fraction()
         << ", \"sdc_margin_95\": " << s.result.sdc_margin_of_error() << "}";
+    if (s.result.adaptive()) {
+      const util::Interval sdc = s.result.sdc_interval();
+      const util::Interval due = s.result.due_interval();
+      out << ",\n   \"adaptive\": {\"method\": \""
+          << (s.result.confidence_method ==
+                      util::IntervalMethod::kClopperPearson
+                  ? "clopper-pearson"
+                  : "wilson")
+          << "\", \"target_half_width\": " << s.result.confidence_target
+          << ", \"pilot\": " << s.result.pilot
+          << ", \"samples_executed\": " << s.result.samples_executed()
+          << ", \"planned_total\": " << s.result.planned_total()
+          << ", \"sdc_interval_95\": [" << sdc.lo << ", " << sdc.hi
+          << "], \"due_interval_95\": [" << due.lo << ", " << due.hi << "]}";
+    }
     if (per_ff) {
       out << ",\n   \"per_ff\": [";
       for (std::uint32_t f = 0; f < s.result.ff_count; ++f) {
@@ -120,9 +136,15 @@ int cmd_report(int argc, const char* const* argv) {
     return 0;
   }
 
+  // Adaptive columns render "-" for fixed-budget files: the achieved
+  // intervals only mean something against a declared confidence target.
   util::TextTable summary({"file", "core", "key", "shards", "samples",
                            "vanished", "SDC", "DUE", "recovered", "SDC frac",
-                           "+/-95%", "cycles"});
+                           "+/-95%", "cycles", "conf", "SDC 95%", "DUE 95%"});
+  const auto span = [](const util::Interval& iv) {
+    return util::TextTable::num(iv.lo, 4) + ".." +
+           util::TextTable::num(iv.hi, 4);
+  };
   for (const auto& [path, s] : files) {
     const auto& t = s.result.totals;
     summary.add_row({path, s.core_name, s.key, coverage(s),
@@ -131,7 +153,13 @@ int cmd_report(int argc, const char* const* argv) {
                      std::to_string(t.recovered),
                      util::TextTable::num(s.result.sdc_fraction(), 4),
                      util::TextTable::num(s.result.sdc_margin_of_error(), 4),
-                     std::to_string(s.result.nominal_cycles)});
+                     std::to_string(s.result.nominal_cycles),
+                     s.result.adaptive()
+                         ? util::TextTable::num(s.result.confidence_target, 4)
+                         : "-",
+                     s.result.adaptive() ? span(s.result.sdc_interval()) : "-",
+                     s.result.adaptive() ? span(s.result.due_interval())
+                                         : "-"});
   }
   std::fputs(format == "csv" ? summary.csv().c_str() : summary.str().c_str(),
              stdout);

@@ -47,6 +47,15 @@ void print_plan(const RunPlan& plan) {
               static_cast<unsigned long long>(plan.global),
               static_cast<unsigned long long>(local), plan.shard_index,
               plan.shard_count);
+  if (plan.spec.adaptive()) {
+    std::printf("confidence +/-%g (%s), %llu-sample budget ceiling\n",
+                plan.spec.confidence_half_width,
+                plan.spec.confidence_method ==
+                        util::IntervalMethod::kClopperPearson
+                    ? "clopper-pearson"
+                    : "wilson",
+                static_cast<unsigned long long>(plan.global));
+  }
   std::printf("program    %u flip-flops, hash %016llx\n", plan.ff_count,
               static_cast<unsigned long long>(
                   inject::wire_program_hash(plan.prog)));
@@ -69,6 +78,25 @@ int finish_campaign(const RunPlan& plan, const inject::CampaignResult& result) {
                  util::TextTable::num(result.sdc_fraction(), 4),
                  util::TextTable::num(result.sdc_margin_of_error(), 4)});
   table.print(std::cout);
+
+  if (result.adaptive()) {
+    const util::Interval sdc = result.sdc_interval();
+    const util::Interval due = result.due_interval();
+    std::printf(
+        "confidence target +/-%g (%s): executed %llu of %llu budget "
+        "(%llu planned)\n",
+        result.confidence_target,
+        result.confidence_method == util::IntervalMethod::kClopperPearson
+            ? "clopper-pearson"
+            : "wilson",
+        static_cast<unsigned long long>(result.samples_executed()),
+        static_cast<unsigned long long>(plan.global),
+        static_cast<unsigned long long>(result.planned_total()));
+    std::printf("achieved   SDC [%.6g, %.6g] +/-%.4g   DUE [%.6g, %.6g] "
+                "+/-%.4g\n",
+                sdc.lo, sdc.hi, util::interval_half_width(sdc), due.lo,
+                due.hi, util::interval_half_width(due));
+  }
 
   if (!plan.out.empty()) {
     const inject::ShardFile shard = plan_shard_file(plan, result);

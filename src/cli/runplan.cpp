@@ -1,9 +1,13 @@
 #include "cli/runplan.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "cli/cli.h"
+#include "util/env.h"
 #include "workloads/workloads.h"
 
 namespace clear::cli {
@@ -28,6 +32,14 @@ util::ArgParser make_run_parser() {
                   "(0 = one per flip-flop)",
                   "0");
   args.add_option("seed", "N", "campaign RNG seed", "1");
+  args.add_option("confidence", "W",
+                  "confidence-driven early stop: per flip-flop, stop "
+                  "sampling once the 95% interval half-width on both the "
+                  "SDC and DUE rates is <= W; --injections becomes a "
+                  "budget ceiling (0 = off; default CLEAR_CONFIDENCE)");
+  args.add_option("confidence-method", "wilson|cp",
+                  "interval method for --confidence: wilson or cp "
+                  "(Clopper-Pearson; default CLEAR_CONFIDENCE_METHOD)");
   args.add_option("shard", "k/K", "own samples i with i mod K == k", "0/1");
   args.add_option("threads", "N",
                   "worker threads (0 = CLEAR_THREADS or hardware)", "0");
@@ -150,6 +162,34 @@ bool resolve_plan(const util::ArgParser& args, const std::string& ctx,
     return false;
   }
   plan->input_seed = static_cast<std::uint32_t>(input_seed64);
+
+  // Adaptive confidence target.  Strict like the numerics above: a typo'd
+  // half-width must never silently fall back to a fixed-budget campaign.
+  std::string conf = args.get("confidence");
+  if (conf.empty()) conf = util::env_string("CLEAR_CONFIDENCE", "0");
+  {
+    errno = 0;
+    char* end = nullptr;
+    const double w = std::strtod(conf.c_str(), &end);
+    if (end == conf.c_str() || *end != '\0' || errno == ERANGE ||
+        !(w >= 0.0) || w > 0.5) {
+      return fail("bad --confidence '" + conf +
+                  "' (want an interval half-width in (0, 0.5], or 0 = off)");
+    }
+    plan->spec.confidence_half_width = w;
+  }
+  std::string method = args.get("confidence-method");
+  if (method.empty()) {
+    method = util::env_string("CLEAR_CONFIDENCE_METHOD", "wilson");
+  }
+  if (method == "wilson") {
+    plan->spec.confidence_method = util::IntervalMethod::kWilson;
+  } else if (method == "cp") {
+    plan->spec.confidence_method = util::IntervalMethod::kClopperPearson;
+  } else {
+    return fail("bad --confidence-method '" + method + "' (wilson or cp)");
+  }
+
   // An unknown benchmark name throws out of here (operational failure,
   // exit 1 at the CLI; bad-request over serve) -- exactly the pre-split
   // behaviour of `clear run`.
@@ -181,6 +221,22 @@ bool resolve_plan(const util::ArgParser& args, const std::string& ctx,
     if (plan->cfg.recovery != arch::RecoveryKind::kNone) {
       plan->spec.key +=
           std::string("/rec_") + arch::recovery_name(plan->cfg.recovery);
+    }
+    // Same reasoning for the confidence target: the adaptive schedule
+    // changes which samples execute, so it must never share a key with
+    // the fixed-budget campaign.  (The fingerprint already separates
+    // them; the key text is for humans and cache listings.)  %g is
+    // deterministic for a given flag string, which is all shard-key
+    // agreement needs -- identity proper travels as IEEE bits.
+    if (plan->spec.adaptive()) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "/conf%s%g",
+                    plan->spec.confidence_method ==
+                            util::IntervalMethod::kClopperPearson
+                        ? "cp"
+                        : "",
+                    plan->spec.confidence_half_width);
+      plan->spec.key += buf;
     }
   }
   plan->global =

@@ -134,6 +134,23 @@ void Session::set_benchmarks(std::vector<std::string> names) {
   benchmarks_ = std::move(names);
 }
 
+void Session::set_confidence(double half_width, util::IntervalMethod method) {
+  if (!cache_.empty() || pending_prefetches_ != 0) {
+    throw std::logic_error(
+        "Session::set_confidence: profiles were already collected (or a "
+        "prefetch is in flight) under the current campaign schedule; "
+        "adaptive and fixed-budget profiles must not mix.  Use a fresh "
+        "Session for a different confidence target.");
+  }
+  if (half_width < 0.0 || half_width > 0.5 || half_width != half_width) {
+    throw std::invalid_argument(
+        "Session::set_confidence: half-width must be in (0, 0.5], or 0 "
+        "to restore the fixed budget");
+  }
+  confidence_ = half_width;
+  confidence_method_ = method;
+}
+
 const ProfileSet& Session::profiles(const Variant& v) {
   const auto it = cache_.find(v.key());
   if (it != cache_.end()) return *it->second;
@@ -203,6 +220,8 @@ PrefetchTicket Session::prefetch_async(const std::vector<Variant>& variants,
       spec.key = core_ + "/" + p.bench + "/" + job.vkey;
       spec.injections = per_ff_samples_ * batch->ff_count;
       spec.seed = seed_;
+      spec.confidence_half_width = confidence_;
+      spec.confidence_method = confidence_method_;
       spec.cfg = job.needs_cfg ? &job.cfg : nullptr;
       batch->specs.push_back(spec);
     }

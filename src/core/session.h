@@ -28,6 +28,7 @@
 #include "core/variants.h"
 #include "engine/engine.h"
 #include "inject/campaign.h"
+#include "util/stats.h"
 
 namespace clear::core {
 
@@ -128,6 +129,21 @@ class Session {
   // would dangle them, so it throws std::logic_error instead of silently
   // clearing the memo; use a fresh Session for a different suite.
   void set_benchmarks(std::vector<std::string> names);
+
+  // Confidence-driven adaptive campaigns: every profiling campaign stops
+  // sampling a flip-flop once the 95% interval half-width on its SDC and
+  // DUE rates is <= `half_width` (inject/adaptive.h); per_ff_samples
+  // becomes a budget ceiling.  Same precondition as set_benchmarks():
+  // profiles already collected under the fixed budget would not match,
+  // so this throws std::logic_error once any were.  0 restores the fixed
+  // budget (the default).
+  void set_confidence(double half_width,
+                      util::IntervalMethod method = util::IntervalMethod::kWilson);
+  [[nodiscard]] double confidence() const noexcept { return confidence_; }
+  [[nodiscard]] util::IntervalMethod confidence_method() const noexcept {
+    return confidence_method_;
+  }
+
   [[nodiscard]] std::size_t per_ff_samples() const noexcept {
     return per_ff_samples_;
   }
@@ -185,6 +201,8 @@ class Session {
   std::vector<std::string> benchmarks_;
   std::size_t per_ff_samples_;
   std::uint64_t seed_;
+  double confidence_ = 0.0;  // 0 = fixed budget
+  util::IntervalMethod confidence_method_ = util::IntervalMethod::kWilson;
   std::map<std::string, std::unique_ptr<ProfileSet>> cache_;
   std::size_t pending_prefetches_ = 0;  // uncommitted tickets outstanding
 };

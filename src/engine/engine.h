@@ -24,9 +24,13 @@
 //   * cancellation is cooperative: cancel() flips a flag the simulation
 //     polls at checkpoint boundaries; a cancelled batch never writes a
 //     cache entry, so the pack is never left with partial results;
-//   * progress is monotonic: golden recordings done/total, then faulty
-//     samples done/total (campaigns served from the cache count in
-//     neither -- a fully cached job completes with 0/0 totals).
+//   * progress: done counters are monotonic -- golden recordings
+//     done/total, then faulty samples done/total (campaigns served from
+//     the cache count in neither; a fully cached job completes with 0/0
+//     totals).  For confidence-driven adaptive campaigns samples_total
+//     is an upper bound that monotonically SHRINKS as per-FF campaigns
+//     early-stop at milestone barriers (inject/adaptive.h); done <=
+//     total holds at every snapshot.
 //
 // Lifetime contract: a CampaignSpec holds raw pointers to its program
 // and resilience config; for an asynchronous submission those must stay
@@ -75,9 +79,11 @@ enum class JobPriority : std::uint8_t {
   kBulk = 1,         // pipelined exploration prefetch, daemon bulk lane
 };
 
-// Monotonic snapshot of a job's execution state.  Totals are 0 until the
-// batch finished planning (its campaign-cache probe); a job whose whole
-// batch was served from the cache completes with totals 0.
+// Snapshot of a job's execution state.  Totals are 0 until the batch
+// finished planning (its campaign-cache probe); a job whose whole batch
+// was served from the cache completes with totals 0.  Done counters are
+// monotonic; samples_total is monotonic too EXCEPT for adaptive
+// campaigns, where it is a shrinking upper bound (see inject/exec.h).
 struct JobProgress {
   JobState state = JobState::kQueued;
   std::uint64_t goldens_done = 0;   // golden-recording phase

@@ -1,6 +1,7 @@
 #include "explore/explore.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <stdexcept>
@@ -83,6 +84,11 @@ void validate_spec(const ExploreSpec& spec) {
   if (spec.shard_count == 0 || spec.shard_index >= spec.shard_count) {
     throw std::invalid_argument("explore: bad shard selection");
   }
+  if (spec.confidence < 0.0 || spec.confidence > 0.5 ||
+      spec.confidence != spec.confidence) {
+    throw std::invalid_argument(
+        "explore: confidence half-width must be in (0, 0.5], or 0 = off");
+  }
   const auto suite = workloads::benchmarks_for_core(spec.core);
   for (const auto& b : spec.benchmarks) {
     if (std::find(suite.begin(), suite.end(), b) == suite.end()) {
@@ -127,6 +133,9 @@ Ledger resolve_identity(const ExploreSpec& spec) {
   identity.metric = static_cast<std::uint32_t>(spec.metric);
   identity.seed = spec.seed;
   identity.per_ff_samples = session.per_ff_samples();
+  identity.confidence = spec.confidence;
+  identity.confidence_method =
+      static_cast<std::uint32_t>(spec.confidence_method);
   identity.benchmarks = session.benchmarks();
   identity.combo_count =
       static_cast<std::uint32_t>(core::enumerate_combos(spec.core).size());
@@ -157,6 +166,9 @@ Ledger run_exploration(const ExploreSpec& spec, const std::string& ledger_path,
 
   core::Session session(spec.core, spec.per_ff_samples, spec.seed);
   if (!spec.benchmarks.empty()) session.set_benchmarks(spec.benchmarks);
+  if (spec.confidence > 0.0) {
+    session.set_confidence(spec.confidence, spec.confidence_method);
+  }
   core::Selector selector(session);
 
   // Anchors: the fixed flagship designs, evaluated at their "max" point.
@@ -177,6 +189,23 @@ Ledger run_exploration(const ExploreSpec& spec, const std::string& ledger_path,
     }
     if (!recorded) append(point_record(RecordKind::kAnchor, ai, p));
   }
+
+  // Adaptive explorations tighten the pruning bar as evaluated
+  // (near-)full-protection points land: combos are processed in ascending
+  // index order, so the bar at combo i is a pure function of the records
+  // of combos < i -- deterministic across resumes (refolding the resumed
+  // records below reproduces the bar state exactly).  Unsharded runs
+  // only: a shard sees just its own records, so a K-sharded bar would
+  // diverge from the unsharded one and break bit-identical merges.
+  const bool tighten_bar =
+      spec.prune && spec.confidence > 0.0 && spec.shard_count == 1;
+  const auto fold_bar = [&](const LedgerRecord& rec) {
+    if (tighten_bar && rec.kind == RecordKind::kPoint &&
+        rec.sdc_protected_pct >= kAnchorProtectionPct) {
+      prune_bar = std::min(prune_bar, rec.energy);
+    }
+  };
+  for (const LedgerRecord& rec : state().records) fold_bar(rec);
 
   // Work list: owned combos with no record yet (resume skips the rest).
   const std::vector<std::uint32_t> pending = state().missing_indices();
@@ -274,6 +303,7 @@ Ledger run_exploration(const ExploreSpec& spec, const std::string& ledger_path,
         }
       }
       append(rec);
+      fold_bar(rec);
       ++prog.done;
       if (progress) progress(prog);
     }
@@ -330,7 +360,20 @@ void write_profile_manifest(const ExploreSpec& spec, const std::string& path) {
       out << "--core " << spec.core << " --bench " << bench << " --variant "
           << v.key() << " --injections " << injections << " --seed "
           << identity.seed << " --key " << spec.core << "/" << bench << "/"
-          << v.key() << "\n";
+          << v.key();
+      if (spec.confidence > 0.0) {
+        // The adaptive target is part of the cache fingerprint: without
+        // it the warmed entries would sit under fingerprints the
+        // exploration never consults.  %.17g round-trips any double
+        // exactly, so the warmed fingerprint matches bit-for-bit.
+        char conf[32];
+        std::snprintf(conf, sizeof(conf), "%.17g", spec.confidence);
+        out << " --confidence " << conf << " --confidence-method "
+            << (spec.confidence_method == util::IntervalMethod::kClopperPearson
+                    ? "cp"
+                    : "wilson");
+      }
+      out << "\n";
     }
   }
   if (!out.flush()) throw std::runtime_error("cannot write " + path);

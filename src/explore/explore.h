@@ -41,6 +41,7 @@
 
 #include "core/combos.h"
 #include "explore/ledger.h"
+#include "util/stats.h"
 
 namespace clear::explore {
 
@@ -53,6 +54,17 @@ struct ExploreSpec {
   // Injections per flip-flop per benchmark (0 = CLEAR_INJECTIONS env or
   // the per-core default, like core::Session).
   std::size_t per_ff_samples = 0;
+  // Confidence-driven adaptive profiling (core::Session::set_confidence):
+  // stop sampling each flip-flop once the 95% interval half-width on its
+  // SDC and DUE rates is <= this (0 = fixed budget; per_ff_samples
+  // becomes a budget ceiling when on).  Part of the experiment identity:
+  // adaptive and fixed-budget ledgers never merge, and the ledger is
+  // written as format version 2 (explore/ledger.h).  With confidence on
+  // and shard_count == 1 the dominance-pruning bar additionally tightens
+  // as evaluated (near-)full-protection points land, pruning more of the
+  // space the longer the run goes.
+  double confidence = 0.0;
+  util::IntervalMethod confidence_method = util::IntervalMethod::kWilson;
   // Benchmark suite to profile on (empty = the core's full suite).  Part
   // of the experiment identity: ledgers of different suites never merge.
   std::vector<std::string> benchmarks;

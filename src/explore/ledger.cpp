@@ -36,6 +36,13 @@ class Reader : public util::ByteReader {
   bool str(std::string* s) { return util::ByteReader::str(s, kMaxStringLen); }
 };
 
+// The oldest format version that can represent this ledger: adaptive
+// explorations need the version-2 identity tail, fixed-budget ones stay
+// readable by pre-adaptive binaries.
+std::uint32_t ledger_wire_version(const Ledger& l) {
+  return l.confidence > 0.0 ? 2u : 1u;
+}
+
 std::string encode_identity(const Ledger& l) {
   std::string out;
   put_str(&out, l.core);
@@ -51,10 +58,17 @@ std::string encode_identity(const Ledger& l) {
   put_u32(&out, l.shard_count);
   put_u32(&out, static_cast<std::uint32_t>(l.covered.size()));
   for (const std::uint32_t s : l.covered) put_u32(&out, s);
+  if (ledger_wire_version(l) >= 2) {
+    // put_f64 stores IEEE-754 bits (util/bytes.h): the confidence target
+    // is an identity field and must round-trip bit-exactly.
+    put_f64(&out, l.confidence);
+    put_u32(&out, l.confidence_method);
+  }
   return out;
 }
 
-bool decode_identity(const std::string& bytes, Ledger* out) {
+bool decode_identity(const std::string& bytes, std::uint32_t version,
+                     Ledger* out) {
   Reader r(bytes.data(), bytes.size());
   std::uint32_t bench_count = 0, pruning = 0, covered_count = 0;
   if (!r.str(&out->core) || !r.f64(&out->target) || !r.u32(&out->metric) ||
@@ -86,6 +100,15 @@ bool decode_identity(const std::string& bytes, Ledger* out) {
       return false;
     }
     prev = out->covered[i];
+  }
+  if (version >= 2) {
+    // Version 2 exists only for adaptive explorations: a NaN, zero or
+    // out-of-range confidence target fails closed.
+    if (!r.f64(&out->confidence) || !(out->confidence > 0.0) ||
+        !(out->confidence <= 0.5) || !r.u32(&out->confidence_method) ||
+        out->confidence_method > 1) {
+      return false;
+    }
   }
   return r.exhausted();
 }
@@ -165,6 +188,8 @@ std::vector<std::uint32_t> Ledger::missing_indices() const {
 bool Ledger::same_identity(const Ledger& o) const {
   return core == o.core && target == o.target && metric == o.metric &&
          seed == o.seed && per_ff_samples == o.per_ff_samples &&
+         confidence == o.confidence &&
+         confidence_method == o.confidence_method &&
          benchmarks == o.benchmarks && combo_count == o.combo_count &&
          combo_fingerprint == o.combo_fingerprint && pruning == o.pruning &&
          shard_count == o.shard_count;
@@ -197,7 +222,7 @@ std::string encode_ledger(const Ledger& ledger) {
   const std::string ident = encode_identity(ledger);
   std::string out;
   out.append(reinterpret_cast<const char*>(kMagic), 4);
-  put_u32(&out, kLedgerVersion);
+  put_u32(&out, ledger_wire_version(ledger));
   put_u64(&out, ident.size());
   put_u64(&out, util::fnv1a64(ident.data(), ident.size()));
   put_u64(&out, util::fnv1a64(out.data(), 24));
@@ -235,7 +260,7 @@ LedgerStatus decode_ledger(const std::string& bytes, Ledger* out,
     return LedgerStatus::kCorrupt;
   }
   Ledger l;
-  if (!decode_identity(ident, &l)) return LedgerStatus::kCorrupt;
+  if (!decode_identity(ident, version, &l)) return LedgerStatus::kCorrupt;
 
   // Record region: the identity is trusted now; records load until the
   // first damage, after which the remainder is conservatively dropped
@@ -351,6 +376,8 @@ Ledger merge_ledger_files(const std::vector<Ledger>& ledgers) {
   merged.metric = ref.metric;
   merged.seed = ref.seed;
   merged.per_ff_samples = ref.per_ff_samples;
+  merged.confidence = ref.confidence;
+  merged.confidence_method = ref.confidence_method;
   merged.benchmarks = ref.benchmarks;
   merged.combo_count = ref.combo_count;
   merged.combo_fingerprint = ref.combo_fingerprint;
@@ -363,6 +390,10 @@ Ledger merge_ledger_files(const std::vector<Ledger>& ledgers) {
     if (l.metric != ref.metric) mismatch("metric");
     if (l.seed != ref.seed) mismatch("seed");
     if (l.per_ff_samples != ref.per_ff_samples) mismatch("per_ff_samples");
+    if (l.confidence != ref.confidence ||
+        l.confidence_method != ref.confidence_method) {
+      mismatch("confidence target");
+    }
     if (l.benchmarks != ref.benchmarks) mismatch("benchmarks");
     if (l.combo_count != ref.combo_count) mismatch("combo_count");
     if (l.combo_fingerprint != ref.combo_fingerprint) {

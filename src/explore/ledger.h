@@ -43,6 +43,16 @@
 // shard indices.  Version-1 record payload: kind, combo index, combo
 // name, and the evaluated point (target, met, energy/area/power/exec,
 // %SDC protected, SDC/DUE improvement).
+//
+// Version-2 identity block (confidence-driven adaptive explorations
+// only): the version-1 identity followed by the campaign confidence
+// target (IEEE-754 bits) and interval method.  Writers stamp each file
+// with the OLDEST version that can represent it -- 1 for fixed-budget
+// explorations, 2 when ExploreSpec::confidence > 0 -- so a pre-adaptive
+// reader keeps reading fixed-budget ledgers and fails closed
+// (kVersionUnsupported) on adaptive ones instead of folding records
+// sampled under a different campaign schedule.  Record payloads are
+// unchanged in version 2.
 #ifndef CLEAR_EXPLORE_LEDGER_H
 #define CLEAR_EXPLORE_LEDGER_H
 
@@ -56,8 +66,10 @@
 
 namespace clear::explore {
 
-// Current (and newest understood) ledger format version.
-constexpr std::uint32_t kLedgerVersion = 1;
+// Newest understood ledger format version (see the version-stamping rule
+// in the header comment: writers emit the oldest version that can
+// represent the ledger).
+constexpr std::uint32_t kLedgerVersion = 2;
 
 // Fixed header size in bytes (magic through header_checksum).  Stable
 // across versions: only identity/record layouts are allowed to evolve.
@@ -116,6 +128,12 @@ struct Ledger {
   std::uint32_t metric = 0;  // core::Metric as stored (0 sdc, 1 due, 2 joint)
   std::uint64_t seed = 1;
   std::uint64_t per_ff_samples = 0;     // resolved (never 0) sample scale
+  // Confidence-driven adaptive campaigns (ExploreSpec::confidence): the
+  // 95% interval half-width target the profiling campaigns stopped at,
+  // 0 = fixed-budget.  Part of the identity -- adaptive and fixed
+  // explorations sample differently and must never fold together.
+  double confidence = 0.0;
+  std::uint32_t confidence_method = 0;  // util::IntervalMethod as stored
   std::vector<std::string> benchmarks;  // profiled suite, in order
   std::uint32_t combo_count = 0;        // enumeration size for `core`
   std::uint64_t combo_fingerprint = 0;  // core::enumeration_fingerprint

@@ -12,7 +12,10 @@
 #include <stdexcept>
 #include <thread>
 
+#include <cstring>
+
 #include "engine/engine.h"
+#include "inject/adaptive.h"
 #include "inject/cachepack.h"
 #include "inject/exec.h"
 #include "util/env.h"
@@ -41,9 +44,25 @@ constexpr std::uint32_t kCacheVersion = 4;
 
 constexpr std::uint64_t kGoldenBudget = 20'000'000;
 
+// IEEE bits of a double, for hashing and text round-trips that must be
+// exact (a decimal round-trip of the confidence target could make two
+// shards disagree about the campaign identity).
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
 // Stable hash of the campaign identity (key + program code + parameters).
-// The shard selection participates only when sharding is active, so
-// unsharded fingerprints -- and therefore pre-sharding caches -- are
+// The shard selection participates only when sharding is active, and the
+// confidence target only when adaptivity is active, so unsharded and
+// fixed-budget fingerprints -- and therefore pre-existing caches -- are
 // unchanged.
 std::uint64_t spec_fingerprint(const CampaignSpec& spec,
                                std::size_t injections) {
@@ -57,6 +76,12 @@ std::uint64_t spec_fingerprint(const CampaignSpec& spec,
   if (spec.shard_count > 1) {
     h = util::hash_combine(h, 0x5AA5D0000ULL + spec.shard_count);
     h = util::hash_combine(h, spec.shard_index);
+  }
+  if (spec.adaptive()) {
+    h = util::hash_combine(h, 0xADA7011'1EULL);
+    h = util::hash_combine(
+        h, static_cast<std::uint64_t>(spec.confidence_method));
+    h = util::hash_combine(h, double_bits(spec.confidence_half_width));
   }
   return h;
 }
@@ -109,6 +134,25 @@ bool parse_result(const std::string& payload, std::uint64_t fp,
     }
     r.totals.merge(c);
   }
+  // Optional adaptive block (fingerprints keep adaptive and fixed entries
+  // from ever aliasing, so its presence is self-consistent with the probe).
+  std::string tag;
+  if (in >> tag) {
+    if (tag != "adaptive") return false;
+    std::uint32_t method = 0;
+    std::uint64_t target_bits = 0;
+    if (!(in >> method >> target_bits >> r.pilot)) return false;
+    if (method > 1) return false;
+    r.confidence_method = static_cast<util::IntervalMethod>(method);
+    r.confidence_target = bits_double(target_bits);
+    if (!(r.confidence_target > 0.0) || r.confidence_target > 0.5) {
+      return false;
+    }
+    r.planned.assign(ffs, 0);
+    for (std::uint32_t i = 0; i < ffs; ++i) {
+      if (!(in >> r.planned[i])) return false;
+    }
+  }
   *out = std::move(r);
   return true;
 }
@@ -120,6 +164,11 @@ std::string serialize_result(std::uint64_t fp, const CampaignResult& r) {
   for (const auto& c : r.per_ff) {
     out << c.vanished << ' ' << c.omm << ' ' << c.ut << ' ' << c.hang << ' '
         << c.ed << ' ' << c.recovered << '\n';
+  }
+  if (r.adaptive()) {
+    out << "adaptive " << static_cast<std::uint32_t>(r.confidence_method)
+        << ' ' << double_bits(r.confidence_target) << ' ' << r.pilot << '\n';
+    for (const std::uint64_t n : r.planned) out << n << '\n';
   }
   return out.str();
 }
@@ -221,6 +270,24 @@ struct CampaignJob {
   // caller slot, merged afterwards: counter addition is commutative, so
   // totals are independent of scheduling.
   std::vector<std::vector<OutcomeCounts>> partials;
+
+  // ---- confidence-driven adaptive sampling (inject/adaptive.h) ----
+  // pilot == 0 <=> fixed schedule (including adaptive specs whose budget
+  // is too small to host a pilot; those keep planned == base).
+  std::uint64_t pilot = 0;
+  std::vector<std::uint64_t> milestones;
+  std::vector<std::uint64_t> base;           // fixed-budget per-FF counts
+  std::vector<adaptive::FfDecision> decide;  // GLOBAL pilot decision state
+  std::vector<std::uint64_t> planned;        // final N_f, set after the pilot
+  bool in_tail = false;                      // pilot done, tail built
+  // Decision strips for the current milestone round, one per worker slot;
+  // folded into `decide` and cleared at every round barrier.  Kept apart
+  // from `partials`: decisions see every shard's pilot samples, result
+  // accounting only this shard's owned ones.
+  std::vector<std::vector<OutcomeCounts>> decide_partials;
+  // Global sample indices this job simulates in the CURRENT pass (empty
+  // for fixed jobs, which map their pass-1 work arithmetically).
+  std::vector<std::uint64_t> pass_indices;
 };
 
 // ---- adaptive snapshot placement -------------------------------------------
@@ -336,11 +403,11 @@ void record_golden(CampaignJob& job, const std::atomic<bool>* cancel) {
 
 // One faulty sample.  `g` is the global sample index: the RNG, target
 // flip-flop and injection cycle derive from it alone, which is what makes
-// results independent of threads, batching and shard partitioning.
-void run_faulty_sample(CampaignJob& job, std::size_t g, unsigned slot,
-                       const std::atomic<bool>* cancel) {
+// results independent of threads, batching and shard partitioning --
+// adaptivity only decides WHICH indices run, never what an index produces.
+Outcome simulate_sample(CampaignJob& job, std::size_t g,
+                        const std::atomic<bool>* cancel) {
   const CampaignSpec& spec = *job.spec;
-  auto& mine = job.partials[slot];
   // Stratified-by-FF sampling with an index-derived RNG: results are
   // independent of thread scheduling and thread count.
   util::Rng rng(util::hash_combine(spec.seed, g));
@@ -351,19 +418,55 @@ void run_faulty_sample(CampaignJob& job, std::size_t g, unsigned slot,
   const arch::FFProt p =
       spec.cfg != nullptr ? spec.cfg->prot_of(ff) : arch::FFProt::kNone;
   if (!rng.bernoulli(ser_ratio(p))) {
-    mine[ff].add(Outcome::kVanished);
-    return;
+    return Outcome::kVanished;
   }
   const auto plan = arch::InjectionPlan::single(cycle, ff);
   if (job.use_checkpoint) {
     arch::Core* core = bound_worker_core(spec, job.token);
-    mine[ff].add(run_forked(core, job.traj, plan, cycle, job.watchdog,
-                            job.golden, cancel));
-  } else {
-    arch::Core* core = worker_core(spec.core_name);
-    mine[ff].add(classify(
-        core->run(*spec.program, spec.cfg, &plan, job.watchdog), job.golden));
+    return run_forked(core, job.traj, plan, cycle, job.watchdog, job.golden,
+                      cancel);
   }
+  arch::Core* core = worker_core(spec.core_name);
+  return classify(core->run(*spec.program, spec.cfg, &plan, job.watchdog),
+                  job.golden);
+}
+
+// Owned sample: simulate and account into this shard's result strips.
+void run_faulty_sample(CampaignJob& job, std::size_t g, unsigned slot,
+                       const std::atomic<bool>* cancel) {
+  const std::uint32_t ff = static_cast<std::uint32_t>(g % job.ff_count);
+  job.partials[slot][ff].add(simulate_sample(job, g, cancel));
+}
+
+// Pilot sample of an adaptive campaign: EVERY shard simulates it so the
+// stop decision sees global counts, but only the owning shard accounts it
+// in the result (merge stays an exact sum).
+void run_pilot_sample(CampaignJob& job, std::uint64_t g, unsigned slot,
+                      const std::atomic<bool>* cancel) {
+  const CampaignSpec& spec = *job.spec;
+  const std::uint32_t ff = static_cast<std::uint32_t>(g % job.ff_count);
+  const Outcome out = simulate_sample(job, static_cast<std::size_t>(g), cancel);
+  if (g % spec.shard_count == spec.shard_index) {
+    job.partials[slot][ff].add(out);
+  }
+  job.decide_partials[slot][ff].add(out);
+}
+
+// Upper bound on the samples THIS SHARD will simulate for an adaptive
+// job: the full pilot (redundant on every shard) plus its owned share of
+// the worst-case tail.  Published as the initial progress total, then
+// shrunk at every milestone barrier as FFs stop early.
+std::uint64_t adaptive_upper_bound(const CampaignJob& job) {
+  const CampaignSpec& spec = *job.spec;
+  const std::uint64_t pilot_sims =
+      static_cast<std::uint64_t>(job.ff_count) * job.pilot;
+  std::uint64_t upper = pilot_sims;
+  if (job.injections > pilot_sims) {
+    upper += (job.injections - pilot_sims + spec.shard_count - 1) /
+                 spec.shard_count +
+             job.ff_count;
+  }
+  return upper;
 }
 
 }  // namespace
@@ -372,6 +475,18 @@ double CampaignResult::sdc_margin_of_error() const noexcept {
   return util::proportion_margin_of_error_95(
       static_cast<std::size_t>(totals.sdc()),
       static_cast<std::size_t>(totals.total()));
+}
+
+util::Interval CampaignResult::sdc_interval() const noexcept {
+  return util::binomial_interval_95(confidence_method,
+                                    static_cast<std::size_t>(totals.sdc()),
+                                    static_cast<std::size_t>(totals.total()));
+}
+
+util::Interval CampaignResult::due_interval() const noexcept {
+  return util::binomial_interval_95(confidence_method,
+                                    static_cast<std::size_t>(totals.due()),
+                                    static_cast<std::size_t>(totals.total()));
 }
 
 Outcome classify(const arch::CoreRunResult& faulty,
@@ -424,6 +539,10 @@ CampaignResult merge_campaign_results(
   out.ff_count = shards.front().ff_count;
   out.nominal_cycles = shards.front().nominal_cycles;
   out.nominal_instrs = shards.front().nominal_instrs;
+  out.confidence_target = shards.front().confidence_target;
+  out.confidence_method = shards.front().confidence_method;
+  out.pilot = shards.front().pilot;
+  out.planned = shards.front().planned;
   out.per_ff.assign(out.ff_count, {});
   for (const auto& s : shards) {
     if (s.ff_count != out.ff_count || s.per_ff.size() != out.per_ff.size() ||
@@ -431,6 +550,16 @@ CampaignResult merge_campaign_results(
         s.nominal_instrs != out.nominal_instrs) {
       throw std::invalid_argument(
           "merge_campaign_results: shards disagree on campaign identity");
+    }
+    // The adaptive plan is part of the identity: every shard derives the
+    // same per-FF N_f from the same global pilot, so any disagreement
+    // means the shards came from different campaigns (or a fixed-budget
+    // shard is being mixed into an adaptive merge).
+    if (double_bits(s.confidence_target) != double_bits(out.confidence_target) ||
+        s.confidence_method != out.confidence_method || s.pilot != out.pilot ||
+        s.planned != out.planned) {
+      throw std::invalid_argument(
+          "merge_campaign_results: shards disagree on the adaptive plan");
     }
     for (std::uint32_t f = 0; f < out.ff_count; ++f) {
       out.per_ff[f].merge(s.per_ff[f]);
@@ -463,6 +592,12 @@ std::vector<CampaignResult> execute_campaigns(
                                   std::to_string(spec.shard_count) +
                                   " for key " + spec.key);
     }
+    if (spec.adaptive() &&
+        (!(spec.confidence_half_width > 0.0) ||
+         !(spec.confidence_half_width <= 0.5))) {
+      throw std::invalid_argument("confidence half-width must be in (0, 0.5]"
+                                  " for key " + spec.key);
+    }
     CampaignJob job;
     job.spec = &spec;
     job.spec_index = si;
@@ -476,6 +611,20 @@ std::vector<CampaignResult> execute_campaigns(
     job.use_checkpoint = spec.use_checkpoint >= 0
                              ? spec.use_checkpoint != 0
                              : util::env_long("CLEAR_CHECKPOINT", 1) != 0;
+    if (spec.adaptive()) {
+      job.base = adaptive::fixed_budget(job.injections, job.ff_count);
+      std::uint64_t min_base = job.base.empty() ? 0 : job.base.front();
+      for (const std::uint64_t b : job.base) min_base = std::min(min_base, b);
+      job.pilot = adaptive::pilot_ordinals(min_base);
+      job.milestones = adaptive::milestone_ladder(job.pilot);
+      if (job.pilot != 0) {
+        job.decide.assign(job.ff_count, {});
+      } else {
+        // Budget too small for a pilot: run the fixed schedule, but keep
+        // the adaptive identity (planned == base on every shard).
+        job.planned = job.base;
+      }
+    }
     if (!spec.key.empty() && !cache_dir.empty()) {
       job.fp = spec_fingerprint(spec, job.injections);
       std::string payload;
@@ -496,7 +645,7 @@ std::vector<CampaignResult> execute_campaigns(
   check_cancel(cancel);
 
   unsigned threads = 0;
-  std::size_t total_local = 0;
+  std::size_t upper_total = 0;  // worst-case sims this shard performs
   for (auto& job : jobs) {
     const unsigned want =
         job.spec->threads != 0
@@ -504,99 +653,238 @@ std::vector<CampaignResult> execute_campaigns(
             : static_cast<unsigned>(util::env_long(
                   "CLEAR_THREADS", std::thread::hardware_concurrency()));
     threads = std::max(threads, want);
-    total_local += job.local_count;
+    upper_total += job.pilot != 0
+                       ? static_cast<std::size_t>(adaptive_upper_bound(job))
+                       : job.local_count;
     job.token = g_campaign_tokens.fetch_add(1, std::memory_order_relaxed);
   }
   if (threads == 0) threads = 1;
   threads = static_cast<unsigned>(std::min<std::size_t>(
-      threads, std::max<std::size_t>(1, total_local / 64)));
+      threads, std::max<std::size_t>(1, upper_total / 64)));
   for (auto& job : jobs) {
     job.partials.assign(threads + 1,
                         std::vector<OutcomeCounts>(job.ff_count));
+    if (job.pilot != 0) {
+      job.decide_partials.assign(threads + 1,
+                                 std::vector<OutcomeCounts>(job.ff_count));
+      // Milestone round 0: per-FF ordinals [0, milestones[0]) of every FF,
+      // on every shard (decisions need global counts).
+      job.pass_indices.reserve(static_cast<std::size_t>(job.milestones[0]) *
+                               job.ff_count);
+      for (std::uint64_t ord = 0; ord < job.milestones[0]; ++ord) {
+        for (std::uint32_t f = 0; f < job.ff_count; ++f) {
+          job.pass_indices.push_back(ord * job.ff_count + f);
+        }
+      }
+    }
   }
   // Planning is done: publish the work totals the progress counters count
-  // toward (cache-served campaigns are excluded from both phases).
+  // toward (cache-served campaigns are excluded from both phases).  For
+  // adaptive campaigns the sample total is an UPPER BOUND that shrinks at
+  // every milestone barrier as per-FF campaigns stop early.
   if (hooks.goldens_total) hooks.goldens_total->store(jobs.size());
-  if (hooks.samples_total) hooks.samples_total->store(total_local);
+  if (hooks.samples_total) hooks.samples_total->store(upper_total);
+  std::uint64_t published_total = upper_total;
+  std::uint64_t executed_sofar = 0;
 
-  // Index space of the single pool job: the first J indices record the
-  // golden trajectories, the rest are the campaigns' faulty samples in
-  // job order.  The pool hands indices out monotonically, so every golden
-  // is claimed by some worker before any faulty sample -- a faulty task
-  // that finds its campaign's golden not yet `ready` can safely block on
-  // the batch condition variable: the recording is already in flight on
-  // another worker (or this batch is aborting).
   const std::size_t njobs = jobs.size();
-  std::vector<std::size_t> faulty_prefix(njobs + 1, 0);
-  for (std::size_t j = 0; j < njobs; ++j) {
-    faulty_prefix[j + 1] = faulty_prefix[j] + jobs[j].local_count;
-  }
-
   std::mutex batch_m;
   std::condition_variable batch_cv;
   std::vector<char> ready(njobs, 0);  // golden attempted (set even on throw)
   std::vector<char> golden_ok(njobs, 0);
   // Checkpoints dominate a batch's memory (each holds a full state + data
-  // image, ~96 per campaign): drop a campaign's trajectory as soon as its
-  // last faulty sample finishes instead of holding every trajectory until
-  // the whole batch drains.
+  // image, ~96 per campaign): drop a fixed campaign's trajectory as soon
+  // as its last faulty sample finishes instead of holding every
+  // trajectory until the whole batch drains.  Adaptive campaigns keep
+  // theirs across milestone rounds and free them after the tail pass.
   std::vector<std::atomic<std::size_t>> samples_left(njobs);
   for (std::size_t j = 0; j < njobs; ++j) {
     samples_left[j].store(jobs[j].local_count, std::memory_order_relaxed);
   }
 
-  util::ThreadPool::instance().run(
-      njobs + total_local, threads, [&](std::size_t i, unsigned worker_id) {
-        const unsigned slot =
-            worker_id == util::ThreadPool::kCallerSlot ? threads : worker_id;
-        if (i < njobs) {
-          try {
-            check_cancel(cancel);
-            record_golden(jobs[i], cancel);
-          } catch (...) {
+  // One pool pass.  The first pass carries the golden recordings in its
+  // leading indices (the pool hands indices out monotonically, so every
+  // golden is claimed by some worker before any faulty sample -- a faulty
+  // task that finds its campaign's golden not yet `ready` can safely
+  // block on the batch condition variable: the recording is already in
+  // flight on another worker, or this batch is aborting).  Fixed jobs map
+  // their samples arithmetically and only have work in the first pass;
+  // adaptive jobs execute their current `pass_indices` (pilot rounds,
+  // then the owned tail).  Later passes are pure sample work: milestone
+  // barriers between passes are what keeps stop decisions a function of
+  // sample counts, never of arrival order.
+  const auto run_pass = [&](bool with_goldens) {
+    std::vector<std::size_t> prefix(njobs + 1, 0);
+    for (std::size_t j = 0; j < njobs; ++j) {
+      const std::size_t count = jobs[j].pilot != 0
+                                    ? jobs[j].pass_indices.size()
+                                    : (with_goldens ? jobs[j].local_count : 0);
+      prefix[j + 1] = prefix[j] + count;
+    }
+    const std::size_t total = prefix[njobs];
+    const std::size_t lead = with_goldens ? njobs : 0;
+    if (lead + total == 0) return;
+    util::ThreadPool::instance().run(
+        lead + total, threads, [&](std::size_t i, unsigned worker_id) {
+          const unsigned slot =
+              worker_id == util::ThreadPool::kCallerSlot ? threads : worker_id;
+          if (with_goldens && i < njobs) {
+            try {
+              check_cancel(cancel);
+              record_golden(jobs[i], cancel);
+            } catch (...) {
+              {
+                std::lock_guard<std::mutex> g(batch_m);
+                ready[i] = 1;  // wake waiters; golden_ok stays 0
+              }
+              batch_cv.notify_all();
+              throw;  // first exception is rethrown by the pool
+            }
             {
               std::lock_guard<std::mutex> g(batch_m);
-              ready[i] = 1;  // wake waiters; golden_ok stays 0
+              ready[i] = 1;
+              golden_ok[i] = 1;
             }
             batch_cv.notify_all();
-            throw;  // first exception is rethrown by the pool
+            if (hooks.goldens_done) {
+              hooks.goldens_done->fetch_add(1, std::memory_order_relaxed);
+            }
+            return;
           }
-          {
-            std::lock_guard<std::mutex> g(batch_m);
-            ready[i] = 1;
-            golden_ok[i] = 1;
+          const std::size_t fi = i - lead;
+          const std::size_t j =
+              static_cast<std::size_t>(
+                  std::upper_bound(prefix.begin(), prefix.end(), fi) -
+                  prefix.begin()) -
+              1;
+          CampaignJob& job = jobs[j];
+          if (with_goldens) {
+            std::unique_lock<std::mutex> g(batch_m);
+            batch_cv.wait(g, [&] { return ready[j] != 0; });
+            if (!golden_ok[j]) return;  // aborting: the recording threw
           }
-          batch_cv.notify_all();
-          if (hooks.goldens_done) {
-            hooks.goldens_done->fetch_add(1, std::memory_order_relaxed);
+          check_cancel(cancel);
+          const std::size_t local = fi - prefix[j];
+          if (job.pilot == 0) {
+            const std::size_t global =
+                local * job.spec->shard_count + job.spec->shard_index;
+            run_faulty_sample(job, global, slot, cancel);
+            if (hooks.samples_done) {
+              hooks.samples_done->fetch_add(1, std::memory_order_relaxed);
+            }
+            if (samples_left[j].fetch_sub(1, std::memory_order_acq_rel) ==
+                1) {
+              std::vector<arch::CoreCheckpoint>().swap(job.traj.checkpoints);
+            }
+            return;
           }
-          return;
+          const std::uint64_t g = job.pass_indices[local];
+          if (job.in_tail) {
+            run_faulty_sample(job, static_cast<std::size_t>(g), slot, cancel);
+          } else {
+            run_pilot_sample(job, g, slot, cancel);
+          }
+          if (hooks.samples_done) {
+            hooks.samples_done->fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+    executed_sofar += total;
+  };
+
+  run_pass(/*with_goldens=*/true);
+
+  // Milestone barriers.  Round r simulated per-FF ordinals
+  // [milestones[r-1], milestones[r]) of every open FF; the barrier folds
+  // the round's global decision counts, applies the stop rule at
+  // milestones[r], and builds the next pass.  Jobs whose ladder ends
+  // early move to their tail while others continue piloting.
+  std::size_t max_rounds = 0;
+  for (const auto& job : jobs) {
+    max_rounds = std::max(max_rounds, job.milestones.size());
+  }
+  for (std::size_t r = 0; r < max_rounds; ++r) {
+    check_cancel(cancel);
+    for (auto& job : jobs) {
+      if (job.pilot == 0) continue;
+      if (job.in_tail || r >= job.milestones.size()) {
+        job.pass_indices.clear();  // tail (or ladder) already ran
+        continue;
+      }
+      const CampaignSpec& spec = *job.spec;
+      for (auto& strip : job.decide_partials) {
+        for (std::uint32_t f = 0; f < job.ff_count; ++f) {
+          job.decide[f].pilot.merge(strip[f]);
+          strip[f] = OutcomeCounts{};
         }
-        const std::size_t fi = i - njobs;
-        const std::size_t j =
-            static_cast<std::size_t>(
-                std::upper_bound(faulty_prefix.begin(), faulty_prefix.end(),
-                                 fi) -
-                faulty_prefix.begin()) -
-            1;
-        CampaignJob& job = jobs[j];
-        {
-          std::unique_lock<std::mutex> g(batch_m);
-          batch_cv.wait(g, [&] { return ready[j] != 0; });
-          if (!golden_ok[j]) return;  // aborting: the recording threw
+      }
+      adaptive::apply_milestone(job.milestones[r], spec.confidence_half_width,
+                                spec.confidence_method, &job.decide);
+      job.pass_indices.clear();
+      if (r + 1 < job.milestones.size()) {
+        for (std::uint64_t ord = job.milestones[r];
+             ord < job.milestones[r + 1]; ++ord) {
+          for (std::uint32_t f = 0; f < job.ff_count; ++f) {
+            if (job.decide[f].stopped_at != 0) continue;
+            job.pass_indices.push_back(ord * job.ff_count + f);
+          }
         }
-        check_cancel(cancel);
-        const std::size_t local = fi - faulty_prefix[j];
-        const std::size_t global =
-            local * job.spec->shard_count + job.spec->shard_index;
-        run_faulty_sample(job, global, slot, cancel);
-        if (hooks.samples_done) {
-          hooks.samples_done->fetch_add(1, std::memory_order_relaxed);
+      } else {
+        job.planned = adaptive::plan_final_counts(
+            job.decide, job.pilot, job.base, spec.confidence_half_width,
+            spec.confidence_method);
+        job.in_tail = true;
+        for (std::uint32_t f = 0; f < job.ff_count; ++f) {
+          for (std::uint64_t ord = job.pilot; ord < job.planned[f]; ++ord) {
+            const std::uint64_t g = ord * job.ff_count + f;
+            if (g % spec.shard_count == spec.shard_index) {
+              job.pass_indices.push_back(g);
+            }
+          }
         }
-        if (samples_left[j].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::vector<arch::CoreCheckpoint>().swap(job.traj.checkpoints);
+      }
+    }
+    // Shrink the published sample total: executed so far plus a fresh
+    // upper bound on what is left, clamped monotone.
+    if (hooks.samples_total) {
+      std::uint64_t remaining = 0;
+      for (const auto& job : jobs) {
+        if (job.pilot == 0) continue;
+        if (job.in_tail || r >= job.milestones.size()) {
+          remaining += job.pass_indices.size();
+          continue;
         }
-      });
+        const CampaignSpec& spec = *job.spec;
+        std::uint64_t open = 0;
+        std::uint64_t committed = 0;
+        for (std::uint32_t f = 0; f < job.ff_count; ++f) {
+          const std::uint64_t stop = job.decide[f].stopped_at;
+          if (stop == 0) ++open;
+          committed += stop != 0 ? stop : job.milestones[r];
+        }
+        remaining += open * (job.pilot - job.milestones[r]);
+        if (job.injections > committed) {
+          remaining += (job.injections - committed + spec.shard_count - 1) /
+                           spec.shard_count +
+                       open;
+        }
+      }
+      published_total = std::min(published_total, executed_sofar + remaining);
+      hooks.samples_total->store(published_total);
+    }
+    if (r + 1 < max_rounds) run_pass(/*with_goldens=*/false);
+  }
+  // Tail pass: every adaptive job's remaining owned samples (jobs whose
+  // ladder ended early already ran theirs during later pilot rounds and
+  // carry an empty list here).
+  run_pass(/*with_goldens=*/false);
+  for (auto& job : jobs) {
+    if (job.pilot != 0) {
+      std::vector<arch::CoreCheckpoint>().swap(job.traj.checkpoints);
+    }
+  }
+  if (hooks.samples_total && executed_sofar < published_total) {
+    hooks.samples_total->store(executed_sofar);  // final exact count
+  }
 
   // A cancel that raced the last sample still aborts here, before any
   // cache write: a cancelled batch never persists anything.
@@ -613,6 +901,12 @@ std::vector<CampaignResult> execute_campaigns(
       }
     }
     for (const auto& c : result.per_ff) result.totals.merge(c);
+    if (job.spec->adaptive()) {
+      result.confidence_target = job.spec->confidence_half_width;
+      result.confidence_method = job.spec->confidence_method;
+      result.pilot = job.pilot;
+      result.planned = job.planned;
+    }
     if (job.fp != 0) {
       CachePack::instance(cache_dir)
           .put(job.fp, cache_label(*job.spec),

@@ -60,6 +60,7 @@
 #include "arch/core.h"
 #include "inject/outcome.h"
 #include "isa/program.h"
+#include "util/stats.h"
 
 namespace clear::inject {
 
@@ -102,6 +103,23 @@ struct CampaignSpec {
   // campaign memoize independently.
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 1;
+  // Confidence-driven adaptive sampling (inject/adaptive.h).  When
+  // confidence_half_width > 0, `injections` becomes a budget CEILING
+  // instead of an exact count: per-FF sampling stops at the first
+  // deterministic milestone where the 95% interval half-widths of both
+  // the SDC and the DUE rate drop to the target, and the freed budget is
+  // reallocated to the FFs whose rates are still noisy.  Stop decisions
+  // are pure functions of global sample indices and milestone
+  // boundaries, so any --shard k/K partition of an adaptive campaign
+  // still merges bit-identically to the unsharded adaptive run.  The
+  // cache fingerprint covers both fields whenever adaptivity is active,
+  // so adaptive and fixed-budget results never alias.  0 = fixed budget.
+  double confidence_half_width = 0.0;
+  util::IntervalMethod confidence_method = util::IntervalMethod::kWilson;
+
+  [[nodiscard]] bool adaptive() const noexcept {
+    return confidence_half_width > 0.0;
+  }
 };
 
 struct CampaignResult {
@@ -125,6 +143,35 @@ struct CampaignResult {
   // 95% margin of error on the SDC fraction (paper reports <0.1% at 9M
   // injections; reduced-scale campaigns report their own margin).
   [[nodiscard]] double sdc_margin_of_error() const noexcept;
+
+  // ---- adaptive-campaign metadata (all zero/empty for fixed budgets) ----
+  // Echo of CampaignSpec::confidence_half_width / confidence_method.
+  double confidence_target = 0.0;
+  util::IntervalMethod confidence_method = util::IntervalMethod::kWilson;
+  // Pilot length and the final per-FF plan N_f (inject/adaptive.h).  The
+  // plan is part of the campaign identity: every shard computes the same
+  // plan, and merge_campaign_results refuses shards whose plans differ.
+  std::uint64_t pilot = 0;
+  std::vector<std::uint64_t> planned;  // per-FF; sum <= spec.injections
+
+  [[nodiscard]] bool adaptive() const noexcept {
+    return confidence_target > 0.0;
+  }
+  // Samples actually simulated and owned by this result (a shard's share
+  // until merged); for a merged adaptive result this equals planned_total.
+  [[nodiscard]] std::uint64_t samples_executed() const noexcept {
+    return totals.total();
+  }
+  [[nodiscard]] std::uint64_t planned_total() const noexcept {
+    std::uint64_t t = 0;
+    for (const std::uint64_t n : planned) t += n;
+    return t;
+  }
+  // Achieved 95% intervals on the SDC/DUE rates over this result's
+  // samples, using the campaign's interval method (Wilson for fixed
+  // budgets).  For a shard these cover only its own samples until merged.
+  [[nodiscard]] util::Interval sdc_interval() const noexcept;
+  [[nodiscard]] util::Interval due_interval() const noexcept;
 };
 
 // Classifies one faulty run against the golden run.  Pure function of

@@ -20,7 +20,11 @@
 //   * the progress counters are monotonic and written with relaxed
 //     atomics; totals are published once planning (the cache probe)
 //     finished, so `*_total == 0` means "still planning" unless the
-//     whole batch was served from the cache.
+//     whole batch was served from the cache.  For confidence-driven
+//     adaptive campaigns (CampaignSpec::confidence_half_width > 0) the
+//     published sample total is an UPPER BOUND that monotonically
+//     SHRINKS at every milestone barrier as per-FF campaigns stop early;
+//     `done` counters only ever grow, and done <= total holds throughout.
 //
 // This header is internal to the library (the engine and tests); the
 // stable surface is inject/campaign.h + engine/engine.h.

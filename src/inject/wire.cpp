@@ -35,6 +35,21 @@ class Reader : public util::ByteReader {
   bool str(std::string* s) { return util::ByteReader::str(s, kMaxStringLen); }
 };
 
+// Doubles travel as their IEEE-754 bits: the confidence target is an
+// identity field, and a decimal round-trip could make two shards of the
+// same campaign disagree about it.
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
 }  // namespace
 
 const char* wire_status_name(WireStatus s) noexcept {
@@ -84,11 +99,28 @@ std::string encode_shard(const ShardFile& shard) {
     put_u32(&body, c.ed);
     put_u32(&body, c.recovered);
   }
+  const std::uint32_t version = r.adaptive() ? 2 : 1;
+  if (r.adaptive()) {
+    // Version-2 adaptive block.  The plan is identity (every shard derives
+    // the same one); executed count and achieved intervals describe THIS
+    // file's covered shards and are recomputed from counters on merge.
+    put_u32(&body, static_cast<std::uint32_t>(r.confidence_method));
+    put_u64(&body, double_bits(r.confidence_target));
+    put_u64(&body, r.pilot);
+    for (const std::uint64_t n : r.planned) put_u64(&body, n);
+    put_u64(&body, r.samples_executed());
+    const util::Interval sdc = r.sdc_interval();
+    const util::Interval due = r.due_interval();
+    put_u64(&body, double_bits(sdc.lo));
+    put_u64(&body, double_bits(sdc.hi));
+    put_u64(&body, double_bits(due.lo));
+    put_u64(&body, double_bits(due.hi));
+  }
 
   std::string out;
   out.reserve(kWireHeaderSize + body.size());
   out.append(reinterpret_cast<const char*>(kMagic), 4);
-  put_u32(&out, kWireVersion);
+  put_u32(&out, version);
   put_u64(&out, body.size());
   put_u64(&out, fnv1a64(body.data(), body.size()));
   put_u64(&out, fnv1a64(out.data(), 24));
@@ -159,6 +191,52 @@ WireStatus decode_shard(const std::string& bytes, ShardFile* out) {
     }
     s.result.totals.merge(c);
   }
+  if (version >= 2) {
+    // Adaptive block (version 2 is emitted for adaptive campaigns only).
+    std::uint32_t method = 0;
+    std::uint64_t target_bits = 0, executed = 0;
+    std::uint64_t iv_bits[4] = {0, 0, 0, 0};
+    if (!body.u32(&method) || !body.u64(&target_bits) ||
+        !body.u64(&s.result.pilot)) {
+      return WireStatus::kCorrupt;
+    }
+    if (method > 1) return WireStatus::kCorrupt;
+    s.result.confidence_method = static_cast<util::IntervalMethod>(method);
+    s.result.confidence_target = bits_double(target_bits);
+    // NaN fails both comparisons: fail closed on a garbage target.
+    if (!(s.result.confidence_target > 0.0) ||
+        !(s.result.confidence_target <= 0.5)) {
+      return WireStatus::kCorrupt;
+    }
+    if (s.result.pilot > s.injections) return WireStatus::kCorrupt;
+    s.result.planned.assign(ff_count, 0);
+    std::uint64_t planned_sum = 0;
+    for (std::uint32_t f = 0; f < ff_count; ++f) {
+      if (!body.u64(&s.result.planned[f])) return WireStatus::kCorrupt;
+      // A shard can only own samples the plan executes: counters beyond
+      // the per-FF plan mean the plan and the counters disagree.
+      if (s.result.per_ff[f].total() > s.result.planned[f]) {
+        return WireStatus::kCorrupt;
+      }
+      planned_sum += s.result.planned[f];
+      if (planned_sum > s.injections) return WireStatus::kCorrupt;
+    }
+    if (!body.u64(&executed) || executed != s.result.totals.total()) {
+      return WireStatus::kCorrupt;
+    }
+    for (auto& b : iv_bits) {
+      if (!body.u64(&b)) return WireStatus::kCorrupt;
+    }
+    // The achieved intervals are derived data; validate plausibility (the
+    // body checksum already vouches for the exact bits).
+    for (int i = 0; i < 4; i += 2) {
+      const double lo = bits_double(iv_bits[i]);
+      const double hi = bits_double(iv_bits[i + 1]);
+      if (!(lo >= 0.0) || !(hi <= 1.0) || !(lo <= hi)) {
+        return WireStatus::kCorrupt;
+      }
+    }
+  }
   if (!body.exhausted()) return WireStatus::kCorrupt;
   *out = std::move(s);
   return WireStatus::kOk;
@@ -210,6 +288,13 @@ ShardFile merge_shard_files(const std::vector<ShardFile>& shards) {
     if (s.injections != ref.injections) mismatch("injections");
     if (s.seed != ref.seed) mismatch("seed");
     if (s.shard_count != ref.shard_count) mismatch("shard_count");
+    // A fixed-budget (v1) file and an adaptive (v2) file can never be
+    // shards of the same campaign; refuse before the counter fold so the
+    // error names the actual disagreement (merge_campaign_results would
+    // otherwise report it as a confidence-target mismatch).
+    if (s.result.adaptive() != ref.result.adaptive()) {
+      mismatch("adaptivity (fixed-budget vs confidence-driven)");
+    }
     for (const std::uint32_t idx : s.covered) {
       if (idx >= ref.shard_count || seen[idx]) {
         throw std::invalid_argument(

@@ -33,6 +33,18 @@
 // injections, seed, shard_count, covered shard indices), then the result
 // block (ff_count, nominal_cycles, nominal_instrs, per-FF outcome
 // counters).  Totals are recomputed on load, never stored.
+//
+// Version-2 body (confidence-driven adaptive campaigns only): the full
+// version-1 body followed by the adaptive block -- interval method,
+// confidence target (IEEE-754 bits, an exact identity field), pilot
+// length, per-FF planned sample counts N_f, total samples executed by
+// this file's covered shards, and the achieved 95% SDC/DUE intervals
+// over this file's own counters.  Writers emit version 1 for fixed-budget
+// campaigns (older readers keep working) and version 2 only when the
+// campaign was adaptive, so a version-1 reader FAILS CLOSED on adaptive
+// results (kVersionUnsupported) instead of silently dropping the plan.
+// Merging recomputes the achieved intervals from the merged counters;
+// the per-FF plan is an identity field every shard must agree on.
 #ifndef CLEAR_INJECT_WIRE_H
 #define CLEAR_INJECT_WIRE_H
 
@@ -47,8 +59,12 @@
 
 namespace clear::inject {
 
-// Current (and newest understood) wire format version.
-constexpr std::uint32_t kWireVersion = 1;
+// Newest understood wire format version.  encode_shard() stamps each
+// file with the OLDEST version that can represent it: 1 for fixed-budget
+// campaigns, 2 for adaptive ones (so pre-adaptive readers keep reading
+// fixed-budget files and fail closed only on files they cannot
+// represent).
+constexpr std::uint32_t kWireVersion = 2;
 
 // Fixed header size in bytes (magic through header_checksum).  Stable
 // across versions: only the body layout is allowed to evolve.
@@ -103,7 +119,8 @@ struct ShardFile {
 // shards are refused even when keys collide.
 [[nodiscard]] std::uint64_t wire_program_hash(const isa::Program& prog) noexcept;
 
-// Serializes a shard to its on-wire bytes (header + version-1 body).
+// Serializes a shard to its on-wire bytes: header + version-1 body for
+// fixed-budget results, header + version-2 body when result.adaptive().
 [[nodiscard]] std::string encode_shard(const ShardFile& shard);
 
 // Parses wire bytes.  On kOk fills *out; on any other status *out is

@@ -26,6 +26,19 @@
 //                               the calling thread (debugging aid)
 //   CLEAR_ENGINE_QUEUE_MAX    - refuse engine submissions while this many
 //                               jobs are queued (0 = unlimited)
+//   CLEAR_CONFIDENCE          - confidence-driven adaptive campaigns in
+//                               `clear run`: the 95% interval half-width
+//                               target each flip-flop's SDC and DUE rates
+//                               must meet before it stops sampling, in
+//                               (0, 0.5] (0 = off, fixed budget; the
+//                               --confidence flag wins per invocation).
+//                               UNLIKE the knobs above, this changes the
+//                               result: --injections becomes a budget
+//                               ceiling, not an exact count
+//   CLEAR_CONFIDENCE_METHOD   - interval construction for the above:
+//                               "wilson" (default) or "cp"
+//                               (Clopper-Pearson); identity field, all
+//                               shards of a campaign must agree
 #ifndef CLEAR_UTIL_ENV_H
 #define CLEAR_UTIL_ENV_H
 

@@ -43,6 +43,91 @@ Interval wilson_interval_95(std::size_t successes, std::size_t trials) noexcept 
   return {std::max(0.0, center - half), std::min(1.0, center + half)};
 }
 
+namespace {
+
+// Quantile of the Beta(a, b) distribution by bisection on the regularized
+// incomplete beta.  Bisection (not Newton) on purpose: the adaptive
+// sampler's stop decisions must be bit-identical across hosts, and a
+// fixed-iteration bisection is deterministic for any rounding behaviour.
+double beta_quantile(double a, double b, double q) {
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (regularized_incomplete_beta(a, b, mid) < q) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+Interval clopper_pearson_interval_95(std::size_t successes,
+                                     std::size_t trials) noexcept {
+  if (trials == 0) return {0.0, 1.0};
+  if (successes > trials) successes = trials;
+  constexpr double kAlpha = 0.05;
+  const double x = static_cast<double>(successes);
+  const double n = static_cast<double>(trials);
+  Interval iv;
+  iv.lo = successes == 0 ? 0.0
+                         : beta_quantile(x, n - x + 1.0, kAlpha / 2.0);
+  iv.hi = successes == trials
+              ? 1.0
+              : beta_quantile(x + 1.0, n - x, 1.0 - kAlpha / 2.0);
+  return iv;
+}
+
+Interval binomial_interval_95(IntervalMethod method, std::size_t successes,
+                              std::size_t trials) noexcept {
+  return method == IntervalMethod::kClopperPearson
+             ? clopper_pearson_interval_95(successes, trials)
+             : wilson_interval_95(successes, trials);
+}
+
+double interval_half_width(const Interval& iv) noexcept {
+  return 0.5 * (iv.hi - iv.lo);
+}
+
+std::size_t trials_for_half_width_95(IntervalMethod method,
+                                     std::size_t successes,
+                                     std::size_t trials,
+                                     double target) noexcept {
+  if (target <= 0.0) return kTrialsProjectionCap;
+  const double p =
+      trials == 0 ? 0.0
+                  : static_cast<double>(successes) / static_cast<double>(trials);
+  const auto met = [&](std::size_t n) {
+    const auto x = static_cast<std::size_t>(
+        std::llround(p * static_cast<double>(n)));
+    const Interval iv = binomial_interval_95(method, std::min(x, n), n);
+    return interval_half_width(iv) <= target;
+  };
+  std::size_t lo = std::max<std::size_t>(trials, 1);
+  if (met(lo)) return lo;
+  std::size_t hi = lo;
+  while (hi < kTrialsProjectionCap && !met(hi)) {
+    hi = std::min(kTrialsProjectionCap, hi * 2);
+  }
+  if (hi >= kTrialsProjectionCap && !met(hi)) return kTrialsProjectionCap;
+  // Binary search for the first n meeting the target.  The projected
+  // half-width is monotone up to success-count rounding; any off-by-a-few
+  // answer is fine as long as it is the SAME answer everywhere, which
+  // bisection over a pure predicate guarantees.
+  while (lo + 1 < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (met(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
 double normal_cdf(double z) noexcept {
   return 0.5 * std::erfc(-z / std::sqrt(2.0));
 }
@@ -98,7 +183,16 @@ double betacf(double a, double b, double x) {
   return h;
 }
 
-double reg_inc_beta(double a, double b, double x) {
+// Two-sided p-value for Student-t statistic with df degrees of freedom.
+double t_two_sided_p(double t, double df) {
+  if (df <= 0.0) return 1.0;
+  const double x = df / (df + t * t);
+  return regularized_incomplete_beta(df / 2.0, 0.5, x);
+}
+
+}  // namespace
+
+double regularized_incomplete_beta(double a, double b, double x) noexcept {
   if (x <= 0.0) return 0.0;
   if (x >= 1.0) return 1.0;
   const double ln_beta = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
@@ -108,15 +202,6 @@ double reg_inc_beta(double a, double b, double x) {
   }
   return 1.0 - front * betacf(b, a, 1.0 - x) / b;
 }
-
-// Two-sided p-value for Student-t statistic with df degrees of freedom.
-double t_two_sided_p(double t, double df) {
-  if (df <= 0.0) return 1.0;
-  const double x = df / (df + t * t);
-  return reg_inc_beta(df / 2.0, 0.5, x);
-}
-
-}  // namespace
 
 double mean_of(const std::vector<double>& xs) noexcept { return sample_mean(xs); }
 

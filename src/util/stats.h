@@ -41,6 +41,42 @@ struct Interval {
 [[nodiscard]] Interval wilson_interval_95(std::size_t successes,
                                           std::size_t trials) noexcept;
 
+// Clopper-Pearson exact binomial interval (95%); returns {lo, hi}.
+// Conservative: at least as wide as Wilson at interior counts (at 0 or
+// n successes the one-sided exact bound can be marginally tighter).
+[[nodiscard]] Interval clopper_pearson_interval_95(std::size_t successes,
+                                                   std::size_t trials) noexcept;
+
+// The two binomial-interval constructions the adaptive campaign engine can
+// drive sampling with (inject::CampaignSpec reuses this enum directly).
+enum class IntervalMethod : unsigned char {
+  kWilson = 0,
+  kClopperPearson = 1,
+};
+[[nodiscard]] Interval binomial_interval_95(IntervalMethod method,
+                                            std::size_t successes,
+                                            std::size_t trials) noexcept;
+
+// Half-width of an interval: (hi - lo) / 2.
+[[nodiscard]] double interval_half_width(const Interval& iv) noexcept;
+
+// Smallest trial count n' >= trials at which the method's 95% interval
+// half-width would meet `target`, projecting the observed proportion
+// forward (successes' = round(p-hat * n')).  Deterministic (pure function
+// of the arguments); capped at kTrialsProjectionCap when the target is
+// unreachable.  Used by the adaptive sampler to size post-pilot budgets.
+inline constexpr std::size_t kTrialsProjectionCap =
+    static_cast<std::size_t>(1) << 32;
+[[nodiscard]] std::size_t trials_for_half_width_95(IntervalMethod method,
+                                                   std::size_t successes,
+                                                   std::size_t trials,
+                                                   double target) noexcept;
+
+// Regularized incomplete beta I_x(a, b); exposed for the exact interval's
+// quantile search and the statistical-correctness tests.
+[[nodiscard]] double regularized_incomplete_beta(double a, double b,
+                                                 double x) noexcept;
+
 // Welch's t-test two-sided p-value that two samples share a mean.
 // Used for the trained-vs-validated improvement comparison (Tables 23/24).
 [[nodiscard]] double welch_t_test_p_value(const std::vector<double>& a,

@@ -13,6 +13,9 @@
 #include <string>
 #include <vector>
 
+#include <iterator>
+
+#include "arch/core.h"
 #include "cli/cli.h"
 #include "core/variants.h"
 #include "inject/campaign.h"
@@ -236,6 +239,100 @@ TEST(CliE2E, ShardedProcessesMergeBitIdenticalToUnsharded) {
   // The shards memoized their campaigns: the cache pack has records.
   EXPECT_EQ(sh(kBin + " cache stats"), 0);
   EXPECT_EQ(sh(kBin + " cache compact"), 0);
+}
+
+// Runs a shell command and returns its combined stdout+stderr.
+std::string sh_capture(const std::string& cmd) {
+  const std::string path = "cli_e2e/capture.txt";
+  (void)std::system((cmd + " > " + path + " 2>&1").c_str());
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return text;
+}
+
+TEST(CliE2E, AdaptiveConfidenceFlagsAreValidatedAndPlanned) {
+  // Range and syntax errors fail loudly before any simulation.
+  EXPECT_EQ(sh(kBin + " run --bench gcc --confidence 0.7 --dry-run "
+                      "2>/dev/null"),
+            2);
+  EXPECT_EQ(sh(kBin + " run --bench gcc --confidence abc --dry-run "
+                      "2>/dev/null"),
+            2);
+  EXPECT_EQ(sh(kBin + " run --bench gcc --confidence 0.1 "
+                      "--confidence-method bogus --dry-run 2>/dev/null"),
+            2);
+  // The dry-run plan announces the adaptive schedule.
+  const std::string plan = sh_capture(
+      kBin + " run --bench gcc --confidence 0.1 --confidence-method cp "
+             "--dry-run");
+  EXPECT_NE(plan.find("confidence +/-0.1"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("budget ceiling"), std::string::npos) << plan;
+}
+
+TEST(CliE2E, AdaptiveShardedMergeMatchesInProcessAndReportsIntervals) {
+  const auto prog = isa::assemble(workloads::build_benchmark("gcc"));
+  const std::uint32_t ffs = arch::make_core("InO")->registry().ff_count();
+  const std::size_t kInjections = static_cast<std::size_t>(ffs) * 8;
+  const std::string inj = std::to_string(kInjections);
+
+  // In-process reference: the unsharded adaptive campaign.
+  inject::CampaignSpec spec;
+  spec.core_name = "InO";
+  spec.program = &prog;
+  spec.injections = kInjections;
+  spec.seed = 9;
+  spec.confidence_half_width = 0.3;
+  spec.confidence_method = util::IntervalMethod::kClopperPearson;
+  const auto whole = inject::run_campaign(spec);
+  ASSERT_TRUE(whole.adaptive());
+
+  // Two real `clear run` shard processes plus a real merge.
+  std::string merge_cmd = kBin + " merge --out cli_e2e/adaptive.csr";
+  for (std::uint32_t k = 0; k < 2; ++k) {
+    const std::string out = "cli_e2e/adaptive_" + std::to_string(k) + ".csr";
+    const std::string text = sh_capture(
+        kBin + " run --core InO --bench gcc --injections " + inj +
+        " --seed 9 --confidence 0.3 --confidence-method cp --shard " +
+        std::to_string(k) + "/2 --out " + out);
+    // Every shard reports its confidence target and achieved intervals.
+    EXPECT_NE(text.find("confidence target +/-0.3"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("achieved"), std::string::npos) << text;
+    merge_cmd += " " + out;
+  }
+  const std::string merge_text = sh_capture(merge_cmd);
+  EXPECT_NE(merge_text.find("confidence +/-0.3"), std::string::npos)
+      << merge_text;
+
+  inject::ShardFile merged;
+  ASSERT_EQ(inject::load_shard_file("cli_e2e/adaptive.csr", &merged),
+            inject::WireStatus::kOk);
+  EXPECT_TRUE(merged.complete());
+  ASSERT_TRUE(merged.result.adaptive());
+  // The merged shards agree with the in-process run on the plan...
+  EXPECT_EQ(merged.result.pilot, whole.pilot);
+  EXPECT_EQ(merged.result.planned, whole.planned);
+  // ...and on every counter (bit-identity across process boundaries).
+  EXPECT_EQ(merged.result.totals.total(), whole.totals.total());
+  ASSERT_EQ(merged.result.per_ff.size(), whole.per_ff.size());
+  for (std::size_t f = 0; f < whole.per_ff.size(); f += 131) {
+    EXPECT_EQ(merged.result.per_ff[f].omm, whole.per_ff[f].omm) << f;
+    EXPECT_EQ(merged.result.per_ff[f].ut, whole.per_ff[f].ut) << f;
+  }
+  const auto mi = merged.result.sdc_interval(), wi = whole.sdc_interval();
+  EXPECT_DOUBLE_EQ(mi.lo, wi.lo);
+  EXPECT_DOUBLE_EQ(mi.hi, wi.hi);
+
+  // The v2 file renders with the adaptive block in every format.
+  const std::string json =
+      sh_capture(kBin + " report --format json cli_e2e/adaptive.csr");
+  EXPECT_NE(json.find("\"adaptive\""), std::string::npos);
+  EXPECT_NE(json.find("\"sdc_interval_95\""), std::string::npos);
+  EXPECT_NE(json.find("\"target_half_width\": 0.3"), std::string::npos)
+      << json;
+  const std::string human = sh_capture(kBin + " report cli_e2e/adaptive.csr");
+  EXPECT_NE(human.find("SDC 95%"), std::string::npos) << human;
 }
 
 TEST(CliE2E, SpecFileDrivesRunAndCommandLineWins) {

@@ -235,6 +235,30 @@ TEST(FleetShards, CampaignBuilderAppendsShardToEveryStanza) {
   }
 }
 
+TEST(FleetShards, CampaignBuilderPassesConfidenceThrough) {
+  // Adaptive campaigns fan out unchanged: --confidence is a worker-side
+  // flag (stop decisions are shard-independent), so every shard stanza
+  // must carry it verbatim next to its --shard selector.
+  std::vector<fleet::ShardWork> shards;
+  std::string err;
+  ASSERT_TRUE(fleet::build_campaign_shards(
+      "--core InO --bench gcc --injections 240 --seed 7 "
+      "--confidence 0.25 --confidence-method cp\n",
+      3, &shards, &err))
+      << err;
+  ASSERT_EQ(shards.size(), 3u);
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    EXPECT_NE(shards[k].text.find("--confidence 0.25"), std::string::npos)
+        << shards[k].text;
+    EXPECT_NE(shards[k].text.find("--confidence-method cp"),
+              std::string::npos)
+        << shards[k].text;
+    EXPECT_NE(shards[k].text.find("--shard " + std::to_string(k) + "/3"),
+              std::string::npos)
+        << shards[k].text;
+  }
+}
+
 TEST(FleetShards, CampaignBuilderRefusesDriverFlags) {
   std::vector<fleet::ShardWork> shards;
   std::string err;

@@ -174,6 +174,243 @@ TEST(Wire, NewerVersionIsRejectedNotMisparsed) {
   EXPECT_EQ(inject::decode_shard(torn, &out), inject::WireStatus::kCorrupt);
 }
 
+// ---- version-2 adaptive files ----------------------------------------------
+
+// The sample shard promoted to an adaptive result: target +/-0.05 via
+// Clopper-Pearson, pilot 32, an irregular per-FF plan that covers every
+// counter (planned[f] >= per_ff[f].total(), sum <= injections).
+inject::ShardFile adaptive_shard() {
+  auto s = sample_shard();
+  s.result.confidence_target = 0.05;
+  s.result.confidence_method = clear::util::IntervalMethod::kClopperPearson;
+  s.result.pilot = 32;
+  s.result.planned = {40, 64, 100, 64, 60};
+  return s;
+}
+
+void expect_equal_adaptive(const inject::ShardFile& a,
+                           const inject::ShardFile& b) {
+  expect_equal(a, b);
+  EXPECT_EQ(a.result.adaptive(), b.result.adaptive());
+  EXPECT_EQ(inject::fnv1a64(&a.result.confidence_target, 8),
+            inject::fnv1a64(&b.result.confidence_target, 8));
+  EXPECT_EQ(a.result.confidence_method, b.result.confidence_method);
+  EXPECT_EQ(a.result.pilot, b.result.pilot);
+  EXPECT_EQ(a.result.planned, b.result.planned);
+}
+
+// Size of the version-2 adaptive tail for the 5-FF fixture: method u32,
+// target u64, pilot u64, 5x planned u64, executed u64, 4x interval u64.
+constexpr std::size_t kAdaptiveTail = 4 + 8 + 8 + 5 * 8 + 8 + 4 * 8;
+
+// Re-stamps both checksums after a test mutated the bytes, exactly like
+// a (buggy or malicious) writer would, so decode exercises the field
+// validation rather than the checksum.
+void restamp(std::string* bytes) {
+  const std::uint64_t body_sum =
+      inject::fnv1a64(bytes->data() + 32, bytes->size() - 32);
+  for (int i = 0; i < 8; ++i) {
+    (*bytes)[16 + i] =
+        static_cast<char>(static_cast<unsigned char>(body_sum >> (8 * i)));
+  }
+  const std::uint64_t header_sum = inject::fnv1a64(bytes->data(), 24);
+  for (int i = 0; i < 8; ++i) {
+    (*bytes)[24 + i] =
+        static_cast<char>(static_cast<unsigned char>(header_sum >> (8 * i)));
+  }
+}
+
+void poke_u64(std::string* bytes, std::size_t off, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    (*bytes)[off + i] = static_cast<char>(static_cast<unsigned char>(v >> (8 * i)));
+  }
+}
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t b = 0;
+  static_assert(sizeof(b) == sizeof(d));
+  __builtin_memcpy(&b, &d, sizeof(b));
+  return b;
+}
+
+TEST(WireAdaptive, VersionStampIsOldestRepresentable) {
+  // Fixed-budget results still travel as version 1 -- pre-adaptive
+  // readers keep working -- while adaptive results get version 2.
+  const std::string v1 = inject::encode_shard(sample_shard());
+  EXPECT_EQ(static_cast<unsigned char>(v1[4]), 1u);
+  const std::string v2 = inject::encode_shard(adaptive_shard());
+  EXPECT_EQ(static_cast<unsigned char>(v2[4]), 2u);
+  EXPECT_EQ(v2.size(), v1.size() + kAdaptiveTail);
+}
+
+TEST(WireAdaptive, RoundTripPreservesPlanAndIntervals) {
+  const auto shard = adaptive_shard();
+  const std::string bytes = inject::encode_shard(shard);
+  inject::ShardFile out;
+  ASSERT_EQ(inject::decode_shard(bytes, &out), inject::WireStatus::kOk);
+  expect_equal_adaptive(shard, out);
+  EXPECT_TRUE(out.result.adaptive());
+  EXPECT_EQ(out.result.samples_executed(), shard.result.totals.total());
+  // The achieved intervals are recomputed from the decoded counters and
+  // must match what the writer derived.
+  const auto a = shard.result.sdc_interval(), b = out.result.sdc_interval();
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(WireAdaptive, TruncationAtEveryByteBoundaryIsDetected) {
+  const std::string bytes = inject::encode_shard(adaptive_shard());
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    inject::ShardFile out;
+    out.core_name = "sentinel";
+    EXPECT_NE(inject::decode_shard(bytes.substr(0, n), &out),
+              inject::WireStatus::kOk)
+        << "prefix length " << n;
+    EXPECT_EQ(out.core_name, "sentinel") << "output touched at " << n;
+  }
+}
+
+TEST(WireAdaptive, EveryByteFlipIsDetected) {
+  const std::string bytes = inject::encode_shard(adaptive_shard());
+  util::Rng rng(2025);
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string damaged = bytes;
+    damaged[pos] = static_cast<char>(
+        static_cast<unsigned char>(damaged[pos]) ^ (1u << rng.below(8)));
+    inject::ShardFile out;
+    EXPECT_NE(inject::decode_shard(damaged, &out), inject::WireStatus::kOk)
+        << "flip at byte " << pos;
+  }
+}
+
+TEST(WireAdaptive, RestampedAsVersion1IsCorruptNotMisparsed) {
+  // An adaptive body re-labelled as version 1 parses the v1 prefix fine
+  // and must then choke on the 100 trailing adaptive bytes -- never
+  // silently drop the plan.
+  std::string bytes = inject::encode_shard(adaptive_shard());
+  bytes[4] = 1;
+  restamp(&bytes);
+  inject::ShardFile out;
+  EXPECT_EQ(inject::decode_shard(bytes, &out), inject::WireStatus::kCorrupt);
+}
+
+TEST(WireAdaptive, ImplausibleAdaptiveFieldsAreCorrupt) {
+  const std::string good = inject::encode_shard(adaptive_shard());
+  const std::size_t end = good.size();
+  // Offsets of the adaptive tail fields, counted from the end of file.
+  const std::size_t method_off = end - kAdaptiveTail;
+  const std::size_t target_off = method_off + 4;
+  const std::size_t pilot_off = target_off + 8;
+  const std::size_t planned_off = pilot_off + 8;
+  const std::size_t executed_off = planned_off + 5 * 8;
+  const std::size_t interval_off = executed_off + 8;
+
+  const auto expect_corrupt = [&](const std::string& label,
+                                  std::size_t off, std::uint64_t v,
+                                  bool u32 = false) {
+    std::string bad = good;
+    if (u32) {
+      for (int i = 0; i < 4; ++i) {
+        bad[off + i] = static_cast<char>(static_cast<unsigned char>(v >> (8 * i)));
+      }
+    } else {
+      poke_u64(&bad, off, v);
+    }
+    restamp(&bad);
+    inject::ShardFile out;
+    EXPECT_EQ(inject::decode_shard(bad, &out), inject::WireStatus::kCorrupt)
+        << label;
+  };
+
+  expect_corrupt("unknown interval method", method_off, 7, true);
+  expect_corrupt("zero confidence target", target_off, bits_of(0.0));
+  expect_corrupt("target above 0.5", target_off, bits_of(0.7));
+  expect_corrupt("NaN target", target_off, bits_of(0.0 / 0.0));
+  expect_corrupt("pilot above the budget", pilot_off, 1235);
+  // planned[1] below the shard's own counters for that FF (total 22).
+  expect_corrupt("plan below observed counters", planned_off + 8, 10);
+  // planned[2] large enough that the plan exceeds the global budget.
+  expect_corrupt("plan above the budget", planned_off + 2 * 8, 2000);
+  // Executed count disagreeing with the recomputed counter total (121).
+  expect_corrupt("executed-count mismatch", executed_off, 122);
+  // Achieved intervals outside [0, 1] or inverted.
+  expect_corrupt("interval hi above 1", interval_off + 8, bits_of(1.5));
+  expect_corrupt("interval lo below 0", interval_off, bits_of(-0.1));
+  expect_corrupt("inverted interval", interval_off, bits_of(0.99));
+  // The unmodified bytes still decode: the harness above is sound.
+  inject::ShardFile out;
+  EXPECT_EQ(inject::decode_shard(good, &out), inject::WireStatus::kOk);
+}
+
+TEST(WireAdaptive, MergeSumsMixedPerFfCountsUnderOnePlan) {
+  // Two shards of one adaptive campaign with different per-FF counters
+  // (different owned sample sets) but the identical plan.
+  auto a = adaptive_shard();
+  a.covered = {1};
+  auto b = adaptive_shard();
+  b.covered = {4};
+  b.result.totals = {};
+  for (std::uint32_t f = 0; f < 5; ++f) {
+    auto& c = b.result.per_ff[f];
+    c.vanished = 3 + f;
+    c.omm = (f + 1) % 3;
+    c.ut = f / 2;
+    c.hang = 0;
+    c.ed = 1;
+    c.recovered = 2;
+    b.result.totals.merge(c);
+  }
+  const auto merged = inject::merge_shard_files({a, b});
+  EXPECT_TRUE(merged.result.adaptive());
+  EXPECT_EQ(merged.result.pilot, 32u);
+  EXPECT_EQ(merged.result.planned, a.result.planned);
+  EXPECT_EQ(merged.result.totals.total(),
+            a.result.totals.total() + b.result.totals.total());
+  for (std::uint32_t f = 0; f < 5; ++f) {
+    EXPECT_EQ(merged.result.per_ff[f].omm,
+              a.result.per_ff[f].omm + b.result.per_ff[f].omm)
+        << f;
+  }
+  // And the merged file still encodes/decodes as version 2.
+  const std::string bytes = inject::encode_shard(merged);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[4]), 2u);
+  inject::ShardFile out;
+  ASSERT_EQ(inject::decode_shard(bytes, &out), inject::WireStatus::kOk);
+  expect_equal_adaptive(merged, out);
+}
+
+TEST(WireAdaptive, MergeRefusesPlanAndAdaptivityMismatches) {
+  auto base = adaptive_shard();
+  base.covered = {0};
+  auto other = adaptive_shard();
+  other.covered = {1};
+
+  // A fixed-budget shard never folds into an adaptive merge.
+  auto fixed = sample_shard();
+  fixed.covered = {1};
+  EXPECT_THROW((void)inject::merge_shard_files({base, fixed}),
+               std::invalid_argument);
+
+  auto wrong = other;
+  wrong.result.confidence_target = 0.06;
+  EXPECT_THROW((void)inject::merge_shard_files({base, wrong}),
+               std::invalid_argument);
+  wrong = other;
+  wrong.result.confidence_method = clear::util::IntervalMethod::kWilson;
+  EXPECT_THROW((void)inject::merge_shard_files({base, wrong}),
+               std::invalid_argument);
+  wrong = other;
+  wrong.result.pilot = 64;
+  EXPECT_THROW((void)inject::merge_shard_files({base, wrong}),
+               std::invalid_argument);
+  wrong = other;
+  wrong.result.planned[3] = 33;
+  EXPECT_THROW((void)inject::merge_shard_files({base, wrong}),
+               std::invalid_argument);
+  // The untouched counterpart still merges.
+  EXPECT_NO_THROW((void)inject::merge_shard_files({base, other}));
+}
+
 TEST(Wire, ProgramHashIsStableAndDiscriminates) {
   const auto mcf = isa::assemble(workloads::build_benchmark("mcf"));
   const auto gcc = isa::assemble(workloads::build_benchmark("gcc"));
