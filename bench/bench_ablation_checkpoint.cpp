@@ -18,6 +18,7 @@
 #include <fstream>
 
 #include "inject/campaign.h"
+#include "obs/metrics.h"
 #include "util/env.h"
 #include "util/hash.h"
 
@@ -26,6 +27,7 @@ namespace {
 using namespace clear;
 
 bool g_mismatch = false;
+bool g_metrics_over_budget = false;
 
 std::size_t bench_injections() {
   return static_cast<std::size_t>(
@@ -304,8 +306,66 @@ SnapPerf measure_snapshot_throughput() {
   return p;
 }
 
+struct MetricsOverhead {
+  double t_off = 0, t_on = 0;      // best-of wall clock per mode
+  double frac = 0;                 // (t_on - t_off) / t_off
+  bool identical = false;          // result hashes across the gate
+};
+
+// The observability budget: campaign wall clock with metric collection on
+// must stay within 2% of collection off (docs/OBSERVABILITY.md).  Runs
+// A/B pairs through one process via set_enabled() so both modes see the
+// same cache, thermal and allocator state; best-of-3 per mode cancels
+// scheduler noise.  At CI scale the absolute delta guard keeps a few
+// milliseconds of jitter on a tiny campaign from failing the gate.
+MetricsOverhead measure_metrics_overhead() {
+  MetricsOverhead m;
+  const auto prog = core::build_variant_program("mcf", core::Variant::base());
+  inject::CampaignSpec spec;
+  spec.core_name = "InO";
+  spec.program = &prog;
+  spec.injections = bench_injections();
+  m.t_off = m.t_on = 1e9;
+  inject::CampaignResult off_result, on_result;
+  for (int rep = 0; rep < 3; ++rep) {
+    inject::CampaignResult r;
+    obs::set_enabled(false);
+    m.t_off = std::min(m.t_off, time_campaign(spec, 1, &r));
+    off_result = r;
+    obs::set_enabled(true);
+    m.t_on = std::min(m.t_on, time_campaign(spec, 1, &r));
+    on_result = r;
+  }
+  obs::set_enabled(true);
+  m.frac = m.t_off > 0 ? (m.t_on - m.t_off) / m.t_off : 0.0;
+  m.identical = result_hash(off_result) == result_hash(on_result);
+  if (!m.identical) {
+    bench::note("!! MISMATCH between metrics-off and metrics-on results");
+    g_mismatch = true;
+  }
+  // Only a delta that is both relatively (>2%) and absolutely (>50ms)
+  // significant trips the gate.
+  if (m.frac > 0.02 && (m.t_on - m.t_off) > 0.05) {
+    bench::note("!! metrics collection overhead exceeds the 2% budget");
+    g_metrics_over_budget = true;
+  }
+  bench::TextTable t({"Campaign", "Metrics off (s)", "Metrics on (s)",
+                      "Overhead", "Results"});
+  char off_s[32], on_s[32], pct[32];
+  std::snprintf(off_s, sizeof(off_s), "%.3f", m.t_off);
+  std::snprintf(on_s, sizeof(on_s), "%.3f", m.t_on);
+  std::snprintf(pct, sizeof(pct), "%+.2f%%", m.frac * 100.0);
+  t.add_row({"InO/mcf", off_s, on_s, pct,
+             m.identical ? "identical" : "MISMATCH"});
+  t.print(std::cout);
+  std::printf("metrics collection overhead: %+.2f%% (budget: <= 2%%)\n",
+              m.frac * 100.0);
+  return m;
+}
+
 void write_json(const std::vector<CampaignRow>& campaigns,
-                const std::vector<AnatomyRow>& anatomy, const SnapPerf& perf) {
+                const std::vector<AnatomyRow>& anatomy, const SnapPerf& perf,
+                const MetricsOverhead& obs_cost) {
   std::ofstream out("BENCH_checkpoint.json");
   out << "{\n  \"schema\": \"clear-bench-checkpoint-v1\",\n";
   out << "  \"results_identical\": " << (g_mismatch ? "false" : "true")
@@ -344,7 +404,14 @@ void write_json(const std::vector<CampaignRow>& campaigns,
   out << "  ],\n  \"cow\": {\"segments\": " << perf.segments
       << ", \"shared\": " << perf.shared
       << ", \"logical_bytes\": " << perf.logical_bytes
-      << ", \"resident_bytes\": " << perf.resident_bytes << "}\n}\n";
+      << ", \"resident_bytes\": " << perf.resident_bytes << "},\n";
+  out << "  \"metrics_overhead\": {\"off_s\": " << obs_cost.t_off
+      << ", \"on_s\": " << obs_cost.t_on
+      << ", \"fraction\": " << obs_cost.frac
+      << ", \"budget_fraction\": 0.02, \"within_budget\": "
+      << (g_metrics_over_budget ? "false" : "true")
+      << ", \"identical\": " << (obs_cost.identical ? "true" : "false")
+      << "}\n}\n";
 }
 
 void print_tables() {
@@ -353,7 +420,8 @@ void print_tables() {
   const auto campaigns = run_campaign_ablation();
   const auto anatomy = print_checkpoint_anatomy();
   const auto perf = measure_snapshot_throughput();
-  write_json(campaigns, anatomy, perf);
+  const auto obs_cost = measure_metrics_overhead();
+  write_json(campaigns, anatomy, perf, obs_cost);
   bench::note("(the forked engine skips the golden prefix of every faulty"
               " run and early-terminates once the corrupted state provably"
               " re-converges to the golden trajectory; CLEAR_CHECKPOINT=0"
@@ -425,12 +493,14 @@ BENCHMARK(BM_ForkedFaultyRun);
 }  // namespace
 
 // Hand-rolled main (vs CLEAR_BENCH_MAIN): the CI perf-smoke job relies on
-// the exit code to flag a legacy/forked result divergence.
+// the exit code -- 2 flags a legacy/forked result divergence, 3 flags
+// metric collection blowing its 2% wall-clock budget.
 int main(int argc, char** argv) {
   print_tables();
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
-  return g_mismatch ? 2 : 0;
+  if (g_mismatch) return 2;
+  return g_metrics_over_budget ? 3 : 0;
 }

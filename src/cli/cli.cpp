@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "util/env.h"
 
 namespace clear::cli {
@@ -32,6 +33,8 @@ constexpr const char* kTopHelp =
     "  submit   send a manifest to a serve daemon, collect its .csr files\n"
     "  fleet    orchestrate many serve workers: work-stealing shard\n"
     "           dispatch, dead-worker redispatch, live result merge\n"
+    "  status   live fleet/worker/cache telemetry tables from serve\n"
+    "           workers' heartbeats or a fleet --status-out file\n"
     "  version  binary + wire/ledger/pack format versions (--json)\n"
     "\n"
     "run 'clear <command> --help' for per-command flags.\n";
@@ -90,6 +93,17 @@ bool parse_bytes(const std::string& text, std::uint64_t* bytes) {
   return util::parse_bytes(text.c_str(), bytes);
 }
 
+void write_metrics_out(const std::string& flag_value, const char* ctx) {
+  const std::string path =
+      flag_value.empty() ? util::env_string("CLEAR_METRICS_OUT", "")
+                         : flag_value;
+  if (path.empty()) return;
+  if (!obs::write_json_file(obs::snapshot(), path)) {
+    std::fprintf(stderr, "%s: warning: cannot write metrics to %s\n", ctx,
+                 path.c_str());
+  }
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   for (const char c : s) {
@@ -124,6 +138,7 @@ int run(int argc, char** argv) {
     if (cmd == "serve") return cmd_serve(sub_argc, sub_argv);
     if (cmd == "submit") return cmd_submit(sub_argc, sub_argv);
     if (cmd == "fleet") return cmd_fleet(sub_argc, sub_argv);
+    if (cmd == "status") return cmd_status(sub_argc, sub_argv);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
       std::fputs(kTopHelp, stdout);
       return 0;

@@ -21,6 +21,9 @@
 //   clear serve    shard-worker daemon: accept campaign manifests over a
 //                  local socket, stream progress, return .csr payloads
 //   clear submit   driver client for a serve daemon
+//   clear status   live fleet/worker telemetry tables: per-worker cache,
+//                  latency and shard columns from serve heartbeats or a
+//                  fleet --status-out file (docs/OBSERVABILITY.md)
 //   clear version  binary + wire/ledger/pack format versions (--json)
 //
 // Exit codes: 0 success, 1 operational failure (I/O, corrupt or
@@ -60,8 +63,26 @@ int cmd_submit(int argc, const char* const* argv);
 // daemons (fleet/fleet.h): work-stealing shard dispatch, dead-worker
 // redispatch, live re-merge of arriving results.
 int cmd_fleet(int argc, const char* const* argv);
+// `clear status [--file FILE | ENDPOINT...]`: renders worker telemetry
+// (inflight work, cache hit rates, latency quantiles) from live serve
+// heartbeats or a clear-fleet-status-v1 file a fleet driver maintains.
+int cmd_status(int argc, const char* const* argv);
 // `clear version [--json]`.
 int cmd_version(int argc, const char* const* argv);
+
+// Writes the process-wide obs metric snapshot (clear-metrics-v1 JSON) at
+// the end of a CLI verb.  `flag_value` is the verb's --metrics-out value;
+// when empty, CLEAR_METRICS_OUT supplies the destination ("-" = stdout,
+// "" = off).  A write failure prints a warning under `ctx` but never
+// fails the verb: telemetry must not fail the work it observes.
+void write_metrics_out(const std::string& flag_value, const char* ctx);
+
+// Renders a clear-fleet-status-v1 JSON document (the file a fleet driver
+// maintains via --status-out) as the `clear status` tables.  Shared with
+// `clear explore watch --status`.  Returns false and fills *error when
+// the document does not parse as that schema.
+bool render_fleet_status(const std::string& json, std::string* out,
+                         std::string* error);
 
 // Parses a variant key of '+'-joined technique tokens into the technique
 // set it denotes: "base", "abftc", "abftd", "eddi" (no store-readback),

@@ -14,6 +14,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
@@ -166,6 +167,10 @@ int explore_run(int argc, const char* const* argv) {
                   "for 'clear run --spec' and exit");
   args.add_flag("dry-run", "resolve and print the plan, simulate nothing");
   args.add_flag("quiet", "suppress per-batch progress lines");
+  args.add_option("metrics-out", "file",
+                  "write the process metric snapshot after the run "
+                  "(clear-metrics-v1 JSON; '-' = stdout; default: "
+                  "CLEAR_METRICS_OUT)");
 
   std::string error;
   if (!args.parse(argc, argv, &error)) {
@@ -339,6 +344,7 @@ int explore_run(int argc, const char* const* argv) {
                 meeting.front()->combo.c_str(),
                 meeting.front()->energy * 100, meeting.front()->imp_sdc);
   }
+  write_metrics_out(args.get("metrics-out"), "clear explore run");
   return 0;
 }
 
@@ -605,6 +611,10 @@ int explore_watch(int argc, const char* const* argv) {
   args.add_option("timeout-ms", "N",
                   "give up after N ms without completion (0 = never)", "0");
   args.add_flag("once", "print one snapshot and exit (0 even if incomplete)");
+  args.add_option("status", "FILE",
+                  "also follow a clear-fleet-status-v1 file (the fleet "
+                  "driver's --status-out) and render its worker/cache/"
+                  "latency tables whenever it changes");
 
   std::string error;
   if (!args.parse(argc, argv, &error)) {
@@ -631,9 +641,31 @@ int explore_watch(int argc, const char* const* argv) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
 
+  const std::string status_path = args.get("status");
+  std::string last_status_doc;
+  // Renders the fleet status file when its contents changed since the
+  // last poll.  A missing or torn document is not an error: the driver
+  // writes tmp + rename, so the next poll sees a whole one.
+  const auto poll_status = [&] {
+    if (status_path.empty()) return;
+    std::ifstream in(status_path);
+    if (!in) return;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string doc = buf.str();
+    if (doc.empty() || doc == last_status_doc) return;
+    std::string rendered, status_error;
+    if (!render_fleet_status(doc, &rendered, &status_error)) return;
+    last_status_doc = std::move(doc);
+    std::printf("\n--- fleet status (%s) ---\n%s\n", status_path.c_str(),
+                rendered.c_str());
+    std::fflush(stdout);
+  };
+
   std::size_t last_records = static_cast<std::size_t>(-1);
   std::size_t last_covered = static_cast<std::size_t>(-1);
   for (;;) {
+    poll_status();
     explore::Ledger l;
     const explore::LedgerStatus st = explore::load_ledger_file(path, &l);
     if (st == explore::LedgerStatus::kOk) {

@@ -29,7 +29,9 @@
 #include "explore/ledger.h"
 #include "fleet/fleet.h"
 #include "inject/wire.h"
+#include "obs/metrics.h"
 #include "util/args.h"
+#include "util/env.h"
 #include "util/fs.h"
 
 namespace clear::cli {
@@ -53,18 +55,30 @@ void add_driver_flags(util::ArgParser* args) {
                    "give up after a shard fails N times", "3");
   args->add_flag("shutdown", "ask workers to exit when the fleet completes");
   args->add_flag("quiet", "suppress scheduling log lines");
+  args->add_option("status-out", "FILE",
+                   "maintain a live clear-fleet-status-v1 JSON file (read "
+                   "by 'clear status --file' / 'clear explore watch "
+                   "--status')");
+  args->add_option("status-interval-ms", "N",
+                   "rewrite --status-out at most every N ms", "1000");
+  args->add_option("metrics-out", "FILE",
+                   "write the final metric snapshot (driver + workers "
+                   "merged, clear-metrics-v1 JSON; '-' = stdout; default: "
+                   "CLEAR_METRICS_OUT)");
 }
 
 bool parse_driver_flags(const util::ArgParser& args, const char* ctx,
                         fleet::FleetOptions* opts, std::uint64_t* shards) {
   std::uint64_t connect_ms = 0, hello_ms = 0, dead_ms = 0, ack_ms = 0,
-                attempts = 0;
+                attempts = 0, status_ms = 0;
   if (!args.get_u64("shards", 0, shards) || *shards > 65536 ||
       !args.get_u64("connect-retry-ms", 5000, &connect_ms) ||
       !args.get_u64("hello-timeout-ms", 10000, &hello_ms) || hello_ms == 0 ||
       !args.get_u64("dead-after-ms", 5000, &dead_ms) || dead_ms == 0 ||
       !args.get_u64("ack-timeout-ms", 3000, &ack_ms) || ack_ms == 0 ||
-      !args.get_u64("max-attempts", 3, &attempts) || attempts == 0) {
+      !args.get_u64("max-attempts", 3, &attempts) || attempts == 0 ||
+      !args.get_u64("status-interval-ms", 1000, &status_ms) ||
+      status_ms == 0) {
     std::fprintf(stderr, "%s: bad numeric flag value\n", ctx);
     return false;
   }
@@ -83,7 +97,28 @@ bool parse_driver_flags(const util::ArgParser& args, const char* ctx,
   opts->ack_timeout_ms = static_cast<int>(ack_ms);
   opts->max_attempts = static_cast<int>(attempts);
   opts->shutdown_workers = args.has("shutdown");
+  opts->status_out = args.get("status-out");
+  opts->status_interval_ms = static_cast<int>(status_ms);
   return true;
+}
+
+// Final metric dump for a fleet verb: the driver's own snapshot merged
+// with every worker's last heartbeat snapshot (counters add, gauges keep
+// the fleet-wide high-water mark).  `flag` is --metrics-out;
+// CLEAR_METRICS_OUT is the fallback, "" disables.
+void write_fleet_metrics(const std::string& flag, const char* ctx,
+                         const fleet::FleetReport& report) {
+  const std::string path =
+      flag.empty() ? util::env_string("CLEAR_METRICS_OUT", "") : flag;
+  if (path.empty()) return;
+  obs::Snapshot merged = obs::snapshot();
+  for (const fleet::WorkerStatus& w : report.workers) {
+    if (w.has_metrics) obs::merge(&merged, w.metrics);
+  }
+  if (!obs::write_json_file(merged, path)) {
+    std::fprintf(stderr, "%s: warning: cannot write metrics to %s\n", ctx,
+                 path.c_str());
+  }
 }
 
 fleet::EventFn make_event_logger(bool quiet) {
@@ -96,8 +131,17 @@ fleet::EventFn make_event_logger(bool quiet) {
                     e.worker_name.c_str());
         break;
       case Kind::kWorkerDead:
-        std::printf("fleet      worker #%zu (%s) DEAD -- redispatching\n",
-                    e.worker, e.worker_name.c_str());
+        if (e.shard_id != 0) {
+          std::printf(
+              "fleet      worker #%zu (%s) DEAD (%s) -- "
+              "redispatching shard #%llu\n",
+              e.worker, e.worker_name.c_str(), e.detail.c_str(),
+              static_cast<unsigned long long>(e.shard_id));
+        } else {
+          std::printf("fleet      worker #%zu (%s) DEAD (%s), no shard in "
+                      "flight\n",
+                      e.worker, e.worker_name.c_str(), e.detail.c_str());
+        }
         break;
       case Kind::kAssign:
         std::printf("fleet      shard #%llu -> worker #%zu (%s)\n",
@@ -105,12 +149,15 @@ fleet::EventFn make_event_logger(bool quiet) {
                     e.worker_name.c_str());
         break;
       case Kind::kShardDone:
-        std::printf("fleet      shard #%llu done (worker #%zu)\n",
-                    static_cast<unsigned long long>(e.shard_id), e.worker);
+        std::printf("fleet      shard #%llu done (worker #%zu, %s)\n",
+                    static_cast<unsigned long long>(e.shard_id), e.worker,
+                    e.worker_name.c_str());
         break;
       case Kind::kRequeue:
-        std::printf("fleet      shard #%llu requeued (from worker #%zu)\n",
-                    static_cast<unsigned long long>(e.shard_id), e.worker);
+        std::printf("fleet      shard #%llu requeued (from worker #%zu, "
+                    "%s)\n",
+                    static_cast<unsigned long long>(e.shard_id), e.worker,
+                    e.worker_name.c_str());
         break;
       case Kind::kAck:
       case Kind::kProgress:
@@ -122,12 +169,23 @@ fleet::EventFn make_event_logger(bool quiet) {
 
 void print_registry(const fleet::FleetReport& report) {
   std::printf("\nworker registry:\n");
-  std::printf("  %-4s %-20s %-24s %-9s %-6s %s\n", "#", "endpoint", "name",
-              "capacity", "state", "shards");
+  std::printf("  %-4s %-20s %-24s %-9s %-6s %-7s %-9s %-10s %s\n", "#",
+              "endpoint", "name", "capacity", "state", "shards", "inflight",
+              "samples", "cache h/m");
   for (const fleet::WorkerStatus& w : report.workers) {
-    std::printf("  %-4zu %-20s %-24s %-9u %-6s %zu\n", w.index,
-                w.endpoint.c_str(), w.name.c_str(), w.capacity,
-                fleet::worker_state_name(w.state), w.shards_done);
+    // Telemetry cells come from the worker's last heartbeat snapshot; a
+    // worker that never sent one (v2 bare heartbeats, or died before the
+    // first interval) shows "-".
+    std::string samples = "-", cache = "-";
+    if (w.has_metrics) {
+      samples = std::to_string(w.metrics.counter_value("campaign.samples"));
+      cache = std::to_string(w.metrics.counter_value("cache.hit")) + "/" +
+              std::to_string(w.metrics.counter_value("cache.miss"));
+    }
+    std::printf("  %-4zu %-20s %-24s %-9u %-6s %-7zu %-9u %-10s %s\n",
+                w.index, w.endpoint.c_str(), w.name.c_str(), w.capacity,
+                fleet::worker_state_name(w.state), w.shards_done, w.inflight,
+                samples.c_str(), cache.c_str());
   }
   std::printf("  redispatched shards: %zu, workers lost: %zu\n",
               report.redispatched, report.workers_lost);
@@ -237,6 +295,7 @@ int fleet_run(int argc, const char* const* argv) {
     const fleet::FleetReport report = fleet::run_fleet(
         workers, shards, opts, make_event_logger(quiet), on_shard);
     if (!quiet) print_registry(report);
+    write_fleet_metrics(args.get("metrics-out"), "clear fleet run", report);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "clear fleet run: %s\n", e.what());
     return 1;
@@ -272,6 +331,15 @@ int fleet_explore(int argc, const char* const* argv) {
                   "0");
   args.add_flag("no-prune", "evaluate every combination (no dominance "
                 "pruning)");
+  args.add_option("confidence", "W",
+                  "95% interval half-width target per FF, in (0, 0.5] "
+                  "(0 = off, fixed budget; changes the result: --per-ff "
+                  "becomes a ceiling)",
+                  "0");
+  args.add_option("confidence-method", "wilson|cp",
+                  "interval construction (identity field: every shard "
+                  "must agree)",
+                  "wilson");
   add_driver_flags(&args);
   args.allow_positionals("worker",
                          "endpoints: socket path | tcp:PORT (append @N for "
@@ -315,6 +383,10 @@ int fleet_explore(int argc, const char* const* argv) {
   }
   if (args.get("batch") != "0") stanza += " --batch " + args.get("batch");
   if (args.has("no-prune")) stanza += " --no-prune";
+  if (args.get("confidence") != "0") {
+    stanza += " --confidence " + args.get("confidence") +
+              " --confidence-method " + args.get("confidence-method");
+  }
 
   explore::ExploreSpec spec;
   if (!fleet::parse_explore_stanza(stanza, &spec, &error)) {
@@ -355,6 +427,8 @@ int fleet_explore(int argc, const char* const* argv) {
     const fleet::FleetReport report = fleet::run_fleet(
         workers, shards, opts, make_event_logger(quiet), on_shard);
     if (!quiet) print_registry(report);
+    write_fleet_metrics(args.get("metrics-out"), "clear fleet explore",
+                        report);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "clear fleet explore: %s\n", e.what());
     return 1;

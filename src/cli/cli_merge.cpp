@@ -27,6 +27,10 @@ int cmd_merge(int argc, const char* const* argv) {
   args.add_option("out", "file.csr", "write the merged result here");
   args.add_flag("allow-partial",
                 "succeed even when some shards of the partition are missing");
+  args.add_option("metrics-out", "file",
+                  "write the process metric snapshot after the merge "
+                  "(clear-metrics-v1 JSON; '-' = stdout; default: "
+                  "CLEAR_METRICS_OUT)");
   args.allow_positionals("shard.csr...", "shard result files to fold");
 
   std::string error;
@@ -108,6 +112,7 @@ int cmd_merge(int argc, const char* const* argv) {
                 sdc.hi, util::interval_half_width(sdc), due.lo, due.hi,
                 util::interval_half_width(due));
   }
+  write_metrics_out(args.get("metrics-out"), "clear merge");
   return 0;
 }
 

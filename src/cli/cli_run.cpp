@@ -192,7 +192,9 @@ int cmd_run(int argc, const char* const* argv) {
       std::printf("dry run: nothing simulated\n");
       return 0;
     }
-    return finish_campaign(plan, inject::run_campaign(plan.spec));
+    const int done = finish_campaign(plan, inject::run_campaign(plan.spec));
+    if (done == 0) write_metrics_out(args.get("metrics-out"), "clear run");
+    return done;
   }
 
   // ---- multi-campaign manifest ----------------------------------------------
@@ -265,6 +267,7 @@ int cmd_run(int argc, const char* const* argv) {
     const int rc = finish_campaign(plans[i], results[i]);
     if (rc != 0) return rc;
   }
+  write_metrics_out(args.get("metrics-out"), "clear run");
   return 0;
 }
 

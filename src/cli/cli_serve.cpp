@@ -46,6 +46,7 @@
 #include "explore/ledger.h"
 #include "fleet/fleet.h"
 #include "inject/wire.h"
+#include "obs/metrics.h"
 #include "util/args.h"
 #include "util/env.h"
 #include "util/fs.h"
@@ -371,9 +372,14 @@ bool handle_connection(util::Socket conn, const serve::Hello& hello,
     if (!peer_gone && heartbeat_ms > 0) {
       const auto now = std::chrono::steady_clock::now();
       if (now - last_heartbeat_at >= std::chrono::milliseconds(heartbeat_ms)) {
+        // The liveness beacon doubles as the telemetry channel: each
+        // heartbeat carries this worker's metric snapshot so the fleet
+        // driver (and `clear status`) see cache/latency/engine state
+        // without a side channel.
         if (!send_frame(&conn, serve::FrameType::kHeartbeat,
                         serve::encode_heartbeat(
-                            static_cast<std::uint32_t>(queue.size())),
+                            static_cast<std::uint32_t>(queue.size()),
+                            obs::encode_snapshot(obs::snapshot())),
                         kServerSendTimeoutMs)) {
           peer_gone = true;
           cancel_all();
@@ -384,7 +390,26 @@ bool handle_connection(util::Socket conn, const serve::Hello& hello,
 
     // ---- exit conditions ----------------------------------------------------
     if (queue.empty()) {
-      if (peer_gone) break;
+      if (peer_gone) {
+        // A failed send (e.g. a heartbeat racing the driver's close)
+        // set peer_gone, but a shutdown frame may already sit in the
+        // kernel buffer or in buf: the driver sends kShutdown and
+        // closes in one motion.  Drain without blocking and honour it,
+        // otherwise the daemon outlives the fleet that owned it.
+        while (conn.readable(0)) {
+          char chunk[4096];
+          const long n = conn.recv_some(chunk, sizeof(chunk));
+          if (n <= 0) break;
+          buf.append(chunk, static_cast<std::size_t>(n));
+        }
+        serve::Frame frame;
+        while (serve::decode_frame(&buf, &frame) == serve::FrameStatus::kOk) {
+          if (frame.type == serve::FrameType::kShutdown) {
+            g_shutdown.store(true, std::memory_order_relaxed);
+          }
+        }
+        break;
+      }
       if (shutdown && buf.empty()) break;
       // A sibling connection shut the daemon down: drain instead of
       // keeping the accept loop's join waiting on an idle client.

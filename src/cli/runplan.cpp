@@ -62,6 +62,10 @@ util::ArgParser make_run_parser() {
                   "of a multi-campaign manifest); command-line flags win");
   args.add_flag("dry-run", "resolve and print the plan, simulate nothing");
   args.add_flag("list-benches", "list benchmarks for --core and exit");
+  args.add_option("metrics-out", "file",
+                  "write the process metric snapshot after the run "
+                  "(clear-metrics-v1 JSON; '-' = stdout; default: "
+                  "CLEAR_METRICS_OUT)");
   return args;
 }
 

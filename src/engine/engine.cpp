@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "inject/exec.h"
+#include "obs/metrics.h"
 #include "util/env.h"
 #include "util/threadpool.h"
 
@@ -34,6 +35,11 @@ struct JobImpl {
   std::atomic<std::uint64_t> goldens_total{0};
   std::atomic<std::uint64_t> samples_done{0};
   std::atomic<std::uint64_t> samples_total{0};
+
+  // Construction time == submission time: run_job() turns the difference
+  // into the engine.queue.wait histogram.
+  std::chrono::steady_clock::time_point enqueued =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace detail
@@ -51,6 +57,20 @@ std::atomic<std::uint64_t> g_cancelled{0};
 std::atomic<std::uint64_t> g_failed{0};
 std::atomic<std::uint64_t> g_submitted{0};
 std::atomic<std::uint64_t> g_busy_ns{0};
+
+// Engine telemetry (docs/OBSERVABILITY.md): how long jobs sit queued,
+// how deep the queue gets, and which priority lane the work runs in.
+struct EngineMetrics {
+  obs::Histogram& queue_wait = obs::histogram("engine.queue.wait");
+  obs::Gauge& queue_depth = obs::gauge("engine.queue.depth");
+  obs::Counter& lane_interactive = obs::counter("engine.lane.interactive");
+  obs::Counter& lane_bulk = obs::counter("engine.lane.bulk");
+};
+
+EngineMetrics& metrics() {
+  static EngineMetrics m;
+  return m;
+}
 
 bool is_terminal(JobState s) noexcept {
   return s == JobState::kDone || s == JobState::kCancelled ||
@@ -231,6 +251,7 @@ Job Engine::submit(std::vector<inject::CampaignSpec> specs,
             " jobs; raise CLEAR_ENGINE_QUEUE_MAX)");
       }
       queue_.push_back(impl);
+      metrics().queue_depth.set(queue_.size());
       if (!started_) {
         dispatcher_ = std::thread([this] { dispatch_loop(); });
         started_ = true;
@@ -297,6 +318,16 @@ void Engine::run_job(const std::shared_ptr<detail::JobImpl>& job) {
     job->state = JobState::kRunning;
   }
   job->cv.notify_all();
+
+  if (obs::enabled()) {
+    metrics().queue_wait.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - job->enqueued)
+            .count()));
+    (job->priority == JobPriority::kInteractive ? metrics().lane_interactive
+                                                : metrics().lane_bulk)
+        .add();
+  }
 
   inject::detail::BatchHooks hooks;
   hooks.cancel = &job->cancel;

@@ -162,16 +162,25 @@ bool decode_steal(const std::string& payload, std::uint64_t* shard_id) {
   return r.u64(shard_id);
 }
 
-std::string encode_heartbeat(std::uint32_t inflight) {
+std::string encode_heartbeat(std::uint32_t inflight,
+                             const std::string& metrics) {
   std::string out;
   util::put_u32(&out, inflight);
+  out.append(metrics);
   return out;
 }
 
 bool decode_heartbeat(const std::string& payload, std::uint32_t* inflight) {
-  if (payload.size() != 4) return false;
+  if (payload.size() < 4) return false;
   util::ByteReader r(payload.data(), payload.size());
   return r.u32(inflight);
+}
+
+bool decode_heartbeat(const std::string& payload, std::uint32_t* inflight,
+                      std::string* metrics) {
+  if (!decode_heartbeat(payload, inflight)) return false;
+  metrics->assign(payload, 4, payload.size() - 4);
+  return true;
 }
 
 std::string encode_job(const JobRequest& j) {

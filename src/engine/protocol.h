@@ -84,7 +84,8 @@ enum class FrameType : std::uint32_t {
   kProgress = 5,     // server -> client: JobProgress snapshot
   kResult = 6,       // server -> client: u32 campaign index, then .csr bytes
   kDone = 7,         // server -> client: u8 JobOutcome, then message text
-  kHeartbeat = 8,    // server -> client: u32 in-flight work items (periodic)
+  kHeartbeat = 8,    // server -> client: u32 in-flight work items, then an
+                     // optional CMS1 metrics snapshot tail (periodic)
   kShardAssign = 9,  // client -> server: u64 shard id, u8 kind, u8 priority,
                      // then the shard's spec text
   kShardAck = 10,    // server -> client: u64 shard id, u8 ShardAckStatus
@@ -184,10 +185,21 @@ struct ShardAck {
 [[nodiscard]] bool decode_steal(const std::string& payload,
                                 std::uint64_t* shard_id);
 
-// kHeartbeat payload: work items currently held (queued + running).
-[[nodiscard]] std::string encode_heartbeat(std::uint32_t inflight);
+// kHeartbeat payload: u32 work items currently held (queued + running),
+// optionally followed by a CMS1 metrics snapshot (obs::encode_snapshot)
+// carrying the worker's counters/gauges/histograms to the driver.  The
+// tail is optional in both directions -- a bare 4-byte heartbeat stays
+// valid, and receivers that do not understand the tail read only the
+// leading u32 -- so the extension does not bump kProtoVersion.
+[[nodiscard]] std::string encode_heartbeat(std::uint32_t inflight,
+                                           const std::string& metrics = "");
 [[nodiscard]] bool decode_heartbeat(const std::string& payload,
                                     std::uint32_t* inflight);
+// Tail-aware decode: *metrics receives the raw CMS1 bytes ("" when the
+// heartbeat carries none); obs::decode_snapshot validates them.
+[[nodiscard]] bool decode_heartbeat(const std::string& payload,
+                                    std::uint32_t* inflight,
+                                    std::string* metrics);
 
 struct JobRequest {
   engine::JobPriority priority = engine::JobPriority::kInteractive;

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -14,6 +16,7 @@
 #include "cli/runplan.h"
 #include "explore/ledger.h"
 #include "inject/wire.h"
+#include "obs/metrics.h"
 #include "util/socket.h"
 
 namespace clear::fleet {
@@ -31,6 +34,28 @@ int ms_since(Clock::time_point then, Clock::time_point now) {
   return static_cast<int>(
       std::chrono::duration_cast<std::chrono::milliseconds>(now - then)
           .count());
+}
+
+std::uint64_t ns_since(Clock::time_point then, Clock::time_point now) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - then)
+          .count());
+}
+
+// Driver-side scheduling telemetry (docs/OBSERVABILITY.md).
+struct FleetMetrics {
+  obs::Counter& dispatch = obs::counter("fleet.dispatch");
+  obs::Counter& acks = obs::counter("fleet.ack");
+  obs::Counter& steals = obs::counter("fleet.steal");
+  obs::Counter& redispatch = obs::counter("fleet.redispatch");
+  obs::Counter& workers_dead = obs::counter("fleet.worker.dead");
+  obs::Histogram& ack_rtt = obs::histogram("fleet.ack.rtt");
+  obs::Histogram& heartbeat_gap = obs::histogram("fleet.heartbeat.gap");
+};
+
+FleetMetrics& metrics() {
+  static FleetMetrics m;
+  return m;
 }
 
 std::string format_double(double v) {
@@ -80,7 +105,8 @@ std::vector<std::string> split_csv(const std::string& text) {
 // driver, and output/nesting/introspection flags direct a local CLI.
 bool forbidden_campaign_token(const std::string& tok, std::string* which) {
   static constexpr const char* kForbidden[] = {
-      "--shard", "--out", "--spec", "--dry-run", "--list-benches"};
+      "--shard", "--out", "--spec", "--dry-run", "--list-benches",
+      "--metrics-out"};
   for (const char* f : kForbidden) {
     if (tok == f || (tok.rfind(f, 0) == 0 && tok.size() > std::strlen(f) &&
                      tok[std::strlen(f)] == '=')) {
@@ -246,6 +272,15 @@ std::vector<ShardWork> build_explore_shards(const explore::ExploreSpec& spec,
   }
   if (spec.batch != 0) base += " --batch " + std::to_string(spec.batch);
   if (!spec.prune) base += " --no-prune";
+  if (spec.confidence > 0.0) {
+    // Identity fields of the adaptive sampler: every shard must carry
+    // exactly the target the driver resolved (format_double round-trips
+    // the double bit-exactly) or the per-shard ledgers would not merge.
+    base += " --confidence " + format_double(spec.confidence);
+    if (spec.confidence_method == util::IntervalMethod::kClopperPearson) {
+      base += " --confidence-method cp";
+    }
+  }
   std::vector<ShardWork> out;
   out.reserve(shard_count);
   for (std::uint32_t k = 0; k < shard_count; ++k) {
@@ -284,6 +319,10 @@ bool parse_explore_stanza(const std::string& text,
   args.add_option("shard", "k/K", "combo-space shard", "0/1");
   args.add_option("batch", "N", "combos per batch", "0");
   args.add_flag("no-prune", "evaluate every combination");
+  args.add_option("confidence", "W", "adaptive profiling half-width target",
+                  "0");
+  args.add_option("confidence-method", "wilson|cp",
+                  "interval method for --confidence", "wilson");
   std::vector<const char*> argv;
   argv.reserve(stanzas[0].size());
   for (const std::string& tok : stanzas[0]) argv.push_back(tok.c_str());
@@ -331,6 +370,29 @@ bool parse_explore_stanza(const std::string& text,
   }
   s.batch = static_cast<std::size_t>(u);
   s.prune = !args.has("no-prune");
+  {
+    const std::string t = args.get("confidence");
+    char* end = nullptr;
+    s.confidence = std::strtod(t.c_str(), &end);
+    if (t.empty() || end == t.c_str() || *end != '\0' ||
+        !(s.confidence >= 0) || s.confidence > 0.5) {
+      if (error != nullptr) {
+        *error = "bad --confidence '" + t + "' (want (0, 0.5], or 0 = off)";
+      }
+      return false;
+    }
+  }
+  {
+    const std::string m = args.get("confidence-method");
+    if (m == "cp") {
+      s.confidence_method = util::IntervalMethod::kClopperPearson;
+    } else if (m != "wilson") {
+      if (error != nullptr) {
+        *error = "bad --confidence-method '" + m + "' (wilson or cp)";
+      }
+      return false;
+    }
+  }
   *spec = s;
   return true;
 }
@@ -374,6 +436,7 @@ struct WorkerConn {
   bool stealing = false;  // kSteal sent; shard already requeued
   Clock::time_point last_seen;
   Clock::time_point assigned_at;
+  Clock::time_point last_heartbeat{};  // epoch value = none received yet
   // kResult payloads for the current shard, keyed by result index.
   std::map<std::uint32_t, std::string> payloads;
 };
@@ -391,13 +454,15 @@ class Driver {
 
  private:
   void emit(FleetEvent::Kind kind, std::size_t w, std::uint64_t shard_id,
-            const engine::JobProgress* progress = nullptr) {
+            const engine::JobProgress* progress = nullptr,
+            const char* detail = nullptr) {
     if (!event_) return;
     FleetEvent e;
     e.kind = kind;
     e.worker = w;
     e.worker_name = workers_[w].status.name;
     e.shard_id = shard_id;
+    if (detail != nullptr) e.detail = detail;
     if (progress != nullptr) e.progress = *progress;
     event_(e);
   }
@@ -410,6 +475,7 @@ class Driver {
   void pump(std::size_t w);
   void handle_frame(std::size_t w, const serve::Frame& frame);
   void complete_shard(std::size_t w);
+  void maybe_write_status(Clock::time_point now, bool force = false);
   [[nodiscard]] std::size_t live_count() const;
 
   const std::vector<Endpoint>& endpoints_;
@@ -426,7 +492,36 @@ class Driver {
   std::map<std::uint64_t, ShardResult> results_;  // shard id -> result
   std::size_t redispatched_ = 0;
   std::size_t workers_lost_ = 0;
+  Clock::time_point last_status_{};  // epoch value = never written
 };
+
+void json_escape_into(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+// obs::to_json output, re-indented for embedding inside the status
+// document (drops the trailing newline, indents continuation lines).
+std::string embed_json(const std::string& json, const std::string& indent) {
+  std::string out;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '\n' && i + 1 == json.size()) break;
+    out.push_back(c);
+    if (c == '\n') out += indent;
+  }
+  return out;
+}
 
 void Driver::register_workers() {
   for (std::size_t w = 0; w < endpoints_.size(); ++w) {
@@ -501,12 +596,16 @@ std::size_t Driver::live_count() const {
 void Driver::declare_dead(std::size_t w, const char* why) {
   WorkerConn& wc = workers_[w];
   if (wc.status.state == WorkerState::kDead) return;
-  (void)why;
+  // Capture the in-flight shard before requeue() clears it: the death
+  // event names exactly the shard this worker took down with it.
+  const std::uint64_t inflight_shard =
+      wc.has_shard ? shards_[wc.shard_pos].id : 0;
   wc.status.state = WorkerState::kDead;
   wc.sock.close();
   ++workers_lost_;
+  metrics().workers_dead.add();
   if (wc.has_shard) requeue(w);
-  emit(FleetEvent::Kind::kWorkerDead, w, 0);
+  emit(FleetEvent::Kind::kWorkerDead, w, inflight_shard, nullptr, why);
 }
 
 // Returns worker w's in-flight shard to the queue (unless it already got
@@ -530,6 +629,7 @@ void Driver::requeue(std::size_t w) {
   // work, so the next idle worker takes it first.
   queue_.push_front(pos);
   ++redispatched_;
+  metrics().redispatch.add();
   emit(FleetEvent::Kind::kRequeue, w, shards_[pos].id);
 }
 
@@ -569,6 +669,7 @@ void Driver::assign_idle() {
     wc.payloads.clear();
     wc.assigned_at = Clock::now();
     wc.status.state = WorkerState::kBusy;
+    metrics().dispatch.add();
     emit(FleetEvent::Kind::kAssign, w, shards_[pos].id);
   }
 }
@@ -594,9 +695,11 @@ void Driver::check_deadlines(Clock::time_point now) {
         continue;
       }
       wc.stealing = true;
+      metrics().steals.add();
       if (!completed_[pos]) {
         queue_.push_front(pos);
         ++redispatched_;
+        metrics().redispatch.add();
         emit(FleetEvent::Kind::kRequeue, w, shards_[pos].id);
       }
     }
@@ -636,8 +739,26 @@ void Driver::complete_shard(std::size_t w) {
 void Driver::handle_frame(std::size_t w, const serve::Frame& frame) {
   WorkerConn& wc = workers_[w];
   switch (frame.type) {
-    case serve::FrameType::kHeartbeat:
-      break;  // last_seen already refreshed by the caller
+    case serve::FrameType::kHeartbeat: {
+      // last_seen is already refreshed by the caller; what the payload
+      // adds is the worker's load and (v2 tail) its metric snapshot.
+      std::uint32_t inflight = 0;
+      std::string blob;
+      if (serve::decode_heartbeat(frame.payload, &inflight, &blob)) {
+        wc.status.inflight = inflight;
+        obs::Snapshot snap;
+        if (!blob.empty() && obs::decode_snapshot(blob, &snap)) {
+          wc.status.metrics = std::move(snap);
+          wc.status.has_metrics = true;
+        }
+      }
+      const auto now = Clock::now();
+      if (wc.last_heartbeat != Clock::time_point{}) {
+        metrics().heartbeat_gap.record(ns_since(wc.last_heartbeat, now));
+      }
+      wc.last_heartbeat = now;
+      break;
+    }
     case serve::FrameType::kShardAck: {
       serve::ShardAck ack;
       if (!serve::decode_shard_ack(frame.payload, &ack)) {
@@ -648,6 +769,8 @@ void Driver::handle_frame(std::size_t w, const serve::Frame& frame) {
       switch (ack.status) {
         case serve::ShardAckStatus::kAccepted:
           wc.acked = true;
+          metrics().acks.add();
+          metrics().ack_rtt.record(ns_since(wc.assigned_at, Clock::now()));
           emit(FleetEvent::Kind::kAck, w, ack.shard_id);
           break;
         case serve::ShardAckStatus::kRevoked:
@@ -727,6 +850,55 @@ void Driver::handle_frame(std::size_t w, const serve::Frame& frame) {
   }
 }
 
+// Rewrites opts_.status_out (schema clear-fleet-status-v1) at most every
+// status_interval_ms: the shard tally, the worker registry with each
+// worker's latest heartbeat snapshot, and the driver's own scheduling
+// metrics.  tmp + atomic rename so a concurrent reader (`clear explore
+// watch --status`, `clear status --file`) never sees a torn document.
+void Driver::maybe_write_status(Clock::time_point now, bool force) {
+  if (opts_.status_out.empty()) return;
+  if (!force && last_status_ != Clock::time_point{} &&
+      ms_since(last_status_, now) < opts_.status_interval_ms) {
+    return;
+  }
+  last_status_ = now;
+  std::string out = "{\n  \"schema\": \"clear-fleet-status-v1\",\n";
+  out += "  \"shards\": {\"total\": " + std::to_string(shards_.size()) +
+         ", \"completed\": " + std::to_string(completed_count_) +
+         ", \"queued\": " + std::to_string(queue_.size()) +
+         ", \"redispatched\": " + std::to_string(redispatched_) + "},\n";
+  out += "  \"workers\": [";
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    const WorkerStatus& st = workers_[w].status;
+    out += w == 0 ? "\n" : ",\n";
+    out += "    {\"index\": " + std::to_string(st.index) + ", \"endpoint\": \"";
+    json_escape_into(&out, st.endpoint);
+    out += "\", \"name\": \"";
+    json_escape_into(&out, st.name);
+    out += "\", \"capacity\": " + std::to_string(st.capacity) +
+           ", \"state\": \"" + worker_state_name(st.state) +
+           "\", \"shards_done\": " + std::to_string(st.shards_done) +
+           ", \"inflight\": " + std::to_string(st.inflight) + ", \"metrics\": ";
+    out += st.has_metrics
+               ? embed_json(obs::to_json(st.metrics), "    ")
+               : std::string("null");
+    out += "}";
+  }
+  out += workers_.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"driver\": " + embed_json(obs::to_json(obs::snapshot()), "  ");
+  out += "\n}\n";
+  const std::string tmp = opts_.status_out + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    if (!f) return;
+    f << out;
+    if (!f.flush()) return;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, opts_.status_out, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+}
+
 void Driver::pump(std::size_t w) {
   WorkerConn& wc = workers_[w];
   char buf[65536];
@@ -774,14 +946,31 @@ FleetReport Driver::run() {
     }
     const int ready = util::Socket::wait_any(socks.data(), socks.size(), 50);
     if (ready >= 0) pump(static_cast<std::size_t>(ready));
-    check_deadlines(Clock::now());
+    const auto now = Clock::now();
+    check_deadlines(now);
+    maybe_write_status(now);
   }
+  maybe_write_status(Clock::now(), /*force=*/true);
   if (opts_.shutdown_workers) {
     const std::string bytes =
         serve::encode_frame(serve::FrameType::kShutdown, "");
     for (WorkerConn& wc : workers_) {
       if (wc.status.state == WorkerState::kDead) continue;
       (void)wc.sock.send_all(bytes.data(), bytes.size(), kSendTimeoutMs);
+    }
+    // Linger until each worker closes its end.  The worker keeps
+    // heartbeating until it decodes the shutdown frame; if we close
+    // first, a heartbeat send can fail and make the worker drop the
+    // connection without draining its receive buffer -- the shutdown
+    // frame would be lost and the daemon would stay up.
+    for (WorkerConn& wc : workers_) {
+      if (wc.status.state == WorkerState::kDead) continue;
+      const auto deadline = Clock::now() + std::chrono::milliseconds(2000);
+      char scratch[4096];
+      while (Clock::now() < deadline) {
+        if (!wc.sock.readable(100)) continue;
+        if (wc.sock.recv_some(scratch, sizeof(scratch)) <= 0) break;
+      }
     }
   }
   FleetReport report;

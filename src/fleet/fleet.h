@@ -41,6 +41,7 @@
 #include "engine/engine.h"
 #include "engine/protocol.h"
 #include "explore/explore.h"
+#include "obs/metrics.h"
 
 namespace clear::fleet {
 
@@ -116,6 +117,13 @@ struct FleetOptions {
   int max_attempts = 3;       // kFailed executions per shard before giving up
   engine::JobPriority priority = engine::JobPriority::kBulk;
   bool shutdown_workers = false;  // send kShutdown to live workers at the end
+  // Live fleet status file ("" = off): the driver rewrites this JSON
+  // (schema clear-fleet-status-v1, tmp + atomic rename) every
+  // status_interval_ms with the shard tally, the worker registry and each
+  // worker's latest heartbeat metric snapshot.  `clear explore watch
+  // --status FILE` and `clear status --file FILE` render it.
+  std::string status_out;
+  int status_interval_ms = 1000;
 };
 
 enum class WorkerState : std::uint8_t {
@@ -135,6 +143,12 @@ struct WorkerStatus {
   std::uint32_t capacity = 0;  // hello capacity (worker pool width)
   WorkerState state = WorkerState::kConnecting;
   std::size_t shards_done = 0;
+  // Telemetry from the worker's latest heartbeat: its in-flight work item
+  // count and, when the heartbeat carried a CMS1 tail, its metric
+  // snapshot (has_metrics distinguishes "no tail yet" from "all zero").
+  std::uint32_t inflight = 0;
+  bool has_metrics = false;
+  obs::Snapshot metrics;
 };
 
 // Scheduling events, delivered synchronously from run_fleet's loop.
@@ -153,7 +167,8 @@ struct FleetEvent {
   Kind kind = Kind::kWorkerUp;
   std::size_t worker = 0;
   std::string worker_name;
-  std::uint64_t shard_id = 0;
+  std::uint64_t shard_id = 0;  // kWorkerDead: the in-flight shard (0 = none)
+  std::string detail;          // kWorkerDead: why the driver declared it
   engine::JobProgress progress;  // kProgress only
 };
 using EventFn = std::function<void(const FleetEvent&)>;

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/env.h"
 #include "util/fs.h"
 #include "util/hash.h"
@@ -23,6 +24,22 @@ namespace clear::inject {
 namespace {
 
 using util::fnv1a64;
+
+// Cache telemetry (docs/OBSERVABILITY.md): the probe/fill/compaction
+// paths report here; CachePackStats stays the per-instance accounting.
+struct CacheMetrics {
+  obs::Counter& hits = obs::counter("cache.hit");
+  obs::Counter& misses = obs::counter("cache.miss");
+  obs::Counter& puts = obs::counter("cache.put");
+  obs::Counter& evictions = obs::counter("cache.eviction");
+  obs::Counter& quarantined = obs::counter("cache.quarantine");
+  obs::Gauge& pack_bytes = obs::gauge("cache.pack.bytes");
+};
+
+CacheMetrics& metrics() {
+  static CacheMetrics m;
+  return m;
+}
 
 constexpr unsigned char kMagic[4] = {'C', 'P', 'K', '1'};
 constexpr std::size_t kHeaderSize = 36;   // 28 checksummed bytes + 8
@@ -246,6 +263,7 @@ void CachePack::scan_pack_range_locked(std::uint64_t from) {
       // next record start.
       if (!in_bad_region) {
         ++stats_.quarantined;
+        metrics().quarantined.add();
         in_bad_region = true;
       }
       const auto* next = static_cast<const unsigned char*>(
@@ -258,6 +276,7 @@ void CachePack::scan_pack_range_locked(std::uint64_t from) {
     const std::uint64_t payload_off = pos + kHeaderSize + h.key_len;
     if (fnv1a64(buf.data() + payload_off, h.payload_len) != h.payload_sum) {
       ++stats_.quarantined;  // intact header, damaged payload: skip exactly
+      metrics().quarantined.add();
     } else {
       Entry e;
       e.offset = from + pos;
@@ -349,9 +368,15 @@ bool CachePack::reopen_if_stale_locked() {
 
 bool CachePack::get(std::uint64_t fp, std::string* payload) {
   std::lock_guard<std::mutex> g(m_);
-  if (!reopen_if_stale_locked()) return false;
+  if (!reopen_if_stale_locked()) {
+    metrics().misses.add();
+    return false;
+  }
   const auto it = entries_.find(fp);
-  if (it == entries_.end()) return false;
+  if (it == entries_.end()) {
+    metrics().misses.add();
+    return false;
+  }
   Entry& e = it->second;
   std::string data(e.payload_len, '\0');
   if (!read_all(fd_, e.offset + kHeaderSize + e.key_len, data.data(),
@@ -360,8 +385,10 @@ bool CachePack::get(std::uint64_t fp, std::string* payload) {
     // The bytes under this entry no longer verify (external truncation or
     // overwrite): drop it so the caller re-runs and re-appends.
     entries_.erase(it);
+    metrics().misses.add();
     return false;
   }
+  metrics().hits.add();
   e.clock = ++clock_;
   {
     FileLock lock(dir_lock_fd_locked());
@@ -390,6 +417,8 @@ void CachePack::put(std::uint64_t fp, const std::string& key,
   maybe_evict_locked();
   stats_.records = entries_.size();
   stats_.pack_bytes = pack_size_;
+  metrics().puts.add();
+  metrics().pack_bytes.set(pack_size_);
 }
 
 // Appends one record (caller holds the directory flock): record bytes +
@@ -548,6 +577,8 @@ void CachePack::compact_locked(std::uint64_t budget) {
   entries_ = std::move(kept);
   pack_size_ = used;
   stats_.evictions += dropped;
+  metrics().evictions.add(dropped);
+  metrics().pack_bytes.set(pack_size_);
   rewrite_index_locked();
 }
 

@@ -18,6 +18,7 @@
 #include "inject/adaptive.h"
 #include "inject/cachepack.h"
 #include "inject/exec.h"
+#include "obs/metrics.h"
 #include "util/env.h"
 #include "util/fs.h"
 #include "util/rng.h"
@@ -205,6 +206,24 @@ arch::Core* bound_worker_core(const CampaignSpec& spec,
   return core;
 }
 
+// Hot-path metric handles (catalog in docs/OBSERVABILITY.md), registered
+// once and mutated lock-free afterwards.  Collection is result-neutral:
+// none of these feed RNG streams, simulation state or wire payloads.
+struct CampaignMetrics {
+  obs::Histogram& golden_record = obs::histogram("campaign.golden.record");
+  obs::Histogram& snap_capture = obs::histogram("campaign.snapshot.capture");
+  obs::Histogram& snap_restore = obs::histogram("campaign.snapshot.restore");
+  obs::Histogram& fork_replay = obs::histogram("campaign.fork.replay");
+  obs::Histogram& classify = obs::histogram("campaign.sample.classify");
+  obs::Counter& samples = obs::counter("campaign.samples");
+  obs::Counter& goldens = obs::counter("campaign.goldens");
+};
+
+CampaignMetrics& metrics() {
+  static CampaignMetrics m;
+  return m;
+}
+
 // Golden trajectory: periodic full-state snapshots, shared read-only by
 // all workers.  Each snapshot doubles as the fork origin for injections in
 // its interval and as the reference for the convergence test at its
@@ -221,11 +240,15 @@ Outcome run_forked(arch::Core* core, const GoldenTrajectory& traj,
                    const arch::InjectionPlan& plan, std::uint64_t inj_cycle,
                    std::uint64_t watchdog, const arch::CoreRunResult& golden,
                    const std::atomic<bool>* cancel) {
+  const obs::Span replay_span(metrics().fork_replay);
   const std::uint64_t interval = traj.interval;
   const std::size_t ci =
       std::min<std::size_t>(static_cast<std::size_t>(inj_cycle / interval),
                             traj.checkpoints.size() - 1);
-  core->restore(traj.checkpoints[ci], &plan);
+  {
+    const obs::Span restore_span(metrics().snap_restore);
+    core->restore(traj.checkpoints[ci], &plan);
+  }
   for (;;) {
     check_cancel(cancel);
     const std::uint64_t boundary = (core->cycle() / interval + 1) * interval;
@@ -371,6 +394,8 @@ std::uint64_t pick_interval(const CampaignJob& job,
 // hashes.  Runs on a pool worker so recordings of different campaigns
 // overlap each other and the faulty runs of already-recorded campaigns.
 void record_golden(CampaignJob& job, const std::atomic<bool>* cancel) {
+  const obs::Span golden_span(metrics().golden_record);
+  metrics().goldens.add();
   const CampaignSpec& spec = *job.spec;
   arch::Core* gcore = worker_core(spec.core_name);
   if (job.use_checkpoint) {
@@ -386,10 +411,14 @@ void record_golden(CampaignJob& job, const std::atomic<bool>* cancel) {
     job.traj.interval = pick_interval(job, job.golden.cycles);
     gcore->begin(*spec.program, spec.cfg, nullptr);
     job.traj.checkpoints.emplace_back();
-    gcore->snapshot(&job.traj.checkpoints.back());
+    {
+      const obs::Span snap_span(metrics().snap_capture);
+      gcore->snapshot(&job.traj.checkpoints.back());
+    }
     while (gcore->step_to(gcore->cycle() + job.traj.interval, kGoldenBudget)) {
       check_cancel(cancel);
       job.traj.checkpoints.emplace_back();
+      const obs::Span snap_span(metrics().snap_capture);
       gcore->snapshot(&job.traj.checkpoints.back());
     }
   } else {
@@ -407,6 +436,8 @@ void record_golden(CampaignJob& job, const std::atomic<bool>* cancel) {
 // adaptivity only decides WHICH indices run, never what an index produces.
 Outcome simulate_sample(CampaignJob& job, std::size_t g,
                         const std::atomic<bool>* cancel) {
+  const obs::Span classify_span(metrics().classify);
+  metrics().samples.add();
   const CampaignSpec& spec = *job.spec;
   // Stratified-by-FF sampling with an index-derived RNG: results are
   // independent of thread scheduling and thread count.

@@ -1,0 +1,324 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "util/bytes.h"
+#include "util/env.h"
+
+namespace clear::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{util::env_long("CLEAR_METRICS", 1) != 0};
+
+// One registry per kind, keyed by name.  Leaked deliberately (like
+// CachePack::instance): handles handed to hot paths must outlive every
+// worker thread, including past static destruction at exit.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  std::map<std::string, std::string> hist_units;
+};
+
+Registry& registry() {
+  static auto* r = new Registry;
+  return *r;
+}
+
+// Binary snapshot magic: "CMS1" little-endian (CLEAR metrics snapshot).
+constexpr std::uint32_t kSnapshotMagic = 0x31534d43u;
+
+void json_escape(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::size_t Counter::stripe() noexcept {
+  // A stable per-thread stripe: hash the thread id once and cache it.
+  // Distinct threads may share a stripe (fetch_add stays correct); the
+  // stripes only exist to keep the common case contention-free.
+  static thread_local const std::size_t slot =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      kCounterStripes;
+  return slot;
+}
+
+Counter& counter(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> g(r.mu);
+  auto& slot = r.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& gauge(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> g(r.mu);
+  auto& slot = r.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& histogram(const std::string& name, const std::string& unit) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> g(r.mu);
+  auto& slot = r.histograms[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+    r.hist_units[name] = unit;
+  }
+  return *slot;
+}
+
+std::uint64_t HistogramRow::quantile_lo(double q) const noexcept {
+  if (count == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kHistBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > target) return Histogram::bucket_lo(i);
+  }
+  return Histogram::bucket_lo(kHistBuckets - 1);
+}
+
+std::uint64_t Snapshot::counter_value(const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+const HistogramRow* Snapshot::find_histogram(const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Snapshot snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> g(r.mu);
+  Snapshot s;
+  s.counters.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters) {
+    s.counters.push_back({name, c->value()});
+  }
+  s.gauges.reserve(r.gauges.size());
+  for (const auto& [name, gg] : r.gauges) {
+    s.gauges.push_back({name, gg->last(), gg->max()});
+  }
+  s.histograms.reserve(r.histograms.size());
+  for (const auto& [name, h] : r.histograms) {
+    HistogramRow row;
+    row.name = name;
+    row.unit = r.hist_units[name];
+    h->read(&row.buckets, &row.count, &row.sum);
+    s.histograms.push_back(std::move(row));
+  }
+  return s;  // maps iterate sorted: rows come out name-ordered
+}
+
+void merge(Snapshot* into, const Snapshot& from) {
+  for (const auto& c : from.counters) {
+    auto it = std::find_if(into->counters.begin(), into->counters.end(),
+                           [&](const CounterRow& r) { return r.name == c.name; });
+    if (it == into->counters.end()) {
+      into->counters.push_back(c);
+    } else {
+      it->value += c.value;
+    }
+  }
+  for (const auto& gg : from.gauges) {
+    auto it = std::find_if(into->gauges.begin(), into->gauges.end(),
+                           [&](const GaugeRow& r) { return r.name == gg.name; });
+    if (it == into->gauges.end()) {
+      into->gauges.push_back(gg);
+    } else {
+      it->last = std::max(it->last, gg.last);
+      it->max = std::max(it->max, gg.max);
+    }
+  }
+  for (const auto& h : from.histograms) {
+    auto it = std::find_if(
+        into->histograms.begin(), into->histograms.end(),
+        [&](const HistogramRow& r) { return r.name == h.name; });
+    if (it == into->histograms.end()) {
+      into->histograms.push_back(h);
+    } else {
+      it->count += h.count;
+      it->sum += h.sum;
+      for (std::size_t i = 0; i < kHistBuckets; ++i) {
+        it->buckets[i] += h.buckets[i];
+      }
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(into->counters.begin(), into->counters.end(), by_name);
+  std::sort(into->gauges.begin(), into->gauges.end(), by_name);
+  std::sort(into->histograms.begin(), into->histograms.end(), by_name);
+}
+
+std::string to_json(const Snapshot& s) {
+  std::string out = "{\n  \"schema\": \"clear-metrics-v1\",\n";
+  out += "  \"counters\": {";
+  for (std::size_t i = 0; i < s.counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    json_escape(&out, s.counters[i].name);
+    out += "\": " + std::to_string(s.counters[i].value);
+  }
+  out += s.counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < s.gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    json_escape(&out, s.gauges[i].name);
+    out += "\": {\"last\": " + std::to_string(s.gauges[i].last) +
+           ", \"max\": " + std::to_string(s.gauges[i].max) + "}";
+  }
+  out += s.gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < s.histograms.size(); ++i) {
+    const auto& h = s.histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    json_escape(&out, h.name);
+    out += "\": {\"unit\": \"";
+    json_escape(&out, h.unit);
+    out += "\", \"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + std::to_string(h.sum) + ", \"buckets\": [";
+    bool first = true;
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += "[" + std::to_string(Histogram::bucket_lo(b)) + ", " +
+             std::to_string(h.buckets[b]) + "]";
+    }
+    out += "]}";
+  }
+  out += s.histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool write_json_file(const Snapshot& s, const std::string& path) {
+  if (path.empty()) return true;
+  const std::string json = to_json(s);
+  if (path == "-") {
+    std::cout << json;
+    return true;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << json;
+  return static_cast<bool>(out.flush());
+}
+
+std::string encode_snapshot(const Snapshot& s) {
+  std::string out;
+  util::put_u32(&out, kSnapshotMagic);
+  util::put_u32(&out, static_cast<std::uint32_t>(s.counters.size()));
+  for (const auto& c : s.counters) {
+    util::put_str(&out, c.name);
+    util::put_u64(&out, c.value);
+  }
+  util::put_u32(&out, static_cast<std::uint32_t>(s.gauges.size()));
+  for (const auto& g : s.gauges) {
+    util::put_str(&out, g.name);
+    util::put_u64(&out, g.last);
+    util::put_u64(&out, g.max);
+  }
+  util::put_u32(&out, static_cast<std::uint32_t>(s.histograms.size()));
+  for (const auto& h : s.histograms) {
+    util::put_str(&out, h.name);
+    util::put_str(&out, h.unit);
+    util::put_u64(&out, h.sum);
+    std::uint32_t nonzero = 0;
+    for (const auto b : h.buckets) nonzero += b != 0 ? 1 : 0;
+    util::put_u32(&out, nonzero);
+    for (std::size_t i = 0; i < kHistBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      util::put_u32(&out, static_cast<std::uint32_t>(i));
+      util::put_u64(&out, h.buckets[i]);
+    }
+  }
+  return out;
+}
+
+bool decode_snapshot(const std::string& bytes, Snapshot* out) {
+  // Metric names and units are short identifiers; 4 KiB bounds them with
+  // a wide margin against a corrupt length field.
+  constexpr std::uint32_t kMaxName = 4096;
+  util::ByteReader r(bytes.data(), bytes.size());
+  std::uint32_t magic = 0;
+  if (!r.u32(&magic) || magic != kSnapshotMagic) return false;
+  Snapshot s;
+  std::uint32_t n = 0;
+  if (!r.u32(&n)) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    CounterRow c;
+    if (!r.str(&c.name, kMaxName) || !r.u64(&c.value)) return false;
+    s.counters.push_back(std::move(c));
+  }
+  if (!r.u32(&n)) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    GaugeRow g;
+    if (!r.str(&g.name, kMaxName) || !r.u64(&g.last) || !r.u64(&g.max)) {
+      return false;
+    }
+    s.gauges.push_back(std::move(g));
+  }
+  if (!r.u32(&n)) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    HistogramRow h;
+    std::uint32_t nonzero = 0;
+    if (!r.str(&h.name, kMaxName) || !r.str(&h.unit, kMaxName) ||
+        !r.u64(&h.sum) || !r.u32(&nonzero) || nonzero > kHistBuckets) {
+      return false;
+    }
+    for (std::uint32_t b = 0; b < nonzero; ++b) {
+      std::uint32_t idx = 0;
+      std::uint64_t cnt = 0;
+      if (!r.u32(&idx) || idx >= kHistBuckets || !r.u64(&cnt)) return false;
+      h.buckets[idx] = cnt;
+      h.count += cnt;
+    }
+    s.histograms.push_back(std::move(h));
+  }
+  if (!r.exhausted()) return false;  // trailing garbage: fail closed
+  *out = std::move(s);
+  return true;
+}
+
+}  // namespace clear::obs

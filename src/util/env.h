@@ -39,6 +39,15 @@
 //                               "wilson" (default) or "cp"
 //                               (Clopper-Pearson); identity field, all
 //                               shards of a campaign must agree
+//   CLEAR_METRICS             - 0 disables the obs/ metrics registry at
+//                               process start (default 1; collection is
+//                               result-neutral either way -- .csr/.cxl
+//                               bytes never change)
+//   CLEAR_METRICS_OUT         - default --metrics-out destination: CLI
+//                               verbs that accept the flag write their
+//                               final clear-metrics-v1 JSON snapshot
+//                               here when the flag is absent ("-" =
+//                               stdout, "" = off)
 #ifndef CLEAR_UTIL_ENV_H
 #define CLEAR_UTIL_ENV_H
 

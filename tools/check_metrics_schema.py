@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Validate clear-metrics-v1 / clear-fleet-status-v1 JSON documents.
+
+CI runs this over every --metrics-out dump and fleet --status-out
+document the smoke jobs produce, so a drifting field name or a
+histogram whose count stops matching its buckets fails the build
+instead of silently breaking downstream consumers.  Stdlib only.
+
+Usage: check_metrics_schema.py FILE...
+Exit:  0 all documents valid, 1 any violation (each printed).
+"""
+import json
+import sys
+
+HIST_BUCKETS = 64
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    return False
+
+
+def is_u64(v):
+    return isinstance(v, int) and not isinstance(v, bool) and 0 <= v < 2**64
+
+
+def check_metrics(path, doc, where="document"):
+    ok = True
+    if doc.get("schema") != "clear-metrics-v1":
+        return fail(path, f"{where}: schema != clear-metrics-v1")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            ok = fail(path, f"{where}: missing object field '{section}'")
+    if not ok:
+        return False
+    for name, v in doc["counters"].items():
+        if not is_u64(v):
+            ok = fail(path, f"{where}: counter {name!r} is not a u64")
+    for name, g in doc["gauges"].items():
+        if (not isinstance(g, dict) or not is_u64(g.get("last"))
+                or not is_u64(g.get("max"))):
+            ok = fail(path, f"{where}: gauge {name!r} needs u64 last/max")
+        elif g["max"] < g["last"]:
+            ok = fail(path, f"{where}: gauge {name!r} has max < last")
+    for name, h in doc["histograms"].items():
+        if not isinstance(h, dict):
+            ok = fail(path, f"{where}: histogram {name!r} is not an object")
+            continue
+        if not isinstance(h.get("unit"), str):
+            ok = fail(path, f"{where}: histogram {name!r} has no unit")
+        if not is_u64(h.get("count")) or not is_u64(h.get("sum")):
+            ok = fail(path, f"{where}: histogram {name!r} needs u64 count/sum")
+            continue
+        buckets = h.get("buckets")
+        if not isinstance(buckets, list):
+            ok = fail(path, f"{where}: histogram {name!r} has no bucket list")
+            continue
+        total, prev_lo = 0, -1
+        for pair in buckets:
+            if (not isinstance(pair, list) or len(pair) != 2
+                    or not is_u64(pair[0]) or not is_u64(pair[1])):
+                ok = fail(path, f"{where}: histogram {name!r} bucket {pair!r}"
+                                " is not a [bucket_lo, count] pair")
+                continue
+            lo, cnt = pair
+            if lo != 0 and (lo & (lo - 1)) != 0:
+                ok = fail(path, f"{where}: histogram {name!r} bucket_lo {lo}"
+                                " is not 0 or a power of two")
+            if lo <= prev_lo:
+                ok = fail(path, f"{where}: histogram {name!r} buckets not"
+                                " strictly ascending")
+            if cnt == 0:
+                ok = fail(path, f"{where}: histogram {name!r} emits an empty"
+                                f" bucket at {lo} (buckets are sparse)")
+            prev_lo = lo
+            total += cnt
+        if len(buckets) > HIST_BUCKETS:
+            ok = fail(path, f"{where}: histogram {name!r} has more than"
+                            f" {HIST_BUCKETS} buckets")
+        if total != h["count"]:
+            ok = fail(path, f"{where}: histogram {name!r} count {h['count']}"
+                            f" != bucket total {total}")
+    return ok
+
+
+def check_fleet_status(path, doc):
+    ok = True
+    shards = doc.get("shards")
+    if shards is not None:  # null in `clear status --json` live probes
+        if not isinstance(shards, dict) or not all(
+                is_u64(shards.get(k))
+                for k in ("total", "completed", "queued", "redispatched")):
+            ok = fail(path, "shards needs u64 total/completed/queued/"
+                            "redispatched")
+        elif shards["completed"] > shards["total"]:
+            ok = fail(path, "shards.completed > shards.total")
+    workers = doc.get("workers")
+    if not isinstance(workers, list):
+        return fail(path, "missing worker list")
+    for i, w in enumerate(workers):
+        where = f"workers[{i}]"
+        if not isinstance(w, dict):
+            ok = fail(path, f"{where}: not an object")
+            continue
+        for key in ("endpoint", "name", "state"):
+            if not isinstance(w.get(key), str):
+                ok = fail(path, f"{where}: missing string field '{key}'")
+        for key in ("index", "capacity", "inflight", "shards_done"):
+            if not is_u64(w.get(key)):
+                ok = fail(path, f"{where}: missing u64 field '{key}'")
+        metrics = w.get("metrics")
+        if metrics is not None:  # null until the first heartbeat lands
+            ok = check_metrics(path, metrics, where) and ok
+    driver = doc.get("driver")
+    if driver is not None:
+        ok = check_metrics(path, driver, "driver") and ok
+    return ok
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return fail(path, str(e))
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    schema = doc.get("schema")
+    if schema == "clear-metrics-v1":
+        return check_metrics(path, doc)
+    if schema == "clear-fleet-status-v1":
+        return check_fleet_status(path, doc)
+    return fail(path, f"unknown schema {schema!r}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    ok = True
+    for path in argv[1:]:
+        if check_file(path):
+            print(f"{path}: ok")
+        else:
+            ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
