@@ -41,53 +41,6 @@ constexpr const char* kTopHelp =
 
 }  // namespace
 
-core::Variant parse_variant(const std::string& key) {
-  core::Variant v;
-  if (key.empty() || key == "base") return v;
-  std::stringstream in(key);
-  std::string token;
-  while (std::getline(in, token, '+')) {
-    if (token == "abftc") {
-      v.abft = workloads::AbftKind::kCorrection;
-    } else if (token == "abftd") {
-      v.abft = workloads::AbftKind::kDetection;
-    } else if (token == "eddi") {
-      v.eddi = true;
-      v.eddi_readback = false;
-    } else if (token == "eddi_rb") {
-      v.eddi = true;
-      v.eddi_readback = true;
-    } else if (token == "assert") {
-      v.assertions = true;
-    } else if (token == "cfcss") {
-      v.cfcss = true;
-    } else if (token == "dfc") {
-      v.dfc = true;
-    } else if (token == "monitor") {
-      v.monitor = true;
-    } else {
-      throw std::invalid_argument(
-          "unknown variant token '" + token +
-          "' (expected: base, abftc, abftd, eddi, eddi_rb, assert, cfcss, "
-          "dfc, monitor, joined with '+')");
-    }
-  }
-  return v;
-}
-
-bool parse_shard(const std::string& text, std::uint32_t* index,
-                 std::uint32_t* count) {
-  unsigned long long k = 0, n = 0;
-  char trailing = '\0';
-  if (std::sscanf(text.c_str(), "%llu/%llu%c", &k, &n, &trailing) != 2) {
-    return false;
-  }
-  if (n == 0 || k >= n || n > (1ULL << 20)) return false;
-  *index = static_cast<std::uint32_t>(k);
-  *count = static_cast<std::uint32_t>(n);
-  return true;
-}
-
 bool parse_bytes(const std::string& text, std::uint64_t* bytes) {
   // One grammar with the CLEAR_CACHE_MAX_BYTES env knob, by construction.
   return util::parse_bytes(text.c_str(), bytes);

@@ -34,8 +34,6 @@
 #include <cstdint>
 #include <string>
 
-#include "core/variants.h"
-
 namespace clear::cli {
 
 // Binary version (independent of the on-disk format versions: those only
@@ -84,18 +82,9 @@ void write_metrics_out(const std::string& flag_value, const char* ctx);
 bool render_fleet_status(const std::string& json, std::string* out,
                          std::string* error);
 
-// Parses a variant key of '+'-joined technique tokens into the technique
-// set it denotes: "base", "abftc", "abftd", "eddi" (no store-readback),
-// "eddi_rb", "assert", "cfcss", "dfc", "monitor".  The output's key()
-// round-trips to a canonical ordering of the same tokens.  Throws
-// std::invalid_argument on an unknown token.
-core::Variant parse_variant(const std::string& key);
-
-// Parses "k/K" shard syntax (e.g. "2/8") into *index, *count.  Returns
-// false on malformed input or index >= count.
-bool parse_shard(const std::string& text, std::uint32_t* index,
-                 std::uint32_t* count);
-
+// Variant/shard flag parsing lives in plan/runplan.h (plan::parse_variant,
+// plan::parse_shard): the fleet driver resolves the same grammar without
+// reaching up into the CLI layer.
 // Parses a byte count with optional K/M/G suffix (powers of 1024), the
 // same grammar as the CLEAR_CACHE_MAX_BYTES env knob.  Returns false on
 // malformed input.

@@ -25,6 +25,7 @@
 #include "cli/cli.h"
 #include "explore/explore.h"
 #include "explore/ledger.h"
+#include "plan/runplan.h"
 #include "util/args.h"
 #include "util/table.h"
 
@@ -190,7 +191,7 @@ int explore_run(int argc, const char* const* argv) {
                  args.get("metric").c_str());
     return 2;
   }
-  if (!parse_shard(args.get("shard"), &spec.shard_index, &spec.shard_count)) {
+  if (!plan::parse_shard(args.get("shard"), &spec.shard_index, &spec.shard_count)) {
     std::fprintf(stderr,
                  "clear explore run: bad --shard '%s' (want k/K with k < K)\n",
                  args.get("shard").c_str());

@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "cli/cli.h"
-#include "cli/runplan.h"
+#include "plan/runplan.h"
 #include "explore/explore.h"
 #include "explore/ledger.h"
 #include "fleet/fleet.h"
@@ -255,8 +255,8 @@ int fleet_run(int argc, const char* const* argv) {
   // Fail fast on a manifest no worker could resolve: the drive-side
   // resolution is the same code every worker runs (runplan.h).
   {
-    std::vector<RunPlan> probe;
-    if (!resolve_manifest_text(shards[0].text, "clear fleet run", &probe,
+    std::vector<plan::RunPlan> probe;
+    if (!plan::resolve_manifest_text(shards[0].text, "clear fleet run", &probe,
                                &error)) {
       std::fprintf(stderr, "%s\n", error.c_str());
       return 2;

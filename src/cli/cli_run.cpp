@@ -2,7 +2,7 @@
 // result as a .csr wire file for `clear merge` / `clear report`.
 //
 // Flag resolution, the manifest grammar and the .csr identity stamp live
-// in cli/runplan.{h,cpp}, shared with the `clear serve` daemon so a
+// in plan/runplan.{h,cpp}, shared with the `clear serve` daemon so a
 // remote worker's bytes match a local run's exactly.
 #include <cstdio>
 #include <iostream>
@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "cli/cli.h"
-#include "cli/runplan.h"
+#include "plan/runplan.h"
 #include "inject/campaign.h"
 #include "inject/wire.h"
 #include "util/table.h"
@@ -33,7 +33,7 @@ int list_benches(const std::string& core) {
   return 0;
 }
 
-void print_plan(const RunPlan& plan) {
+void print_plan(const plan::RunPlan& plan) {
   const std::uint64_t local =
       plan.global > plan.shard_index
           ? (plan.global - plan.shard_index + plan.shard_count - 1) /
@@ -67,7 +67,7 @@ void print_plan(const RunPlan& plan) {
 }
 
 // Prints a campaign's outcome table and writes its .csr when requested.
-int finish_campaign(const RunPlan& plan, const inject::CampaignResult& result) {
+int finish_campaign(const plan::RunPlan& plan, const inject::CampaignResult& result) {
   util::TextTable table({"samples", "vanished", "SDC", "DUE", "recovered",
                          "SDC frac", "+/-95%"});
   table.add_row({std::to_string(result.totals.total()),
@@ -99,7 +99,7 @@ int finish_campaign(const RunPlan& plan, const inject::CampaignResult& result) {
   }
 
   if (!plan.out.empty()) {
-    const inject::ShardFile shard = plan_shard_file(plan, result);
+    const inject::ShardFile shard = plan::plan_shard_file(plan, result);
     inject::write_shard_file(plan.out, shard);
     std::printf("wrote %s (%s)\n", plan.out.c_str(),
                 shard.complete() ? "complete campaign" : "1 shard");
@@ -110,10 +110,10 @@ int finish_campaign(const RunPlan& plan, const inject::CampaignResult& result) {
 // resolve_plan + usage-error reporting (help text on a missing --bench,
 // the mistake a bare `clear run` makes).
 int resolve_or_complain(const util::ArgParser& args, const std::string& ctx,
-                        RunPlan* plan) {
+                        plan::RunPlan* plan) {
   std::string error;
   bool show_usage = false;
-  if (resolve_plan(args, ctx, plan, &error, &show_usage)) return 0;
+  if (plan::resolve_plan(args, ctx, plan, &error, &show_usage)) return 0;
   std::fprintf(stderr, "%s\n", error.c_str());
   if (show_usage) std::fputs(args.help().c_str(), stderr);
   return 2;
@@ -122,7 +122,7 @@ int resolve_or_complain(const util::ArgParser& args, const std::string& ctx,
 }  // namespace
 
 int cmd_run(int argc, const char* const* argv) {
-  util::ArgParser args = make_run_parser();
+  util::ArgParser args = plan::make_run_parser();
   std::string error;
   if (!args.parse(argc, argv, &error)) {
     std::fprintf(stderr, "clear run: %s\n%s", error.c_str(),
@@ -132,7 +132,7 @@ int cmd_run(int argc, const char* const* argv) {
 
   std::vector<std::vector<std::string>> stanzas;
   if (args.has("spec")) {
-    if (!read_spec_stanzas(args.get("spec"), &stanzas)) {
+    if (!plan::read_spec_stanzas(args.get("spec"), &stanzas)) {
       std::fprintf(stderr, "clear run: cannot read spec file '%s'\n",
                    args.get("spec").c_str());
       return 1;
@@ -183,7 +183,7 @@ int cmd_run(int argc, const char* const* argv) {
 
   // ---- single campaign (no spec, or a one-stanza spec file) ----------------
   if (stanzas.size() <= 1) {
-    RunPlan plan;
+    plan::RunPlan plan;
     const int rc = resolve_or_complain(args, "clear run", &plan);
     if (rc != 0) return rc;
     plan.patch_spec_pointers();
@@ -214,9 +214,9 @@ int cmd_run(int argc, const char* const* argv) {
     return 2;
   }
   bool dry_run = args.has("dry-run");
-  std::vector<RunPlan> plans(stanzas.size());
+  std::vector<plan::RunPlan> plans(stanzas.size());
   for (std::size_t i = 0; i < stanzas.size(); ++i) {
-    util::ArgParser stanza_args = make_run_parser();
+    util::ArgParser stanza_args = plan::make_run_parser();
     std::vector<const char*> stanza_argv;
     stanza_argv.reserve(stanzas[i].size());
     for (const auto& t : stanzas[i]) stanza_argv.push_back(t.c_str());
@@ -253,7 +253,7 @@ int cmd_run(int argc, const char* const* argv) {
   }
   std::printf("manifest   %s: %zu campaigns, one run_campaigns batch\n",
               args.get("spec").c_str(), plans.size());
-  for (const RunPlan& plan : plans) print_plan(plan);
+  for (const plan::RunPlan& plan : plans) print_plan(plan);
   if (dry_run) {
     std::printf("dry run: nothing simulated\n");
     return 0;

@@ -39,7 +39,7 @@
 #include <unistd.h>
 
 #include "cli/cli.h"
-#include "cli/runplan.h"
+#include "plan/runplan.h"
 #include "engine/engine.h"
 #include "engine/protocol.h"
 #include "explore/explore.h"
@@ -57,8 +57,17 @@ namespace clear::cli {
 
 namespace {
 
-volatile std::sig_atomic_t g_stop = 0;
-void on_signal(int) { g_stop = 1; }
+// Written by the signal handler on whichever thread the kernel picks,
+// read by the accept loop and every connection thread: must be a
+// lock-free atomic, not volatile sig_atomic_t (that idiom is only safe
+// in single-threaded programs; TSan flags it in the thread-per-
+// connection daemon, and the store could genuinely be torn or deferred
+// on weaker memory models).  Relaxed is enough: the poll loops only
+// need eventual visibility, joins provide all other ordering.
+std::atomic<int> g_stop{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler requires a lock-free atomic");
+void on_signal(int) { g_stop.store(1, std::memory_order_relaxed); }
 
 // Set when any connection receives kShutdown: the accept loop stops, and
 // idle sibling connections drain instead of holding the daemon open.
@@ -115,7 +124,7 @@ struct ServedWork {
   bool revoked = false;
 
   // Campaign path (kJob, or kShardAssign/kCampaign).
-  std::vector<RunPlan> plans;
+  std::vector<plan::RunPlan> plans;
   engine::Job job;
 
   // Explore path (kShardAssign/kExplore).
@@ -207,7 +216,7 @@ void submit_campaigns(ServedWork* served, const std::string& manifest,
   std::string error;
   bool ok = false;
   try {
-    ok = resolve_manifest_text(manifest, "clear serve", &served->plans,
+    ok = plan::resolve_manifest_text(manifest, "clear serve", &served->plans,
                                &error);
   } catch (const std::exception& e) {
     error = std::string("clear serve: ") + e.what();
@@ -215,7 +224,7 @@ void submit_campaigns(ServedWork* served, const std::string& manifest,
   if (ok) {
     std::vector<inject::CampaignSpec> specs;
     specs.reserve(served->plans.size());
-    for (const RunPlan& plan : served->plans) specs.push_back(plan.spec);
+    for (const plan::RunPlan& plan : served->plans) specs.push_back(plan.spec);
     try {
       served->job = engine::Engine::instance().submit(std::move(specs),
                                                       priority);
@@ -257,7 +266,7 @@ bool handle_connection(util::Socket conn, const serve::Hello& hello,
   for (;;) {
     // SIGTERM/SIGINT: cancel in-flight work and drain -- the daemon must
     // exit promptly without persisting partial results, even mid-job.
-    if (g_stop != 0) {
+    if (g_stop.load(std::memory_order_relaxed) != 0) {
       cancel_all();
       peer_gone = true;  // stop talking, drain cancelled work, exit
     }
@@ -328,7 +337,7 @@ bool handle_connection(util::Socket conn, const serve::Hello& hello,
               const auto& results = front.job.results();
               for (std::size_t i = 0; i < results.size(); ++i) {
                 const inject::ShardFile shard =
-                    plan_shard_file(front.plans[i], results[i]);
+                    plan::plan_shard_file(front.plans[i], results[i]);
                 send_frame(
                     &conn, serve::FrameType::kResult,
                     serve::encode_result(static_cast<std::uint32_t>(i),
@@ -630,7 +639,7 @@ int serve_fanout(int workers, bool have_socket, const std::string& base_path,
   std::size_t live = pids.size();
   bool forwarded = false;
   while (live > 0) {
-    if (g_stop != 0 && !forwarded) {
+    if (g_stop.load(std::memory_order_relaxed) != 0 && !forwarded) {
       for (const pid_t p : pids) ::kill(p, SIGTERM);
       forwarded = true;
     }
@@ -806,7 +815,8 @@ int cmd_serve(int argc, const char* const* argv) {
   };
   std::vector<std::unique_ptr<ConnTask>> conns;
 
-  while (g_stop == 0 && !g_shutdown.load(std::memory_order_relaxed)) {
+  while (g_stop.load(std::memory_order_relaxed) == 0 &&
+         !g_shutdown.load(std::memory_order_relaxed)) {
     util::Socket conn = listener.accept(200);
     // Reap retired connection threads as we go.
     for (auto it = conns.begin(); it != conns.end();) {

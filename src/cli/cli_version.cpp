@@ -12,6 +12,15 @@
 
 namespace clear::cli {
 
+namespace {
+
+// Version of the static-analysis checker set (tools/lint/clear_lint.py)
+// that vets this tree.  The lint selftest asserts the two stay in sync,
+// so CI artifacts record which invariant set approved the build.
+constexpr unsigned kLintCheckerSetVersion = 1;
+
+}  // namespace
+
 int cmd_version(int argc, const char* const* argv) {
   util::ArgParser args(
       "clear version [--json]",
@@ -38,9 +47,11 @@ int cmd_version(int argc, const char* const* argv) {
 
   if (args.has("json")) {
     std::printf("{\"version\": \"%s\", \"formats\": {"
-                "\"csr\": %u, \"cpk\": %u, \"cxl\": %u, \"serve\": %u}}\n",
+                "\"csr\": %u, \"cpk\": %u, \"cxl\": %u, \"serve\": %u}, "
+                "\"lint_checker_set\": %u}\n",
                 kClearVersion, inject::kWireVersion, inject::kCachePackVersion,
-                explore::kLedgerVersion, serve::kProtoVersion);
+                explore::kLedgerVersion, serve::kProtoVersion,
+                kLintCheckerSetVersion);
     return 0;
   }
   std::printf("clear %s\n", kClearVersion);
@@ -49,6 +60,7 @@ int cmd_version(int argc, const char* const* argv) {
   std::printf("  CPK1 cache pack        v%u\n", inject::kCachePackVersion);
   std::printf("  CXL1 exploration ledger v%u\n", explore::kLedgerVersion);
   std::printf("  CSV1 serve protocol    v%u\n", serve::kProtoVersion);
+  std::printf("lint checker set       v%u\n", kLintCheckerSetVersion);
   return 0;
 }
 

@@ -221,7 +221,7 @@ std::string encode_record(const LedgerRecord& rec) {
 std::string encode_ledger(const Ledger& ledger) {
   const std::string ident = encode_identity(ledger);
   std::string out;
-  out.append(reinterpret_cast<const char*>(kMagic), 4);
+  util::append_magic(&out, kMagic);
   put_u32(&out, ledger_wire_version(ledger));
   put_u64(&out, ident.size());
   put_u64(&out, util::fnv1a64(ident.data(), ident.size()));
@@ -233,7 +233,7 @@ std::string encode_ledger(const Ledger& ledger) {
 
 LedgerStatus decode_ledger(const std::string& bytes, Ledger* out,
                            LedgerLoadInfo* info) {
-  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  const unsigned char* p = util::byte_ptr(bytes);
   if (bytes.size() < 4) return LedgerStatus::kTruncated;
   if (std::memcmp(p, kMagic, 4) != 0) return LedgerStatus::kBadMagic;
   if (bytes.size() < kLedgerHeaderSize) return LedgerStatus::kTruncated;

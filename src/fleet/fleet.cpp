@@ -12,8 +12,7 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "cli/cli.h"
-#include "cli/runplan.h"
+#include "plan/runplan.h"
 #include "explore/ledger.h"
 #include "inject/wire.h"
 #include "obs/metrics.h"
@@ -207,7 +206,7 @@ bool build_campaign_shards(const std::string& manifest,
   }
   std::istringstream in(manifest);
   std::vector<std::vector<std::string>> stanzas;
-  cli::split_spec_stanzas(in, &stanzas);
+  plan::split_spec_stanzas(in, &stanzas);
   // split_spec_stanzas yields one empty stanza for empty input; an empty
   // stanza anywhere would dispatch a bare `--shard k/K` manifest every
   // worker refuses, so fail at the driver instead.
@@ -300,7 +299,7 @@ bool parse_explore_stanza(const std::string& text,
                           explore::ExploreSpec* spec, std::string* error) {
   std::istringstream in(text);
   std::vector<std::vector<std::string>> stanzas;
-  cli::split_spec_stanzas(in, &stanzas);
+  plan::split_spec_stanzas(in, &stanzas);
   if (stanzas.size() != 1) {
     if (error != nullptr) {
       *error = "explore shard wants exactly one stanza, got " +
@@ -358,7 +357,7 @@ bool parse_explore_stanza(const std::string& text,
   }
   s.per_ff_samples = static_cast<std::size_t>(u);
   s.benchmarks = split_csv(args.get("benches"));
-  if (!cli::parse_shard(args.get("shard"), &s.shard_index, &s.shard_count)) {
+  if (!plan::parse_shard(args.get("shard"), &s.shard_index, &s.shard_count)) {
     if (error != nullptr) {
       *error = "bad --shard '" + args.get("shard") + "' (want k/K with k < K)";
     }
@@ -789,6 +788,11 @@ void Driver::handle_frame(std::size_t w, const serve::Frame& frame) {
           // complete_shard.  Nothing to do beyond clearing the limbo.
           wc.stealing = false;
           break;
+        default:
+          // An ack status this driver doesn't know: the worker speaks a
+          // newer protocol; refuse rather than guess its shard state.
+          declare_dead(w, "unknown ack status");
+          return;
       }
       break;
     }
@@ -839,6 +843,12 @@ void Driver::handle_frame(std::size_t w, const serve::Frame& frame) {
           // The worker is shutting down; its dead deadline will follow.
           requeue(w);
           break;
+        default:
+          // An outcome this driver doesn't know: the worker speaks a newer
+          // protocol, so the shard's true fate is unknowable.  Requeue it
+          // elsewhere and drop the worker.
+          declare_dead(w, "unknown done outcome");
+          return;
       }
       break;
     }

@@ -72,6 +72,7 @@ struct Header {
 
 // Serializes a header into its 36-byte on-disk form (checksum included).
 void encode_header(const Header& h, unsigned char* out) {
+  // lint: allow(wire-safety): encode side, fixed 4-byte magic into a caller-sized header buffer
   std::memcpy(out, kMagic, 4);
   put_u32(out + 4, h.key_len);
   put_u32(out + 8, h.payload_len);
@@ -435,7 +436,9 @@ void CachePack::append_record_locked(std::uint64_t fp, const std::string& key,
   h.payload_sum = fnv1a64(payload.data(), payload.size());
   std::vector<unsigned char> rec(record_size(h));
   encode_header(h, rec.data());
+  // lint: allow(wire-safety): encode side; rec is sized record_size(h) and key_len is clamped to kMaxKeyLen above
   std::memcpy(rec.data() + kHeaderSize, key.data(), h.key_len);
+  // lint: allow(wire-safety): encode side; payload_len is payload.size(), copied into the record_size(h) buffer
   std::memcpy(rec.data() + kHeaderSize + h.key_len, payload.data(),
               h.payload_len);
 

@@ -14,11 +14,13 @@
 
 #include <cstring>
 
+// lint: allow(layering): intentional back-edge -- campaigns submit work to the shared engine and wait (see exec.h contract + ARCHITECTURE.md)
 #include "engine/engine.h"
 #include "inject/adaptive.h"
 #include "inject/cachepack.h"
 #include "inject/exec.h"
 #include "obs/metrics.h"
+#include "util/bytes.h"
 #include "util/env.h"
 #include "util/fs.h"
 #include "util/rng.h"
@@ -45,20 +47,11 @@ constexpr std::uint32_t kCacheVersion = 4;
 
 constexpr std::uint64_t kGoldenBudget = 20'000'000;
 
-// IEEE bits of a double, for hashing and text round-trips that must be
-// exact (a decimal round-trip of the confidence target could make two
-// shards disagree about the campaign identity).
-std::uint64_t double_bits(double v) {
-  std::uint64_t bits = 0;
-  std::memcpy(&bits, &v, sizeof(bits));
-  return bits;
-}
-
-double bits_double(std::uint64_t bits) {
-  double v = 0.0;
-  std::memcpy(&v, &bits, sizeof(v));
-  return v;
-}
+// IEEE bits of a double (util::f64_bits), for hashing and text
+// round-trips that must be exact (a decimal round-trip of the confidence
+// target could make two shards disagree about the campaign identity).
+using util::bits_f64;
+using util::f64_bits;
 
 // Stable hash of the campaign identity (key + program code + parameters).
 // The shard selection participates only when sharding is active, and the
@@ -82,7 +75,7 @@ std::uint64_t spec_fingerprint(const CampaignSpec& spec,
     h = util::hash_combine(h, 0xADA7011'1EULL);
     h = util::hash_combine(
         h, static_cast<std::uint64_t>(spec.confidence_method));
-    h = util::hash_combine(h, double_bits(spec.confidence_half_width));
+    h = util::hash_combine(h, f64_bits(spec.confidence_half_width));
   }
   return h;
 }
@@ -145,7 +138,7 @@ bool parse_result(const std::string& payload, std::uint64_t fp,
     if (!(in >> method >> target_bits >> r.pilot)) return false;
     if (method > 1) return false;
     r.confidence_method = static_cast<util::IntervalMethod>(method);
-    r.confidence_target = bits_double(target_bits);
+    r.confidence_target = bits_f64(target_bits);
     if (!(r.confidence_target > 0.0) || r.confidence_target > 0.5) {
       return false;
     }
@@ -168,7 +161,7 @@ std::string serialize_result(std::uint64_t fp, const CampaignResult& r) {
   }
   if (r.adaptive()) {
     out << "adaptive " << static_cast<std::uint32_t>(r.confidence_method)
-        << ' ' << double_bits(r.confidence_target) << ' ' << r.pilot << '\n';
+        << ' ' << f64_bits(r.confidence_target) << ' ' << r.pilot << '\n';
     for (const std::uint64_t n : r.planned) out << n << '\n';
   }
   return out.str();
@@ -586,7 +579,7 @@ CampaignResult merge_campaign_results(
     // same per-FF N_f from the same global pilot, so any disagreement
     // means the shards came from different campaigns (or a fixed-budget
     // shard is being mixed into an adaptive merge).
-    if (double_bits(s.confidence_target) != double_bits(out.confidence_target) ||
+    if (f64_bits(s.confidence_target) != f64_bits(out.confidence_target) ||
         s.confidence_method != out.confidence_method || s.pilot != out.pilot ||
         s.planned != out.planned) {
       throw std::invalid_argument(

@@ -35,20 +35,11 @@ class Reader : public util::ByteReader {
   bool str(std::string* s) { return util::ByteReader::str(s, kMaxStringLen); }
 };
 
-// Doubles travel as their IEEE-754 bits: the confidence target is an
-// identity field, and a decimal round-trip could make two shards of the
-// same campaign disagree about it.
-std::uint64_t double_bits(double v) {
-  std::uint64_t bits = 0;
-  std::memcpy(&bits, &v, sizeof(bits));
-  return bits;
-}
-
-double bits_double(std::uint64_t bits) {
-  double v = 0.0;
-  std::memcpy(&v, &bits, sizeof(v));
-  return v;
-}
+// Doubles travel as their IEEE-754 bits (util::f64_bits): the confidence
+// target is an identity field, and a decimal round-trip could make two
+// shards of the same campaign disagree about it.
+using util::bits_f64;
+using util::f64_bits;
 
 }  // namespace
 
@@ -105,21 +96,21 @@ std::string encode_shard(const ShardFile& shard) {
     // the same one); executed count and achieved intervals describe THIS
     // file's covered shards and are recomputed from counters on merge.
     put_u32(&body, static_cast<std::uint32_t>(r.confidence_method));
-    put_u64(&body, double_bits(r.confidence_target));
+    put_u64(&body, f64_bits(r.confidence_target));
     put_u64(&body, r.pilot);
     for (const std::uint64_t n : r.planned) put_u64(&body, n);
     put_u64(&body, r.samples_executed());
     const util::Interval sdc = r.sdc_interval();
     const util::Interval due = r.due_interval();
-    put_u64(&body, double_bits(sdc.lo));
-    put_u64(&body, double_bits(sdc.hi));
-    put_u64(&body, double_bits(due.lo));
-    put_u64(&body, double_bits(due.hi));
+    put_u64(&body, f64_bits(sdc.lo));
+    put_u64(&body, f64_bits(sdc.hi));
+    put_u64(&body, f64_bits(due.lo));
+    put_u64(&body, f64_bits(due.hi));
   }
 
   std::string out;
   out.reserve(kWireHeaderSize + body.size());
-  out.append(reinterpret_cast<const char*>(kMagic), 4);
+  util::append_magic(&out, kMagic);
   put_u32(&out, version);
   put_u64(&out, body.size());
   put_u64(&out, fnv1a64(body.data(), body.size()));
@@ -129,7 +120,7 @@ std::string encode_shard(const ShardFile& shard) {
 }
 
 WireStatus decode_shard(const std::string& bytes, ShardFile* out) {
-  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  const unsigned char* p = util::byte_ptr(bytes);
   if (bytes.size() < 4) return WireStatus::kTruncated;
   if (std::memcmp(p, kMagic, 4) != 0) return WireStatus::kBadMagic;
   if (bytes.size() < kWireHeaderSize) return WireStatus::kTruncated;
@@ -202,7 +193,7 @@ WireStatus decode_shard(const std::string& bytes, ShardFile* out) {
     }
     if (method > 1) return WireStatus::kCorrupt;
     s.result.confidence_method = static_cast<util::IntervalMethod>(method);
-    s.result.confidence_target = bits_double(target_bits);
+    s.result.confidence_target = bits_f64(target_bits);
     // NaN fails both comparisons: fail closed on a garbage target.
     if (!(s.result.confidence_target > 0.0) ||
         !(s.result.confidence_target <= 0.5)) {
@@ -230,8 +221,8 @@ WireStatus decode_shard(const std::string& bytes, ShardFile* out) {
     // The achieved intervals are derived data; validate plausibility (the
     // body checksum already vouches for the exact bits).
     for (int i = 0; i < 4; i += 2) {
-      const double lo = bits_double(iv_bits[i]);
-      const double hi = bits_double(iv_bits[i + 1]);
+      const double lo = bits_f64(iv_bits[i]);
+      const double hi = bits_f64(iv_bits[i + 1]);
       if (!(lo >= 0.0) || !(hi <= 1.0) || !(lo <= hi)) {
         return WireStatus::kCorrupt;
       }

@@ -8,8 +8,8 @@
 // file is stamped with.  Keeping this in one translation unit is what
 // makes the daemon's results byte-identical to an in-process `clear run`:
 // both paths resolve through exactly this code.
-#ifndef CLEAR_CLI_RUNPLAN_H
-#define CLEAR_CLI_RUNPLAN_H
+#ifndef CLEAR_PLAN_RUNPLAN_H
+#define CLEAR_PLAN_RUNPLAN_H
 
 #include <istream>
 #include <string>
@@ -22,7 +22,19 @@
 #include "isa/program.h"
 #include "util/args.h"
 
-namespace clear::cli {
+namespace clear::plan {
+
+// Parses a variant key of '+'-joined technique tokens into the technique
+// set it denotes: "base", "abftc", "abftd", "eddi" (no store-readback),
+// "eddi_rb", "assert", "cfcss", "dfc", "monitor".  The output's key()
+// round-trips to a canonical ordering of the same tokens.  Throws
+// std::invalid_argument on an unknown token.
+core::Variant parse_variant(const std::string& key);
+
+// Parses "k/K" shard syntax (e.g. "2/8") into *index, *count.  Returns
+// false on malformed input or index >= count.
+bool parse_shard(const std::string& text, std::uint32_t* index,
+                 std::uint32_t* count);
 
 // Everything one campaign needs, with stable storage for the pointers a
 // CampaignSpec holds.  After any reallocation of a container of plans,
@@ -95,6 +107,6 @@ bool resolve_plan(const util::ArgParser& args, const std::string& ctx,
 bool resolve_manifest_text(const std::string& text, const std::string& ctx,
                            std::vector<RunPlan>* plans, std::string* error);
 
-}  // namespace clear::cli
+}  // namespace clear::plan
 
-#endif  // CLEAR_CLI_RUNPLAN_H
+#endif  // CLEAR_PLAN_RUNPLAN_H

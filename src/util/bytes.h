@@ -37,11 +37,34 @@ inline void put_str(std::string* out, const std::string& s) {
   out->append(s);
 }
 
-// IEEE-754 bit pattern, little-endian.
-inline void put_f64(std::string* out, double d) {
+// IEEE-754 bit punning.  This header is the one sanctioned home for the
+// raw memcpy: wire formats store doubles as u64 bit patterns so equal
+// results are equal bytes on every host (and the wire-safety lint flags
+// any puns that bypass these helpers).
+inline std::uint64_t f64_bits(double v) {
   std::uint64_t bits = 0;
-  std::memcpy(&bits, &d, sizeof(bits));
-  put_u64(out, bits);
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+inline double bits_f64(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// IEEE-754 bit pattern, little-endian.
+inline void put_f64(std::string* out, double d) { put_u64(out, f64_bits(d)); }
+
+// The byte view of a string buffer: the sole sanctioned cast feeding the
+// bounded ByteReader (and magic-number memcmp checks) in decode paths.
+inline const unsigned char* byte_ptr(const std::string& s) {
+  return reinterpret_cast<const unsigned char*>(s.data());
+}
+
+// Appends a 4-byte format magic (encode-side mirror of the memcmp check).
+inline void append_magic(std::string* out, const unsigned char (&magic)[4]) {
+  out->append(reinterpret_cast<const char*>(magic), 4);
 }
 
 class ByteReader {

@@ -68,6 +68,7 @@ sockaddr_un make_unix_addr(const std::string& path) {
   if (path.size() >= sizeof(addr.sun_path)) {
     throw std::runtime_error("socket path too long: " + path);
   }
+  // lint: allow(wire-safety): sockaddr_un path copy, length checked against sizeof(sun_path) above
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   return addr;
 }
@@ -103,6 +104,7 @@ Socket Socket::listen_unix(const std::string& path, int backlog) {
   ::unlink(path.c_str());  // stale socket from a crashed daemon
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) fail("socket(AF_UNIX)");
+  // lint: allow(wire-safety): sockaddr cast required by the POSIX bind() signature, not payload decode
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     const int saved = errno;
@@ -125,6 +127,7 @@ Socket Socket::listen_tcp_loopback(std::uint16_t port, int backlog) {
   if (fd < 0) fail("socket(AF_INET)");
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  // lint: allow(wire-safety): sockaddr cast required by the POSIX bind() signature, not payload decode
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     const int saved = errno;
@@ -143,6 +146,7 @@ Socket Socket::listen_tcp_loopback(std::uint16_t port, int backlog) {
 
 Socket Socket::connect_unix(const std::string& path, int retry_ms) {
   const sockaddr_un addr = make_unix_addr(path);
+  // lint: allow(wire-safety): sockaddr cast required by the POSIX connect() signature, not payload decode
   return connect_with_retry(reinterpret_cast<const sockaddr*>(&addr),
                             sizeof(addr), AF_UNIX, retry_ms,
                             "connect(" + path + ")");
@@ -150,6 +154,7 @@ Socket Socket::connect_unix(const std::string& path, int retry_ms) {
 
 Socket Socket::connect_tcp_loopback(std::uint16_t port, int retry_ms) {
   const sockaddr_in addr = make_loopback_addr(port);
+  // lint: allow(wire-safety): sockaddr cast required by the POSIX connect() signature, not payload decode
   return connect_with_retry(reinterpret_cast<const sockaddr*>(&addr),
                             sizeof(addr), AF_INET, retry_ms,
                             "connect(127.0.0.1:" + std::to_string(port) + ")");

@@ -275,7 +275,9 @@ TEST(CachePack, CorruptionFuzzNeverCrashesNorServesWrongBytes) {
       const bool hit = pack.get(1000 + i, &got);
       // A served payload must be byte-exact -- a wrong-checksum payload
       // must never surface, no matter what was flipped where.
-      if (hit) EXPECT_EQ(got, payloads[i]) << "trial " << trial;
+      if (hit) {
+        EXPECT_EQ(got, payloads[i]) << "trial " << trial;
+      }
       // Records whose bytes are untouched must all be recovered (index
       // damage alone can never lose a pack record).
       if (!touched) {

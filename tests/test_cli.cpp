@@ -21,6 +21,7 @@
 #include "inject/campaign.h"
 #include "inject/wire.h"
 #include "isa/assembler.h"
+#include "plan/runplan.h"
 #include "util/args.h"
 #include "workloads/workloads.h"
 
@@ -58,15 +59,15 @@ const std::string kBin = CLEAR_CLI_BIN;
 
 TEST(CliParse, ShardSyntax) {
   std::uint32_t k = 0, n = 0;
-  EXPECT_TRUE(cli::parse_shard("2/8", &k, &n));
+  EXPECT_TRUE(plan::parse_shard("2/8", &k, &n));
   EXPECT_EQ(k, 2u);
   EXPECT_EQ(n, 8u);
-  EXPECT_TRUE(cli::parse_shard("0/1", &k, &n));
-  EXPECT_FALSE(cli::parse_shard("8/8", &k, &n));  // index out of range
-  EXPECT_FALSE(cli::parse_shard("1/0", &k, &n));
-  EXPECT_FALSE(cli::parse_shard("1", &k, &n));
-  EXPECT_FALSE(cli::parse_shard("1/2/3", &k, &n));
-  EXPECT_FALSE(cli::parse_shard("a/b", &k, &n));
+  EXPECT_TRUE(plan::parse_shard("0/1", &k, &n));
+  EXPECT_FALSE(plan::parse_shard("8/8", &k, &n));  // index out of range
+  EXPECT_FALSE(plan::parse_shard("1/0", &k, &n));
+  EXPECT_FALSE(plan::parse_shard("1", &k, &n));
+  EXPECT_FALSE(plan::parse_shard("1/2/3", &k, &n));
+  EXPECT_FALSE(plan::parse_shard("a/b", &k, &n));
 }
 
 TEST(CliParse, ByteSuffixes) {
@@ -85,16 +86,16 @@ TEST(CliParse, ByteSuffixes) {
 }
 
 TEST(CliParse, VariantTokensRoundTripThroughKey) {
-  EXPECT_EQ(cli::parse_variant("base").key(), "base");
-  EXPECT_EQ(cli::parse_variant("").key(), "base");
-  EXPECT_EQ(cli::parse_variant("eddi_rb").key(), "eddi_rb");
-  EXPECT_EQ(cli::parse_variant("eddi").key(), "eddi");
-  EXPECT_EQ(cli::parse_variant("abftc+eddi_rb+cfcss").key(),
+  EXPECT_EQ(plan::parse_variant("base").key(), "base");
+  EXPECT_EQ(plan::parse_variant("").key(), "base");
+  EXPECT_EQ(plan::parse_variant("eddi_rb").key(), "eddi_rb");
+  EXPECT_EQ(plan::parse_variant("eddi").key(), "eddi");
+  EXPECT_EQ(plan::parse_variant("abftc+eddi_rb+cfcss").key(),
             "abftc+eddi_rb+cfcss");
-  EXPECT_EQ(cli::parse_variant("assert+dfc+monitor").key(),
+  EXPECT_EQ(plan::parse_variant("assert+dfc+monitor").key(),
             "assert+dfc+monitor");
-  EXPECT_THROW((void)cli::parse_variant("bogus"), std::invalid_argument);
-  EXPECT_THROW((void)cli::parse_variant("eddi+bogus"), std::invalid_argument);
+  EXPECT_THROW((void)plan::parse_variant("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)plan::parse_variant("eddi+bogus"), std::invalid_argument);
 }
 
 TEST(CliParse, ArgParserBasics) {
@@ -390,7 +391,7 @@ TEST(CliE2E, MultiCampaignManifestMatchesSingleRunsBitExactly) {
     inject::ShardFile s;
     ASSERT_EQ(inject::load_shard_file(path, &s), inject::WireStatus::kOk);
     const auto prog = core::build_variant_program(
-        bench, cli::parse_variant(variant), 0);
+        bench, plan::parse_variant(variant), 0);
     inject::CampaignSpec cs;
     cs.core_name = "InO";
     cs.program = &prog;

@@ -100,8 +100,12 @@ TEST(Combos, Table18CategoryCounts) {
 TEST(Combos, EirExactlyWhenDfcUnderReplay) {
   for (const auto& core : {"InO", "OoO"}) {
     for (const auto& c : enumerate_combos(core)) {
-      if (c.recovery == arch::RecoveryKind::kEir) EXPECT_TRUE(c.dfc);
-      if (c.recovery == arch::RecoveryKind::kIr) EXPECT_FALSE(c.dfc);
+      if (c.recovery == arch::RecoveryKind::kEir) {
+        EXPECT_TRUE(c.dfc);
+      }
+      if (c.recovery == arch::RecoveryKind::kIr) {
+        EXPECT_FALSE(c.dfc);
+      }
     }
   }
 }

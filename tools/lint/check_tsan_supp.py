@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Staleness check for tools/tsan.supp (CI job `tsan`).
+
+Every active suppression must still match something: its pattern (the
+part after `type:`, TSan matches it against symbol names, file names and
+module names) must appear as a substring in at least one file under src/
+or tests/, or name a third-party frame (std::, __gnu, gtest).  A stale
+entry -- left behind after the code it excused was fixed or deleted --
+would silently swallow the NEXT race that happens to land on the same
+name, so it fails the check.
+
+Entries for src/ code are refused outright: the policy (see the header of
+tsan.supp) is fix, don't suppress.
+"""
+
+import os
+import re
+import sys
+
+THIRD_PARTY = ("std::", "__gnu", "gtest", "libc", "pthread")
+
+
+def tree_text(root):
+    chunks = []
+    for sub in ("src", "tests"):
+        base = os.path.join(root, sub)
+        for dirpath, _dirs, files in os.walk(base):
+            for name in files:
+                if name.endswith((".h", ".cpp")):
+                    with open(os.path.join(dirpath, name), "r",
+                              encoding="utf-8", errors="replace") as f:
+                        chunks.append(f.read())
+                    chunks.append(name)
+    return "\n".join(chunks)
+
+
+def main():
+    root = os.path.abspath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                     os.pardir, os.pardir))
+    if len(sys.argv) > 1:
+        root = os.path.abspath(sys.argv[1])
+    supp = os.path.join(root, "tools", "tsan.supp")
+    entries = []
+    with open(supp, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            m = re.match(r"^([a-z_]+):(.+)$", line)
+            if not m:
+                print("tsan.supp:%d: malformed entry: %r" % (lineno, line))
+                return 1
+            entries.append((lineno, m.group(1), m.group(2).strip()))
+
+    if not entries:
+        print("tsan.supp: no active suppressions (policy: fix, don't "
+              "suppress)")
+        return 0
+
+    text = tree_text(root)
+    bad = 0
+    for lineno, kind, pattern in entries:
+        # TSan patterns allow '*' globs; the anchor is the longest
+        # literal run, which must still name something real.
+        literal = max(pattern.split("*"), key=len)
+        third_party = any(t in pattern for t in THIRD_PARTY)
+        if not third_party:
+            print("tsan.supp:%d: '%s:%s' targets first-party code -- fix "
+                  "the race instead of suppressing it" %
+                  (lineno, kind, pattern))
+            bad += 1
+        elif literal and literal not in text and not any(
+                t in literal for t in THIRD_PARTY):
+            print("tsan.supp:%d: stale entry '%s:%s': pattern matches "
+                  "nothing under src/ or tests/" % (lineno, kind, pattern))
+            bad += 1
+    if bad:
+        return 1
+    print("tsan.supp: %d active suppression(s), all current" % len(entries))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+// Seeded atomics violations: src/inject is not in this fixture's
+// allowlist, so every explicit order below is a finding; the consume and
+// the mixed default/explicit discipline add two more.  The annotated
+// site must NOT be reported.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+std::atomic<std::uint64_t> counter{0};
+std::atomic<std::uint64_t> mixed{0};
+std::atomic<bool> flag{false};
+
+void unlisted_relaxed() {
+  // VIOLATION: explicit order in a non-allowlisted file
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t deprecated_consume() {
+  // VIOLATION x2: non-allowlisted file + memory_order_consume
+  return counter.load(std::memory_order_consume);
+}
+
+std::uint64_t mixed_discipline() {
+  // VIOLATION: explicit order in a non-allowlisted file
+  mixed.store(1, std::memory_order_release);
+  // VIOLATION: same variable read with the seq_cst default two lines up
+  return mixed.load();
+}
+
+bool annotated_site() {
+  // lint: allow(atomics): one-shot poll flag; join is the sync point
+  return flag.load(std::memory_order_relaxed);
+}
+
+}  // namespace fixture

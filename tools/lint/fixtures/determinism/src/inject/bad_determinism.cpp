@@ -1,0 +1,68 @@
+// Seeded determinism violations: every tagged line below must be caught
+// by the `determinism` checker (the selftest asserts the exact set), and
+// nothing else in this file may be flagged.
+#include <chrono>
+#include <clocale>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Site {
+  int id;
+};
+
+long seeded_violations() {
+  long acc = 0;
+  // VIOLATION wall-clock
+  acc += std::chrono::steady_clock::now().time_since_epoch().count();
+  // VIOLATION os-clock
+  acc += static_cast<long>(time(nullptr));
+  // VIOLATION ambient-rng
+  acc += rand();
+  // VIOLATION ambient-rng-seed
+  srand(42);
+  // VIOLATION nondeterministic-device
+  std::random_device rd;
+  acc += static_cast<long>(rd());
+  // VIOLATION locale
+  setlocale(LC_NUMERIC, "");
+  return acc;
+}
+
+long pointer_ordering(const std::vector<Site*>& sites) {
+  // VIOLATION pointer-keyed ordered container
+  std::map<Site*, int> by_addr;
+  for (Site* s : sites) by_addr[s] = s->id;
+  long acc = 0;
+  for (const auto& kv : by_addr) acc += kv.second;
+  return acc;
+}
+
+long unordered_iteration() {
+  std::unordered_map<std::string, int> counts;
+  counts["a"] = 1;
+  long acc = 0;
+  // VIOLATION unordered-iteration
+  for (const auto& kv : counts) acc += kv.second;
+  return acc;
+}
+
+long clean_lines() {
+  // None of these may be flagged: the patterns appear only in comments
+  // ("rand()", "steady_clock::now()") or string literals, and the lookup
+  // below does not iterate the container.
+  std::unordered_map<std::string, int> index;
+  index["steady_clock::now() and rand() as data"] = 1;
+  long acc = index.count("x") ? index.at("x") : 0;
+  // lint: allow(determinism): fixture-sanctioned clock read proving suppression
+  acc += std::chrono::steady_clock::now().time_since_epoch().count();
+  return acc;
+}
+
+}  // namespace fixture

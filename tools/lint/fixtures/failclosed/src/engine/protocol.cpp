@@ -1,0 +1,76 @@
+// Seeded fail-closed violations: switch dispatch over wire-decoded
+// discriminants.  The two tagged switches must be caught; the refusing
+// switch and the internal to-string switch must not be.
+#include <cstdint>
+#include <stdexcept>
+
+namespace fixture {
+
+enum class FrameType : std::uint32_t { kHello = 1, kJob = 2, kDone = 3 };
+enum class Status : std::uint32_t { kOk = 0, kFailed = 1 };
+
+struct Frame {
+  FrameType type;
+  std::uint32_t version;
+};
+
+// VIOLATION: no default -- an unknown decoded frame type falls out of the
+// switch and the connection proceeds as if nothing happened.
+int dispatch_no_default(const Frame& frame) {
+  int handled = 0;
+  switch (frame.type) {
+    case FrameType::kHello:
+      handled = 1;
+      break;
+    case FrameType::kJob:
+      handled = 2;
+      break;
+    case FrameType::kDone:
+      handled = 3;
+      break;
+  }
+  return handled;
+}
+
+// VIOLATION: default exists but only breaks -- unknown versions are
+// silently treated as handled instead of refused.
+int dispatch_silent_default(const Frame& frame) {
+  int handled = 0;
+  switch (frame.version) {
+    case 1:
+      handled = 1;
+      break;
+    default:
+      break;
+  }
+  return handled;
+}
+
+// Clean: unknown decoded values are refused.
+int dispatch_refusing(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kHello:
+      return 1;
+    case FrameType::kJob:
+      return 2;
+    case FrameType::kDone:
+      return 3;
+    default:
+      throw std::runtime_error("unknown frame type: fail closed");
+  }
+}
+
+// Clean: to-string over an internal enum (single-letter operand, never
+// crossed a trust boundary); exhaustive switch without default is the
+// idiom that lets -Wswitch catch new enumerators.
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+}  // namespace fixture

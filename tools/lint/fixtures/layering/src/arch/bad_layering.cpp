@@ -1,0 +1,14 @@
+// Seeded layering violations: src/arch sits near the bottom of the layer
+// DAG, so the two upward includes below are exactly the inversions the
+// checker must reject.  The downward includes must pass.
+#include "fleet/fleet.h"   // VIOLATION: arch -> fleet inverts the DAG
+#include "engine/engine.h" // VIOLATION: arch -> engine inverts the DAG
+
+#include "isa/isa.h"       // clean: arch -> isa is a documented edge
+#include "util/rng.h"      // clean: every layer may use util
+
+namespace fixture {
+
+int uses_nothing() { return 0; }
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// VIOLATION (whole file): src/rogue is not a layer tools/lint/layers.json
+// knows, so the checker must demand a DAG entry rather than silently
+// skipping an unmapped directory.
+#include "util/rng.h"
+
+namespace fixture {
+
+int rogue() { return 1; }
+
+}  // namespace fixture

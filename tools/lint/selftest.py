@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Lint-suite self-test (ctest: lint_selftest).
+
+Three assertions:
+  1. Fixtures: each checker, run over its fixture tree under
+     tools/lint/fixtures/<name>/, reports exactly the findings committed
+     in that tree's expected.txt (path:line:checker) -- seeded violations
+     are caught, annotated/clean lines are not.
+  2. Version sync: CHECKER_SET_VERSION in clear_lint.py matches the
+     kLintCheckerSetVersion constant `clear version --json` reports
+     (src/cli/cli_version.cpp), so CI artifacts record the invariant set
+     that vetted the build.
+  3. Config sanity: the real layers.json covers every directory under
+     src/, and the real atomics allowlist parses with justifications.
+
+The clean-tree zero-findings run is a separate ctest (lint_clean_tree):
+`clear_lint.py --root <repo>` must exit 0.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(HERE, "clear_lint.py")
+
+
+def run_lint(extra):
+    proc = subprocess.run(
+        [sys.executable, LINT, "--json"] + extra,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+    if proc.returncode not in (0, 1):
+        raise AssertionError(
+            "clear_lint exited %d:\n%s" % (proc.returncode,
+                                           proc.stderr.decode()))
+    return json.loads(proc.stdout.decode())
+
+
+def load_expected(fixture_dir):
+    out = []
+    with open(os.path.join(fixture_dir, "expected.txt"), "r",
+              encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            path, ln, checker = line.rsplit(":", 2)
+            out.append((path, int(ln), checker))
+    return sorted(out)
+
+
+def check_fixture(name, checker, extra=None):
+    fixture = os.path.join(HERE, "fixtures", name)
+    doc = run_lint(["--root", fixture, "--checker", checker] + (extra or []))
+    got = sorted((f["file"], f["line"], f["checker"])
+                 for f in doc["findings"])
+    want = load_expected(fixture)
+    if got != want:
+        # Multiset comparison: duplicate findings on one line must both
+        # appear (two distinct rules can fire on the same site).
+        missing = sorted(set(want) - set(got))
+        extra_f = sorted(set(got) - set(want))
+        raise AssertionError(
+            "fixture '%s' (--checker %s) mismatch (want %d, got %d):\n"
+            "  missing: %s\n  unexpected: %s"
+            % (name, checker, len(want), len(got), missing, extra_f))
+    for f in doc["findings"]:
+        if not f["message"].strip():
+            raise AssertionError(
+                "fixture '%s': empty finding message at %s:%d"
+                % (name, f["file"], f["line"]))
+    print("ok: fixture %-12s %2d finding(s), exact match" %
+          (name, len(want)))
+
+
+def check_version_sync(repo_root):
+    with open(LINT, "r", encoding="utf-8") as f:
+        m = re.search(r"^CHECKER_SET_VERSION\s*=\s*(\d+)", f.read(),
+                      re.MULTILINE)
+    assert m, "CHECKER_SET_VERSION missing from clear_lint.py"
+    lint_v = int(m.group(1))
+    cpp = os.path.join(repo_root, "src", "cli", "cli_version.cpp")
+    with open(cpp, "r", encoding="utf-8") as f:
+        m = re.search(r"kLintCheckerSetVersion\s*=\s*(\d+)", f.read())
+    assert m, "kLintCheckerSetVersion missing from cli_version.cpp"
+    cli_v = int(m.group(1))
+    if lint_v != cli_v:
+        raise AssertionError(
+            "checker-set version skew: clear_lint.py v%d vs `clear version`"
+            " v%d -- bump both together" % (lint_v, cli_v))
+    print("ok: checker-set version v%d consistent across lint + CLI"
+          % lint_v)
+
+
+def check_config_sanity(repo_root):
+    with open(os.path.join(HERE, "layers.json"), "r", encoding="utf-8") as f:
+        layers = json.load(f)["layers"]
+    src = os.path.join(repo_root, "src")
+    dirs = sorted(d for d in os.listdir(src)
+                  if os.path.isdir(os.path.join(src, d)))
+    unmapped = [d for d in dirs if d not in layers]
+    if unmapped:
+        raise AssertionError(
+            "src/ layers missing from layers.json: %s" % unmapped)
+    for layer, deps in layers.items():
+        for d in deps:
+            if d not in layers:
+                raise AssertionError(
+                    "layers.json: '%s' depends on unknown layer '%s'"
+                    % (layer, d))
+    print("ok: layers.json covers all %d src/ layers" % len(dirs))
+
+
+def main():
+    repo_root = os.path.abspath(os.path.join(HERE, os.pardir, os.pardir))
+    if len(sys.argv) > 1:
+        repo_root = os.path.abspath(sys.argv[1])
+    check_fixture("determinism", "determinism")
+    check_fixture("wire", "wire-safety")
+    check_fixture("failclosed", "fail-closed")
+    check_fixture("layering", "layering")
+    check_fixture("atomics", "atomics",
+                  ["--atomics-allowlist",
+                   os.path.join(HERE, "fixtures", "atomics", "allowlist.txt")])
+    check_version_sync(repo_root)
+    check_config_sanity(repo_root)
+    print("lint selftest: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
